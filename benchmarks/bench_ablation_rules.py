@@ -1,0 +1,76 @@
+"""Ablation: the contribution of each rewrite to the optimized pipeline.
+
+DESIGN.md calls for ablation benches of the design choices: each
+optimizer toggle is disabled in turn (full pipeline minus one rewrite) on
+a representative query per scheme family, quantifying what every rewrite
+buys — including the classical ones the paper does not re-validate.
+"""
+
+import pytest
+
+from repro.bench.measure import reduction_percent
+from repro.bench.reporting import render_table
+from repro.graft.optimizer import OptimizerOptions
+
+from benchmarks.conftest import make_runner, median_seconds, write_artifact
+
+#: (scheme, query) pairs covering the three optimizer paths: constant
+#: (delta + pre-count), eager-aggregation, and row-first canonical.
+CASES = {
+    "anysum/Q8": ("anysum", "Q8"),
+    "sumbest/Q5": ("sumbest", "Q5"),
+    "event-model/Q9": ("event-model", "Q9"),
+}
+
+TOGGLES = (
+    "full",
+    "selection_pushing",
+    "join_reordering",
+    "eager_counting",
+    "eager_aggregation",
+    "sort_elimination",
+)
+
+MEASURED: dict[tuple[str, str], float] = {}
+
+
+def _options(toggle: str) -> OptimizerOptions:
+    if toggle == "full":
+        return OptimizerOptions()
+    return OptimizerOptions(**{toggle: False})
+
+
+@pytest.mark.parametrize("toggle", TOGGLES)
+@pytest.mark.parametrize("case", list(CASES))
+def test_ablation_measure(case, toggle, fx, benchmark):
+    scheme_name, query_name = CASES[case]
+    run = make_runner(
+        fx, fx.queries[query_name], scheme_name, _options(toggle)
+    )
+    benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    MEASURED[(case, toggle)] = median_seconds(benchmark)
+
+
+def test_ablation_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(MEASURED) < len(CASES) * len(TOGGLES):
+        pytest.skip("measurements missing (run the whole module)")
+
+    rows = []
+    for case in CASES:
+        full = MEASURED[(case, "full")]
+        for toggle in TOGGLES[1:]:
+            slowdown = reduction_percent(MEASURED[(case, toggle)], full)
+            rows.append([
+                case,
+                toggle,
+                f"{MEASURED[(case, toggle)] * 1000:.3f} ms",
+                f"{slowdown:+.1f}%",
+            ])
+        rows.append([case, "full", f"{full * 1000:.3f} ms", "-"])
+    text = render_table(
+        ["case", "pipeline minus", "median time", "full pipeline saves"],
+        rows,
+        title="Ablation: full optimizer pipeline vs each rewrite disabled",
+    )
+    write_artifact("ablation_rules.txt", text)

@@ -1,0 +1,120 @@
+"""Section 6 complexity study.
+
+Three empirical curves:
+
+1. **Match-table growth**: the match table of a Q-keyword conjunction of a
+   frequent word grows as O(W^Q) — the exponential that makes eager
+   materialization untenable and optimization necessary.
+2. **BOOL-class scaling**: predicate-free queries under pre-counting run
+   on the term-document index, scaling with the number of documents D
+   (the paper's O(D x Q^2) plan, simulated "using the pre-counting
+   optimization").
+3. **PPRED-class scaling**: positional queries under forward-scan joins
+   scale with collection words W (the paper's O(W x Q^2) plan, simulated
+   "using forward-scan joins").
+"""
+
+import pytest
+
+from repro.bench.reporting import render_table
+from repro.bench.workload import bench_fixture
+from repro.corpus.collection import DocumentCollection
+from repro.graft.optimizer import OptimizerOptions
+from repro.index.builder import build_index
+from repro.mcalc.parser import parse_query
+
+from benchmarks.conftest import make_runner, median_seconds, write_artifact
+
+SIZES = (500, 1000, 2000, 4000)
+MEASURED: dict[tuple[str, int], float] = {}
+
+
+# -- 1. match-table growth ---------------------------------------------------
+
+def test_match_table_growth_is_exponential_in_query_size(benchmark):
+    """|match table| = tf^Q per document for a repeated keyword."""
+    collection = DocumentCollection()
+    collection.add_tokens(["w"] * 12 + ["x"] * 12)
+    index = build_index(collection)
+
+    from repro.api import SearchEngine
+
+    engine = SearchEngine(collection)
+    sizes = {}
+
+    def measure_all():
+        for q_size in (1, 2, 3, 4):
+            text = " ".join(["w"] * q_size)
+            sizes[q_size] = len(engine.match_table(text))
+        return sizes
+
+    benchmark.pedantic(measure_all, rounds=3, iterations=1)
+    assert sizes == {1: 12, 2: 144, 3: 12**3, 4: 12**4}
+
+    rows = [[f"Q={q}", str(n)] for q, n in sorted(sizes.items())]
+    text = render_table(
+        ["query size", "match-table rows (one 12-occurrence doc)"],
+        rows,
+        title="Section 6: match tables grow as O(W^Q)",
+    )
+    write_artifact("complexity_match_table.txt", text)
+
+
+# -- 2 & 3: data scaling of the restricted-language plans --------------------
+
+BOOL_QUERY = "free list service"
+PPRED_QUERY = '"free software" (windows emulator)WINDOW[50]'
+
+BOOL_OPTIONS = OptimizerOptions(alternate_elimination=True, pre_counting=True)
+PPRED_OPTIONS = OptimizerOptions(
+    alternate_elimination=True, pre_counting=True, forward_scan=True
+)
+
+
+@pytest.mark.parametrize("num_docs", SIZES)
+@pytest.mark.parametrize("klass", ["BOOL", "PPRED"])
+def test_scaling_measure(klass, num_docs, benchmark):
+    fx = bench_fixture(num_docs=num_docs)
+    if klass == "BOOL":
+        query = parse_query(BOOL_QUERY, fx.collection.analyzer)
+        options = BOOL_OPTIONS
+    else:
+        query = parse_query(PPRED_QUERY, fx.collection.analyzer)
+        options = PPRED_OPTIONS
+    run = make_runner(fx, query, "anysum", options)
+    benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    MEASURED[(klass, num_docs)] = median_seconds(benchmark)
+
+
+def test_scaling_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(MEASURED) < 2 * len(SIZES):
+        pytest.skip("measurements missing (run the whole module)")
+
+    rows = []
+    for klass in ("BOOL", "PPRED"):
+        base = MEASURED[(klass, SIZES[0])]
+        for size in SIZES:
+            t = MEASURED[(klass, size)]
+            rows.append([
+                klass,
+                str(size),
+                f"{t * 1000:.3f} ms",
+                f"{t / base:.2f}x",
+            ])
+    text = render_table(
+        ["class", "documents", "median time", "vs smallest"],
+        rows,
+        title=(
+            "Section 6: restricted-language plan scaling "
+            "(BOOL via pre-counting ~ O(D); PPRED via forward-scan ~ O(W))"
+        ),
+    )
+    write_artifact("complexity_scaling.txt", text)
+
+    # Shape: both classes scale roughly linearly in data size — an 8x
+    # corpus must cost well under the exponential blowup (allow generous
+    # constant-factor noise: between ~2x and ~32x for 8x data).
+    for klass in ("BOOL", "PPRED"):
+        ratio = MEASURED[(klass, SIZES[-1])] / MEASURED[(klass, SIZES[0])]
+        assert ratio < 32.0, (klass, ratio)

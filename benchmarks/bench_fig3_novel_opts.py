@@ -1,0 +1,83 @@
+"""Regenerate Figure 3: execution-time reduction from the novel rewrites.
+
+"Execution time reduction provided by Alternate Elimination optimization,
+Pre-Counting optimization, and a combination of both over the classical
+eager count optimization" — queries Q4..Q11 under the AnySum scheme (the
+only built-in scheme compatible with alternate elimination), baseline
+plans using selection pushing + join reordering + eager counting, exactly
+as Section 8 describes.
+"""
+
+import pytest
+
+from repro.bench.measure import reduction_percent
+from repro.bench.reporting import render_bars
+from repro.bench.workload import PAPER_QUERIES
+from repro.graft.optimizer import OptimizerOptions
+
+from benchmarks.conftest import make_runner, median_seconds, write_artifact
+
+QUERIES = sorted(PAPER_QUERIES, key=lambda name: int(name[1:]))
+
+VARIANTS = {
+    "eager-count (baseline)": OptimizerOptions(
+        pre_counting=False, alternate_elimination=False
+    ),
+    "alt-elim": OptimizerOptions(
+        pre_counting=False, alternate_elimination=True
+    ),
+    "pre-count": OptimizerOptions(
+        pre_counting=True, alternate_elimination=False
+    ),
+    "combined": OptimizerOptions(
+        pre_counting=True, alternate_elimination=True
+    ),
+}
+
+MEASURED: dict[tuple[str, str], float] = {}
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig3_measure(query, variant, fx, benchmark):
+    run = make_runner(fx, fx.queries[query], "anysum", VARIANTS[variant])
+    benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    MEASURED[(query, variant)] = median_seconds(benchmark)
+
+
+def test_fig3_report(fx, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    missing = [
+        (q, v) for q in QUERIES for v in VARIANTS if (q, v) not in MEASURED
+    ]
+    if missing:
+        pytest.skip(f"measurements missing (run the whole module): {missing}")
+
+    series = {}
+    for q in QUERIES:
+        base = MEASURED[(q, "eager-count (baseline)")]
+        series[q] = {
+            "alt-elim reduction": reduction_percent(base, MEASURED[(q, "alt-elim")]),
+            "pre-count reduction": reduction_percent(base, MEASURED[(q, "pre-count")]),
+            "combined reduction": reduction_percent(base, MEASURED[(q, "combined")]),
+        }
+    text = render_bars(
+        series,
+        unit="%",
+        title=(
+            "Figure 3: execution time reduction over the eager-count "
+            f"baseline (AnySum, {fx.num_docs} docs)"
+        ),
+    )
+    write_artifact("figure3.txt", text)
+
+    # Shape assertions (who wins, roughly where), not absolute numbers:
+    # alternate elimination helps the clear majority of queries ...
+    helped = sum(series[q]["alt-elim reduction"] > 0 for q in QUERIES)
+    assert helped >= 5, series
+    # ... pre-counting strongly helps the all-free-keyword queries ...
+    assert series["Q4"]["pre-count reduction"] > 20
+    assert series["Q5"]["pre-count reduction"] > 20
+    # ... and cannot apply to Q7/Q11 (no free keywords): no real change.
+    assert abs(series["Q7"]["pre-count reduction"]) < 20
+    assert abs(series["Q11"]["pre-count reduction"]) < 20

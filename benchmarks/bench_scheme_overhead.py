@@ -1,0 +1,58 @@
+"""Extension bench: the cost of generic scoring, scheme by scheme.
+
+Desideratum (3) of the paper: "despite overhead from generic scoring,
+[GRAFT] performs competitively with systems using a fixed scoring
+algorithm."  This bench quantifies the per-scheme overhead directly: one
+representative query executed under every registered scheme, with the
+rewrites each scheme's properties allow.  Cheap constant schemes
+(pre-counted, delta-eliminated plans) should run fastest; positional
+row-first schemes (raw position scans, per-row structured scores) should
+cost the most.
+"""
+
+import pytest
+
+from repro.bench.reporting import render_table
+from repro.sa.registry import available_schemes, get_scheme
+
+from benchmarks.conftest import make_runner, median_seconds, write_artifact
+
+QUERY = "Q9"  # proximity + free keyword: exercises both plan halves
+MEASURED: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("scheme_name", sorted(available_schemes()))
+def test_scheme_overhead_measure(scheme_name, fx, benchmark):
+    run = make_runner(fx, fx.queries[QUERY], scheme_name)
+    benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    MEASURED[scheme_name] = median_seconds(benchmark)
+
+
+def test_scheme_overhead_report(fx, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(MEASURED) < len(available_schemes()):
+        pytest.skip("measurements missing (run the whole module)")
+
+    from repro.graft.optimizer import Optimizer
+
+    rows = []
+    for name, seconds in sorted(MEASURED.items(), key=lambda kv: kv[1]):
+        scheme = get_scheme(name)
+        res = Optimizer(scheme, fx.index).optimize(fx.queries[QUERY])
+        rows.append([
+            name,
+            f"{seconds * 1000:.3f} ms",
+            scheme.properties.directional or "diagonal",
+            ", ".join(res.applied),
+        ])
+    text = render_table(
+        ["scheme", "median time", "direction", "rewrites applied"],
+        rows,
+        title=f"Generic-scoring overhead per scheme on {QUERY}",
+    )
+    write_artifact("scheme_overhead.txt", text)
+
+    # Shape: the constant scheme with full novel rewrites must be among
+    # the cheapest; the positional row-first scheme among the dearest.
+    order = [r[0] for r in rows]
+    assert order.index("anysum") < order.index("bestsum-mindist")

@@ -1,0 +1,36 @@
+"""Regenerate Table 1: the optimization validity matrix.
+
+Each optimization with the scoring scheme operator/direction requirements
+that make it score-consistent.  The artifact is static (it is the
+optimizer's own gating logic); the benchmark times the full gating pass
+over all built-in schemes, which is the per-query optimizer overhead the
+paper's desideratum (3) cares about.
+"""
+
+from repro.bench.reporting import render_table
+from repro.graft.validity import OPTIMIZATIONS, allowed_optimizations, table1_rows
+from repro.sa.registry import available_schemes, get_scheme
+
+from benchmarks.conftest import write_artifact
+
+
+def _gate_all_schemes():
+    return {
+        name: allowed_optimizations(get_scheme(name).properties)
+        for name in available_schemes()
+    }
+
+
+def test_table1_regeneration(benchmark):
+    benchmark.pedantic(_gate_all_schemes, rounds=9, iterations=10)
+    rows = [
+        [r["optimization"], r["operator requirement"], r["direction requirement"]]
+        for r in table1_rows()
+    ]
+    text = render_table(
+        ["OPTIMIZATION", "OPERATOR REQ.", "DIRECTION REQ."],
+        rows,
+        title="Table 1: optimization validity requirements",
+    )
+    write_artifact("table1.txt", text)
+    assert len(rows) == len(OPTIMIZATIONS) == 11

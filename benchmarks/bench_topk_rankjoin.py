@@ -1,0 +1,65 @@
+"""Extension bench: rank-join top-k vs full evaluation (Section 5.2.1).
+
+The paper describes rank joins as an available classical technique but
+does not validate them ("we do not validate their potential here"); this
+bench does, as the DESIGN.md extension: top-10 retrieval via HRJN against
+full evaluation + truncation, on a conjunctive keyword query under the
+diagonal, idempotent AnySum scheme.
+"""
+
+import pytest
+
+from repro.bench.reporting import render_table
+from repro.exec.topk import rank_topk
+from repro.mcalc.parser import parse_query
+from repro.sa.registry import get_scheme
+
+from benchmarks.conftest import make_runner, median_seconds, write_artifact
+
+QUERY_TEXT = "free software"
+K = 10
+MEASURED: dict[str, float] = {}
+
+
+def test_rankjoin_measure(fx, benchmark):
+    query = parse_query(QUERY_TEXT, fx.collection.analyzer)
+    scheme = get_scheme("anysum")
+
+    def run():
+        return rank_topk(query, scheme, fx.index, K)
+
+    benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    MEASURED["rank-join"] = median_seconds(benchmark)
+
+
+def test_full_evaluation_measure(fx, benchmark):
+    query = parse_query(QUERY_TEXT, fx.collection.analyzer)
+    run = make_runner(fx, query, "anysum")
+    benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    MEASURED["full"] = median_seconds(benchmark)
+
+
+def test_rankjoin_report(fx, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if set(MEASURED) != {"rank-join", "full"}:
+        pytest.skip("measurements missing (run the whole module)")
+
+    query = parse_query(QUERY_TEXT, fx.collection.analyzer)
+    scheme = get_scheme("anysum")
+    fast = rank_topk(query, scheme, fx.index, K)
+    run = make_runner(fx, query, "anysum")
+    full = run()[:K]
+    agree = [d for d, _ in fast] == [d for d, _ in full]
+
+    rows = [
+        ["rank-join top-10", f"{MEASURED['rank-join'] * 1000:.3f} ms"],
+        ["full evaluation", f"{MEASURED['full'] * 1000:.3f} ms"],
+        ["results identical", "yes" if agree else "NO"],
+    ]
+    text = render_table(
+        ["path", "value"],
+        rows,
+        title=f"Rank-join top-{K} vs full evaluation on {QUERY_TEXT!r}",
+    )
+    write_artifact("topk_rankjoin.txt", text)
+    assert agree

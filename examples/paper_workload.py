@@ -1,0 +1,87 @@
+"""The paper's evaluation workload on the synthetic Wikipedia stand-in.
+
+Builds the benchmark corpus, runs queries Q4..Q11 under several schemes
+and against the rigid Lucene/Terrier-style baselines, and prints timings
+plus top answers — a miniature of the Section 8 evaluation (run the real
+thing with ``pytest benchmarks/ --benchmark-only``).
+
+Run:  python examples/paper_workload.py [num_docs]
+"""
+
+import sys
+import time
+
+from repro.baselines import LuceneLikeEngine, TerrierLikeEngine
+from repro.bench.workload import PAPER_QUERIES, RIGID_SUPPORTED, bench_fixture
+from repro.errors import UnsupportedQueryError
+from repro.exec.engine import execute, make_runtime
+from repro.graft.optimizer import Optimizer
+from repro.sa.registry import get_scheme
+
+
+def timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, (time.perf_counter() - start) * 1000
+
+
+def main() -> None:
+    num_docs = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    print(f"building synthetic corpus ({num_docs} documents)...")
+    fx = bench_fixture(num_docs=num_docs)
+    print(f"  {fx.collection.total_tokens} tokens, "
+          f"{fx.index.vocabulary_size()} distinct terms\n")
+
+    lucene = LuceneLikeEngine(fx.index)
+    terrier = TerrierLikeEngine(fx.index)
+
+    header = (f"{'query':5} {'results':>7} {'graft-lucene':>13} "
+              f"{'lucene-like':>12} {'graft-anysum':>13} {'terrier-like':>13}")
+    print(header)
+    print("-" * len(header))
+    for name in sorted(PAPER_QUERIES, key=lambda n: int(n[1:])):
+        query = fx.queries[name]
+        row = [f"{name:5}"]
+
+        def graft(scheme_name):
+            scheme = get_scheme(scheme_name)
+            res = Optimizer(scheme, fx.index).optimize(query)
+            return execute(res.plan, make_runtime(fx.index, scheme, res.info))
+
+        results, t_gl = timed(lambda: graft("lucene"))
+        row.append(f"{len(results):>7}")
+        row.append(f"{t_gl:>11.2f}ms")
+        if name in RIGID_SUPPORTED:
+            _, t_ll = timed(lambda: lucene.search(query))
+            row.append(f"{t_ll:>10.2f}ms")
+        else:
+            row.append(f"{'n/a':>12}")
+        _, t_ga = timed(lambda: graft("anysum"))
+        row.append(f"{t_ga:>11.2f}ms")
+        if name in RIGID_SUPPORTED:
+            _, t_tl = timed(lambda: terrier.search(query))
+            row.append(f"{t_tl:>11.2f}ms")
+        else:
+            row.append(f"{'n/a':>13}")
+        print(" ".join(row))
+
+    # Show one query in detail.
+    name = "Q8"
+    print(f"\n== {name}: {PAPER_QUERIES[name]} ==")
+    scheme = get_scheme("meansum")
+    res = Optimizer(scheme, fx.index).optimize(fx.queries[name])
+    ranked = execute(res.plan, make_runtime(fx.index, scheme, res.info))
+    print(f"rewrites: {', '.join(res.applied)}")
+    for doc, score in ranked[:5]:
+        title = fx.collection[doc].title
+        print(f"  {score:8.4f}  [{doc}] {title}")
+
+    # And why the baselines cannot run it.
+    try:
+        lucene.search(fx.queries[name])
+    except UnsupportedQueryError as exc:
+        print(f"\nlucene-like on {name}: UnsupportedQueryError: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: index documents, pick a scoring scheme, search.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SearchEngine, available_schemes
+
+DOCUMENTS = [
+    ("Wine (software)",
+     "wine is a free and open source compatibility layer a windows "
+     "emulator capable of running windows software on unix systems"),
+    ("Emulator",
+     "an emulator is hardware or software that enables one computer "
+     "to behave like another computer system"),
+    ("Free software",
+     "free software or foss is software distributed under terms that "
+     "allow users to run study change and distribute it"),
+    ("Window (architecture)",
+     "a window is an opening in a wall that allows light and air to "
+     "pass through often fitted with glass"),
+    ("Windows emulator guide",
+     "this guide compares every windows emulator for running legacy "
+     "software including free software options and foss projects"),
+]
+
+
+def main() -> None:
+    engine = SearchEngine()
+    for title, text in DOCUMENTS:
+        engine.add(text, title=title)
+
+    # ----- a simple keyword search -------------------------------------
+    print("== keyword search: 'windows emulator' (BM25 SumBest) ==")
+    for result in engine.search("windows emulator", scheme="sumbest"):
+        print(f"  {result.score:8.4f}  [{result.doc_id}] {result.title}")
+
+    # ----- full-text power: position predicates -------------------------
+    # The paper's Q3/Q8: 'windows' and 'emulator' within a 50-token
+    # window, accompanied by 'foss' or the phrase "free software".
+    query = '(windows emulator)WINDOW[50] (foss | "free software")'
+    print(f"\n== full-text search: {query} ==")
+    for result in engine.search(query, scheme="meansum"):
+        print(f"  {result.score:8.4f}  [{result.doc_id}] {result.title}")
+
+    # ----- generic scoring: same query, every built-in scheme -----------
+    print("\n== one query, seven plug-in scoring schemes ==")
+    for scheme in available_schemes():
+        outcome = engine.search(query, scheme=scheme, top_k=1)
+        if outcome.results:
+            best = outcome.results[0]
+            print(f"  {scheme:18} -> doc {best.doc_id} ({best.score:.4f})")
+
+    # ----- the optimizer adapts to the scheme ---------------------------
+    print("\n== plans differ per scheme (score-consistently) ==")
+    for scheme in ("anysum", "meansum", "bestsum-mindist"):
+        print(f"\n--- {scheme} ---")
+        print(engine.explain(query, scheme=scheme))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Structure-aware search: the SAMESENTENCE predicate over real sentence
+boundaries, plus snippets and persistence.
+
+Section 8: GRAFT "can be easily extended to support such predicates as
+SAMESENTENCE or SAMEPARAGRAPH, assuming the index supports sentence and
+paragraph offsets" — this library's index does, when documents come
+through the sentence-splitting analyzer.
+
+Run:  python examples/sentence_search.py
+"""
+
+import tempfile
+
+from repro import SearchEngine
+from repro.corpus.analyzer import SentenceAnalyzer
+from repro.corpus.collection import DocumentCollection
+
+ARTICLES = [
+    ("storms",
+     "The hurricane made landfall near the coast. Emergency crews "
+     "restored power within days. Flooding damaged several bridges."),
+    ("power-grid",
+     "Aging infrastructure strains the grid. A hurricane can knock out "
+     "power transmission for weeks. Regulators demand better planning."),
+    ("history",
+     "The town was founded beside the river. Its bridges date to the "
+     "previous century. A museum preserves early photographs."),
+]
+
+
+def main() -> None:
+    collection = DocumentCollection(analyzer=SentenceAnalyzer())
+    engine = SearchEngine(collection)
+    for title, text in ARTICLES:
+        engine.add(text, title=title)
+
+    # 'hurricane' and 'power' in the SAME SENTENCE: only power-grid
+    # qualifies ("A hurricane can knock out transmission..." mentions
+    # neither; "hurricane" and "power" co-occur in storms' document but
+    # in different sentences).
+    query = "(hurricane power)SAMESENTENCE"
+    print(f"== {query} ==")
+    for result in engine.search(query, scheme="sumbest"):
+        print(f"  [{result.doc_id}] {result.title}: "
+              f"...{engine.snippet(query, result.doc_id)}...")
+
+    # Same words, document-level co-occurrence: both storm articles match.
+    print("\n== hurricane power (anywhere in the document) ==")
+    for result in engine.search("hurricane power", scheme="sumbest"):
+        print(f"  [{result.doc_id}] {result.title}")
+
+    # Match inspection: which offsets satisfied the query?
+    print("\n== matches for the sentence query ==")
+    for result in engine.search(query):
+        for match in engine.matches(query, result.doc_id, limit=3):
+            print(f"  doc {result.doc_id}: {match}")
+
+    # Sentence offsets survive persistence.
+    with tempfile.TemporaryDirectory() as tmp:
+        engine.save(tmp)
+        restored = SearchEngine.load(tmp)
+        again = restored.search(query)
+        print(f"\nreloaded engine agrees: "
+              f"{[r.doc_id for r in again] == [r.doc_id for r in engine.search(query)]}")
+
+
+if __name__ == "__main__":
+    main()

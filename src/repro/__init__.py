@@ -1,0 +1,60 @@
+"""GRAFT: score-consistent algebraic optimization of full-text search.
+
+A from-scratch reproduction of Bales, Deutsch & Vassalos, "Score-Consistent
+Algebraic Optimization of Full-Text Search Queries with GRAFT"
+(SIGMOD 2011): a full-text search engine architected like a relational
+database, where scoring is a generic plug-in and the optimizer exploits
+exactly the rewrites each scoring scheme's declared properties permit.
+
+Quickstart::
+
+    from repro import SearchEngine
+
+    engine = SearchEngine()
+    engine.add("wine is a free software windows emulator")
+    outcome = engine.search('(windows emulator)WINDOW[50] (foss | "free software")',
+                            scheme="meansum")
+    for result in outcome:
+        print(result.doc_id, result.score)
+
+Layering (bottom to top): :mod:`repro.corpus` and :mod:`repro.index` are
+the data substrate; :mod:`repro.mcalc` is the matching calculus;
+:mod:`repro.ma` the matching algebra; :mod:`repro.sa` the scoring algebra
+and the seven literature schemes; :mod:`repro.graft` the integrated plan
+model and optimizer; :mod:`repro.exec` the physical engine;
+:mod:`repro.baselines` the rigid Lucene/Terrier-style comparators.
+"""
+
+from repro.api import SearchEngine, SearchOutcome, SearchResult
+from repro.corpus import DocumentCollection
+from repro.errors import GraftError
+from repro.graft import Optimizer, OptimizerOptions
+from repro.index import build_index
+from repro.mcalc import parse_query
+from repro.sa import (
+    ScoringScheme,
+    SchemeProperties,
+    available_schemes,
+    get_scheme,
+    register_scheme,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SearchEngine",
+    "SearchResult",
+    "SearchOutcome",
+    "DocumentCollection",
+    "parse_query",
+    "build_index",
+    "ScoringScheme",
+    "SchemeProperties",
+    "get_scheme",
+    "register_scheme",
+    "available_schemes",
+    "Optimizer",
+    "OptimizerOptions",
+    "GraftError",
+    "__version__",
+]

@@ -1,0 +1,286 @@
+"""The public facade: index a collection, pick a scoring scheme, search.
+
+Example:
+    >>> from repro import SearchEngine
+    >>> engine = SearchEngine()
+    >>> engine.add("a quick brown fox")
+    >>> engine.add("the fox jumped over the quick dog")
+    >>> results = engine.search('"quick brown fox"', scheme="sumbest")
+    >>> [r.doc_id for r in results]
+    [0]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.analyzer import Analyzer
+from repro.corpus.collection import DocumentCollection
+from repro.errors import GraftError
+from repro.exec.engine import execute, make_runtime
+from repro.exec.iterator import ExecutionMetrics
+from repro.exec.topk import rank_join_applicable, rank_topk
+from repro.graft.canonical import make_query_info
+from repro.graft.explain import explain as explain_plan
+from repro.graft.optimizer import Optimizer, OptimizerOptions
+from repro.index.builder import build_index
+from repro.index.index import Index
+from repro.ma.match_table import MatchTable
+from repro.ma.translate import matching_subplan
+from repro.mcalc.ast import Query
+from repro.mcalc.parser import parse_query
+from repro.sa.context import IndexScoringContext, ScoringContext
+from repro.sa.registry import get_scheme
+from repro.sa.scheme import ScoringScheme
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked answer."""
+
+    doc_id: int
+    score: float
+    title: str = ""
+
+
+@dataclass
+class SearchOutcome:
+    """Results plus execution provenance (plan, rewrites, work counters)."""
+
+    results: list[SearchResult]
+    applied_optimizations: list[str]
+    metrics: ExecutionMetrics
+    plan_text: str = ""
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, i: int) -> SearchResult:
+        return self.results[i]
+
+
+class SearchEngine:
+    """Full-text search engine with generic, plug-in scoring.
+
+    The engine owns a document collection and (lazily built) index.  Every
+    ``search`` call picks a scoring scheme — by registry name or as a
+    :class:`repro.sa.ScoringScheme` instance — and the optimizer tailors
+    the plan to that scheme's declared properties, guaranteeing the scores
+    of the canonical score-isolated plan (Definition 1).
+    """
+
+    def __init__(
+        self,
+        collection: DocumentCollection | None = None,
+        analyzer: Analyzer | None = None,
+        scoring_context: ScoringContext | None = None,
+    ):
+        self.collection = (
+            collection if collection is not None else DocumentCollection(analyzer)
+        )
+        self._index: Index | None = None
+        self._ctx_override = scoring_context
+
+    # -- corpus management ---------------------------------------------------
+
+    def add(self, text: str, title: str = "") -> int:
+        """Analyze and add one document; returns its id."""
+        doc = self.collection.add_text(text, title)
+        self._index = None
+        return doc.doc_id
+
+    def add_many(self, texts: list[str]) -> None:
+        for text in texts:
+            self.add(text)
+
+    @property
+    def index(self) -> Index:
+        """The index, built on first use and after any mutation."""
+        if self._index is None:
+            self._index = build_index(self.collection)
+        return self._index
+
+    def scoring_context(self) -> ScoringContext:
+        if self._ctx_override is not None:
+            return self._ctx_override
+        return IndexScoringContext(self.index)
+
+    # -- querying --------------------------------------------------------------
+
+    def parse(self, text: str) -> Query:
+        """Parse shorthand query text with this engine's analyzer."""
+        return parse_query(text, self.collection.analyzer)
+
+    def search(
+        self,
+        query: str | Query,
+        scheme: str | ScoringScheme = "sumbest",
+        top_k: int | None = None,
+        optimize: bool = True,
+        options: OptimizerOptions | None = None,
+        use_rank_join: bool = False,
+    ) -> SearchOutcome:
+        """Rank the collection for ``query`` under ``scheme``.
+
+        Args:
+            query: Shorthand text or a pre-built :class:`Query`.
+            scheme: Scoring scheme name or instance.
+            top_k: Truncate to the k best documents.
+            optimize: False executes the canonical score-isolated plan
+                (useful for verification; potentially very slow).
+            options: Optimizer toggles (benchmarking individual rewrites).
+            use_rank_join: Attempt the rank-join/rank-union top-k path;
+                silently falls back to full evaluation when the query or
+                scheme does not qualify.
+        """
+        query = self._resolve_query(query)
+        scheme = self._resolve_scheme(scheme)
+        ctx = self.scoring_context()
+
+        if use_rank_join and top_k is not None and rank_join_applicable(query, scheme):
+            pairs = rank_topk(query, scheme, self.index, top_k, ctx)
+            return SearchOutcome(
+                results=self._wrap(pairs),
+                applied_optimizations=["rank-join-topk"],
+                metrics=ExecutionMetrics(),
+            )
+
+        optimizer = Optimizer(scheme, self.index, options)
+        result = optimizer.optimize(query) if optimize else optimizer.canonical(query)
+        runtime = make_runtime(self.index, scheme, result.info, ctx)
+        pairs = execute(result.plan, runtime, top_k=top_k)
+        return SearchOutcome(
+            results=self._wrap(pairs),
+            applied_optimizations=result.applied,
+            metrics=runtime.metrics,
+            plan_text=explain_plan(result.plan),
+        )
+
+    def match_table(self, query: str | Query) -> MatchTable:
+        """Materialize the full match table of ``query`` (Section 3.2).
+
+        Executes the canonical matching subplan; beware the O(W^Q) worst
+        case of Section 6 on large collections.
+        """
+        query = self._resolve_query(query)
+        scheme = get_scheme("sumbest")  # matching needs no scoring; any scheme
+        info = make_query_info(query, scheme)
+        subplan = matching_subplan(query)
+        runtime = make_runtime(self.index, scheme, info, self.scoring_context())
+        from repro.exec.compile import compile_plan
+
+        op = compile_plan(subplan, runtime)
+        order = [op.schema.position_index(v) for v in query.free_vars]
+        table = MatchTable(query.free_vars)
+        while True:
+            group = op.next_doc()
+            if group is None:
+                break
+            doc, rows = group
+            for row in rows:
+                table.rows.append((doc,) + tuple(row[i] for i in order))
+        return table
+
+    def explain(
+        self,
+        query: str | Query,
+        scheme: str | ScoringScheme = "sumbest",
+        optimize: bool = True,
+        options: OptimizerOptions | None = None,
+    ) -> str:
+        """The plan ``search`` would run, as an operator tree."""
+        query = self._resolve_query(query)
+        scheme = self._resolve_scheme(scheme)
+        optimizer = Optimizer(scheme, self.index, options)
+        result = optimizer.optimize(query) if optimize else optimizer.canonical(query)
+        header = f"-- scheme: {scheme.name}; rewrites: {', '.join(result.applied) or 'none'}\n"
+        return header + explain_plan(result.plan)
+
+    def matches(
+        self, query: str | Query, doc_id: int, limit: int = 5
+    ) -> list[dict[str, int | None]]:
+        """Up to ``limit`` matches of ``query`` inside one document.
+
+        Executes the matching subplan with a seek directly to the
+        document, pulling matches lazily — the basis for hit highlighting
+        and snippets.  Each match maps variables to offsets (None for the
+        empty symbol).
+        """
+        query = self._resolve_query(query)
+        scheme = get_scheme("sumbest")
+        info = make_query_info(query, scheme)
+        runtime = make_runtime(self.index, scheme, info, self.scoring_context())
+        from repro.exec.compile import compile_plan
+        from repro.graft.rules import apply_selection_pushing
+        from repro.ma.nodes import Sort
+
+        subplan = apply_selection_pushing(matching_subplan(query))
+        while isinstance(subplan, Sort):
+            subplan = subplan.child
+        op = compile_plan(subplan, runtime)
+        op.seek_doc(doc_id)
+        group = op.next_doc()
+        out: list[dict[str, int | None]] = []
+        if group is None or group[0] != doc_id:
+            return out
+        indices = {v: op.schema.position_index(v) for v in query.free_vars}
+        for row in group[1]:
+            out.append({v: row[i] for v, i in indices.items()})
+            if len(out) >= limit:
+                break
+        return out
+
+    def snippet(self, query: str | Query, doc_id: int, radius: int = 4) -> str:
+        """A display snippet around the document's first match."""
+        found = self.matches(query, doc_id, limit=1)
+        if not found:
+            return ""
+        offsets = [o for o in found[0].values() if o is not None and o >= 0]
+        if not offsets:
+            return ""
+        return self.collection[doc_id].snippet(min(offsets), radius=radius)
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, directory) -> None:
+        """Persist the index and the collection under ``directory``."""
+        from repro.corpus.io import save_collection
+        from repro.index.io import save_index
+
+        save_index(self.index, directory)
+        save_collection(self.collection, directory)
+
+    @classmethod
+    def load(cls, directory, analyzer: Analyzer | None = None) -> "SearchEngine":
+        """Restore an engine saved with :meth:`save`."""
+        from repro.corpus.io import load_collection
+        from repro.index.io import load_index
+
+        engine = cls(load_collection(directory, analyzer))
+        engine._index = load_index(directory)
+        return engine
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _resolve_query(self, query: str | Query) -> Query:
+        if isinstance(query, Query):
+            return query
+        if isinstance(query, str):
+            return self.parse(query)
+        raise GraftError(f"expected query text or Query, got {type(query).__name__}")
+
+    @staticmethod
+    def _resolve_scheme(scheme: str | ScoringScheme) -> ScoringScheme:
+        if isinstance(scheme, ScoringScheme):
+            return scheme
+        return get_scheme(scheme)
+
+    def _wrap(self, pairs: list[tuple[int, float]]) -> list[SearchResult]:
+        out = []
+        for doc_id, score in pairs:
+            title = self.collection[doc_id].title if doc_id < len(self.collection) else ""
+            out.append(SearchResult(doc_id, score, title))
+        return out

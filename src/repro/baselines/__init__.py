@@ -1,0 +1,23 @@
+"""Rigid-plan baseline engines, after Lucene and Terrier.
+
+The paper's Figure 4 compares GRAFT against Lucene and Terrier — mature
+IR engines with hard-coded plan generators and fixed scoring.  Running the
+JVM originals here would measure Python-vs-Java, not flexible-vs-rigid
+plan generation, so these baselines re-implement the rigid architecture on
+the same index substrate: document-at-a-time postings intersection with
+skip pointers, fixed scoring (Lucene's SumBest-plus-sloppy-proximity /
+Terrier's AnySum), and support for exactly the predicate subset the
+originals support (PHRASE and PROXIMITY; "Lucene and Terrier do not
+support Q8 or Q10 because they do not support the WINDOW predicate").
+"""
+
+from repro.baselines.lucene_like import LuceneLikeEngine
+from repro.baselines.rigid import RigidQuery, decompose_rigid
+from repro.baselines.terrier_like import TerrierLikeEngine
+
+__all__ = [
+    "LuceneLikeEngine",
+    "TerrierLikeEngine",
+    "RigidQuery",
+    "decompose_rigid",
+]

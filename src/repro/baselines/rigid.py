@@ -1,0 +1,242 @@
+"""Decomposition of queries into the rigid engines' fixed plan shapes.
+
+Lucene- and Terrier-style engines do not interpret arbitrary MCalc; they
+accept a flat conjunction of *elements*, each being a term, a disjunction
+of terms, a quoted phrase, or a proximity group.  This module recognizes
+that subset in a parsed :class:`repro.mcalc.ast.Query` and rejects
+anything richer (WINDOW, nested boolean structure, negation, ...) with
+:class:`repro.errors.UnsupportedQueryError` — exactly the expressiveness
+gap Section 8 describes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import UnsupportedQueryError
+from repro.mcalc.ast import And, Formula, Has, Or, Pred, Query
+
+
+@dataclass
+class RigidQuery:
+    """A query in the shape rigid engines understand.
+
+    Attributes:
+        terms: Bare conjunct keywords.
+        or_groups: Disjunctions of bare keywords.
+        phrases: Quoted phrases (keyword sequences; adjacency required).
+        proximities: ``(keywords, max_distance)`` proximity groups.
+    """
+
+    terms: list[str] = field(default_factory=list)
+    or_groups: list[list[str]] = field(default_factory=list)
+    phrases: list[list[str]] = field(default_factory=list)
+    proximities: list[tuple[list[str], int]] = field(default_factory=list)
+
+    def all_keywords(self) -> list[str]:
+        """Every keyword mentioned, in query order (with repeats)."""
+        out = list(self.terms)
+        for group in self.or_groups:
+            out.extend(group)
+        for phrase in self.phrases:
+            out.extend(phrase)
+        for words, _ in self.proximities:
+            out.extend(words)
+        return out
+
+
+def decompose_rigid(query: Query) -> RigidQuery:
+    """Recognize ``query`` as a rigid-engine query or raise."""
+    rigid = RigidQuery()
+    formula = query.source_formula
+    if isinstance(formula, And) and any(
+        isinstance(op, Pred) for op in formula.operands
+    ):
+        # The whole query is a single phrase/proximity group.
+        _classify_group(formula, rigid)
+        return rigid
+    operands = formula.operands if isinstance(formula, And) else (formula,)
+    for op in operands:
+        _classify(op, rigid)
+    return rigid
+
+
+def _classify(op: Formula, rigid: RigidQuery) -> None:
+    if isinstance(op, Has):
+        rigid.terms.append(op.keyword)
+        return
+    if isinstance(op, Or):
+        group = []
+        for inner in op.operands:
+            if not isinstance(inner, Has):
+                raise UnsupportedQueryError(
+                    "rigid engines support disjunctions of bare keywords only"
+                )
+            group.append(inner.keyword)
+        rigid.or_groups.append(group)
+        return
+    if isinstance(op, And):
+        _classify_group(op, rigid)
+        return
+    raise UnsupportedQueryError(
+        f"rigid engines do not support {type(op).__name__} here"
+    )
+
+
+def _classify_group(op: And, rigid: RigidQuery) -> None:
+    """An And of HAS atoms plus either a DISTANCE-1 chain (phrase) or one
+    PROXIMITY predicate."""
+    keywords: dict[str, str] = {}
+    order: list[str] = []
+    preds: list[Pred] = []
+    for inner in op.operands:
+        if isinstance(inner, Has):
+            keywords[inner.var] = inner.keyword
+            order.append(inner.var)
+        elif isinstance(inner, Pred):
+            preds.append(inner)
+        else:
+            raise UnsupportedQueryError(
+                "rigid engines support only flat phrase/proximity groups"
+            )
+    words = [keywords[v] for v in order]
+    if preds and all(
+        p.name == "DISTANCE" and p.constants == (1,) for p in preds
+    ) and len(preds) == len(order) - 1:
+        rigid.phrases.append(words)
+        return
+    if len(preds) == 1 and preds[0].name == "PROXIMITY":
+        rigid.proximities.append((words, preds[0].constants[0]))
+        return
+    names = sorted({p.name for p in preds})
+    raise UnsupportedQueryError(
+        f"rigid engines do not support the {', '.join(names) or 'empty'} "
+        "predicate combination (only PHRASE and PROXIMITY)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Document-at-a-time candidate generation shared by the rigid engines.
+# ---------------------------------------------------------------------------
+
+class RigidCandidates:
+    """Driver-probe candidate enumeration, as rigid engines do it.
+
+    The rarest required term drives; every other element is probed per
+    document (hash lookups into postings), and phrases / proximity groups
+    are positionally verified.  This is the classic document-at-a-time
+    discipline (conjunctive processing with skip pointers degenerates to
+    exactly this when one list is much shorter than the rest).
+    """
+
+    def __init__(self, index, rigid: RigidQuery):
+        self.index = index
+        self.rigid = rigid
+        # Required single terms: bare conjuncts plus all phrase/proximity
+        # members (a document missing any of them cannot match).
+        self.required = list(rigid.terms)
+        for phrase in rigid.phrases:
+            self.required.extend(phrase)
+        for words, _ in rigid.proximities:
+            self.required.extend(words)
+
+    def __iter__(self):
+        index = self.index
+        rigid = self.rigid
+        if self.required:
+            driver_term = min(
+                self.required, key=lambda t: index.document_frequency(t)
+            )
+            driver = index.postings(driver_term).doc_ids
+        else:
+            # Disjunction-only query: the union of the groups' doc lists.
+            import numpy as np
+
+            member_lists = [
+                index.postings(t).doc_ids
+                for group in rigid.or_groups
+                for t in group
+            ]
+            if not member_lists:
+                return
+            driver = np.unique(np.concatenate(member_lists))
+
+        postings = {
+            term: index.postings(term)
+            for term in set(self.required)
+            | {t for g in rigid.or_groups for t in g}
+        }
+        required = [postings[t] for t in set(self.required)]
+        groups = [
+            [postings[t] for t in group] for group in rigid.or_groups
+        ]
+        for raw_doc in driver:
+            doc = int(raw_doc)
+            if any(not p.positions_in(doc) for p in required):
+                continue
+            ok = True
+            for group in groups:
+                if not any(p.positions_in(doc) for p in group):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            yield doc
+
+
+# ---------------------------------------------------------------------------
+# Positional verification shared by the rigid engines.
+# ---------------------------------------------------------------------------
+
+def phrase_occurs(position_lists: list[tuple[int, ...]]) -> bool:
+    """Does the phrase occur (term i at start + i for some start)?"""
+    if any(not p for p in position_lists):
+        return False
+    starts = set(position_lists[0])
+    for i, positions in enumerate(position_lists[1:], start=1):
+        starts &= {p - i for p in positions}
+        if not starts:
+            return False
+    return True
+
+
+def min_span(position_lists: list[tuple[int, ...]]) -> int | None:
+    """Smallest window span (max - min) covering one position of each list.
+
+    The classic k-way min-span sweep with a heap; None when some list is
+    empty.
+    """
+    if any(not p for p in position_lists):
+        return None
+    iters = [iter(p) for p in position_lists]
+    heap: list[tuple[int, int]] = []
+    current_max = -1
+    for i, it in enumerate(iters):
+        v = next(it)
+        heap.append((v, i))
+        current_max = max(current_max, v)
+    heapq.heapify(heap)
+    best = None
+    while True:
+        v, i = heap[0]
+        span = current_max - v
+        if best is None or span < best:
+            best = span
+        nxt = next(iters[i], None)
+        if nxt is None:
+            return best
+        heapq.heapreplace(heap, (nxt, i))
+        current_max = max(current_max, nxt)
+
+
+def best_proximity_slop(
+    position_lists: list[tuple[int, ...]], max_distance: int
+) -> int | None:
+    """The minimum slop (span beyond the tightest possible arrangement) of
+    any occurrence satisfying the proximity constraint, or None when the
+    group never co-occurs within ``max_distance``."""
+    span = min_span(position_lists)
+    if span is None or span > max_distance:
+        return None
+    return max(0, span - (len(position_lists) - 1))

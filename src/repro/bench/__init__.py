@@ -1,0 +1,17 @@
+"""Benchmark support: the paper's workload, methodology and reporting."""
+
+from repro.bench.measure import paper_measure
+from repro.bench.workload import (
+    PAPER_QUERIES,
+    BenchFixture,
+    bench_fixture,
+    default_corpus_config,
+)
+
+__all__ = [
+    "PAPER_QUERIES",
+    "BenchFixture",
+    "bench_fixture",
+    "default_corpus_config",
+    "paper_measure",
+]

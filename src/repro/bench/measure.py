@@ -1,0 +1,44 @@
+"""The paper's measurement methodology (Section 8).
+
+"Each measurement was repeated nine times in succession, and we report the
+average of the five median times.  This methodology was chosen to minimize
+the chance that a garbage collection or JIT event would occur during one
+measurement and not during another."  (For us: a CPython GC pause or a
+cache-cold first run.)
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable
+
+#: The paper's parameters.
+REPEATS = 9
+KEPT_MEDIANS = 5
+
+
+def paper_measure(
+    fn: Callable[[], object],
+    repeats: int = REPEATS,
+    kept: int = KEPT_MEDIANS,
+) -> float:
+    """Run ``fn`` ``repeats`` times; return the mean of the ``kept``
+    median wall-clock times, in seconds."""
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    lo = (repeats - kept) // 2
+    middle = times[lo:lo + kept]
+    return statistics.fmean(middle)
+
+
+def reduction_percent(baseline: float, optimized: float) -> float:
+    """Figure 3's metric: "the difference between unoptimized and
+    optimized execution time as percentage of the unoptimized time"."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - optimized) / baseline

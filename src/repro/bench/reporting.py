@@ -1,0 +1,56 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+Benchmarks regenerate the evaluation artifacts as text: tables as aligned
+columns, figures (which are bar charts in the paper) as labelled rows of
+numbers plus ASCII bars, so the harness output can be compared side by
+side with the published plots.
+"""
+
+from __future__ import annotations
+
+
+def render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Align ``rows`` under ``headers`` with column padding."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(
+    series: dict[str, dict[str, float]],
+    unit: str,
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render grouped bars: ``series[group][label] = value``.
+
+    Bars are scaled to the global maximum, mirroring a clustered bar
+    chart like the paper's Figures 3 and 4.
+    """
+    values = [v for group in series.values() for v in group.values()]
+    peak = max(values) if values else 1.0
+    peak = peak if peak > 0 else 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(
+        (len(label) for group in series.values() for label in group),
+        default=0,
+    )
+    for group_name, group in series.items():
+        lines.append(f"{group_name}:")
+        for label, value in group.items():
+            bar = "#" * max(0, round(width * value / peak))
+            lines.append(
+                f"  {label.ljust(label_width)}  {value:>10.3f} {unit}  {bar}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro index  DOCS_DIR  INDEX_DIR      # index *.txt files
+    python -m repro search INDEX_DIR QUERY [options]
+    python -m repro explain INDEX_DIR QUERY [options]
+    python -m repro schemes                          # list scoring schemes
+
+``index`` builds and persists the inverted index (plus document titles)
+from a directory of text files, one document per file; ``search`` runs a
+shorthand query against a persisted index under any registered scoring
+scheme; ``explain`` prints the optimized plan instead of executing it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.corpus.analyzer import SentenceAnalyzer, SimpleAnalyzer
+from repro.errors import GraftError
+from repro.exec.engine import execute, make_runtime
+from repro.graft.explain import explain as explain_plan
+from repro.graft.optimizer import Optimizer
+from repro.index.builder import IndexBuilder
+from repro.index.index import Index
+from repro.index.io import load_index, save_index
+from repro.mcalc.parser import parse_query
+from repro.sa.registry import available_schemes, get_scheme
+
+_TITLES = "titles.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GRAFT: full-text search with score-consistent "
+                    "algebraic optimization (SIGMOD 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_index = sub.add_parser("index", help="index a directory of .txt files")
+    p_index.add_argument("docs_dir", help="directory containing *.txt files")
+    p_index.add_argument("index_dir", help="output directory for the index")
+    p_index.add_argument(
+        "--sentences", action="store_true",
+        help="record sentence boundaries (enables the SAMESENTENCE "
+             "predicate over real sentences)",
+    )
+
+    for name, help_text in (
+        ("search", "run a query against a persisted index"),
+        ("explain", "show the optimized plan for a query"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("index_dir", help="directory written by 'repro index'")
+        p.add_argument("query", help="shorthand query text")
+        p.add_argument("--scheme", default="sumbest",
+                       help="scoring scheme name (see 'repro schemes')")
+        p.add_argument("--top-k", type=int, default=10,
+                       help="number of results (search only)")
+        p.add_argument("--no-optimize", action="store_true",
+                       help="run/show the canonical score-isolated plan")
+
+    sub.add_parser("schemes", help="list registered scoring schemes")
+    return parser
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    docs_dir = pathlib.Path(args.docs_dir)
+    files = sorted(docs_dir.glob("*.txt"))
+    if not files:
+        print(f"no .txt files under {docs_dir}", file=sys.stderr)
+        return 1
+    analyzer = SentenceAnalyzer() if args.sentences else SimpleAnalyzer()
+    builder = IndexBuilder()
+    titles = []
+    for doc_id, path in enumerate(files):
+        analyzed = analyzer.analyze(path.read_text())
+        builder.add_document(
+            doc_id, analyzed.tokens, analyzed.sentence_starts
+        )
+        titles.append(path.stem)
+    index = builder.build()
+    out = save_index(index, args.index_dir)
+    (out / _TITLES).write_text(json.dumps(titles))
+    print(f"indexed {len(titles)} documents "
+          f"({index.stats.total_tokens} tokens, "
+          f"{index.vocabulary_size()} terms) -> {out}")
+    return 0
+
+
+def _load(args: argparse.Namespace) -> tuple[Index, list[str]]:
+    index = load_index(args.index_dir)
+    titles_path = pathlib.Path(args.index_dir) / _TITLES
+    titles = json.loads(titles_path.read_text()) if titles_path.exists() else []
+    return index, titles
+
+
+def _optimize(args: argparse.Namespace, index: Index):
+    scheme = get_scheme(args.scheme)
+    query = parse_query(args.query, SimpleAnalyzer())
+    optimizer = Optimizer(scheme, index)
+    result = (
+        optimizer.canonical(query) if args.no_optimize
+        else optimizer.optimize(query)
+    )
+    return scheme, result
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    index, titles = _load(args)
+    scheme, result = _optimize(args, index)
+    runtime = make_runtime(index, scheme, result.info)
+    ranked = execute(result.plan, runtime, top_k=args.top_k)
+    if not ranked:
+        print("no matches")
+        return 0
+    for rank, (doc, score) in enumerate(ranked, start=1):
+        title = titles[doc] if doc < len(titles) else f"doc{doc}"
+        print(f"{rank:3}. {score:10.4f}  [{doc}] {title}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    index, _ = _load(args)
+    scheme, result = _optimize(args, index)
+    rewrites = ", ".join(result.applied) or "none"
+    print(f"scheme: {scheme.name}")
+    print(f"rewrites: {rewrites}")
+    print(explain_plan(result.plan))
+    return 0
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    for name in available_schemes():
+        props = get_scheme(name).properties
+        direction = props.directional or "diagonal"
+        tags = [direction]
+        if props.constant:
+            tags.append("constant")
+        if props.positional:
+            tags.append("positional")
+        print(f"{name:20} {', '.join(tags)}")
+    return 0
+
+
+_COMMANDS = {
+    "index": _cmd_index,
+    "search": _cmd_search,
+    "explain": _cmd_explain,
+    "schemes": _cmd_schemes,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except GraftError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

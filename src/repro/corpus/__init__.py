@@ -1,0 +1,24 @@
+"""Document model, analyzers, collections and corpus generators.
+
+This subpackage is the data substrate of the reproduction: the paper
+evaluates over a Wikipedia snapshot; we provide the document model plus a
+deterministic synthetic generator (:mod:`repro.corpus.synthetic`) that plants
+the paper's query topics into a Zipf-distributed background vocabulary.
+"""
+
+from repro.corpus.analyzer import Analyzer, SimpleAnalyzer
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.corpus.synthetic import SyntheticCorpusConfig, generate_corpus
+from repro.corpus.wine import wine_document, wine_collection
+
+__all__ = [
+    "Analyzer",
+    "SimpleAnalyzer",
+    "Document",
+    "DocumentCollection",
+    "SyntheticCorpusConfig",
+    "generate_corpus",
+    "wine_document",
+    "wine_collection",
+]

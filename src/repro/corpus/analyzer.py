@@ -1,0 +1,110 @@
+"""Text analysis: turning raw text into the token sequence that is indexed.
+
+The paper indexes "the text from all articles" of Wikipedia; the exact
+analyzer is unspecified, so we provide the conventional pipeline (lowercase,
+split on non-alphanumerics) plus an extension point for custom pipelines.
+The same analyzer must be applied to indexed text and to query keywords so
+that ``HAS`` predicates compare like with like.
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AnalyzedText:
+    """The analyzer's full output: tokens plus structural offsets.
+
+    ``sentence_starts`` lists the token offsets at which sentences begin
+    (always starting with 0 when non-empty); analyzers that do not detect
+    sentences leave it empty.  Sentence offsets feed the index so
+    structural predicates like SAMESENTENCE can consult real boundaries
+    (Section 8: "assuming the index supports sentence and paragraph
+    offsets").
+    """
+
+    tokens: tuple[str, ...]
+    sentence_starts: tuple[int, ...] = ()
+
+
+class Analyzer(ABC):
+    """Turns raw text into a list of tokens with implicit positions."""
+
+    @abstractmethod
+    def tokens(self, text: str) -> list[str]:
+        """Analyze ``text`` into its token sequence."""
+
+    def analyze(self, text: str) -> AnalyzedText:
+        """Full analysis; the default detects no sentence structure."""
+        return AnalyzedText(tuple(self.tokens(text)))
+
+    def token(self, word: str) -> str:
+        """Analyze a single query keyword.
+
+        Raises:
+            ValueError: if the keyword does not analyze to exactly one token
+                (a phrase must be expressed with the PHRASE predicate, not as
+                a single keyword).
+        """
+        toks = self.tokens(word)
+        if len(toks) != 1:
+            raise ValueError(
+                f"keyword {word!r} analyzes to {len(toks)} tokens; "
+                "use a phrase query for multi-token keywords"
+            )
+        return toks[0]
+
+
+class SimpleAnalyzer(Analyzer):
+    """Lowercase + split on non-alphanumeric runs.
+
+    Tokens shorter than ``min_token_length`` are dropped (position numbering
+    still advances over kept tokens only, which mirrors how postings-based
+    engines number the tokens they keep).
+    """
+
+    _SPLIT = re.compile(r"[^0-9a-z]+")
+
+    def __init__(self, min_token_length: int = 1):
+        if min_token_length < 1:
+            raise ValueError("min_token_length must be >= 1")
+        self.min_token_length = min_token_length
+
+    def tokens(self, text: str) -> list[str]:
+        raw = self._SPLIT.split(text.lower())
+        return [t for t in raw if len(t) >= self.min_token_length]
+
+
+class SentenceAnalyzer(SimpleAnalyzer):
+    """SimpleAnalyzer that additionally records sentence boundaries.
+
+    Sentences are split on ``.``, ``!``, ``?`` and newlines; each
+    sentence's tokens are concatenated into one position space, with the
+    starting offsets recorded for the index.
+    """
+
+    _SENTENCES = re.compile(r"[.!?\n]+")
+
+    def analyze(self, text: str):
+        tokens: list[str] = []
+        starts: list[int] = []
+        for sentence in self._SENTENCES.split(text):
+            sentence_tokens = self.tokens(sentence)
+            if not sentence_tokens:
+                continue
+            starts.append(len(tokens))
+            tokens.extend(sentence_tokens)
+        return AnalyzedText(tuple(tokens), tuple(starts))
+
+
+class WhitespaceAnalyzer(Analyzer):
+    """Split on whitespace only, preserving case.
+
+    Useful in tests where token identity must be exact.
+    """
+
+    def tokens(self, text: str) -> list[str]:
+        return text.split()

@@ -1,0 +1,77 @@
+"""A collection of documents: the "library" the paper's queries run over.
+
+The paper assumes "a system has a single library of documents indexed, and
+that all queries are applied to the entire library" (Section 3.2).
+``DocumentCollection`` is that library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.corpus.analyzer import Analyzer, SimpleAnalyzer
+from repro.corpus.document import Document
+
+
+class DocumentCollection:
+    """An ordered, densely-identified set of documents.
+
+    Documents receive consecutive integer ids in insertion order.  The
+    collection owns the analyzer so every document is tokenized the same
+    way, and so query keywords can be analyzed consistently.
+    """
+
+    def __init__(self, analyzer: Analyzer | None = None):
+        self.analyzer = analyzer if analyzer is not None else SimpleAnalyzer()
+        self._docs: list[Document] = []
+
+    def add_text(self, text: str, title: str = "") -> Document:
+        """Analyze ``text`` and append it as a new document."""
+        analyzed = self.analyzer.analyze(text)
+        doc = Document(
+            len(self._docs),
+            analyzed.tokens,
+            title,
+            sentence_starts=analyzed.sentence_starts,
+        )
+        self._docs.append(doc)
+        return doc
+
+    def add_tokens(
+        self,
+        tokens: Iterable[str],
+        title: str = "",
+        sentence_starts: tuple[int, ...] = (),
+    ) -> Document:
+        """Append a pre-tokenized document (tokens are used verbatim)."""
+        doc = Document(
+            len(self._docs), tuple(tokens), title,
+            sentence_starts=tuple(sentence_starts),
+        )
+        self._docs.append(doc)
+        return doc
+
+    def extend_texts(self, texts: Iterable[str]) -> None:
+        for text in texts:
+            self.add_text(text)
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._docs)
+
+    def __getitem__(self, doc_id: int) -> Document:
+        return self._docs[doc_id]
+
+    @property
+    def total_tokens(self) -> int:
+        """Total number of token occurrences (``W`` in Section 6)."""
+        return sum(d.length for d in self._docs)
+
+    def vocabulary(self) -> set[str]:
+        """The set of distinct terms across all documents."""
+        vocab: set[str] = set()
+        for doc in self._docs:
+            vocab.update(doc.tokens)
+        return vocab

@@ -1,0 +1,77 @@
+"""The full-text document model.
+
+Full-text search (as opposed to bag-of-words keyword search) models a
+document as a *sequence* of words: every token occurrence has a position
+(offset).  ``Document`` stores the analyzed token sequence so that the
+indexer can record term positions, and so that the brute-force MCalc oracle
+used in tests can re-derive them.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Document:
+    """A document: an identifier plus an ordered sequence of tokens.
+
+    Attributes:
+        doc_id: Dense integer identifier assigned by the collection.
+        tokens: Analyzed tokens in document order.  ``tokens[i]`` occupies
+            position (offset) ``i``, matching the paper's term-position
+            index of Figure 1.
+        title: Optional human-readable name, used only for display.
+        sentence_starts: Token offsets at which sentences begin, when the
+            analyzer detects them; empty means "no sentence structure".
+    """
+
+    doc_id: int
+    tokens: tuple[str, ...]
+    title: str = ""
+    sentence_starts: tuple[int, ...] = ()
+
+    def sentence_of(self, offset: int) -> int:
+        """Index of the sentence containing ``offset``.
+
+        With no recorded boundaries the whole document is sentence 0.
+        """
+        if not self.sentence_starts:
+            return 0
+        return bisect_right(self.sentence_starts, offset) - 1
+
+    @property
+    def length(self) -> int:
+        """Document length in tokens (``d.length`` in the paper)."""
+        return len(self.tokens)
+
+    def positions_of(self, term: str) -> list[int]:
+        """All offsets at which ``term`` occurs, in ascending order."""
+        return [i for i, tok in enumerate(self.tokens) if tok == term]
+
+    def term_frequency(self, term: str) -> int:
+        """Number of occurrences of ``term`` (``#INDOC`` in Figure 1)."""
+        return sum(1 for tok in self.tokens if tok == term)
+
+    def snippet(self, center: int, radius: int = 5) -> str:
+        """A display snippet of tokens around offset ``center``."""
+        lo = max(0, center - radius)
+        hi = min(len(self.tokens), center + radius + 1)
+        return " ".join(self.tokens[lo:hi])
+
+
+@dataclass
+class DocumentBuilder:
+    """Incrementally assemble a :class:`Document` from text fragments."""
+
+    doc_id: int
+    title: str = ""
+    _tokens: list[str] = field(default_factory=list)
+
+    def add_tokens(self, tokens: list[str]) -> "DocumentBuilder":
+        self._tokens.extend(tokens)
+        return self
+
+    def build(self) -> Document:
+        return Document(self.doc_id, tuple(self._tokens), self.title)

@@ -1,0 +1,58 @@
+"""Collection persistence: JSON-lines documents alongside a saved index.
+
+One line per document: ``{"title": ..., "tokens": [...],
+"sentence_starts": [...]}``.  Tokens are stored post-analysis so a
+reloaded collection reproduces positions exactly regardless of analyzer
+drift.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.corpus.analyzer import Analyzer
+from repro.corpus.collection import DocumentCollection
+from repro.errors import IndexError_
+
+_DOCS = "documents.jsonl"
+
+
+def save_collection(
+    collection: DocumentCollection, directory: str | pathlib.Path
+) -> pathlib.Path:
+    """Write ``collection`` as JSON lines under ``directory``."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    with open(path / _DOCS, "w") as out:
+        for doc in collection:
+            out.write(json.dumps({
+                "title": doc.title,
+                "tokens": list(doc.tokens),
+                "sentence_starts": list(doc.sentence_starts),
+            }))
+            out.write("\n")
+    return path
+
+
+def load_collection(
+    directory: str | pathlib.Path, analyzer: Analyzer | None = None
+) -> DocumentCollection:
+    """Load a collection saved by :func:`save_collection`.
+
+    ``analyzer`` is attached for future queries/additions; stored tokens
+    are used verbatim.
+    """
+    path = pathlib.Path(directory) / _DOCS
+    if not path.exists():
+        raise IndexError_(f"no saved collection under {path.parent}")
+    collection = DocumentCollection(analyzer)
+    with open(path) as lines:
+        for line in lines:
+            record = json.loads(line)
+            collection.add_tokens(
+                record["tokens"],
+                title=record.get("title", ""),
+                sentence_starts=tuple(record.get("sentence_starts", ())),
+            )
+    return collection

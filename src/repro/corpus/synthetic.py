@@ -1,0 +1,260 @@
+"""Deterministic synthetic corpus generator.
+
+The paper evaluates over a 2010 English Wikipedia snapshot (2.4B words,
+5.2M documents).  That dataset is not available here, so this module builds
+the closest laptop-scale equivalent that exercises the same code paths:
+
+* a Zipf-distributed background vocabulary — real text is Zipfian, and the
+  Zipf shape determines postings-list skew, which determines join input
+  sizes and optimization payoffs;
+* **themes**: real text is topically correlated (an article about the San
+  Andreas fault mentions both "san francisco" and "fault line"), so each
+  document draws a theme, and themes plant their words and phrases with
+  high probability.  One theme exists per evaluation query topic
+  (Q4..Q11), which gives every paper query non-trivial answers;
+* **background planting**: every topic also appears at a low rate in all
+  documents, scaled so common words ('free', 'list', 'line') get long
+  postings lists and rare words ('foss', 'emulator') short ones —
+  mirroring Figure 1's #DOCS column.
+
+Generation is fully deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corpus.collection import DocumentCollection
+
+
+@dataclass(frozen=True)
+class PlantedTopic:
+    """A word or phrase planted into documents.
+
+    Attributes:
+        tokens: The word (length 1) or phrase (length > 1).  Phrases are
+            planted contiguously so PHRASE/DISTANCE predicates can match.
+        doc_probability: Probability that a document contains the topic
+            (within its context: a theme, or the background).
+        mean_occurrences: Mean occurrence count (geometric) per containing
+            document.
+    """
+
+    tokens: tuple[str, ...]
+    doc_probability: float
+    mean_occurrences: float = 1.5
+
+
+def _topic(text: str, p: float, mean: float = 1.5) -> PlantedTopic:
+    return PlantedTopic(tuple(text.split()), p, mean)
+
+
+@dataclass(frozen=True)
+class Theme:
+    """A document topic: a bundle of correlated planted topics."""
+
+    name: str
+    weight: float
+    topics: tuple[PlantedTopic, ...]
+
+
+def paper_themes() -> list[Theme]:
+    """One theme per evaluation-query topic (Section 8's Q4..Q11)."""
+    return [
+        Theme("san-francisco-geology", 0.030, (
+            _topic("san francisco", 0.90, 2.0),
+            _topic("fault line", 0.50, 1.5),
+            _topic("san", 0.30),
+            _topic("fault", 0.35, 1.5),
+            _topic("line", 0.50, 2.0),
+        )),
+        Theme("dinosaurs", 0.030, (
+            _topic("dinosaur", 0.80, 2.5),
+            _topic("species", 0.90, 3.0),
+            _topic("list", 0.70, 2.0),
+            _topic("image", 0.50, 2.0),
+            _topic("picture", 0.30),
+            _topic("drawing", 0.20),
+            _topic("illustration", 0.15),
+        )),
+        Theme("orlando-conventions", 0.020, (
+            _topic("orange county convention center", 0.60, 1.2),
+            _topic("orlando", 0.70, 1.5),
+            _topic("orange", 0.40),
+            _topic("county", 0.50, 2.0),
+            _topic("convention", 0.40),
+            _topic("center", 0.60, 2.0),
+        )),
+        Theme("windows-emulation", 0.025, (
+            _topic("windows", 0.85, 2.5),
+            _topic("emulator", 0.60, 1.5),
+            _topic("windows emulator", 0.35, 1.2),
+            _topic("foss", 0.25),
+            _topic("free software", 0.60, 1.5),
+            _topic("free", 0.70, 2.0),
+            _topic("software", 0.90, 2.5),
+        )),
+        Theme("municipal-wifi", 0.025, (
+            _topic("free wireless internet", 0.50, 1.2),
+            _topic("wireless", 0.80, 2.0),
+            _topic("internet", 0.90, 2.0),
+            _topic("free", 0.70, 2.0),
+            _topic("service", 0.80, 2.0),
+        )),
+        Theme("arizona-outdoors", 0.025, (
+            _topic("arizona", 0.80, 2.0),
+            _topic("fishing", 0.60, 2.0),
+            _topic("hunting", 0.60, 2.0),
+            _topic("fishing rules", 0.20),
+            _topic("hunting regulations", 0.20),
+            _topic("rules", 0.60, 2.0),
+            _topic("regulations", 0.50, 2.0),
+        )),
+        Theme("warren-inauguration", 0.020, (
+            _topic("rick warren", 0.70, 1.5),
+            _topic("obama", 0.80, 2.0),
+            _topic("inauguration", 0.70, 1.5),
+            _topic("obama inauguration", 0.50, 1.2),
+            _topic("controversy", 0.60),
+            _topic("invocation", 0.50),
+            _topic("controversy invocation", 0.20),
+        )),
+    ]
+
+
+def background_topics() -> list[PlantedTopic]:
+    """Low-rate planting applied to every document, sized to mirror the
+    #DOCS skew of Figure 1 (common words common, rare words rare)."""
+    return [
+        # Very common words.
+        _topic("free", 0.150, 2.0),
+        _topic("list", 0.120, 2.0),
+        _topic("line", 0.100, 2.0),
+        _topic("service", 0.100, 2.0),
+        _topic("image", 0.060, 1.5),
+        _topic("center", 0.060, 1.5),
+        _topic("software", 0.050, 1.5),
+        _topic("county", 0.050, 1.5),
+        _topic("rules", 0.050, 1.5),
+        _topic("internet", 0.040, 1.5),
+        _topic("windows", 0.030, 1.5),
+        _topic("species", 0.030, 1.5),
+        _topic("picture", 0.030),
+        _topic("controversy", 0.020),
+        _topic("obama", 0.015),
+        _topic("orange", 0.020),
+        _topic("san", 0.015),
+        _topic("free software", 0.010),
+        _topic("drawing", 0.010),
+        _topic("regulations", 0.010),
+        _topic("fishing", 0.010),
+        _topic("hunting", 0.010),
+        _topic("san francisco", 0.008),
+        _topic("convention", 0.008),
+        _topic("wireless", 0.006),
+        _topic("fault", 0.006),
+        _topic("fault line", 0.004),
+        _topic("illustration", 0.005),
+        _topic("arizona", 0.005),
+        _topic("orlando", 0.004),
+        _topic("francisco", 0.004),
+        _topic("rick", 0.004),
+        _topic("warren", 0.004),
+        _topic("inauguration", 0.003),
+        _topic("dinosaur", 0.003),
+        _topic("emulator", 0.002),
+        _topic("invocation", 0.002),
+        _topic("foss", 0.001),
+    ]
+
+
+@dataclass
+class SyntheticCorpusConfig:
+    """Parameters of the synthetic corpus.
+
+    Attributes:
+        num_docs: Number of documents to generate.
+        mean_doc_length: Mean document length in tokens (the paper's d_w
+            has 207; we default near it).
+        vocab_size: Background vocabulary size.
+        zipf_exponent: Skew of the background Zipf distribution.
+        seed: RNG seed; the corpus is a pure function of this config.
+        themes: Theme set; remaining probability mass is theme-less.
+        background: Topics planted at low rate in every document.
+    """
+
+    num_docs: int = 2000
+    mean_doc_length: int = 150
+    vocab_size: int = 20_000
+    zipf_exponent: float = 1.1
+    seed: int = 20110612  # SIGMOD'11 opened June 12, 2011.
+    themes: list[Theme] = field(default_factory=paper_themes)
+    background: list[PlantedTopic] = field(default_factory=background_topics)
+
+
+def _zipf_probabilities(vocab_size: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def generate_corpus(config: SyntheticCorpusConfig | None = None) -> DocumentCollection:
+    """Generate the synthetic collection described by ``config``.
+
+    Background tokens are drawn from a Zipf distribution over a synthetic
+    vocabulary (``w000000`` ...); each document then draws at most one
+    theme and overwrites contiguous token runs with its planted topics
+    (plus the low-rate background topics), keeping document lengths fixed
+    and planted phrases contiguous.
+    """
+    config = config if config is not None else SyntheticCorpusConfig()
+    rng = np.random.default_rng(config.seed)
+
+    vocab = [f"w{i:06d}" for i in range(config.vocab_size)]
+    probs = _zipf_probabilities(config.vocab_size, config.zipf_exponent)
+
+    lengths = np.maximum(
+        rng.poisson(config.mean_doc_length, size=config.num_docs), 20
+    )
+    background_draw = rng.choice(
+        config.vocab_size, size=int(lengths.sum()), p=probs
+    )
+
+    theme_weights = [t.weight for t in config.themes]
+    leftover = 1.0 - sum(theme_weights)
+    if leftover < 0:
+        raise ValueError("theme weights exceed 1.0")
+    theme_choice = rng.choice(
+        len(config.themes) + 1,
+        size=config.num_docs,
+        p=theme_weights + [leftover],
+    )
+
+    collection = DocumentCollection()
+    offset = 0
+    for doc_id in range(config.num_docs):
+        length = int(lengths[doc_id])
+        tokens = [vocab[background_draw[offset + j]] for j in range(length)]
+        offset += length
+        choice = int(theme_choice[doc_id])
+        if choice < len(config.themes):
+            _plant_topics(tokens, config.themes[choice].topics, rng)
+        _plant_topics(tokens, config.background, rng)
+        collection.add_tokens(tokens, title=f"doc{doc_id}")
+    return collection
+
+
+def _plant_topics(tokens: list[str], topics, rng: np.random.Generator) -> None:
+    length = len(tokens)
+    for t in topics:
+        if rng.random() >= t.doc_probability:
+            continue
+        occurrences = int(rng.geometric(1.0 / t.mean_occurrences))
+        span = len(t.tokens)
+        if span >= length:
+            continue
+        for _ in range(occurrences):
+            start = int(rng.integers(0, length - span))
+            tokens[start:start + span] = t.tokens

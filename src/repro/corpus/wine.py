@@ -1,0 +1,87 @@
+"""The paper's running example document ``d_w`` (Figure 1 / Figure 2).
+
+``d_w`` is "the abstract portion of the Wikipedia article Wine_(software)";
+we cannot reproduce the exact text, but the paper's worked examples depend
+only on the statistics of Figure 1:
+
+=========== ======= ======== ====================
+Token       #INDOC  #DOCS    OFFSETS in d_w
+=========== ======= ======== ====================
+'emulator'  1       2768     [64]
+'free'      1       332335   [3]
+'foss'      1       2044     [179]
+'software'  4       71735    [4, 32, 180, 189]
+'windows'   4       43949    [27, 42, 144, 187]
+=========== ======= ======== ====================
+
+plus ``d_w.length = 207`` and ``collectionSize = 4,638,535``.  This module
+builds a 207-token document with exactly those offsets, and exposes the
+collection-level statistics as an override so the worked examples
+(Example 5's MEANSUM score of 0.660, Section 2's 1/4-score inconsistency)
+can be reproduced to the digit without indexing 4.6M documents.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+
+#: Offsets of each example keyword inside d_w (Figure 1).
+WINE_OFFSETS: dict[str, list[int]] = {
+    "emulator": [64],
+    "free": [3],
+    "foss": [179],
+    "software": [4, 32, 180, 189],
+    "windows": [27, 42, 144, 187],
+}
+
+#: d_w.length (Example 5).
+WINE_DOC_LENGTH = 207
+
+#: Collection-level statistics from Figure 1 / Example 5.
+WINE_COLLECTION_SIZE = 4_638_535
+WINE_DOC_FREQUENCIES: dict[str, int] = {
+    "emulator": 2768,
+    "free": 332_335,
+    "foss": 2044,
+    "software": 71_735,
+    "windows": 43_949,
+}
+
+
+def wine_tokens() -> list[str]:
+    """The 207-token sequence of d_w, with filler tokens elsewhere."""
+    tokens = [f"filler{i:03d}" for i in range(WINE_DOC_LENGTH)]
+    for term, offsets in WINE_OFFSETS.items():
+        for off in offsets:
+            tokens[off] = term
+    return tokens
+
+
+def wine_document(doc_id: int = 0) -> Document:
+    """Build d_w as a standalone :class:`Document`."""
+    return Document(doc_id, tuple(wine_tokens()), title="Wine_(software)")
+
+
+def wine_collection() -> DocumentCollection:
+    """A one-document collection containing only d_w.
+
+    Combine with :func:`wine_stats_overrides` to reproduce the paper's
+    collection-level numbers.
+    """
+    collection = DocumentCollection()
+    collection.add_tokens(wine_tokens(), title="Wine_(software)")
+    return collection
+
+
+def wine_stats_overrides() -> dict:
+    """Statistic overrides matching Figure 1 / Example 5.
+
+    Returns a dict suitable for
+    :class:`repro.sa.context.OverrideScoringContext`: document frequencies
+    per term and the collection size of the paper's Wikipedia snapshot.
+    """
+    return {
+        "collection_size": WINE_COLLECTION_SIZE,
+        "document_frequency": dict(WINE_DOC_FREQUENCIES),
+    }

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the GRAFT reproduction.
+
+Every error raised by the library derives from :class:`GraftError` so
+applications can catch library failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class GraftError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class QuerySyntaxError(GraftError):
+    """The shorthand query text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at character {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class UnsafeQueryError(GraftError):
+    """An MCalc formula failed the safe-range analysis.
+
+    Safe queries bind every free position variable either to positions of a
+    keyword (via HAS) or to the empty symbol (via EMPTY) on every disjunct.
+    """
+
+
+class UnknownPredicateError(GraftError):
+    """A full-text predicate name is not registered."""
+
+
+class PredicateArityError(GraftError):
+    """A full-text predicate was applied to the wrong number of variables
+    or constants."""
+
+
+class UnknownSchemeError(GraftError):
+    """A scoring scheme name is not registered."""
+
+
+class PlanError(GraftError):
+    """An algebra plan is structurally invalid (schema mismatch, missing
+    column, operator applied out of context)."""
+
+
+class OptimizationError(GraftError):
+    """A rewrite rule was applied where its validity preconditions
+    (Table 1 of the paper) do not hold."""
+
+
+class ExecutionError(GraftError):
+    """A physical operator failed during evaluation."""
+
+
+class UnsupportedQueryError(GraftError):
+    """A rigid baseline engine does not support this query's constructs
+    (e.g. Lucene and Terrier "do not support the WINDOW predicate",
+    Section 8)."""
+
+
+class IndexError_(GraftError):
+    """An index lookup or construction failure.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError``.
+    """

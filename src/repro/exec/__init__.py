@@ -1,0 +1,15 @@
+"""Physical execution engine.
+
+Plans execute document-at-a-time: every physical operator produces *doc
+groups* — ``(doc_id, rows)`` with doc ids strictly ascending — and supports
+seeking forward past documents.  Seeking is the engine's skip machinery:
+zig-zag joins seek their inputs to each other's documents (Section 5.2.1),
+and alternate elimination abandons a document's remaining rows and seeks
+on (Section 5.2.3).  Rows within a group are produced lazily wherever
+possible, so an abandoned group costs nothing beyond what was consumed.
+"""
+
+from repro.exec.engine import execute, execute_streaming
+from repro.exec.iterator import ExecutionMetrics, Runtime
+
+__all__ = ["execute", "execute_streaming", "Runtime", "ExecutionMetrics"]

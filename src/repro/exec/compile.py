@@ -1,0 +1,115 @@
+"""Compilation of logical GRAFT plans into physical operator trees."""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.exec.iterator import PhysicalOp, Runtime
+from repro.exec.join_ops import ForwardScanJoinOp, MergeJoinOp
+from repro.exec.misc_ops import (
+    AlternateElimOp,
+    AntiJoinOp,
+    CountOp,
+    ForgetOp,
+    SelectOp,
+    SortOp,
+)
+from repro.exec.scan_ops import (
+    AtomScanOp,
+    PreCountScanOp,
+    ScoredPreCountScanOp,
+)
+from repro.exec.score_ops import (
+    CombinePhiOp,
+    FinalizeOp,
+    GroupScoreOp,
+    ScoreInitOp,
+)
+from repro.exec.union_ops import UnionOp
+from repro.graft.plan import (
+    AlternateElim,
+    CombinePhi,
+    Finalize,
+    GroupScore,
+    ScoreInit,
+)
+from repro.ma.nodes import (
+    AntiJoin,
+    Atom,
+    GroupCount,
+    Join,
+    PlanNode,
+    PositionProject,
+    PreCountAtom,
+    Select,
+    Sort,
+    Union,
+)
+
+
+def compile_plan(node: PlanNode, runtime: Runtime) -> PhysicalOp:
+    """Recursively build the physical operator for a logical plan node.
+
+    One physical-level fusion applies: the eager-aggregation leaf pattern
+    ``GroupScore(ScoreInit(PreCountAtom))`` compiles to a single fused
+    scan (see :class:`repro.exec.scan_ops.ScoredPreCountScanOp`).
+    """
+    if (
+        isinstance(node, GroupScore)
+        and node.counts_incorporated
+        and isinstance(node.child, ScoreInit)
+        and node.child.scale_by_count
+        and isinstance(node.child.child, PreCountAtom)
+        and node.child.vars == (node.child.child.var,)
+    ):
+        leaf = node.child.child
+        return ScoredPreCountScanOp(runtime, leaf.var, leaf.keyword)
+    if isinstance(node, Atom):
+        return AtomScanOp(runtime, node.var, node.keyword)
+    if isinstance(node, PreCountAtom):
+        return PreCountScanOp(runtime, node.var, node.keyword)
+    if isinstance(node, PositionProject):
+        return ForgetOp(runtime, compile_plan(node.child, runtime), node.vars)
+    if isinstance(node, GroupCount):
+        return CountOp(runtime, compile_plan(node.child, runtime))
+    if isinstance(node, Join):
+        left = compile_plan(node.left, runtime)
+        right = compile_plan(node.right, runtime)
+        if node.algorithm == "merge":
+            return MergeJoinOp(runtime, left, right, node.predicates)
+        if node.algorithm == "forward":
+            return ForwardScanJoinOp(runtime, left, right, node.predicates)
+        raise PlanError(f"unknown join algorithm {node.algorithm!r}")
+    if isinstance(node, Union):
+        return UnionOp(
+            runtime,
+            compile_plan(node.left, runtime),
+            compile_plan(node.right, runtime),
+        )
+    if isinstance(node, Select):
+        return SelectOp(runtime, compile_plan(node.child, runtime), node.predicates)
+    if isinstance(node, Sort):
+        return SortOp(runtime, compile_plan(node.child, runtime), node.sort_vars)
+    if isinstance(node, AntiJoin):
+        return AntiJoinOp(
+            runtime,
+            compile_plan(node.left, runtime),
+            compile_plan(node.right, runtime),
+        )
+    if isinstance(node, ScoreInit):
+        return ScoreInitOp(
+            runtime,
+            compile_plan(node.child, runtime),
+            node.vars,
+            node.scale_by_count,
+        )
+    if isinstance(node, CombinePhi):
+        return CombinePhiOp(runtime, compile_plan(node.child, runtime))
+    if isinstance(node, GroupScore):
+        return GroupScoreOp(
+            runtime, compile_plan(node.child, runtime), node.counts_incorporated
+        )
+    if isinstance(node, Finalize):
+        return FinalizeOp(runtime, compile_plan(node.child, runtime))
+    if isinstance(node, AlternateElim):
+        return AlternateElimOp(runtime, compile_plan(node.child, runtime))
+    raise PlanError(f"cannot compile plan node {type(node).__name__}")

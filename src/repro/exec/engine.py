@@ -1,0 +1,59 @@
+"""Plan execution entry points."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.exec.compile import compile_plan
+from repro.exec.iterator import Runtime
+from repro.graft.canonical import QueryInfo
+from repro.graft.plan import validate_plan
+from repro.index.index import Index
+from repro.ma.nodes import PlanNode
+from repro.sa.context import IndexScoringContext, ScoringContext
+from repro.sa.scheme import ScoringScheme
+
+
+def make_runtime(
+    index: Index,
+    scheme: ScoringScheme,
+    info: QueryInfo,
+    ctx: ScoringContext | None = None,
+) -> Runtime:
+    """Assemble the shared execution state for one plan run."""
+    if ctx is None:
+        ctx = IndexScoringContext(index)
+    return Runtime(index=index, ctx=ctx, scheme=scheme, info=info)
+
+
+def execute_streaming(plan: PlanNode, runtime: Runtime) -> Iterator[tuple[int, float]]:
+    """Execute a complete GRAFT plan, yielding (doc_id, score) pairs in
+    ascending document order."""
+    validate_plan(plan)
+    root = compile_plan(plan, runtime)
+    score_index = root.schema.score_index("score")
+    while True:
+        group = root.next_doc()
+        if group is None:
+            return
+        doc, rows = group
+        for row in rows:
+            yield doc, row[score_index]
+
+
+def execute(
+    plan: PlanNode,
+    runtime: Runtime,
+    top_k: int | None = None,
+) -> list[tuple[int, float]]:
+    """Execute a plan and return ranked results.
+
+    Results are sorted by descending score, ties broken by ascending doc
+    id; ``top_k`` truncates after ranking (rank-join based early
+    termination lives in :mod:`repro.exec.topk`).
+    """
+    results = list(execute_streaming(plan, runtime))
+    results.sort(key=lambda r: (-r[1], r[0]))
+    if top_k is not None:
+        return results[:top_k]
+    return results

@@ -1,0 +1,146 @@
+"""Physical operator protocol, row schemas, cursors, and run-time state.
+
+Row encoding
+------------
+A row is a flat tuple ``(cell_0, ..., cell_n, count, score_0, ..., score_m)``:
+
+* cells are term positions (``int``), the empty symbol (``None``), or
+  :data:`repro.ma.match_table.ANY_POSITION`;
+* ``count`` is the row's multiplicity (eager counting / pre-counting);
+* scores are the scheme's internal score values.
+
+:class:`RowSchema` maps variable names to indices.  The document id is not
+part of the row — it is the group key of the doc-group stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ExecutionError
+from repro.graft.canonical import QueryInfo
+from repro.index.index import Index
+from repro.sa.context import ScoringContext
+from repro.sa.scheme import ScoringScheme
+
+#: A doc group: (doc_id, iterator of rows).
+DocGroup = tuple[int, Iterator[tuple]]
+
+
+@dataclass(frozen=True)
+class RowSchema:
+    """Column layout of one operator's rows."""
+
+    positions: tuple[str, ...]
+    scores: tuple[str, ...] = ()
+
+    @property
+    def count_index(self) -> int:
+        return len(self.positions)
+
+    def position_index(self, var: str) -> int:
+        try:
+            return self.positions.index(var)
+        except ValueError:
+            raise ExecutionError(
+                f"no position column {var!r}; have {self.positions}"
+            ) from None
+
+    def score_index(self, var: str) -> int:
+        try:
+            return len(self.positions) + 1 + self.scores.index(var)
+        except ValueError:
+            raise ExecutionError(
+                f"no score column {var!r}; have {self.scores}"
+            ) from None
+
+    @property
+    def width(self) -> int:
+        return len(self.positions) + 1 + len(self.scores)
+
+
+@dataclass
+class ExecutionMetrics:
+    """Work counters used by tests and benchmarks to verify *how much*
+    index data a plan touched (e.g. the paper's Amdahl analysis of Q8)."""
+
+    positions_scanned: int = 0
+    doc_entries_scanned: int = 0
+    positions_by_keyword: dict[str, int] = field(default_factory=dict)
+    rows_grouped: int = 0
+    rows_joined: int = 0
+
+    def count_positions(self, keyword: str, n: int = 1) -> None:
+        self.positions_scanned += n
+        self.positions_by_keyword[keyword] = (
+            self.positions_by_keyword.get(keyword, 0) + n
+        )
+
+
+@dataclass
+class Runtime:
+    """Shared execution state: the index, the scoring context, the scheme,
+    the query info, and work counters."""
+
+    index: Index
+    ctx: ScoringContext
+    scheme: ScoringScheme
+    info: QueryInfo
+    metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
+
+
+class PhysicalOp:
+    """Base physical operator (doc-group iterator).
+
+    Contract: :meth:`next_doc` returns groups with strictly ascending doc
+    ids, then ``None`` forever.  The rows iterator of a group is
+    invalidated by the next ``next_doc``/``seek_doc`` call.  A group's
+    rows iterator may be empty (e.g. all rows filtered); consumers must
+    tolerate empty groups.  :meth:`seek_doc` discards any unconsumed
+    current group and moves so the next group has doc >= the target.
+    """
+
+    schema: RowSchema
+
+    def open(self) -> None:
+        """Prepare for iteration (children are constructed open)."""
+
+    def next_doc(self) -> DocGroup | None:
+        raise NotImplementedError
+
+    def seek_doc(self, doc_id: int) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (default: propagate to nothing)."""
+
+
+class DocCursor:
+    """Peekable wrapper over a physical operator's doc-group stream."""
+
+    __slots__ = ("op", "_group")
+
+    def __init__(self, op: PhysicalOp):
+        self.op = op
+        self._group: DocGroup | None = op.next_doc()
+
+    def doc(self) -> int | None:
+        """Current group's doc id, or None at end of stream."""
+        return self._group[0] if self._group is not None else None
+
+    def rows(self) -> Iterator[tuple]:
+        if self._group is None:
+            raise ExecutionError("cursor exhausted")
+        return self._group[1]
+
+    def advance(self) -> None:
+        self._group = self.op.next_doc()
+
+    def seek(self, doc_id: int) -> None:
+        """Move to the first group with doc >= ``doc_id`` (no-op when
+        already there)."""
+        if self._group is not None and self._group[0] >= doc_id:
+            return
+        self.op.seek_doc(doc_id)
+        self._group = self.op.next_doc()

@@ -1,0 +1,210 @@
+"""Selection, sort, counting, anti-join and alternate elimination.
+
+Operators that emit lazy per-document row iterators defer advancing their
+child until the next ``next_doc``/``seek_doc`` call, honoring the contract
+that a group's rows remain valid until then.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.exec.iterator import (
+    DocCursor,
+    DocGroup,
+    PhysicalOp,
+    RowSchema,
+    Runtime,
+)
+from repro.exec.join_ops import compile_predicates, doc_structure
+from repro.ma.match_table import ANY_POSITION, cell_sort_key
+from repro.mcalc.ast import Pred
+
+
+class UnaryLazyOp(PhysicalOp):
+    """Base for per-document row transformations (lazy, deferred advance)."""
+
+    def __init__(self, runtime: Runtime, child: PhysicalOp):
+        self.runtime = runtime
+        self.child = DocCursor(child)
+        self.schema = child.schema
+        self._pending_advance = False
+
+    def _settle(self) -> None:
+        if self._pending_advance:
+            self.child.advance()
+            self._pending_advance = False
+
+    def next_doc(self) -> DocGroup | None:
+        self._settle()
+        doc = self.child.doc()
+        if doc is None:
+            return None
+        self._pending_advance = True
+        return doc, self.transform(doc, self.child.rows())
+
+    def seek_doc(self, doc_id: int) -> None:
+        self._settle()
+        self.child.seek(doc_id)
+
+    def transform(self, doc: int, rows: Iterator[tuple]) -> Iterator[tuple]:
+        raise NotImplementedError
+
+
+class SelectOp(UnaryLazyOp):
+    """Filter rows by a conjunction of full-text predicates."""
+
+    def __init__(self, runtime: Runtime, child: PhysicalOp, predicates: tuple[Pred, ...]):
+        super().__init__(runtime, child)
+        self._preds = compile_predicates(predicates, self.schema)
+
+    def transform(self, doc: int, rows: Iterator[tuple]) -> Iterator[tuple]:
+        preds = self._preds
+        starts = doc_structure(self.runtime, preds, doc)
+        return (row for row in rows if all(p.holds(row, starts) for p in preds))
+
+
+class ForgetOp(UnaryLazyOp):
+    """Generalized projection forgetting the positions of some columns
+    (first half of the pre-counting chain)."""
+
+    def __init__(self, runtime: Runtime, child: PhysicalOp, vars: tuple[str, ...]):
+        super().__init__(runtime, child)
+        self._indices = tuple(self.schema.position_index(v) for v in vars)
+
+    def transform(self, doc: int, rows: Iterator[tuple]) -> Iterator[tuple]:
+        indices = self._indices
+        for row in rows:
+            out = list(row)
+            for i in indices:
+                out[i] = ANY_POSITION
+            yield tuple(out)
+
+
+class SortOp(PhysicalOp):
+    """Per-document lexicographic sort.
+
+    The canonical plan's global sort orders rows by (doc, positions...);
+    since every stream is already doc-major, sorting within each document
+    is equivalent and keeps the operator streaming.
+    """
+
+    def __init__(self, runtime: Runtime, child: PhysicalOp, sort_vars: tuple[str, ...]):
+        self.runtime = runtime
+        self.child = DocCursor(child)
+        self.schema = child.schema
+        self._indices = tuple(
+            self.schema.position_index(v)
+            for v in sort_vars
+            if v in self.schema.positions
+        )
+
+    def next_doc(self) -> DocGroup | None:
+        doc = self.child.doc()
+        if doc is None:
+            return None
+        indices = self._indices
+        rows = sorted(
+            self.child.rows(),
+            key=lambda r: tuple(cell_sort_key(r[i]) for i in indices),
+        )
+        self.child.advance()
+        return doc, iter(rows)
+
+    def seek_doc(self, doc_id: int) -> None:
+        self.child.seek(doc_id)
+
+
+class CountOp(PhysicalOp):
+    """Eager counting: collapse identical rows into one row whose
+    multiplicity is the sum of the collapsed rows' multiplicities."""
+
+    def __init__(self, runtime: Runtime, child: PhysicalOp):
+        self.runtime = runtime
+        self.child = DocCursor(child)
+        self.schema = child.schema
+        self._count_index = self.schema.count_index
+
+    def next_doc(self) -> DocGroup | None:
+        doc = self.child.doc()
+        if doc is None:
+            return None
+        ci = self._count_index
+        tally: dict[tuple, int] = {}
+        for row in self.child.rows():
+            key = row[:ci]
+            tally[key] = tally.get(key, 0) + row[ci]
+        self.child.advance()
+        self.runtime.metrics.rows_grouped += len(tally)
+        return doc, (key + (count,) for key, count in tally.items())
+
+    def seek_doc(self, doc_id: int) -> None:
+        self.child.seek(doc_id)
+
+
+class AntiJoinOp(PhysicalOp):
+    """Document-level anti-join: left documents absent from the right."""
+
+    def __init__(self, runtime: Runtime, left: PhysicalOp, right: PhysicalOp):
+        self.runtime = runtime
+        self.left = DocCursor(left)
+        self.right = DocCursor(right)
+        self.schema = left.schema
+        self._pending_advance = False
+
+    def next_doc(self) -> DocGroup | None:
+        if self._pending_advance:
+            self.left.advance()
+            self._pending_advance = False
+        while True:
+            doc = self.left.doc()
+            if doc is None:
+                return None
+            self.right.seek(doc)
+            if self.right.doc() == doc:
+                self.left.advance()
+                continue
+            self._pending_advance = True
+            return doc, self.left.rows()
+
+    def seek_doc(self, doc_id: int) -> None:
+        if self._pending_advance:
+            self.left.advance()
+            self._pending_advance = False
+        self.left.seek(doc_id)
+
+
+class AlternateElimOp(PhysicalOp):
+    """The delta operator: first row per document, then skip.
+
+    "It emits a new result match as soon as a new group is seen instead of
+    waiting to see all group members, and it signals its child operators
+    to skip any further tuples in the group" — the skip signal here is
+    simply abandoning the child's lazy row iterator and advancing, which
+    leaves unconsumed join combinations ungenerated and unbilled.
+    """
+
+    def __init__(self, runtime: Runtime, child: PhysicalOp):
+        self.runtime = runtime
+        self.child = DocCursor(child)
+        base = child.schema
+        self.schema = base
+
+    def next_doc(self) -> DocGroup | None:
+        while True:
+            doc = self.child.doc()
+            if doc is None:
+                return None
+            first = next(iter(self.child.rows()), None)
+            self.child.advance()
+            if first is None:
+                # The document's rows were all filtered out: not a match.
+                continue
+            ci = self.schema.count_index
+            if first[ci] != 1:
+                # Multiplicity is meaningless once duplicates are skipped.
+                first = first[:ci] + (1,) + first[ci + 1:]
+            return doc, iter((first,))
+
+    def seek_doc(self, doc_id: int) -> None:
+        self.child.seek(doc_id)

@@ -1,0 +1,132 @@
+"""Leaf operators: the physical Atomic Match Factories.
+
+:class:`AtomScanOp` scans the term-position index, paying one unit of work
+per position it hands downstream (lazily: positions abandoned by a skip
+signal are never billed).  :class:`PreCountScanOp` scans the term-document
+index, paying one unit per document — the physical source of the
+pre-counting speedup of Section 5.2.3.  :class:`ScoredPreCountScanOp` is
+the fused eager-aggregation leaf.
+
+Cursors bisect plain Python doc-id lists: seeks happen once per zig-zag
+probe, and list bisection is several times cheaper per call than NumPy
+searchsorted at these access patterns.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.exec.iterator import DocGroup, PhysicalOp, RowSchema, Runtime
+from repro.ma.match_table import ANY_POSITION
+
+_EMPTY: list[int] = []
+
+
+class AtomScanOp(PhysicalOp):
+    """A(d, p, k): one row per occurrence of ``keyword``, doc-ordered."""
+
+    def __init__(self, runtime: Runtime, var: str, keyword: str):
+        self.runtime = runtime
+        self.var = var
+        self.keyword = keyword
+        self.schema = RowSchema(positions=(var,))
+        postings = runtime.index.postings(keyword)
+        self._doc_ids = postings.doc_id_list
+        self._offsets = postings.offsets
+        self._i = 0
+
+    def next_doc(self) -> DocGroup | None:
+        i = self._i
+        if i >= len(self._doc_ids):
+            return None
+        doc = self._doc_ids[i]
+        offsets = self._offsets[i]
+        self._i = i + 1
+        return doc, self._rows(offsets)
+
+    def _rows(self, offsets: tuple[int, ...]):
+        metrics = self.runtime.metrics
+        keyword = self.keyword
+        for off in offsets:
+            metrics.count_positions(keyword)
+            yield (off, 1)
+
+    def seek_doc(self, doc_id: int) -> None:
+        self._i = bisect_left(self._doc_ids, doc_id, self._i)
+
+
+class PreCountScanOp(PhysicalOp):
+    """CA(d, p, k): one row per document containing ``keyword``, with the
+    position forgotten and the row multiplicity set to #INDOC."""
+
+    def __init__(self, runtime: Runtime, var: str, keyword: str):
+        self.runtime = runtime
+        self.var = var
+        self.keyword = keyword
+        self.schema = RowSchema(positions=(var,))
+        postings = runtime.index.doc_terms.get(keyword)
+        if postings is None:
+            self._doc_ids = _EMPTY
+            self._counts = _EMPTY
+        else:
+            self._doc_ids = postings.doc_id_list
+            self._counts = postings.count_list
+        self._i = 0
+
+    def next_doc(self) -> DocGroup | None:
+        i = self._i
+        if i >= len(self._doc_ids):
+            return None
+        doc = self._doc_ids[i]
+        count = self._counts[i]
+        self._i = i + 1
+        self.runtime.metrics.doc_entries_scanned += 1
+        return doc, iter(((ANY_POSITION, count),))
+
+    def seek_doc(self, doc_id: int) -> None:
+        self._i = bisect_left(self._doc_ids, doc_id, self._i)
+
+
+class ScoredPreCountScanOp(PhysicalOp):
+    """Fusion of ``GroupScore(ScoreInit(CA))`` into one scan.
+
+    In eager-aggregation plans every pre-counted leaf is immediately
+    alpha-initialized and aggregated — but a pre-counted leaf already has
+    one row per document, so the aggregate is just ``times(alpha, tf)``.
+    Fusing the three operators removes two cursor layers per leaf (a
+    physical-level rewrite; the logical plan is unchanged).
+    """
+
+    def __init__(self, runtime: Runtime, var: str, keyword: str):
+        self.runtime = runtime
+        self.var = var
+        self.keyword = keyword
+        self.schema = RowSchema(positions=(), scores=(var,))
+        postings = runtime.index.doc_terms.get(keyword)
+        if postings is None:
+            self._doc_ids = _EMPTY
+            self._counts = _EMPTY
+        else:
+            self._doc_ids = postings.doc_id_list
+            self._counts = postings.count_list
+        self._i = 0
+
+    def next_doc(self) -> DocGroup | None:
+        i = self._i
+        if i >= len(self._doc_ids):
+            return None
+        doc = self._doc_ids[i]
+        count = self._counts[i]
+        self._i = i + 1
+        runtime = self.runtime
+        runtime.metrics.doc_entries_scanned += 1
+        scheme = runtime.scheme
+        score = scheme.alpha(
+            runtime.ctx, doc, self.var, self.keyword, ANY_POSITION
+        )
+        if count != 1:
+            score = scheme.times(score, count)
+        return doc, iter(((count, score),))
+
+    def seek_doc(self, doc_id: int) -> None:
+        self._i = bisect_left(self._doc_ids, doc_id, self._i)

@@ -1,0 +1,238 @@
+"""Physical operators hosting the Scoring Algebra (Section 4.3).
+
+``ScoreInitOp`` hosts alpha (a generalized projection), ``CombinePhiOp``
+hosts the conjunctive/disjunctive combinators, ``GroupScoreOp`` hosts the
+alternate combinator (a group-by), and ``FinalizeOp`` hosts omega.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ExecutionError
+from repro.exec.iterator import (
+    DocCursor,
+    DocGroup,
+    PhysicalOp,
+    RowSchema,
+    Runtime,
+)
+from repro.exec.misc_ops import UnaryLazyOp
+from repro.mcalc.scoring_plan import fold_phi
+from repro.sa.scheme import ScoringScheme
+
+
+class ScoreInitOp(UnaryLazyOp):
+    """Append ``alpha``-initialized score columns for the given variables.
+
+    Alpha values are memoized per (variable, cell) within each document —
+    in a cross product the same position reappears in many rows.  When the
+    scheme defines a per-row positional adjustment (the Lucene proximity
+    extension), it is applied to the adjusted variables' scores before
+    anything aggregates them.
+
+    ``scale_by_count`` selects the counts-incorporated discipline of
+    eager-aggregation plans: fresh scores are alternate-multiplied by the
+    row count so that every score column of a row aggregates exactly
+    ``count`` match-table sub-rows.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        child: PhysicalOp,
+        vars: tuple[str, ...],
+        scale_by_count: bool,
+    ):
+        super().__init__(runtime, child)
+        self.vars = vars
+        self.scale_by_count = scale_by_count
+        base = child.schema
+        self.schema = RowSchema(base.positions, base.scores + vars)
+        self._cell_indices = tuple(base.position_index(v) for v in vars)
+        self._count_index = base.count_index
+        scheme = runtime.scheme
+        self._has_adjust = (
+            type(scheme).cell_adjust is not ScoringScheme.cell_adjust
+        )
+        if self._has_adjust:
+            available = set(base.positions)
+            self._adjust_preds = scheme.adjusting_predicates(tuple(
+                p
+                for p in runtime.info.predicates
+                if set(p.vars) <= available
+            ))
+            self._all_cell_indices = tuple(
+                base.position_index(v) for v in base.positions
+            )
+        else:
+            self._adjust_preds = ()
+
+    def transform(self, doc: int, rows: Iterator[tuple]) -> Iterator[tuple]:
+        runtime = self.runtime
+        scheme = runtime.scheme
+        ctx = runtime.ctx
+        keywords = runtime.info.var_keywords
+        cache: dict[tuple[str, object], object] = {}
+        ci = self._count_index
+
+        for row in rows:
+            count = row[ci]
+            fresh = []
+            for var, idx in zip(self.vars, self._cell_indices):
+                cell = row[idx]
+                key = (var, cell)
+                score = cache.get(key)
+                if score is None:
+                    score = scheme.alpha(ctx, doc, var, keywords[var], cell)
+                    cache[key] = score
+                fresh.append(score)
+            if self._has_adjust and self._adjust_preds:
+                cells = {
+                    v: row[i]
+                    for v, i in zip(self.child.op.schema.positions, self._all_cell_indices)
+                }
+                factors = scheme.cell_adjust(ctx, doc, cells, self._adjust_preds)
+                if factors:
+                    for j, var in enumerate(self.vars):
+                        f = factors.get(var)
+                        if f is not None:
+                            fresh[j] = fresh[j] * f
+            if self.scale_by_count and count != 1:
+                fresh = [scheme.times(s, count) for s in fresh]
+            yield row + tuple(fresh)
+
+
+class CombinePhiOp(UnaryLazyOp):
+    """Fold the per-variable score columns of each row through the scoring
+    plan Phi into a single ``s`` column; position columns are dropped."""
+
+    def __init__(self, runtime: Runtime, child: PhysicalOp):
+        super().__init__(runtime, child)
+        base = child.schema
+        self.schema = RowSchema(positions=(), scores=("s",))
+        self._count_index = base.count_index
+        self._score_index = {
+            v: base.score_index(v) for v in base.scores
+        }
+        self._phi = runtime.info.phi
+        missing = [v for v in self._phi_vars() if v not in self._score_index]
+        if missing:
+            raise ExecutionError(
+                f"Phi references unscored variables {missing}; "
+                f"available: {sorted(self._score_index)}"
+            )
+
+    def _phi_vars(self) -> list[str]:
+        return list(self._phi.variables())
+
+    def transform(self, doc: int, rows: Iterator[tuple]) -> Iterator[tuple]:
+        scheme = self.runtime.scheme
+        phi = self._phi
+        idx = self._score_index
+        ci = self._count_index
+        for row in rows:
+            s = fold_phi(
+                phi,
+                lambda v: row[idx[v]],
+                scheme.conj,
+                scheme.disj,
+            )
+            yield (row[ci], s)
+
+
+class GroupScoreOp(PhysicalOp):
+    """Group by document, alternate-folding every score column in row
+    order; emits one row per document with multiplicity = total count.
+
+    With counts pending (canonical-style plans), each row's score is
+    expanded to its multiplicity before folding — via the scheme's
+    constant-time ``times`` when the alternate combinator multiplies,
+    otherwise by folding ``count`` copies (always valid, per Table 1's
+    unrestricted eager counting).
+    """
+
+    def __init__(self, runtime: Runtime, child: PhysicalOp, counts_incorporated: bool):
+        self.runtime = runtime
+        self.child = DocCursor(child)
+        self.counts_incorporated = counts_incorporated
+        base = child.schema
+        self.schema = RowSchema(positions=(), scores=base.scores)
+        self._score_indices = tuple(
+            base.score_index(v) for v in base.scores
+        )
+        self._count_index = base.count_index
+        if not base.scores:
+            raise ExecutionError("GroupScore requires score columns")
+
+    def next_doc(self) -> DocGroup | None:
+        scheme = self.runtime.scheme
+        alt = scheme.alt
+        times = scheme.times
+        incorporated = self.counts_incorporated
+        ci = self._count_index
+        while True:
+            doc = self.child.doc()
+            if doc is None:
+                return None
+            acc: list | None = None
+            total = 0
+            n_rows = 0
+            for row in self.child.rows():
+                count = row[ci]
+                total += count
+                n_rows += 1
+                scores = [row[i] for i in self._score_indices]
+                if not incorporated and count != 1:
+                    scores = [times(s, count) for s in scores]
+                if acc is None:
+                    acc = scores
+                else:
+                    acc = [alt(a, s) for a, s in zip(acc, scores)]
+            self.child.advance()
+            if acc is None:
+                # Every row of the document was filtered out upstream.
+                continue
+            self.runtime.metrics.rows_grouped += n_rows
+            return doc, iter((((total,) + tuple(acc)),))
+
+    def seek_doc(self, doc_id: int) -> None:
+        self.child.seek(doc_id)
+
+
+class FinalizeOp(PhysicalOp):
+    """Host omega: emit one (score,) row per document."""
+
+    def __init__(self, runtime: Runtime, child: PhysicalOp):
+        self.runtime = runtime
+        self.child = DocCursor(child)
+        base = child.schema
+        if base.scores != ("s",):
+            raise ExecutionError(
+                f"Finalize expects a single combined score column 's', "
+                f"got {base.scores}"
+            )
+        self.schema = RowSchema(positions=(), scores=("score",))
+        self._s_index = base.score_index("s")
+
+    def next_doc(self) -> DocGroup | None:
+        scheme = self.runtime.scheme
+        ctx = self.runtime.ctx
+        while True:
+            doc = self.child.doc()
+            if doc is None:
+                return None
+            rows = list(self.child.rows())
+            self.child.advance()
+            if not rows:
+                continue
+            if len(rows) != 1:
+                raise ExecutionError(
+                    f"document {doc} reached Finalize with {len(rows)} rows; "
+                    "plans must aggregate to one row per document"
+                )
+            score = scheme.omega(ctx, doc, rows[0][self._s_index])
+            return doc, iter(((1, float(score)),))
+
+    def seek_doc(self, doc_id: int) -> None:
+        self.child.seek(doc_id)

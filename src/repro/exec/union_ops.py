@@ -1,0 +1,138 @@
+"""Outer bag-union: the physical operator behind disjunction.
+
+Rows from each branch are padded with the empty symbol in the position
+columns the branch lacks — this is where the EMPTY predicates of padded
+disjuncts (Section 3.1) materialize.  In eager-aggregation plans the
+branches carry pre-aggregated *score* columns; a missing score column is
+padded with the alternate-fold of ``count`` copies of ``alpha(empty)``,
+i.e. ``times(alpha(empty), count)``, preserving the counts-incorporated
+invariant (every score column of a row aggregates exactly ``count``
+match-table sub-rows).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.exec.iterator import (
+    DocCursor,
+    DocGroup,
+    PhysicalOp,
+    RowSchema,
+    Runtime,
+)
+
+
+class _BranchPad:
+    """Precomputed projection of one branch's rows into the union schema."""
+
+    def __init__(self, runtime: Runtime, branch: RowSchema, out: RowSchema):
+        self.runtime = runtime
+        # For each output position column: the branch row index, or None.
+        self.position_map = [
+            branch.positions.index(v) if v in branch.positions else None
+            for v in out.positions
+        ]
+        self.count_index = branch.count_index
+        # For each output score column: branch score row-index, or the
+        # variable name to pad with alpha(empty).
+        self.score_map: list[int | str] = [
+            branch.score_index(v) if v in branch.scores else v
+            for v in out.scores
+        ]
+        self.needs_padding = any(i is None for i in self.position_map) or any(
+            isinstance(m, str) for m in self.score_map
+        )
+
+    def project(self, doc: int, rows: Iterator[tuple]) -> Iterator[tuple]:
+        if not self.needs_padding:
+            yield from rows
+            return
+        runtime = self.runtime
+        info = runtime.info
+        scheme = runtime.scheme
+        empty_alpha_cache: dict[str, object] = {}
+
+        def empty_alpha(var: str):
+            if var not in empty_alpha_cache:
+                empty_alpha_cache[var] = scheme.alpha(
+                    runtime.ctx, doc, var, info.var_keywords[var], None
+                )
+            return empty_alpha_cache[var]
+
+        for row in rows:
+            cells = tuple(
+                row[i] if i is not None else None for i in self.position_map
+            )
+            count = row[self.count_index]
+            scores = tuple(
+                row[m]
+                if isinstance(m, int)
+                else (
+                    scheme.times(empty_alpha(m), count)
+                    if count != 1
+                    else empty_alpha(m)
+                )
+                for m in self.score_map
+            )
+            yield cells + (count,) + scores
+
+
+class UnionOp(PhysicalOp):
+    """Outer bag-union of two doc-ordered streams (left rows first)."""
+
+    def __init__(self, runtime: Runtime, left: PhysicalOp, right: PhysicalOp):
+        self.runtime = runtime
+        self.left = DocCursor(left)
+        self.right = DocCursor(right)
+        lpos, rpos = left.schema.positions, right.schema.positions
+        lsc, rsc = left.schema.scores, right.schema.scores
+        self.schema = RowSchema(
+            positions=lpos + tuple(v for v in rpos if v not in lpos),
+            scores=lsc + tuple(v for v in rsc if v not in lsc),
+        )
+        self._lpad = _BranchPad(runtime, left.schema, self.schema)
+        self._rpad = _BranchPad(runtime, right.schema, self.schema)
+        # Branch advancement is deferred until the emitted (lazy) row
+        # iterator has been abandoned — advancing immediately would
+        # invalidate the child rows the parent has not consumed yet.
+        self._advance_left = False
+        self._advance_right = False
+
+    def _settle(self) -> None:
+        if self._advance_left:
+            self.left.advance()
+            self._advance_left = False
+        if self._advance_right:
+            self.right.advance()
+            self._advance_right = False
+
+    def next_doc(self) -> DocGroup | None:
+        self._settle()
+        dl = self.left.doc()
+        dr = self.right.doc()
+        if dl is None and dr is None:
+            return None
+        if dr is None or (dl is not None and dl < dr):
+            self._advance_left = True
+            return dl, self._lpad.project(dl, self.left.rows())
+        if dl is None or dr < dl:
+            self._advance_right = True
+            return dr, self._rpad.project(dr, self.right.rows())
+        # Same document in both branches: left branch's rows first.
+        self._advance_left = True
+        self._advance_right = True
+        return dl, self._chain(
+            self._lpad.project(dl, self.left.rows()),
+            self._rpad.project(dl, self.right.rows()),
+        )
+
+    @staticmethod
+    def _chain(first: Iterator[tuple], second: Iterator[tuple]) -> Iterator[tuple]:
+        yield from first
+        yield from second
+
+    def seek_doc(self, doc_id: int) -> None:
+        self._settle()
+        self.left.seek(doc_id)
+        self.right.seek(doc_id)

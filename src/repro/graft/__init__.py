@@ -1,0 +1,47 @@
+"""GRAFT: the Generic Ranking Algebra for Full Text (Sections 4.3, 5).
+
+GRAFT integrates the Matching Algebra and the Scoring Algebra: SA operators
+are *hosted* by projection and group-by plan nodes.  This package holds the
+integrated plan model, the canonical score-isolated plan builders, the
+Table-1 validity matrix, the rewrite rules (classical and novel), and the
+property-gated heuristic optimizer of Section 8.
+"""
+
+from repro.graft.canonical import QueryInfo, canonical_plan, make_query_info
+from repro.graft.cost import estimate, explain_with_costs
+from repro.graft.explain import explain
+from repro.graft.optimizer import OptimizedResult, Optimizer, OptimizerOptions
+from repro.graft.plan import (
+    AlternateElim,
+    CombinePhi,
+    Finalize,
+    GroupScore,
+    ScoreInit,
+)
+from repro.graft.validity import (
+    OPTIMIZATIONS,
+    allowed_optimizations,
+    optimization_allowed,
+    table1_rows,
+)
+
+__all__ = [
+    "QueryInfo",
+    "make_query_info",
+    "canonical_plan",
+    "ScoreInit",
+    "CombinePhi",
+    "GroupScore",
+    "Finalize",
+    "AlternateElim",
+    "Optimizer",
+    "OptimizerOptions",
+    "OptimizedResult",
+    "OPTIMIZATIONS",
+    "optimization_allowed",
+    "allowed_optimizations",
+    "table1_rows",
+    "explain",
+    "estimate",
+    "explain_with_costs",
+]

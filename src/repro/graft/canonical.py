@@ -1,0 +1,92 @@
+"""Canonical score-isolated plans (Section 4.3).
+
+"There are two canonical score-isolated plans for any MCalc query which
+compute scores in a row-first (column-first) manner.  Which one is used
+depends on the directionality of the selected scoring scheme.  Both plans
+share the same matching subplan."
+
+* Row-first (Plan 6): alpha and Phi evaluated per match row in projections,
+  then the alternate combinator in a group-by, then omega.
+* Column-first (Plan 5): alpha in a projection, the alternate combinator
+  per column in a group-by, then Phi over the column scores, then omega.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.ma.nodes import PlanNode
+from repro.ma.translate import matching_subplan
+from repro.mcalc.ast import Pred, Query
+from repro.mcalc.scoring_plan import PhiNode, derive_scoring_plan
+from repro.graft.plan import CombinePhi, Finalize, GroupScore, ScoreInit
+from repro.sa.scheme import ScoringScheme
+
+
+@dataclass
+class QueryInfo:
+    """Everything the scoring side of a plan needs to know about a query.
+
+    Shared by every scoring node of a plan, carried alongside the plan
+    rather than inside each node so rewrites stay cheap.
+    """
+
+    query: Query
+    phi: PhiNode
+    direction: str
+    predicates: tuple[Pred, ...] = field(default=())
+
+    @property
+    def free_vars(self) -> tuple[str, ...]:
+        return self.query.free_vars
+
+    @property
+    def var_keywords(self) -> dict[str, str]:
+        return self.query.var_keywords
+
+
+def make_query_info(query: Query, scheme: ScoringScheme, direction: str | None = None) -> QueryInfo:
+    """Build the :class:`QueryInfo` for (query, scheme).
+
+    ``direction`` defaults to the scheme's declared directionality;
+    diagonal schemes default to column-first, where aggregation shrinks
+    rows earliest.
+    """
+    if direction is None:
+        direction = scheme.properties.directional or "col"
+    if direction not in ("row", "col"):
+        raise PlanError(f"direction must be 'row' or 'col', got {direction!r}")
+    if scheme.properties.directional and direction != scheme.properties.directional:
+        raise PlanError(
+            f"scheme {scheme.name} is {scheme.properties.directional}-first; "
+            f"cannot score it {direction}-first"
+        )
+    return QueryInfo(
+        query=query,
+        phi=derive_scoring_plan(query),
+        direction=direction,
+        predicates=tuple(query.predicates()),
+    )
+
+
+def canonical_plan(
+    query: Query,
+    scheme: ScoringScheme,
+    direction: str | None = None,
+) -> tuple[PlanNode, QueryInfo]:
+    """The canonical score-isolated plan for ``query`` under ``scheme``.
+
+    Returns the plan root (a :class:`Finalize`) and the shared
+    :class:`QueryInfo`.  The matching subplan below the scoring portion is
+    exactly :func:`repro.ma.translate.matching_subplan`: right-deep joins
+    in keyword order, one top selection, one top sort.
+    """
+    info = make_query_info(query, scheme, direction)
+    matching = matching_subplan(query)
+    initialized = ScoreInit(matching, query.free_vars)
+    if info.direction == "row":
+        plan = GroupScore(CombinePhi(initialized))
+    else:
+        plan = CombinePhi(GroupScore(initialized))
+    return Finalize(plan), info

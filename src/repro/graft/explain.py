@@ -1,0 +1,18 @@
+"""Plan pretty-printing, in the style of the paper's Plan figures."""
+
+from __future__ import annotations
+
+from repro.ma.nodes import PlanNode
+
+
+def explain(plan: PlanNode, indent: str = "  ") -> str:
+    """Render a plan as an indented operator tree, root first."""
+    lines: list[str] = []
+
+    def visit(node: PlanNode, depth: int) -> None:
+        lines.append(f"{indent * depth}{node.label()}")
+        for child in node.children():
+            visit(child, depth + 1)
+
+    visit(plan, 0)
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""The property-gated heuristic optimizer (Section 8, "Plans and
+Optimizer").
+
+"Starting with a canonical plan, first the selection pushing rewrite is
+applied iteratively until the plan converges.  Then either the eager
+aggregation or eager counting rewrite is applied similarly.  Eager
+counting is used when the scoring scheme is constant (in this case eager
+counting always performs better) or if the scoring scheme does not support
+eager aggregation."  We reproduce that pipeline, extended with the novel
+rewrites (alternate elimination, pre-counting), sort elimination, join
+reordering and (optionally) forward-scan joins — each gated by the
+Table-1 validity matrix against the scheme's declared properties.
+
+Every gate goes through :func:`repro.graft.validity.optimization_allowed`:
+the optimizer never needs to know *why* a scheme allows or forbids a
+rewrite, which is precisely the isolation the paper's desideratum (4)
+demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graft.canonical import QueryInfo, canonical_plan, make_query_info
+from repro.graft.plan import CombinePhi, Finalize, GroupScore, ScoreInit
+from repro.graft.rules import (
+    apply_alternate_elimination,
+    apply_eager_aggregation,
+    apply_eager_counting,
+    apply_forward_scan_joins,
+    apply_join_reordering,
+    apply_pre_counting,
+    apply_selection_pushing,
+    apply_sort_elimination,
+    countable_vars,
+)
+from repro.graft.validity import optimization_allowed
+from repro.index.index import Index
+from repro.ma.nodes import PlanNode, Sort
+from repro.ma.translate import matching_subplan
+from repro.mcalc.ast import Query
+from repro.sa.scheme import ScoringScheme
+
+
+@dataclass
+class OptimizerOptions:
+    """Which rewrites the optimizer may attempt.
+
+    Validity gating still applies on top: enabling a rewrite here only
+    matters when the scheme's properties allow it.  Benchmarks toggle
+    these to isolate individual optimizations (Figure 3).
+    """
+
+    selection_pushing: bool = True
+    join_reordering: bool = True
+    eager_counting: bool = True
+    pre_counting: bool = True
+    eager_aggregation: bool = True
+    alternate_elimination: bool = True
+    sort_elimination: bool = True
+    forward_scan: bool = False
+    # Extension: order join chains by exhaustive cost estimation instead
+    # of the rarest-first heuristic (see repro.graft.cost).
+    cost_based_join_order: bool = False
+
+
+@dataclass
+class OptimizedResult:
+    """An optimized plan plus its provenance."""
+
+    plan: PlanNode
+    info: QueryInfo
+    applied: list[str] = field(default_factory=list)
+
+
+class Optimizer:
+    """Rewrites canonical score-isolated plans for a plug-in scheme."""
+
+    def __init__(
+        self,
+        scheme: ScoringScheme,
+        index: Index | None = None,
+        options: OptimizerOptions | None = None,
+    ):
+        self.scheme = scheme
+        self.index = index
+        self.options = options if options is not None else OptimizerOptions()
+
+    # -- gates ---------------------------------------------------------------
+
+    def _allowed(self, name: str) -> bool:
+        return optimization_allowed(name, self.scheme.properties)
+
+    # -- pipeline ------------------------------------------------------------
+
+    def optimize(self, query: Query) -> OptimizedResult:
+        """Produce an optimized, score-consistent plan for ``query``."""
+        opts = self.options
+        scheme = self.scheme
+        info = make_query_info(query, scheme)
+        applied: list[str] = []
+
+        matching = matching_subplan(query)
+
+        if opts.selection_pushing and self._allowed("selection-pushing"):
+            matching = apply_selection_pushing(matching)
+            applied.append("selection-pushing")
+
+        if (
+            opts.join_reordering
+            and self.index is not None
+            and self._allowed("join-reordering")
+        ):
+            matching = apply_join_reordering(
+                matching, self.index, cost_based=opts.cost_based_join_order
+            )
+            applied.append(
+                "join-reordering(cost)" if opts.cost_based_join_order
+                else "join-reordering"
+            )
+
+        counting_applied = False
+        if opts.eager_counting and countable_vars(info, scheme):
+            # Table 1 leaves eager counting unrestricted; the position
+            # forgetting that precedes it is the per-column non-positional
+            # check inside countable_vars.
+            matching = apply_eager_counting(matching, info, scheme)
+            applied.append("eager-counting")
+            counting_applied = True
+
+        if (
+            counting_applied
+            and opts.pre_counting
+            and self._allowed("pre-counting")
+        ):
+            matching = apply_pre_counting(matching, info, scheme)
+            applied.append("pre-counting")
+
+        if opts.forward_scan and self._allowed("forward-scan-join"):
+            forward = apply_forward_scan_joins(matching)
+            if forward is not matching or _has_forward(forward):
+                matching = forward
+                applied.append("forward-scan-join")
+
+        use_eager_agg = (
+            opts.eager_aggregation
+            and self._allowed("eager-aggregation")
+            and not scheme.properties.constant
+        )
+
+        if use_eager_agg:
+            plan = apply_eager_aggregation(matching, info)
+            applied.append("eager-aggregation")
+            applied.append("sort-elimination")
+            return OptimizedResult(plan, info, applied)
+
+        sort_eliminated = False
+        if opts.sort_elimination and self._allowed("sort-elimination"):
+            matching = apply_sort_elimination(matching)
+            applied.append("sort-elimination")
+            sort_eliminated = True
+        elif not _has_sort(matching):
+            # The canonical sort must survive for non-commutative schemes.
+            matching = Sort(matching, query.free_vars)
+
+        plan = self._attach_canonical_scoring(matching, info)
+
+        if (
+            opts.alternate_elimination
+            and self._allowed("alternate-elimination")
+            and sort_eliminated
+        ):
+            plan = apply_alternate_elimination(plan)
+            applied.append("alternate-elimination")
+
+        return OptimizedResult(plan, info, applied)
+
+    def canonical(self, query: Query) -> OptimizedResult:
+        """The unoptimized canonical score-isolated plan."""
+        plan, info = canonical_plan(query, self.scheme)
+        return OptimizedResult(plan, info, [])
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _attach_canonical_scoring(
+        self, matching: PlanNode, info: QueryInfo
+    ) -> PlanNode:
+        initialized = ScoreInit(matching, info.free_vars)
+        if info.direction == "row":
+            return Finalize(GroupScore(CombinePhi(initialized)))
+        return Finalize(CombinePhi(GroupScore(initialized)))
+
+
+def _has_sort(plan: PlanNode) -> bool:
+    return any(isinstance(n, Sort) for n in plan.walk())
+
+
+def _has_forward(plan: PlanNode) -> bool:
+    from repro.ma.nodes import Join
+
+    return any(
+        isinstance(n, Join) and n.algorithm == "forward" for n in plan.walk()
+    )

@@ -1,0 +1,192 @@
+"""Scoring-side plan nodes: SA operators hosted by MA operators.
+
+"In GRAFT, the alternate combinator is hosted by the group operator, while
+the conjunctive/disjunctive combinators, alpha and omega are hosted by
+projection" (Section 4.3), just as SQL hosts SUM in a group-by and ``a+b``
+in a generalized projection.
+
+Row multiplicity and score columns
+----------------------------------
+Execution rows carry an integer multiplicity (``count``), introduced by
+eager counting / pre-counting: a row with count ``k`` stands for ``k``
+identical match-table rows.  Score columns obey one of two disciplines:
+
+* **counts pending** (canonical-style plans): score columns hold per-row
+  values; the (single, top) :class:`GroupScore` applies ``times(s, count)``
+  while folding, expanding multiplicities at aggregation time exactly as
+  eager counting prescribes (Section 5.2.1).
+* **counts incorporated** (eager-aggregation plans): every score column of
+  a row with multiplicity ``count`` is already the alternate-fold of
+  exactly ``count`` match-table sub-rows.  :class:`ScoreInit` scales fresh
+  initial scores by the row count, physical joins cross-scale each side's
+  score columns by the other side's count, and :class:`GroupScore` folds
+  without further scaling.  The invariant makes partial (pushed-down)
+  aggregation compose correctly under joins, following Yan & Larson.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import PlanError
+from repro.ma.nodes import PlanNode
+
+
+@dataclass(frozen=True, eq=False)
+class ScoreInit(PlanNode):
+    """Projection hosting ``alpha``: adds a score column ``s:v`` for each
+    listed variable, initialized from the row's cell (with the scheme's
+    per-row positional adjustment applied, when defined).
+
+    ``scale_by_count`` selects the counts-incorporated discipline.
+    """
+
+    child: PlanNode
+    vars: tuple[str, ...]
+    scale_by_count: bool = False
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def with_children(self, *children: PlanNode) -> PlanNode:
+        (child,) = children
+        return replace(self, child=child)
+
+    @property
+    def position_vars(self) -> tuple[str, ...]:
+        return self.child.position_vars
+
+    def label(self) -> str:
+        return f"pi[alpha: {', '.join(self.vars)}]"
+
+
+@dataclass(frozen=True, eq=False)
+class CombinePhi(PlanNode):
+    """Projection hosting the scoring plan Phi: folds the per-variable
+    score columns of each row into a single ``s`` column with the
+    conjunctive/disjunctive combinators.  Position columns are dropped —
+    nothing above a Phi combination inspects positions."""
+
+    child: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def with_children(self, *children: PlanNode) -> PlanNode:
+        (child,) = children
+        return replace(self, child=child)
+
+    @property
+    def position_vars(self) -> tuple[str, ...]:
+        return ()
+
+    def label(self) -> str:
+        return "pi[Phi]"
+
+
+@dataclass(frozen=True, eq=False)
+class GroupScore(PlanNode):
+    """Group-by-document hosting the alternate combinator: folds every
+    score column across a document's rows, in row order, emitting one row
+    per document (multiplicity = sum of input multiplicities)."""
+
+    child: PlanNode
+    counts_incorporated: bool = False
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def with_children(self, *children: PlanNode) -> PlanNode:
+        (child,) = children
+        return replace(self, child=child)
+
+    @property
+    def position_vars(self) -> tuple[str, ...]:
+        return ()
+
+    @property
+    def counted(self) -> bool:
+        return True
+
+    def label(self) -> str:
+        return "gamma[alt]"
+
+
+@dataclass(frozen=True, eq=False)
+class Finalize(PlanNode):
+    """Projection hosting ``omega``: emits the final (doc, score) pairs."""
+
+    child: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def with_children(self, *children: PlanNode) -> PlanNode:
+        (child,) = children
+        return replace(self, child=child)
+
+    @property
+    def position_vars(self) -> tuple[str, ...]:
+        return ()
+
+    def label(self) -> str:
+        return "pi[omega]"
+
+
+@dataclass(frozen=True, eq=False)
+class AlternateElim(PlanNode):
+    """The novel alternate-elimination operator ``delta`` (Section 5.2.3).
+
+    Valid only for constant scoring schemes, where any one match scores
+    the document: emits the first row of each document and signals the
+    subplan to skip the document's remaining tuples.
+    """
+
+    child: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def with_children(self, *children: PlanNode) -> PlanNode:
+        (child,) = children
+        return replace(self, child=child)
+
+    @property
+    def position_vars(self) -> tuple[str, ...]:
+        return self.child.position_vars
+
+    @property
+    def counted(self) -> bool:
+        # delta discards multiplicity along with the duplicate matches.
+        return False
+
+    def label(self) -> str:
+        return "delta[doc]"
+
+
+def score_vars(node: PlanNode) -> tuple[str, ...]:
+    """Score columns produced by ``node``, in schema order."""
+    if isinstance(node, ScoreInit):
+        inherited = score_vars(node.child)
+        return inherited + tuple(v for v in node.vars if v not in inherited)
+    if isinstance(node, CombinePhi):
+        return ("s",)
+    if isinstance(node, (GroupScore, AlternateElim)):
+        return score_vars(node.child)
+    if isinstance(node, Finalize):
+        return ("score",)
+    children = node.children()
+    if not children:
+        return ()
+    out: list[str] = []
+    for child in children:
+        for v in score_vars(child):
+            if v not in out:
+                out.append(v)
+    return tuple(out)
+
+
+def validate_plan(root: PlanNode) -> None:
+    """Structural sanity checks on a complete GRAFT plan."""
+    if not isinstance(root, Finalize):
+        raise PlanError("a complete GRAFT plan must end in Finalize (omega)")

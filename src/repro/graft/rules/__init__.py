@@ -1,0 +1,30 @@
+"""Rewrite rules: one module per optimization of Section 5.2.
+
+Every rule takes a plan (plus query/scheme context where needed) and
+returns a rewritten plan; the optimizer consults the Table-1 validity
+matrix (:mod:`repro.graft.validity`) before invoking any rule.
+"""
+
+from repro.graft.rules.alt_elim import apply_alternate_elimination
+from repro.graft.rules.counting import (
+    apply_eager_counting,
+    apply_pre_counting,
+    countable_vars,
+)
+from repro.graft.rules.eager_agg import apply_eager_aggregation
+from repro.graft.rules.forward_scan import apply_forward_scan_joins
+from repro.graft.rules.join_reorder import apply_join_reordering
+from repro.graft.rules.selection_push import apply_selection_pushing
+from repro.graft.rules.sort_elim import apply_sort_elimination
+
+__all__ = [
+    "apply_selection_pushing",
+    "apply_sort_elimination",
+    "apply_eager_counting",
+    "apply_pre_counting",
+    "countable_vars",
+    "apply_alternate_elimination",
+    "apply_eager_aggregation",
+    "apply_forward_scan_joins",
+    "apply_join_reordering",
+]

@@ -1,0 +1,50 @@
+"""Alternate elimination (novel, Section 5.2.3).
+
+For constant scoring schemes "alternate aggregation is unnecessary since
+the score of any match is the document score": group-by operators hosting
+the alternate combinator are replaced by the alternate-elimination
+operator delta, which emits the first match of each document and signals
+the subplan to skip the rest.
+
+This rule performs three rewrites, all valid only under constant schemes:
+
+1. the top ``GroupScore`` (hosting only alternate aggregations) becomes a
+   ``delta`` — the paper's ``gamma_{A|B} == delta_A`` equivalence;
+2. the new ``delta`` commutes below the per-row alpha projection so
+   initialization runs once per document instead of once per match;
+3. eager-counting group-bys are likewise replaced by ``delta`` — under a
+   constant scheme the multiplicities they maintain can never influence a
+   score (the alternate combinator is idempotent), so the first row of
+   the group is as good as the count of all of them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OptimizationError
+from repro.graft.plan import AlternateElim, GroupScore, ScoreInit
+from repro.graft.rules.base import map_plan
+from repro.ma.nodes import GroupCount, PlanNode
+
+
+def apply_alternate_elimination(plan: PlanNode) -> PlanNode:
+    """Replace alternate-aggregating group-bys with delta operators."""
+
+    def rewrite(node: PlanNode) -> PlanNode:
+        if isinstance(node, GroupCount):
+            return AlternateElim(node.child)
+        if isinstance(node, GroupScore):
+            child = node.child
+            if isinstance(child, ScoreInit):
+                if child.scale_by_count:
+                    raise OptimizationError(
+                        "alternate elimination cannot replace aggregation "
+                        "in a counts-incorporated (eager aggregation) plan"
+                    )
+                # delta commutes with the per-row projection hosting alpha.
+                return ScoreInit(
+                    AlternateElim(child.child), child.vars, child.scale_by_count
+                )
+            return AlternateElim(child)
+        return node
+
+    return map_plan(plan, rewrite)

@@ -1,0 +1,28 @@
+"""Shared rewrite machinery."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ma.nodes import PlanNode
+
+
+def map_plan(node: PlanNode, fn: Callable[[PlanNode], PlanNode]) -> PlanNode:
+    """Rebuild the tree bottom-up, applying ``fn`` to every node.
+
+    ``fn`` receives nodes whose children are already rewritten; returning
+    the node unchanged is the identity.
+    """
+    children = node.children()
+    if children:
+        new_children = tuple(map_plan(c, fn) for c in children)
+        if any(a is not b for a, b in zip(new_children, children)):
+            node = node.with_children(*new_children)
+    return fn(node)
+
+
+def plans_equal(a: PlanNode, b: PlanNode) -> bool:
+    """Structural equality via the printed form (nodes use identity eq)."""
+    from repro.graft.explain import explain
+
+    return explain(a) == explain(b)

@@ -1,0 +1,74 @@
+"""Position forgetting, eager counting, and pre-counting (Section 5.2).
+
+The pre-counting rewrite chain of Section 5.2.3::
+
+    A(d, p, k)                                  the raw position scan
+    -> pi_d(A(d, p, k))                         positions forgotten
+    -> gamma_{d | COUNT(*)}(pi_d(A(d, p, k)))   identical rows counted
+    -> CA(d, p, k)                              term-document index scan
+
+The first two steps are *eager counting* over a position scan — the
+paper's Figure-3 baseline; the last step is the pre-counting index swap
+that replaces an O(positions) scan with an O(documents) scan.
+
+Positions of a variable may only be forgotten when (a) no full-text
+predicate constrains the variable — it is one of the query's "free
+keywords" — and (b) the variable is non-positional for the selected scheme
+(Lucene's per-query refinement applies here: only its phrase/proximity
+columns are positional).
+"""
+
+from __future__ import annotations
+
+from repro.graft.rules.base import map_plan
+from repro.graft.canonical import QueryInfo
+from repro.ma.nodes import (
+    Atom,
+    GroupCount,
+    PlanNode,
+    PositionProject,
+    PreCountAtom,
+)
+from repro.sa.scheme import ScoringScheme
+
+
+def countable_vars(info: QueryInfo, scheme: ScoringScheme) -> set[str]:
+    """Variables whose positions a plan may forget: free keywords
+    (Section 5.2.3) that are non-positional under the scheme."""
+    free = set(info.query.free_keyword_vars())
+    positional = scheme.positional_vars(info.query)
+    return free - positional
+
+
+def apply_eager_counting(
+    plan: PlanNode, info: QueryInfo, scheme: ScoringScheme
+) -> PlanNode:
+    """Forget and count every countable leaf:
+    ``A -> gamma_count(pi_d(A))``."""
+    allowed = countable_vars(info, scheme)
+
+    def rewrite(node: PlanNode) -> PlanNode:
+        if isinstance(node, Atom) and node.var in allowed:
+            return GroupCount(PositionProject(node, (node.var,)))
+        return node
+
+    return map_plan(plan, rewrite)
+
+
+def apply_pre_counting(plan: PlanNode, info: QueryInfo, scheme: ScoringScheme) -> PlanNode:
+    """The index swap: ``gamma_count(pi_d(A)) -> CA``."""
+    allowed = countable_vars(info, scheme)
+
+    def rewrite(node: PlanNode) -> PlanNode:
+        if (
+            isinstance(node, GroupCount)
+            and isinstance(node.child, PositionProject)
+            and isinstance(node.child.child, Atom)
+            and node.child.child.var in allowed
+            and node.child.vars == (node.child.child.var,)
+        ):
+            atom = node.child.child
+            return PreCountAtom(atom.var, atom.keyword)
+        return node
+
+    return map_plan(plan, rewrite)

@@ -1,0 +1,145 @@
+"""Eager aggregation (Section 5.2.1, after Yan & Larson).
+
+"One way to avoid full materialization of match tables is to eagerly
+aggregate the matches in intermediate results by pushing group-bys down
+the plan."  Requirements (Table 1): the alternate combinator must be fully
+associative, and the scheme must not be row-first (a pushed-down group-by
+hosting the alternate combinator would cross a projection hosting the
+conjunctive/disjunctive combinators).
+
+The rewrite rebuilds the scoring arrangement over the (already pushed,
+counted, reordered) matching subplan:
+
+* at the lowest subtree whose variables no outer predicate needs, a
+  projection hosting alpha (scaled by the row multiplicity) and a pushed
+  group-by hosting the alternate combinator collapse the subtree to one
+  row per document;
+* physical joins above cross-scale each side's pre-aggregated score
+  columns by the other side's multiplicity (see
+  :mod:`repro.exec.join_ops`), maintaining the counts-incorporated
+  invariant;
+* the plan tops out with the Phi projection and omega, column-first.
+
+The global sort is dropped: the rule is additionally gated on a
+commutative alternate combinator, because partially aggregated streams
+meet in document-stream order rather than canonical table order.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OptimizationError
+from repro.graft.canonical import QueryInfo
+from repro.graft.plan import (
+    CombinePhi,
+    Finalize,
+    GroupScore,
+    ScoreInit,
+    score_vars,
+)
+from repro.graft.rules.sort_elim import apply_sort_elimination
+from repro.ma.nodes import (
+    AntiJoin,
+    Join,
+    PlanNode,
+    Select,
+    Union,
+)
+
+
+def apply_eager_aggregation(
+    matching: PlanNode, info: QueryInfo
+) -> PlanNode:
+    """Build the eager-aggregation plan over ``matching`` (the matching
+    subplan, scoring stripped).  Returns a complete plan (Finalize root).
+    """
+    if info.direction == "row":
+        raise OptimizationError("eager aggregation is invalid row-first")
+    matching = apply_sort_elimination(matching)
+    pushed = _push(matching, frozenset())
+    root = _ensure_aggregated(pushed)
+    return Finalize(CombinePhi(root))
+
+
+def _push(node: PlanNode, pending: frozenset[str]) -> PlanNode:
+    """Push aggregation to the lowest *profitable* points: subtrees that
+    may emit several rows per document and whose positions no outer
+    predicate still needs.  Single-row-per-document subtrees (counted
+    leaves, joins thereof) are left unaggregated — scoring them early
+    would pay alpha for every probed document instead of only the final
+    answers."""
+    if isinstance(node, Join):
+        needed = pending.union(*[set(p.vars) for p in node.predicates]) \
+            if node.predicates else pending
+        left = _push(node.left, needed)
+        right = _push(node.right, needed)
+        new = node.with_children(left, right)
+        if pending & set(new.position_vars):
+            return new
+        if node.predicates:
+            # Cross products filtered by predicates are the multi-row
+            # sources worth collapsing before further joins.
+            return _ensure_aggregated(new)
+        return new
+    if isinstance(node, Union):
+        branches = [_push(b, pending) for b in _flatten_union(node)]
+        if not (pending & set(node.position_vars)):
+            branches = [
+                _ensure_aggregated(b) if _multi_row(b) else b
+                for b in branches
+            ]
+        return _rebuild_union(branches)
+    if isinstance(node, Select):
+        needed = pending.union(*[set(p.vars) for p in node.predicates])
+        inner = node.with_children(_push(node.child, needed))
+        if pending & set(node.position_vars) or not _multi_row(inner):
+            return inner
+        return _ensure_aggregated(inner)
+    if isinstance(node, AntiJoin):
+        left = _push(node.left, pending)
+        return node.with_children(left, node.right)
+    # Leaves and counting chains: aggregate only raw (multi-row) atoms.
+    if pending & set(node.position_vars) or not _multi_row(node):
+        return node
+    return _ensure_aggregated(node)
+
+
+def _multi_row(node: PlanNode) -> bool:
+    """May this subtree emit more than one row per document?"""
+    from repro.ma.nodes import Atom, GroupCount, PreCountAtom
+
+    if isinstance(node, (PreCountAtom, GroupCount, GroupScore)):
+        return False
+    if isinstance(node, Atom):
+        return True
+    if isinstance(node, Union):
+        # Each branch contributes rows; bounded by branch count when the
+        # branches themselves are single-row, which the top group-by
+        # absorbs cheaply.
+        return True
+    children = node.children()
+    if not children:
+        return True
+    return any(_multi_row(c) for c in children)
+
+
+def _flatten_union(node: PlanNode) -> list[PlanNode]:
+    if isinstance(node, Union):
+        return _flatten_union(node.left) + _flatten_union(node.right)
+    return [node]
+
+
+def _rebuild_union(branches: list[PlanNode]) -> PlanNode:
+    tree = branches[0]
+    for branch in branches[1:]:
+        tree = Union(tree, branch)
+    return tree
+
+
+def _ensure_aggregated(node: PlanNode) -> PlanNode:
+    if isinstance(node, GroupScore):
+        return node
+    already = set(score_vars(node))
+    raw = tuple(v for v in node.position_vars if v not in already)
+    if raw:
+        node = ScoreInit(node, raw, scale_by_count=True)
+    return GroupScore(node, counts_incorporated=True)

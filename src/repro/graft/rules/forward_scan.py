@@ -1,0 +1,37 @@
+"""Forward-scan joins (Section 5.2.2).
+
+Botev et al.'s PPRED evaluation strategy as a physical join: a stateless
+zig-zag join that advances both inputs forward only and finds at most one
+match per document.  "The forward-scan join may be used as a physical join
+operator in GRAFT queries, but only for very specific scoring schemes:
+the scheme must be constant, since the forward-scan join may miss some
+matches."
+
+A join qualifies when every predicate evaluated in it belongs to the PPRED
+(forward) class; predicate-free joins gain nothing from the technique and
+are left as zig-zag merge joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.graft.rules.base import map_plan
+from repro.ma.nodes import Join, PlanNode
+from repro.mcalc.predicates import get_predicate
+
+
+def apply_forward_scan_joins(plan: PlanNode) -> PlanNode:
+    """Mark qualifying joins to execute as forward-scan joins."""
+
+    def rewrite(node: PlanNode) -> PlanNode:
+        if (
+            isinstance(node, Join)
+            and node.predicates
+            and node.algorithm == "merge"
+            and all(get_predicate(p.name).forward_class for p in node.predicates)
+        ):
+            return replace(node, algorithm="forward")
+        return node
+
+    return map_plan(plan, rewrite)

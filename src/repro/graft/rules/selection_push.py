@@ -1,0 +1,84 @@
+"""Selection pushing (Section 5.2.1).
+
+The canonical plan evaluates every full-text predicate in one selection
+above all joins; this rule pushes each predicate to the lowest operator
+with all of its variables in scope:
+
+* into a join's predicate list when the variables straddle the join;
+* through unions, into the (unique) branch binding all the variables —
+  a predicate whose variables straddle union branches is *vacuously true*
+  (every row has the empty symbol in at least one of its columns) and is
+  dropped outright;
+* predicates confined to one subtree keep descending.
+
+Because score aggregation is decoupled from selection, "these
+optimizations are not prohibited by any scoring schemes" (Table 1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.graft.rules.base import map_plan
+from repro.ma.nodes import (
+    AntiJoin,
+    Join,
+    PlanNode,
+    Select,
+    Sort,
+    Union,
+)
+from repro.mcalc.ast import Pred
+
+
+def apply_selection_pushing(plan: PlanNode) -> PlanNode:
+    """Push every Select's predicates down; removes emptied Selects."""
+
+    def rewrite(node: PlanNode) -> PlanNode:
+        if isinstance(node, Select):
+            child = node.child
+            for pred in node.predicates:
+                child = _push(child, pred)
+            return child
+        return node
+
+    return map_plan(plan, rewrite)
+
+
+def _push(node: PlanNode, pred: Pred) -> PlanNode:
+    needed = set(pred.vars)
+    if isinstance(node, Join):
+        if needed <= set(node.left.position_vars):
+            return node.with_children(_push(node.left, pred), node.right)
+        if needed <= set(node.right.position_vars):
+            return node.with_children(node.left, _push(node.right, pred))
+        return Join(
+            node.left, node.right, node.predicates + (pred,), node.algorithm
+        )
+    if isinstance(node, Union):
+        in_left = needed <= set(node.left.position_vars)
+        in_right = needed <= set(node.right.position_vars)
+        if in_left and in_right:
+            return node.with_children(
+                _push(node.left, pred), _push(node.right, pred)
+            )
+        if in_left:
+            return node.with_children(_push(node.left, pred), node.right)
+        if in_right:
+            return node.with_children(node.left, _push(node.right, pred))
+        # Variables straddle the branches: every union row carries the
+        # empty symbol in some predicate column, so the predicate is
+        # vacuous and disappears.
+        return node
+    if isinstance(node, AntiJoin):
+        return node.with_children(_push(node.left, pred), node.right)
+    if isinstance(node, Sort):
+        return node.with_children(_push(node.child, pred))
+    if isinstance(node, Select):
+        return Select(node.child, node.predicates + (pred,))
+    if needed <= set(node.position_vars):
+        # A leaf (or opaque subtree) carrying all variables: select here.
+        return Select(node, (pred,))
+    raise PlanError(
+        f"cannot place predicate {pred}: variables {sorted(needed)} not "
+        f"available below {node.label()}"
+    )

@@ -1,0 +1,24 @@
+"""Sort elimination (Section 5.2.1).
+
+"Canonical GRAFT plans have a single sort operator which guarantees a
+well-defined order to matches in the match table.  This order is necessary
+for scoring schemes where the alternate combinator is non-commutative.
+When it commutes, the order is irrelevant and the sort operator may be
+removed."  The optimizer gates this rule on ``alt_commutes``.
+"""
+
+from __future__ import annotations
+
+from repro.graft.rules.base import map_plan
+from repro.ma.nodes import PlanNode, Sort
+
+
+def apply_sort_elimination(plan: PlanNode) -> PlanNode:
+    """Remove every sort operator from the plan."""
+
+    def rewrite(node: PlanNode) -> PlanNode:
+        if isinstance(node, Sort):
+            return node.child
+        return node
+
+    return map_plan(plan, rewrite)

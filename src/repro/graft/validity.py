@@ -1,0 +1,134 @@
+"""The optimization validity matrix — the paper's Table 1 as code.
+
+"Each optimization listed can be applied when the selected scoring scheme
+satisfies the operator and direction requirements listed in the same row."
+The optimizer consults :func:`optimization_allowed` before applying any
+rewrite; combining this matrix with a scheme's declared properties
+regenerates Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import OptimizationError
+from repro.sa.properties import Associativity, SchemeProperties
+
+
+@dataclass(frozen=True)
+class OptimizationSpec:
+    """One row of Table 1."""
+
+    name: str
+    operator_requirement: str
+    direction_requirement: str
+    check: Callable[[SchemeProperties], bool]
+
+
+def _always(props: SchemeProperties) -> bool:
+    return True
+
+
+#: Table 1, in the paper's row order.  The notes column of the paper maps
+#: to ``operator_requirement`` / ``direction_requirement`` strings; the
+#: ``check`` callables are what the optimizer actually evaluates.
+OPTIMIZATIONS: tuple[OptimizationSpec, ...] = (
+    OptimizationSpec(
+        "sort-elimination",
+        "alt commutes",
+        "",
+        lambda p: p.alt_commutes,
+    ),
+    OptimizationSpec("join-reordering", "", "", _always),
+    OptimizationSpec("selection-pushing", "", "", _always),
+    OptimizationSpec("zigzag-join", "", "", _always),
+    OptimizationSpec(
+        "forward-scan-join",
+        "constant",
+        "",
+        lambda p: p.constant,
+    ),
+    OptimizationSpec(
+        "alternate-elimination",
+        "constant",
+        "",
+        lambda p: p.constant,
+    ),
+    OptimizationSpec(
+        "eager-aggregation",
+        "alt fully associative (and commutative: pushed partial "
+        "aggregates meet in stream order, not table order)",
+        "not row-first",
+        lambda p: (
+            p.alt_associates is Associativity.FULL
+            and p.alt_commutes
+            and p.directional != "row"
+        ),
+    ),
+    OptimizationSpec("eager-counting", "", "", _always),
+    OptimizationSpec(
+        "pre-counting",
+        "non-positional (per column)",
+        "",
+        # Per-query-positional schemes (Lucene) qualify: the rewrite only
+        # ever forgets columns the scheme's refinement reports
+        # non-positional for the query at hand.
+        lambda p: not p.positional or p.positional_per_query,
+    ),
+    OptimizationSpec(
+        "rank-join",
+        "conj monotonically increasing",
+        "diagonal",
+        lambda p: p.conj_monotonic_increasing and p.diagonal,
+    ),
+    OptimizationSpec(
+        "rank-union",
+        "disj monotonically increasing",
+        "diagonal",
+        lambda p: p.disj_monotonic_increasing and p.diagonal,
+    ),
+)
+
+_BY_NAME = {spec.name: spec for spec in OPTIMIZATIONS}
+
+
+def optimization_allowed(name: str, props: SchemeProperties) -> bool:
+    """Is the named optimization score-consistent for a scheme with these
+    properties?  (Per-query refinements — e.g. Lucene's per-column
+    positionality — are applied by the individual rewrite rules.)"""
+    spec = _BY_NAME.get(name)
+    if spec is None:
+        raise OptimizationError(
+            f"unknown optimization {name!r}; known: {sorted(_BY_NAME)}"
+        )
+    return spec.check(props)
+
+
+def require_allowed(name: str, props: SchemeProperties) -> None:
+    """Raise :class:`OptimizationError` when the optimization is invalid."""
+    if not optimization_allowed(name, props):
+        spec = _BY_NAME[name]
+        requirement = spec.operator_requirement or "-"
+        direction = spec.direction_requirement or "-"
+        raise OptimizationError(
+            f"{name} is not score-consistent for this scheme "
+            f"(requires: {requirement}; direction: {direction})"
+        )
+
+
+def allowed_optimizations(props: SchemeProperties) -> list[str]:
+    """All optimizations valid for a scheme — one column of Table 3."""
+    return [spec.name for spec in OPTIMIZATIONS if spec.check(props)]
+
+
+def table1_rows() -> list[dict[str, str]]:
+    """Render Table 1 for reports: one dict per optimization."""
+    return [
+        {
+            "optimization": spec.name,
+            "operator requirement": spec.operator_requirement or "-",
+            "direction requirement": spec.direction_requirement or "-",
+        }
+        for spec in OPTIMIZATIONS
+    ]

@@ -1,0 +1,27 @@
+"""Inverted index substrate: term-position and term-document indexes.
+
+The paper's Atomic Match Factory ``A`` abstracts a scan of the
+*term-position* index (Figure 1); the Pre-Counting factory ``CA`` scans the
+much smaller *term-document* index ("a logical subset of the term-position
+index", Section 5.2.3).  Both scans are ordered by document id and support
+seeking forward (the skip pointers that make zig-zag joins effective).
+"""
+
+from repro.index.builder import IndexBuilder, build_index
+from repro.index.io import load_index, save_index
+from repro.index.index import Index
+from repro.index.postings import PositionPostings
+from repro.index.scan import DocumentScan, PositionScan
+from repro.index.stats import CollectionStats
+
+__all__ = [
+    "Index",
+    "IndexBuilder",
+    "build_index",
+    "save_index",
+    "load_index",
+    "PositionPostings",
+    "PositionScan",
+    "DocumentScan",
+    "CollectionStats",
+]

@@ -1,0 +1,127 @@
+"""Index persistence: save a built index to disk and load it back.
+
+The layout is a single directory:
+
+* ``meta.json`` — format version, vocabulary (term -> postings slice),
+  per-term entry counts;
+* ``postings.npz`` — NumPy arrays: per-document lengths, the
+  concatenated doc-id array, the concatenated offsets array, and the
+  slice boundaries that carve both per term.
+
+Loading reconstructs the same in-memory :class:`repro.index.Index` the
+builder produces (the term-document view is re-derived, as at build
+time).  Term order, doc order and offsets round-trip exactly, so every
+plan produces identical results on a reloaded index.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.index.index import Index
+from repro.index.postings import PositionPostings
+from repro.index.stats import CollectionStats
+
+FORMAT_VERSION = 1
+
+_META = "meta.json"
+_ARRAYS = "postings.npz"
+
+
+def save_index(index: Index, directory: str | pathlib.Path) -> pathlib.Path:
+    """Write ``index`` under ``directory`` (created if missing)."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    terms = sorted(index.terms)
+    doc_id_chunks: list[np.ndarray] = []
+    offset_chunks: list[int] = []
+    doc_bounds = [0]
+    offset_bounds = [0]
+    entry_offset_counts: list[int] = []
+    for term in terms:
+        postings = index.terms[term]
+        doc_id_chunks.append(postings.doc_ids)
+        doc_bounds.append(doc_bounds[-1] + len(postings.doc_ids))
+        for offs in postings.offsets:
+            offset_chunks.extend(offs)
+            entry_offset_counts.append(len(offs))
+        offset_bounds.append(len(offset_chunks))
+
+    sentence_flat: list[int] = []
+    sentence_bounds = [0]
+    for starts in index.sentence_starts:
+        sentence_flat.extend(starts)
+        sentence_bounds.append(len(sentence_flat))
+
+    np.savez_compressed(
+        path / _ARRAYS,
+        sentence_flat=np.asarray(sentence_flat, dtype=np.int64),
+        sentence_bounds=np.asarray(sentence_bounds, dtype=np.int64),
+        doc_lengths=index.stats.doc_lengths,
+        doc_ids=(
+            np.concatenate(doc_id_chunks)
+            if doc_id_chunks
+            else np.empty(0, dtype=np.int64)
+        ),
+        offsets=np.asarray(offset_chunks, dtype=np.int64),
+        entry_offset_counts=np.asarray(entry_offset_counts, dtype=np.int64),
+        doc_bounds=np.asarray(doc_bounds, dtype=np.int64),
+        offset_bounds=np.asarray(offset_bounds, dtype=np.int64),
+    )
+    meta = {"version": FORMAT_VERSION, "terms": terms}
+    (path / _META).write_text(json.dumps(meta))
+    return path
+
+
+def load_index(directory: str | pathlib.Path) -> Index:
+    """Load an index previously written by :func:`save_index`."""
+    path = pathlib.Path(directory)
+    meta_path = path / _META
+    arrays_path = path / _ARRAYS
+    if not meta_path.exists() or not arrays_path.exists():
+        raise IndexError_(f"no saved index under {path}")
+    meta = json.loads(meta_path.read_text())
+    version = meta.get("version")
+    if version != FORMAT_VERSION:
+        raise IndexError_(
+            f"unsupported index format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    with np.load(arrays_path) as arrays:
+        doc_lengths = arrays["doc_lengths"]
+        doc_ids = arrays["doc_ids"]
+        offsets = arrays["offsets"]
+        entry_offset_counts = arrays["entry_offset_counts"]
+        doc_bounds = arrays["doc_bounds"]
+        sentence_flat = arrays["sentence_flat"].tolist()
+        sentence_bounds = arrays["sentence_bounds"].tolist()
+
+    terms: dict[str, PositionPostings] = {}
+    entry_cursor = 0
+    offset_cursor = 0
+    offsets_list = offsets.tolist()
+    counts_list = entry_offset_counts.tolist()
+    for i, term in enumerate(meta["terms"]):
+        lo, hi = int(doc_bounds[i]), int(doc_bounds[i + 1])
+        term_doc_ids = doc_ids[lo:hi]
+        term_offsets: list[tuple[int, ...]] = []
+        for _ in range(hi - lo):
+            n = counts_list[entry_cursor]
+            entry_cursor += 1
+            term_offsets.append(
+                tuple(offsets_list[offset_cursor:offset_cursor + n])
+            )
+            offset_cursor += n
+        terms[term] = PositionPostings(term_doc_ids, term_offsets)
+    sentence_starts = [
+        tuple(sentence_flat[sentence_bounds[i]:sentence_bounds[i + 1]])
+        for i in range(len(sentence_bounds) - 1)
+    ]
+    return Index(
+        terms, CollectionStats(doc_lengths), sentence_starts=sentence_starts
+    )

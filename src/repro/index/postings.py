@@ -1,0 +1,98 @@
+"""Postings lists: the physical storage behind index scans.
+
+A term's postings map each document containing the term to the ascending
+list of offsets at which it occurs.  Document ids are kept in a sorted
+NumPy array so that seeks (``skip pointers`` in IR terms, the enabler of
+zig-zag joins) are ``O(log n)`` via binary search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PositionPostings:
+    """Postings for a single term in the term-position index.
+
+    Attributes:
+        doc_ids: Sorted ``int64`` array of documents containing the term.
+        offsets: ``offsets[i]`` is the ascending tuple of positions of the
+            term in ``doc_ids[i]``.
+    """
+
+    __slots__ = (
+        "doc_ids",
+        "offsets",
+        "_total_positions",
+        "_entry_by_doc",
+        "_doc_id_list",
+    )
+
+    def __init__(self, doc_ids: np.ndarray, offsets: list[tuple[int, ...]]):
+        if len(doc_ids) != len(offsets):
+            raise ValueError("doc_ids and offsets must be aligned")
+        self.doc_ids = doc_ids
+        self.offsets = offsets
+        self._total_positions = sum(len(o) for o in offsets)
+        self._entry_by_doc: dict[int, int] | None = None
+        self._doc_id_list: list[int] | None = None
+
+    @property
+    def doc_id_list(self) -> list[int]:
+        """Doc ids as a plain list (lazy): scan cursors bisect this —
+        per-call overhead of NumPy searchsorted dominates zig-zag seeks."""
+        if self._doc_id_list is None:
+            self._doc_id_list = [int(d) for d in self.doc_ids]
+        return self._doc_id_list
+
+    @classmethod
+    def from_dict(cls, by_doc: dict[int, list[int]]) -> "PositionPostings":
+        """Build from a {doc_id: [offsets]} mapping (used by the builder)."""
+        docs = sorted(by_doc)
+        doc_ids = np.asarray(docs, dtype=np.int64)
+        offsets = [tuple(sorted(by_doc[d])) for d in docs]
+        return cls(doc_ids, offsets)
+
+    @classmethod
+    def empty(cls) -> "PositionPostings":
+        return cls(np.empty(0, dtype=np.int64), [])
+
+    @property
+    def document_frequency(self) -> int:
+        """#DOCS in Figure 1: how many documents contain the term."""
+        return len(self.doc_ids)
+
+    @property
+    def total_positions(self) -> int:
+        """Total occurrences of the term across the collection."""
+        return self._total_positions
+
+    def entry_index_at_or_after(self, doc_id: int) -> int:
+        """Index of the first postings entry with doc >= ``doc_id``.
+
+        This is the skip-pointer seek used by zig-zag joins.
+        """
+        return int(np.searchsorted(self.doc_ids, doc_id, side="left"))
+
+    def positions_in(self, doc_id: int) -> tuple[int, ...]:
+        """Offsets of the term in ``doc_id`` (empty tuple if absent).
+
+        O(1) via a doc-to-entry map built lazily on first use — scoring
+        initializers look term frequencies up once per (document,
+        keyword), which would otherwise binary-search per call.
+        """
+        if self._entry_by_doc is None:
+            self._entry_by_doc = {
+                int(d): i for i, d in enumerate(self.doc_ids)
+            }
+        i = self._entry_by_doc.get(doc_id)
+        if i is None:
+            return ()
+        return self.offsets[i]
+
+    def term_frequency(self, doc_id: int) -> int:
+        """#INDOC in Figure 1: occurrences of the term in ``doc_id``."""
+        return len(self.positions_in(doc_id))
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)

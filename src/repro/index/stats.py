@@ -1,0 +1,30 @@
+"""Collection and document statistics needed by scoring schemes.
+
+Scoring initializers (Section 4.1, Step 1) consume per-term statistics
+(#INDOC, #DOCS), per-document statistics (length), and collection
+statistics (collectionSize, average document length for BM25).  This module
+centralizes them so both the live index and the fixed-statistics fixtures
+(Figure 1) can provide them through one interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CollectionStats:
+    """Aggregate statistics of an indexed collection."""
+
+    __slots__ = ("doc_lengths", "num_docs", "total_tokens", "avg_doc_length")
+
+    def __init__(self, doc_lengths: np.ndarray):
+        self.doc_lengths = doc_lengths
+        self.num_docs = int(len(doc_lengths))
+        self.total_tokens = int(doc_lengths.sum()) if self.num_docs else 0
+        self.avg_doc_length = (
+            self.total_tokens / self.num_docs if self.num_docs else 0.0
+        )
+
+    def doc_length(self, doc_id: int) -> int:
+        """Length of document ``doc_id`` in tokens (``d.length``)."""
+        return int(self.doc_lengths[doc_id])

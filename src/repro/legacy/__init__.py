@@ -1,0 +1,13 @@
+"""The state-of-the-art score-encapsulated framework the paper improves on.
+
+Implemented so the Section-2 motivation is reproducible: encapsulating
+score computation inside relational operators makes textbook rewrites
+(selection pushing) change document scores.
+"""
+
+from repro.legacy.encapsulated import (
+    EncapsulatedEngine,
+    join_normalized_sj,
+)
+
+__all__ = ["EncapsulatedEngine", "join_normalized_sj"]

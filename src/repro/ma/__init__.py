@@ -1,0 +1,49 @@
+"""MA: the Matching Algebra (Section 3.2).
+
+MA is a relational algebra over *match tables*: ordered lists of match
+tuples ``(d, p0, ..., pn)`` where each cell is a term position or the empty
+symbol.  This package defines the match-table value type, the logical plan
+nodes of the matching subplan, and the MCalc-to-MA canonical translation.
+"""
+
+from repro.ma.match_table import (
+    ANY_POSITION,
+    EMPTY,
+    MatchTable,
+    cell_repr,
+    cell_sort_key,
+    row_sort_key,
+)
+from repro.ma.nodes import (
+    AntiJoin,
+    Atom,
+    GroupCount,
+    Join,
+    PlanNode,
+    PositionProject,
+    PreCountAtom,
+    Select,
+    Sort,
+    Union,
+)
+from repro.ma.translate import matching_subplan
+
+__all__ = [
+    "EMPTY",
+    "ANY_POSITION",
+    "MatchTable",
+    "cell_sort_key",
+    "row_sort_key",
+    "cell_repr",
+    "PlanNode",
+    "Atom",
+    "PreCountAtom",
+    "Join",
+    "Union",
+    "Select",
+    "Sort",
+    "AntiJoin",
+    "GroupCount",
+    "PositionProject",
+    "matching_subplan",
+]

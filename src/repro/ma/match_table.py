@@ -1,0 +1,102 @@
+"""Match tables: the value domain of the Matching Algebra.
+
+A match table is a *list* (not a set) of matches; "table rows and columns
+are both sequenced, and tables may contain duplicate rows" (Section 3.2).
+Each cell holds a term position or the empty symbol.
+
+Cell encoding
+-------------
+* a term position is a non-negative ``int`` offset;
+* the empty symbol (the paper's circled-slash) is ``None``;
+* :data:`ANY_POSITION` (``-1``) marks a cell whose position has been
+  *forgotten* by the pre-counting rewrite (Section 5.2.3).  The keyword
+  does occur in the document — the row's multiplicity says how many times —
+  but no particular offset is retained, which is why pre-counting is only
+  valid for non-positional scoring schemes.
+
+Ordering
+--------
+Canonical plans sort matches lexicographically; the empty symbol orders
+after every real position (a match that uses a keyword is "smaller" than
+one that ignores it), and ANY_POSITION orders before real positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: The empty position symbol.
+EMPTY = None
+
+#: A forgotten (pre-counted) position; see module docstring.
+ANY_POSITION = -1
+
+#: Sort rank placing EMPTY after every real offset.
+_EMPTY_RANK = (1, 0)
+
+
+def cell_sort_key(cell: int | None) -> tuple[int, int]:
+    """Total order over cells: ANY < positions ascending < EMPTY."""
+    if cell is None:
+        return _EMPTY_RANK
+    return (0, cell)
+
+
+def row_sort_key(row: tuple) -> tuple:
+    """Lexicographic key over ``(doc, cells...)`` rows."""
+    return (row[0],) + tuple(cell_sort_key(c) for c in row[1:])
+
+
+def cell_repr(cell: int | None) -> str:
+    if cell is None:
+        return "-"
+    if cell == ANY_POSITION:
+        return "*"
+    return str(cell)
+
+
+@dataclass
+class MatchTable:
+    """A materialized match table, used by tests, examples and the oracle.
+
+    The execution engine streams matches and materializes a MatchTable only
+    when explicitly asked (e.g. :meth:`repro.api.SearchEngine.match_table`),
+    because match tables "can be quite large" (Section 6).
+
+    Attributes:
+        columns: Position-variable names, in schema order.
+        rows: ``(doc_id, cell0, ..., cellN)`` tuples, in table order.
+    """
+
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+
+    def sorted(self) -> "MatchTable":
+        """A lexicographically sorted copy (the canonical table order)."""
+        return MatchTable(self.columns, sorted(self.rows, key=row_sort_key))
+
+    def for_document(self, doc_id: int) -> "MatchTable":
+        """The sub-table of matches in one document."""
+        return MatchTable(
+            self.columns, [r for r in self.rows if r[0] == doc_id]
+        )
+
+    def documents(self) -> list[int]:
+        """Distinct documents with at least one match, ascending."""
+        return sorted({r[0] for r in self.rows})
+
+    def column_values(self, var: str) -> list[int | None]:
+        """All cells of one column, in row order."""
+        i = self.columns.index(var) + 1
+        return [r[i] for r in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __str__(self) -> str:
+        header = "doc | " + " ".join(f"{c:>6}" for c in self.columns)
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            cells = " ".join(f"{cell_repr(c):>6}" for c in row[1:])
+            lines.append(f"{row[0]:>3} | {cells}")
+        return "\n".join(lines)

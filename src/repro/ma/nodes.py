@@ -1,0 +1,284 @@
+"""Logical plan nodes of the Matching Algebra.
+
+These nodes describe *what* to compute; physical operators live in
+:mod:`repro.exec`.  The matching subplan of a score-isolated plan is built
+from these nodes only (no scoring); the scoring-side nodes that host SA
+operators are defined in :mod:`repro.graft.plan`.
+
+Every node reports its ``position_vars`` (the match-table columns it
+produces, in schema order) and whether its rows may carry a multiplicity
+(``counted``) introduced by eager counting / pre-counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import PlanError
+from repro.mcalc.ast import Pred
+
+
+class PlanNode:
+    """Base class of logical plan nodes."""
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def with_children(self, *children: "PlanNode") -> "PlanNode":
+        """Rebuild this node with new children (for rewrites)."""
+        raise NotImplementedError
+
+    @property
+    def position_vars(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    @property
+    def counted(self) -> bool:
+        """True when rows from this node may have multiplicity > 1."""
+        return any(c.counted for c in self.children())
+
+    def walk(self):
+        """Pre-order traversal."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def label(self) -> str:
+        """Short operator label for plan printing."""
+        return type(self).__name__
+
+
+def merge_vars(left: tuple[str, ...], right: tuple[str, ...]) -> tuple[str, ...]:
+    """Schema merge: left order, then right's columns not already present."""
+    return left + tuple(v for v in right if v not in left)
+
+
+@dataclass(frozen=True)
+class Atom(PlanNode):
+    """The Atomic Match Factory ``A(d, p, k)``: a term-position index scan
+    producing one row per occurrence of ``keyword``."""
+
+    var: str
+    keyword: str
+
+    @property
+    def position_vars(self) -> tuple[str, ...]:
+        return (self.var,)
+
+    def with_children(self, *children: PlanNode) -> PlanNode:
+        if children:
+            raise PlanError("Atom is a leaf")
+        return self
+
+    def label(self) -> str:
+        return f"A({self.var}:{self.keyword!r})"
+
+
+@dataclass(frozen=True)
+class PreCountAtom(PlanNode):
+    """The Pre-Counting Atomic Match Factory ``CA(d, p, k)``
+    (Section 5.2.3): a term-document index scan producing, per document
+    containing ``keyword``, one row with multiplicity = #INDOC and the
+    position forgotten (:data:`repro.ma.match_table.ANY_POSITION`)."""
+
+    var: str
+    keyword: str
+
+    @property
+    def position_vars(self) -> tuple[str, ...]:
+        return (self.var,)
+
+    @property
+    def counted(self) -> bool:
+        return True
+
+    def with_children(self, *children: PlanNode) -> PlanNode:
+        if children:
+            raise PlanError("PreCountAtom is a leaf")
+        return self
+
+    def label(self) -> str:
+        return f"CA({self.var}:{self.keyword!r})"
+
+
+@dataclass(frozen=True)
+class PositionProject(PlanNode):
+    """Generalized projection ``pi_d``: forget the positions of ``vars``
+    (cells become ANY_POSITION), keeping row multiplicity intact.
+
+    This is the first half of the pre-counting rewrite chain
+    ``A -> pi_d(A) -> gamma(pi_d(A)) -> CA``.
+    """
+
+    child: PlanNode
+    vars: tuple[str, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def with_children(self, *children: PlanNode) -> PlanNode:
+        (child,) = children
+        return replace(self, child=child)
+
+    @property
+    def position_vars(self) -> tuple[str, ...]:
+        return self.child.position_vars
+
+    def label(self) -> str:
+        return f"pi[forget {', '.join(self.vars)}]"
+
+
+@dataclass(frozen=True)
+class GroupCount(PlanNode):
+    """Eager counting ``gamma_{d,cells | COUNT}`` (Section 5.2.1): group
+    identical rows into one row with a multiplicity."""
+
+    child: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def with_children(self, *children: PlanNode) -> PlanNode:
+        (child,) = children
+        return replace(self, child=child)
+
+    @property
+    def position_vars(self) -> tuple[str, ...]:
+        return self.child.position_vars
+
+    @property
+    def counted(self) -> bool:
+        return True
+
+    def label(self) -> str:
+        return "gamma[count]"
+
+
+@dataclass(frozen=True)
+class Join(PlanNode):
+    """Natural join on the document column, with optional full-text
+    predicates evaluated in-join (placed there by selection pushing) and a
+    physical algorithm hint.
+
+    Algorithms: ``"merge"`` is the zig-zag sort-merge join of Section 5.2.1
+    (both inputs are doc-ordered and seekable); ``"forward"`` is the
+    forward-scan join of Section 5.2.2 (single forward pass over positions,
+    emits at most one match per document — valid only under constant
+    scoring schemes).
+    """
+
+    left: PlanNode
+    right: PlanNode
+    predicates: tuple[Pred, ...] = ()
+    algorithm: str = "merge"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, *children: PlanNode) -> PlanNode:
+        left, right = children
+        return replace(self, left=left, right=right)
+
+    @property
+    def position_vars(self) -> tuple[str, ...]:
+        return merge_vars(self.left.position_vars, self.right.position_vars)
+
+    def label(self) -> str:
+        preds = " & ".join(str(p) for p in self.predicates)
+        tag = "zigzag-join" if self.algorithm == "merge" else f"{self.algorithm}-join"
+        return f"{tag}[{preds}]" if preds else tag
+
+
+@dataclass(frozen=True)
+class Union(PlanNode):
+    """Outer bag-union (Codd): schema is the merge of both inputs; rows are
+    padded with the empty symbol in columns the source branch lacks."""
+
+    left: PlanNode
+    right: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, *children: PlanNode) -> PlanNode:
+        left, right = children
+        return replace(self, left=left, right=right)
+
+    @property
+    def position_vars(self) -> tuple[str, ...]:
+        return merge_vars(self.left.position_vars, self.right.position_vars)
+
+    def label(self) -> str:
+        return "outer-union"
+
+
+@dataclass(frozen=True)
+class Select(PlanNode):
+    """Selection by a conjunction of full-text predicates."""
+
+    child: PlanNode
+    predicates: tuple[Pred, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def with_children(self, *children: PlanNode) -> PlanNode:
+        (child,) = children
+        return replace(self, child=child)
+
+    @property
+    def position_vars(self) -> tuple[str, ...]:
+        return self.child.position_vars
+
+    def label(self) -> str:
+        return "sigma[" + " & ".join(str(p) for p in self.predicates) + "]"
+
+
+@dataclass(frozen=True)
+class Sort(PlanNode):
+    """Lexicographic sort ``tau`` by (doc, sort_vars...) ascending.
+
+    ``sort_vars`` is fixed to the query's free-variable order at plan
+    construction, so later join reordering cannot silently change the
+    match-table order a non-commutative alternate combinator depends on.
+    """
+
+    child: PlanNode
+    sort_vars: tuple[str, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def with_children(self, *children: PlanNode) -> PlanNode:
+        (child,) = children
+        return replace(self, child=child)
+
+    @property
+    def position_vars(self) -> tuple[str, ...]:
+        return self.child.position_vars
+
+    def label(self) -> str:
+        return f"tau[{', '.join(self.sort_vars)}]"
+
+
+@dataclass(frozen=True)
+class AntiJoin(PlanNode):
+    """Document-level anti-join: keep left rows whose document has no row
+    on the right.  Implements safe negation."""
+
+    left: PlanNode
+    right: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, *children: PlanNode) -> PlanNode:
+        left, right = children
+        return replace(self, left=left, right=right)
+
+    @property
+    def position_vars(self) -> tuple[str, ...]:
+        return self.left.position_vars
+
+    def label(self) -> str:
+        return "anti-join"

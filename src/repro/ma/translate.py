@@ -1,0 +1,90 @@
+"""Canonical MCalc-to-MA translation (Sections 3.2, 4.3).
+
+The canonical matching subplan (cf. Plan 7 for Q3):
+
+* a right-deep join tree whose join order follows the order of keywords in
+  the query;
+* disjunctions become outer bag-unions of their branch plans (EMPTY
+  predicates materialize as union padding);
+* negations become document-level anti-joins;
+* *all* selections follow *all* joins (predicates are evaluated in one
+  selection at the top, which is correct because predicates hold vacuously
+  on the empty symbol);
+* a lexicographic sort tops the matching subplan.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.mcalc.ast import And, Empty, Formula, Has, Not, Or, Pred, Query
+from repro.ma.nodes import AntiJoin, Atom, Join, PlanNode, Select, Sort, Union
+
+
+def matching_subplan(query: Query) -> PlanNode:
+    """Build the canonical matching subplan for ``query``."""
+    plan = _translate(query.formula)
+    if plan is None:
+        raise PlanError("query has no positive keyword to scan")
+    predicates = tuple(query.predicates())
+    if predicates:
+        plan = Select(plan, predicates)
+    return Sort(plan, query.free_vars)
+
+
+def _translate(formula: Formula) -> PlanNode | None:
+    """Translate a formula into a plan; predicates and EMPTY markers are
+    skipped (the caller applies predicates at the top; EMPTY materializes
+    as union padding)."""
+    if isinstance(formula, Has):
+        return Atom(formula.var, formula.keyword)
+    if isinstance(formula, (Empty, Pred)):
+        return None
+    if isinstance(formula, Not):
+        # A bare negation has no generating plan of its own; handled by the
+        # enclosing conjunction.  A query that is *only* a negation is
+        # unsafe and is rejected before translation.
+        raise PlanError("negation must occur inside a conjunction")
+    if isinstance(formula, And):
+        positive: list[PlanNode] = []
+        negative: list[PlanNode] = []
+        for op in formula.operands:
+            if isinstance(op, Not):
+                sub = _translate(_strip_not(op))
+                if sub is None:
+                    raise PlanError("negated subformula has no keywords")
+                negative.append(sub)
+            else:
+                sub = _translate(op)
+                if sub is not None:
+                    positive.append(sub)
+        if not positive:
+            raise PlanError("conjunction has no positive keywords")
+        plan = _right_deep_join(positive)
+        for neg in negative:
+            plan = AntiJoin(plan, neg)
+        return plan
+    if isinstance(formula, Or):
+        branches = [_translate(op) for op in formula.operands]
+        kept = [b for b in branches if b is not None]
+        if not kept:
+            return None
+        plan = kept[0]
+        for branch in kept[1:]:
+            plan = Union(plan, branch)
+        return plan
+    raise PlanError(f"unknown formula node {type(formula).__name__}")
+
+
+def _strip_not(node: Not) -> Formula:
+    inner = node.operand
+    while isinstance(inner, Not):
+        raise PlanError("double negation is not supported")
+    return inner
+
+
+def _right_deep_join(plans: list[PlanNode]) -> PlanNode:
+    """Right-deep join tree in the given (keyword) order."""
+    plan = plans[-1]
+    for sub in reversed(plans[:-1]):
+        plan = Join(sub, plan)
+    return plan

@@ -1,0 +1,79 @@
+"""MCalc: the Matching Calculus (Section 3.1).
+
+MCalc specifies the *set of matches* of a full-text query, in the style of
+the Domain Relational Calculus.  Its primitives are ``HAS(d, p, k)``,
+``EMPTY(p)``, and generic full-text predicates over position variables.
+
+This package contains the formula AST, the built-in and plug-in predicate
+registry, safe-range analysis (including EMPTY-padding of disjunctions),
+the Section-8 shorthand query parser, the scoring-plan (Phi) derivation of
+Section 4.2.1, and a brute-force reference evaluator used as the semantics
+oracle in tests.
+"""
+
+from repro.mcalc.ast import (
+    And,
+    Empty,
+    Formula,
+    Has,
+    Not,
+    Or,
+    Pred,
+    Query,
+)
+from repro.mcalc.builder import (
+    all_of,
+    any_of,
+    constrained,
+    exclude,
+    ordered,
+    phrase,
+    proximity,
+    term,
+    window,
+)
+from repro.mcalc.parser import parse_query
+from repro.mcalc.predicates import (
+    PredicateImpl,
+    get_predicate,
+    register_predicate,
+)
+from repro.mcalc.safety import check_safe, pad_disjunctions
+from repro.mcalc.scoring_plan import (
+    PhiConj,
+    PhiDisj,
+    PhiNode,
+    PhiVar,
+    derive_scoring_plan,
+)
+
+__all__ = [
+    "Formula",
+    "Has",
+    "Empty",
+    "Pred",
+    "And",
+    "Or",
+    "Not",
+    "Query",
+    "parse_query",
+    "term",
+    "phrase",
+    "all_of",
+    "any_of",
+    "constrained",
+    "window",
+    "proximity",
+    "ordered",
+    "exclude",
+    "PredicateImpl",
+    "register_predicate",
+    "get_predicate",
+    "check_safe",
+    "pad_disjunctions",
+    "PhiNode",
+    "PhiVar",
+    "PhiConj",
+    "PhiDisj",
+    "derive_scoring_plan",
+]

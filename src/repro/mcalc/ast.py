@@ -1,0 +1,228 @@
+"""The MCalc formula AST and the Query container.
+
+Formulas are immutable trees over the primitives of Section 3.1:
+
+* ``Has(var, keyword)``      — HAS(d, p, k): keyword k occurs at position p.
+* ``Empty(var)``             — EMPTY(p): p binds to the empty symbol.
+* ``Pred(name, vars, consts)`` — a full-text predicate over positions.
+* ``And`` / ``Or`` / ``Not`` — first-order connectives.
+
+A :class:`Query` fixes the free-variable (column) order and records which
+keyword each variable matches — the information scoring initializers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import PlanError
+
+
+class Formula:
+    """Base class of MCalc formula nodes."""
+
+    def walk(self) -> Iterator["Formula"]:
+        """Pre-order traversal of the subtree rooted here."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def children(self) -> tuple["Formula", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Has(Formula):
+    """HAS(d, var, keyword): keyword occurs in d at the position ``var``."""
+
+    var: str
+    keyword: str
+
+    def __str__(self) -> str:
+        return f"HAS(d, {self.var}, {self.keyword!r})"
+
+
+@dataclass(frozen=True)
+class Empty(Formula):
+    """EMPTY(var): the variable binds to the empty position symbol."""
+
+    var: str
+
+    def __str__(self) -> str:
+        return f"EMPTY({self.var})"
+
+
+@dataclass(frozen=True)
+class Pred(Formula):
+    """A full-text predicate PRED(vars..., constants...) (Section 3.1)."""
+
+    name: str
+    vars: tuple[str, ...]
+    constants: tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        args = ", ".join(self.vars)
+        consts = ", ".join(str(c) for c in self.constants)
+        return f"{self.name}({args}{', ' if consts else ''}{consts})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction over two or more subformulas."""
+
+    operands: tuple[Formula, ...]
+
+    def __post_init__(self):
+        if len(self.operands) < 2:
+            raise PlanError("And requires at least two operands")
+
+    def children(self) -> tuple[Formula, ...]:
+        return self.operands
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(c) for c in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction over two or more subformulas."""
+
+    operands: tuple[Formula, ...]
+
+    def __post_init__(self):
+        if len(self.operands) < 2:
+            raise PlanError("Or requires at least two operands")
+
+    def children(self) -> tuple[Formula, ...]:
+        return self.operands
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(c) for c in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation.
+
+    This library supports negation whose position variables are
+    existentially quantified away (document-level exclusion), translated to
+    an anti-join; negated variables never appear as match-table columns.
+    """
+
+    operand: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+def conjoin(operands: list[Formula]) -> Formula:
+    """And over ``operands``, collapsing the single-element case."""
+    if not operands:
+        raise PlanError("cannot conjoin zero formulas")
+    if len(operands) == 1:
+        return operands[0]
+    return And(tuple(operands))
+
+
+def disjoin(operands: list[Formula]) -> Formula:
+    """Or over ``operands``, collapsing the single-element case."""
+    if not operands:
+        raise PlanError("cannot disjoin zero formulas")
+    if len(operands) == 1:
+        return operands[0]
+    return Or(tuple(operands))
+
+
+def formula_vars(formula: Formula) -> set[str]:
+    """All position variables mentioned anywhere in ``formula``."""
+    out: set[str] = set()
+    for node in formula.walk():
+        if isinstance(node, (Has, Empty)):
+            out.add(node.var)
+        elif isinstance(node, Pred):
+            out.update(node.vars)
+    return out
+
+
+def keyword_bindings(formula: Formula) -> dict[str, str]:
+    """Map each variable to the keyword its HAS predicates bind it to.
+
+    Raises:
+        PlanError: if one variable is bound to two different keywords
+            (scoring needs a unique keyword per column).
+    """
+    bindings: dict[str, str] = {}
+    for node in formula.walk():
+        if isinstance(node, Has):
+            existing = bindings.get(node.var)
+            if existing is not None and existing != node.keyword:
+                raise PlanError(
+                    f"variable {node.var} bound to both {existing!r} "
+                    f"and {node.keyword!r}"
+                )
+            bindings[node.var] = node.keyword
+    return bindings
+
+
+@dataclass
+class Query:
+    """A complete MCalc query: a formula plus its output column order.
+
+    Attributes:
+        formula: The (safe, EMPTY-padded) matching formula ``Psi``.
+        free_vars: Output position variables in column order; together with
+            the implicit document column they define the match-table schema.
+        var_keywords: var -> keyword mapping used by scoring initializers.
+        source_formula: The formula as written by the user, *before*
+            safe-range padding or any normalization.  The scoring plan
+            ``Phi`` is derived from this tree (Section 4.2.1: the scoring
+            plan follows the user's syntax tree, not the optimizer's).
+        text: Original shorthand text, if parsed from text.
+    """
+
+    formula: Formula
+    free_vars: tuple[str, ...]
+    var_keywords: dict[str, str] = field(default_factory=dict)
+    source_formula: Formula | None = None
+    text: str = ""
+
+    def __post_init__(self):
+        if not self.var_keywords:
+            self.var_keywords = keyword_bindings(self.formula)
+        if self.source_formula is None:
+            self.source_formula = self.formula
+        missing = [v for v in self.free_vars if v not in self.var_keywords]
+        if missing:
+            raise PlanError(
+                f"free variables {missing} have no HAS binding; "
+                "unsafe query (no keyword to scan for them)"
+            )
+
+    @property
+    def keywords(self) -> tuple[str, ...]:
+        """Keywords in column order."""
+        return tuple(self.var_keywords[v] for v in self.free_vars)
+
+    def predicates(self) -> list[Pred]:
+        """All full-text predicates in the matching formula."""
+        return [n for n in self.formula.walk() if isinstance(n, Pred)]
+
+    def predicate_vars(self) -> set[str]:
+        """Variables constrained by at least one full-text predicate.
+
+        The complement of this set (within free_vars) are the paper's
+        "free keywords" — the pre-counting candidates of Section 5.2.3.
+        """
+        out: set[str] = set()
+        for pred in self.predicates():
+            out.update(pred.vars)
+        return out
+
+    def free_keyword_vars(self) -> list[str]:
+        """Variables whose keyword is involved in no full-text predicate."""
+        constrained = self.predicate_vars()
+        return [v for v in self.free_vars if v not in constrained]

@@ -1,0 +1,198 @@
+"""Programmatic MCalc query construction.
+
+The paper motivates full-text search for "sophisticated expert users and
+for search systems with GUI-generated queries" (Section 1).  GUI code
+should not have to print and re-parse shorthand text; this module builds
+:class:`repro.mcalc.ast.Query` values directly, with the same safe-range
+guarantees the parser provides.
+
+Example::
+
+    from repro.mcalc.builder import all_of, any_of, phrase, term, window
+
+    query = all_of(
+        window(term("windows"), term("emulator"), size=50),
+        any_of(term("foss"), phrase("free", "software")),
+    ).build()
+
+is exactly the paper's Q3 / Q8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.mcalc.ast import And, Formula, Has, Not, Pred, Query, conjoin, disjoin
+from repro.mcalc.predicates import get_predicate
+from repro.mcalc.safety import check_safe, pad_disjunctions
+
+
+@dataclass
+class Node:
+    """An unbuilt query fragment: a formula template over keywords.
+
+    Variables are assigned left-to-right at :meth:`build` time, matching
+    the parser's numbering, so built queries and parsed queries of the
+    same shape are interchangeable.
+    """
+
+    kind: str
+    keywords: tuple[str, ...] = ()
+    children: tuple["Node", ...] = ()
+    predicate: str | None = None
+    constants: tuple[int, ...] = ()
+    extra: dict = field(default_factory=dict)
+
+    # -- composition ---------------------------------------------------------
+
+    def __and__(self, other: "Node") -> "Node":
+        return all_of(self, other)
+
+    def __or__(self, other: "Node") -> "Node":
+        return any_of(self, other)
+
+    def build(self) -> Query:
+        """Assemble the safe, EMPTY-padded :class:`Query`."""
+        counter = _Counter()
+        formula, vars_, quantified = _assemble(self, counter)
+        padded = pad_disjunctions(formula)
+        free_vars = tuple(v for v in vars_ if v not in quantified)
+        if not free_vars:
+            from repro.errors import UnsafeQueryError
+
+            raise UnsafeQueryError(
+                "a query must contain at least one positive keyword; "
+                "all-negative queries would scan the whole library"
+            )
+        check_safe(padded, free_vars)
+        return Query(
+            formula=padded,
+            free_vars=free_vars,
+            source_formula=formula,
+        )
+
+
+class _Counter:
+    def __init__(self):
+        self.n = 0
+
+    def fresh(self) -> str:
+        var = f"p{self.n}"
+        self.n += 1
+        return var
+
+
+def _assemble(node: Node, counter: _Counter) -> tuple[Formula, list[str], set[str]]:
+    if node.kind == "term":
+        var = counter.fresh()
+        return Has(var, node.keywords[0]), [var], set()
+
+    if node.kind == "phrase":
+        parts: list[Formula] = []
+        vars_: list[str] = []
+        for keyword in node.keywords:
+            var = counter.fresh()
+            parts.append(Has(var, keyword))
+            vars_.append(var)
+        for a, b in zip(vars_, vars_[1:]):
+            parts.append(Pred("DISTANCE", (a, b), (1,)))
+        return conjoin(parts), vars_, set()
+
+    if node.kind in ("and", "or"):
+        formulas: list[Formula] = []
+        vars_: list[str] = []
+        quantified: set[str] = set()
+        for child in node.children:
+            f, vs, qs = _assemble(child, counter)
+            formulas.append(f)
+            vars_.extend(vs)
+            quantified |= qs
+        combined = conjoin(formulas) if node.kind == "and" else disjoin(formulas)
+        return combined, vars_, quantified
+
+    if node.kind == "pred":
+        inner, vars_, quantified = _assemble(node.children[0], counter)
+        impl = get_predicate(node.predicate)
+        scoped = [v for v in vars_ if v not in quantified]
+        impl.check_arity(len(scoped), len(node.constants))
+        pred = Pred(node.predicate, tuple(scoped), node.constants)
+        if isinstance(inner, And):
+            combined: Formula = And(inner.operands + (pred,))
+        else:
+            combined = And((inner, pred))
+        return combined, vars_, quantified
+
+    if node.kind == "not":
+        inner, vars_, quantified = _assemble(node.children[0], counter)
+        return Not(inner), vars_, quantified | set(vars_)
+
+    raise PlanError(f"unknown builder node kind {node.kind!r}")
+
+
+# -- public constructors --------------------------------------------------------
+
+def term(keyword: str) -> Node:
+    """A single keyword."""
+    return Node("term", keywords=(keyword.lower(),))
+
+
+def phrase(*keywords: str) -> Node:
+    """An exact phrase (adjacent keywords, DISTANCE-1 chain)."""
+    if not keywords:
+        raise PlanError("a phrase needs at least one keyword")
+    return Node("phrase", keywords=tuple(k.lower() for k in keywords))
+
+
+def all_of(*nodes: Node) -> Node:
+    """Conjunction."""
+    if not nodes:
+        raise PlanError("all_of needs at least one operand")
+    if len(nodes) == 1:
+        return nodes[0]
+    return Node("and", children=nodes)
+
+
+def any_of(*nodes: Node) -> Node:
+    """Disjunction (safe-range padded at build time)."""
+    if not nodes:
+        raise PlanError("any_of needs at least one operand")
+    if len(nodes) == 1:
+        return nodes[0]
+    return Node("or", children=nodes)
+
+
+def constrained(node: Node, predicate: str, *constants: int) -> Node:
+    """Apply a registered full-text predicate to the fragment's keywords."""
+    return Node(
+        "pred",
+        children=(node,),
+        predicate=predicate,
+        constants=tuple(constants),
+    )
+
+
+def window(*nodes_and_size: Node | int, size: int | None = None) -> Node:
+    """All keywords of the fragments within a token window.
+
+    Accepts ``window(a, b, size=50)``.
+    """
+    nodes = [n for n in nodes_and_size if isinstance(n, Node)]
+    if size is None:
+        raise PlanError("window requires size=")
+    return constrained(all_of(*nodes), "WINDOW", size)
+
+
+def proximity(*nodes: Node, distance: int) -> Node:
+    """All keywords within ``distance`` of each other."""
+    return constrained(all_of(*nodes), "PROXIMITY", distance)
+
+
+def ordered(*nodes: Node) -> Node:
+    """Keywords in strictly increasing position order."""
+    return constrained(all_of(*nodes), "ORDER")
+
+
+def exclude(node: Node) -> Node:
+    """Documents must not match the fragment (variables quantified away)."""
+    return Node("not", children=(node,))

@@ -1,0 +1,109 @@
+"""Brute-force MCalc reference evaluator.
+
+This is the executable form of Definition 2 ("the tuple (d, p) is a match
+of query Psi in document d iff it is a satisfying assignment ..."): it
+enumerates every assignment of free position variables to keyword
+positions (or the empty symbol, where the variable is EMPTY-able) and
+keeps the satisfying ones.
+
+Complexity is exponential in the number of variables — exactly the
+``O(W^Q)`` worst case of Section 6 — so the oracle exists for testing and
+pedagogy, as the ground truth the algebraic engine is validated against.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.corpus.document import Document
+from repro.corpus.collection import DocumentCollection
+from repro.mcalc.ast import And, Empty, Formula, Has, Not, Or, Pred, Query
+from repro.mcalc.predicates import get_predicate
+from repro.ma.match_table import MatchTable, row_sort_key
+
+
+def _emptyable_vars(formula: Formula) -> set[str]:
+    """Variables that appear in some EMPTY predicate."""
+    return {n.var for n in formula.walk() if isinstance(n, Empty)}
+
+
+def _satisfies(
+    formula: Formula,
+    assignment: dict[str, int | None],
+    doc: Document,
+) -> bool:
+    if isinstance(formula, Has):
+        pos = assignment.get(formula.var)
+        if pos is None:
+            return False
+        return 0 <= pos < doc.length and doc.tokens[pos] == formula.keyword
+    if isinstance(formula, Empty):
+        return assignment.get(formula.var, None) is None
+    if isinstance(formula, Pred):
+        impl = get_predicate(formula.name)
+        positions = [assignment.get(v) for v in formula.vars]
+        return impl.holds(positions, formula.constants, doc.sentence_starts)
+    if isinstance(formula, And):
+        return all(_satisfies(op, assignment, doc) for op in formula.operands)
+    if isinstance(formula, Or):
+        return any(_satisfies(op, assignment, doc) for op in formula.operands)
+    if isinstance(formula, Not):
+        # Negated variables are existentially quantified away: the negation
+        # holds iff no assignment of its own variables satisfies the body.
+        return not _exists(formula.operand, doc)
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def _exists(formula: Formula, doc: Document) -> bool:
+    """Existential satisfaction of a closed subformula over ``doc``."""
+    sub_vars = sorted(
+        {n.var for n in formula.walk() if isinstance(n, (Has, Empty))}
+    )
+    keywords: dict[str, str] = {}
+    for n in formula.walk():
+        if isinstance(n, Has):
+            keywords[n.var] = n.keyword
+    emptyable = _emptyable_vars(formula)
+    domains = []
+    for var in sub_vars:
+        domain: list[int | None] = []
+        if var in keywords:
+            domain.extend(doc.positions_of(keywords[var]))
+        if var in emptyable:
+            domain.append(None)
+        domains.append(domain)
+    for values in product(*domains):
+        assignment = dict(zip(sub_vars, values))
+        if _satisfies(formula, assignment, doc):
+            return True
+    return False
+
+
+def document_matches(query: Query, doc: Document) -> list[tuple]:
+    """All matches of ``query`` in ``doc`` as sorted ``(doc, cells...)``
+    rows."""
+    emptyable = _emptyable_vars(query.formula)
+    domains = []
+    for var in query.free_vars:
+        domain: list[int | None] = list(
+            doc.positions_of(query.var_keywords[var])
+        )
+        if var in emptyable:
+            domain.append(None)
+        domains.append(domain)
+    rows = []
+    for values in product(*domains):
+        assignment = dict(zip(query.free_vars, values))
+        if _satisfies(query.formula, assignment, doc):
+            rows.append((doc.doc_id,) + tuple(values))
+    rows.sort(key=row_sort_key)
+    return rows
+
+
+def match_table(query: Query, collection: DocumentCollection) -> MatchTable:
+    """The full match table of ``query`` over ``collection``, in canonical
+    (lexicographic) order."""
+    table = MatchTable(query.free_vars)
+    for doc in collection:
+        table.rows.extend(document_matches(query, doc))
+    return table

@@ -1,0 +1,284 @@
+"""Parser for the paper's shorthand full-text query syntax (Section 8).
+
+The grammar, as used by queries Q4..Q11::
+
+    query   := disj
+    disj    := conj ('|' conj)*
+    conj    := item+                      # juxtaposition means AND
+    item    := '-' primary | primary suffix?
+    primary := WORD | '"' WORD+ '"' | '(' disj ')'
+    suffix  := NAME '[' INT (',' INT)* ']' | NAME '[' ']' | NAME
+
+* Keywords are conjuncted unless separated by a vertical bar.
+* Quotes imply a PHRASE predicate (a chain of DISTANCE[1] constraints).
+* Other predicates are "preceded by keyword arguments in parenthesis and
+  followed by constant arguments in brackets":
+  ``(windows emulator)WINDOW[50]``.  A predicate applies to every keyword
+  variable introduced inside its group.
+* ``-word`` (an extension) excludes documents containing the word,
+  translated to an anti-join; the variable is quantified away.
+
+Position variables are implicit: ``p0, p1, ...`` in order of keyword
+appearance, matching the paper's examples.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.corpus.analyzer import Analyzer
+from repro.errors import QuerySyntaxError
+from repro.mcalc.ast import (
+    And,
+    Formula,
+    Has,
+    Not,
+    Pred,
+    Query,
+    conjoin,
+    disjoin,
+)
+from repro.mcalc.predicates import get_predicate, registered_predicates
+
+
+def _is_registered(name: str) -> bool:
+    return name in registered_predicates()
+from repro.mcalc.safety import check_safe, pad_disjunctions
+
+_TOKEN = re.compile(
+    r"""
+    (?P<space>\s+)
+  | (?P<quote>")
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<bar>\|)
+  | (?P<minus>-)
+  | (?P<lbrack>\[)
+  | (?P<rbrack>\])
+  | (?P<comma>,)
+  | (?P<word>[A-Za-z0-9_']+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str, int]]:
+    tokens: list[tuple[str, str, int]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if m is None:
+            raise QuerySyntaxError(f"unexpected character {text[pos]!r}", pos)
+        kind = m.lastgroup
+        if kind != "space":
+            tokens.append((kind, m.group(), pos))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str, analyzer: Analyzer | None):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.i = 0
+        self.analyzer = analyzer
+        self.var_count = 0
+        self.quantified: set[str] = set()
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> tuple[str, str, int] | None:
+        j = self.i + offset
+        return self.tokens[j] if j < len(self.tokens) else None
+
+    def _next(self) -> tuple[str, str, int]:
+        tok = self._peek()
+        if tok is None:
+            raise QuerySyntaxError("unexpected end of query", len(self.text))
+        self.i += 1
+        return tok
+
+    def _expect(self, kind: str) -> tuple[str, str, int]:
+        tok = self._next()
+        if tok[0] != kind:
+            raise QuerySyntaxError(
+                f"expected {kind}, found {tok[1]!r}", tok[2]
+            )
+        return tok
+
+    def _fresh_var(self) -> str:
+        var = f"p{self.var_count}"
+        self.var_count += 1
+        return var
+
+    def _keyword(self, word: str, position: int) -> str:
+        if self.analyzer is None:
+            return word.lower()
+        try:
+            return self.analyzer.token(word)
+        except ValueError as exc:
+            raise QuerySyntaxError(str(exc), position) from exc
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> tuple[Formula, list[str]]:
+        formula, vars_ = self._disj()
+        if self.i != len(self.tokens):
+            tok = self.tokens[self.i]
+            raise QuerySyntaxError(f"trailing input {tok[1]!r}", tok[2])
+        return formula, vars_
+
+    def _disj(self) -> tuple[Formula, list[str]]:
+        branches = [self._conj()]
+        while self._peek() is not None and self._peek()[0] == "bar":
+            self._next()
+            branches.append(self._conj())
+        formulas = [f for f, _ in branches]
+        vars_: list[str] = []
+        for _, vs in branches:
+            vars_.extend(vs)
+        return disjoin(formulas), vars_
+
+    def _conj(self) -> tuple[Formula, list[str]]:
+        items: list[tuple[Formula, list[str]]] = []
+        while True:
+            tok = self._peek()
+            if tok is None or tok[0] in ("bar", "rparen"):
+                break
+            items.append(self._item())
+        if not items:
+            tok = self._peek()
+            where = tok[2] if tok else len(self.text)
+            raise QuerySyntaxError("expected a keyword, phrase or group", where)
+        formulas = [f for f, _ in items]
+        vars_: list[str] = []
+        for _, vs in items:
+            vars_.extend(vs)
+        return conjoin(formulas), vars_
+
+    def _item(self) -> tuple[Formula, list[str]]:
+        tok = self._peek()
+        if tok[0] == "minus":
+            self._next()
+            formula, vars_ = self._primary()
+            self.quantified.update(vars_)
+            return Not(formula), []
+        formula, vars_ = self._primary()
+        suffix = self._maybe_predicate_suffix()
+        if suffix is not None:
+            name, constants, where = suffix
+            impl = get_predicate(name)
+            impl.check_arity(len(vars_), len(constants))
+            pred = Pred(name, tuple(vars_), constants)
+            formula = And((formula, pred)) if not isinstance(formula, And) \
+                else And(formula.operands + (pred,))
+        return formula, vars_
+
+    def _primary(self) -> tuple[Formula, list[str]]:
+        tok = self._next()
+        if tok[0] == "word":
+            keyword = self._keyword(tok[1], tok[2])
+            var = self._fresh_var()
+            return Has(var, keyword), [var]
+        if tok[0] == "quote":
+            return self._phrase(tok[2])
+        if tok[0] == "lparen":
+            formula, vars_ = self._disj()
+            self._expect("rparen")
+            return formula, vars_
+        raise QuerySyntaxError(f"unexpected token {tok[1]!r}", tok[2])
+
+    def _phrase(self, start: int) -> tuple[Formula, list[str]]:
+        """Quoted phrase: HAS for each word + DISTANCE(p_i, p_i+1, 1)."""
+        words: list[tuple[str, int]] = []
+        while True:
+            tok = self._next()
+            if tok[0] == "quote":
+                break
+            if tok[0] != "word":
+                raise QuerySyntaxError(
+                    f"only words may appear in a phrase, found {tok[1]!r}",
+                    tok[2],
+                )
+            words.append((tok[1], tok[2]))
+        if not words:
+            raise QuerySyntaxError("empty phrase", start)
+        parts: list[Formula] = []
+        vars_: list[str] = []
+        for word, where in words:
+            var = self._fresh_var()
+            parts.append(Has(var, self._keyword(word, where)))
+            vars_.append(var)
+        for a, b in zip(vars_, vars_[1:]):
+            parts.append(Pred("DISTANCE", (a, b), (1,)))
+        return conjoin(parts), vars_
+
+    def _maybe_predicate_suffix(self) -> tuple[str, tuple[int, ...], int] | None:
+        """A predicate application directly after a group or phrase.
+
+        Predicate names are written in upper case, which is how they are
+        distinguished from keywords.
+        """
+        tok = self._peek()
+        if tok is None or tok[0] != "word":
+            return None
+        name = tok[1]
+        if not name.isupper():
+            return None
+        nxt = self._peek(1)
+        has_brackets = nxt is not None and nxt[0] == "lbrack"
+        if not has_brackets and not _is_registered(name):
+            # An upper-case word that is neither bracketed nor a known
+            # predicate is just a (shouty) keyword.
+            return None
+        self._next()
+        constants: list[int] = []
+        nxt = self._peek()
+        if nxt is not None and nxt[0] == "lbrack":
+            self._next()
+            while True:
+                tok2 = self._peek()
+                if tok2 is None:
+                    raise QuerySyntaxError("unterminated constant list", len(self.text))
+                if tok2[0] == "rbrack":
+                    self._next()
+                    break
+                if tok2[0] == "comma":
+                    self._next()
+                    continue
+                if tok2[0] == "word" and tok2[1].isdigit():
+                    constants.append(int(tok2[1]))
+                    self._next()
+                    continue
+                raise QuerySyntaxError(
+                    f"expected integer constant, found {tok2[1]!r}", tok2[2]
+                )
+        return name, tuple(constants), tok[2]
+
+
+def parse_query(text: str, analyzer: Analyzer | None = None) -> Query:
+    """Parse shorthand ``text`` into a safe, EMPTY-padded :class:`Query`.
+
+    Args:
+        text: Query in the Section-8 shorthand syntax.
+        analyzer: Analyzer used to normalize keywords; defaults to plain
+            lower-casing so parsing needs no collection in scope.
+
+    Returns:
+        A :class:`Query` whose ``formula`` is safe-range (disjuncts padded
+        with EMPTY) and whose ``source_formula`` preserves the user's
+        syntax tree for scoring-plan derivation.
+    """
+    parser = _Parser(text, analyzer)
+    raw, vars_ = parser.parse()
+    padded = pad_disjunctions(raw)
+    free_vars = tuple(v for v in vars_ if v not in parser.quantified)
+    check_safe(padded, free_vars)
+    return Query(
+        formula=padded,
+        free_vars=free_vars,
+        source_formula=raw,
+        text=text,
+    )

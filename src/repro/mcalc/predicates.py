@@ -1,0 +1,197 @@
+"""Full-text predicates: built-ins and the plug-in registry.
+
+MCalc "is general enough to support generic positional predicates"
+(Section 3.1); GRAFT "can support as plug-ins virtually any predicate on
+positions" (Section 8).  This module provides the built-in predicates used
+by the paper's queries (DISTANCE, PROXIMITY, WINDOW, ORDER) plus the
+SAMESENTENCE extension the paper suggests, and a registry through which
+applications add their own.
+
+Empty-position semantics
+------------------------
+A predicate vacuously holds whenever any of its arguments is the empty
+position.  EMPTY marks a variable whose "presence, or lack thereof, is
+inconsequential to a particular match" (Section 3.1), and the canonical
+plan (Plan 7) applies selections *above* the outer union, where rows from
+other disjuncts carry EMPTY in the predicate's columns; those rows must
+pass.  N-ary predicates simply ignore empty arguments.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import PredicateArityError, UnknownPredicateError
+
+#: The empty position inside evaluated rows is represented as ``None``.
+Position = int | None
+
+
+@dataclass(frozen=True)
+class PredicateImpl:
+    """A registered full-text predicate implementation.
+
+    Attributes:
+        name: Registry key (conventionally upper-case).
+        evaluate: ``evaluate(positions, constants) -> bool`` over non-empty
+            positions only (the registry wrapper handles EMPTY semantics).
+        min_vars / max_vars: Accepted variable-argument counts
+            (``max_vars=None`` means unbounded, i.e. an n-ary predicate).
+        num_constants: Required count of constant parameters.
+        forward_class: True when the predicate belongs to the paper's
+            PPRED class (Section 5.2.2): it can be checked in a single
+            forward pass over position-sorted inputs, making it usable as a
+            forward-scan join predicate.
+        structural_evaluate: For predicates that consult document
+            structure recorded in the index (Section 8's SAMESENTENCE /
+            SAMEPARAGRAPH): ``(positions, constants, sentence_starts) ->
+            bool``.  When set, it replaces ``evaluate`` wherever the
+            engine can supply the document's sentence offsets.
+    """
+
+    name: str
+    evaluate: Callable[[Sequence[int], tuple[int, ...]], bool]
+    min_vars: int
+    max_vars: int | None
+    num_constants: int
+    forward_class: bool = True
+    structural_evaluate: Callable[
+        [Sequence[int], tuple[int, ...], tuple[int, ...]], bool
+    ] | None = None
+
+    @property
+    def structural(self) -> bool:
+        return self.structural_evaluate is not None
+
+    def check_arity(self, num_vars: int, num_constants: int) -> None:
+        if num_vars < self.min_vars or (
+            self.max_vars is not None and num_vars > self.max_vars
+        ):
+            raise PredicateArityError(
+                f"{self.name} takes "
+                f"{self.min_vars}{'+' if self.max_vars is None else f'..{self.max_vars}'}"
+                f" variables, got {num_vars}"
+            )
+        if num_constants != self.num_constants:
+            raise PredicateArityError(
+                f"{self.name} takes {self.num_constants} constants, "
+                f"got {num_constants}"
+            )
+
+    def holds(
+        self,
+        positions: Sequence[Position],
+        constants: tuple[int, ...],
+        sentence_starts: tuple[int, ...] = (),
+    ) -> bool:
+        """Evaluate with empty-position semantics applied.
+
+        Empty arguments are dropped; with fewer than two real positions
+        left there is nothing to constrain and the predicate holds
+        vacuously.  ``sentence_starts`` carries the document's structural
+        offsets to structural predicates.
+        """
+        concrete = [p for p in positions if p is not None]
+        if len(concrete) < 2:
+            return True
+        if self.structural_evaluate is not None:
+            return self.structural_evaluate(concrete, constants, sentence_starts)
+        return self.evaluate(concrete, constants)
+
+
+_REGISTRY: dict[str, PredicateImpl] = {}
+
+
+def register_predicate(impl: PredicateImpl) -> None:
+    """Register (or replace) a predicate implementation."""
+    _REGISTRY[impl.name] = impl
+
+
+def get_predicate(name: str) -> PredicateImpl:
+    impl = _REGISTRY.get(name)
+    if impl is None:
+        raise UnknownPredicateError(
+            f"unknown full-text predicate {name!r}; "
+            f"registered: {sorted(_REGISTRY)}"
+        )
+    return impl
+
+
+def registered_predicates() -> dict[str, PredicateImpl]:
+    """A snapshot of the registry (for introspection and docs)."""
+    return dict(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Built-in predicates.
+# ---------------------------------------------------------------------------
+
+def _distance(positions: Sequence[int], constants: tuple[int, ...]) -> bool:
+    """DISTANCE(p1, p2, n): p2 occurs exactly n tokens after p1."""
+    p1, p2 = positions
+    return p2 - p1 == constants[0]
+
+
+def _proximity(positions: Sequence[int], constants: tuple[int, ...]) -> bool:
+    """PROXIMITY(p..., n): all positions within distance n of each other."""
+    return max(positions) - min(positions) <= constants[0]
+
+
+def _window(positions: Sequence[int], constants: tuple[int, ...]) -> bool:
+    """WINDOW(p..., n): all positions inside a window of n tokens.
+
+    A window of n tokens covers offsets i..i+n-1, so the span must be
+    strictly less than n.
+    """
+    return max(positions) - min(positions) < constants[0]
+
+
+def _order(positions: Sequence[int], constants: tuple[int, ...]) -> bool:
+    """ORDER(p1, ..., pk): positions appear in strictly increasing order."""
+    return all(a < b for a, b in zip(positions, positions[1:]))
+
+
+#: Fallback "sentence" length for SAMESENTENCE on documents whose
+#: analyzer recorded no sentence boundaries.
+SAMESENTENCE_SPAN = 20
+
+
+def _same_sentence_fallback(
+    positions: Sequence[int], constants: tuple[int, ...]
+) -> bool:
+    """Fixed-span approximation used when no boundaries are indexed."""
+    buckets = {p // SAMESENTENCE_SPAN for p in positions}
+    return len(buckets) == 1
+
+
+def _same_sentence(
+    positions: Sequence[int],
+    constants: tuple[int, ...],
+    sentence_starts: tuple[int, ...],
+) -> bool:
+    """SAMESENTENCE(p...): all positions inside one indexed sentence.
+
+    Uses the document's sentence offsets when the index has them
+    (Section 8: supported "assuming the index supports sentence ...
+    offsets"); otherwise falls back to fixed-span buckets.
+    """
+    if not sentence_starts:
+        return _same_sentence_fallback(positions, constants)
+    buckets = {bisect_right(sentence_starts, p) for p in positions}
+    return len(buckets) == 1
+
+
+register_predicate(PredicateImpl("DISTANCE", _distance, 2, 2, 1))
+register_predicate(PredicateImpl("PROXIMITY", _proximity, 2, None, 1))
+register_predicate(PredicateImpl("WINDOW", _window, 2, None, 1))
+register_predicate(PredicateImpl("ORDER", _order, 2, None, 0))
+register_predicate(PredicateImpl(
+    "SAMESENTENCE",
+    _same_sentence_fallback,
+    2,
+    None,
+    0,
+    structural_evaluate=_same_sentence,
+))

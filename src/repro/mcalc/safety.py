@@ -1,0 +1,122 @@
+"""Safe-range analysis and EMPTY-padding of disjunctions.
+
+MCalc "adds a safe-range requirement (similar to SQL) which restricts
+matches to only those useful for scoring by binding under-specified
+position variables to the empty symbol via the EMPTY predicate"
+(Section 3.1).  Concretely:
+
+* every free variable must be *bound* — by HAS or EMPTY — in every
+  disjunct that can produce a match (otherwise the match table would have
+  unbound columns);
+* full-text predicates must only mention variables that are bound
+  somewhere in the query;
+* negated subformulas may not bind output variables (their variables are
+  existentially quantified away; the translation uses an anti-join).
+
+:func:`pad_disjunctions` performs the Q3-style transformation: each branch
+of an ``Or`` is conjoined with ``EMPTY(v)`` for every variable bound by a
+sibling branch but not by itself, exactly as the paper pads Psi^0/Psi^1.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsafeQueryError
+from repro.mcalc.ast import (
+    And,
+    Empty,
+    Formula,
+    Has,
+    Not,
+    Or,
+    Pred,
+    conjoin,
+)
+
+
+def bound_vars(formula: Formula) -> set[str]:
+    """Variables guaranteed a binding (HAS or EMPTY) by ``formula``.
+
+    Standard safe-range rules: conjunction unions bindings, disjunction
+    intersects them, negation and bare predicates bind nothing.
+    """
+    if isinstance(formula, (Has, Empty)):
+        return {formula.var}
+    if isinstance(formula, And):
+        out: set[str] = set()
+        for op in formula.operands:
+            out |= bound_vars(op)
+        return out
+    if isinstance(formula, Or):
+        sets = [bound_vars(op) for op in formula.operands]
+        out = sets[0]
+        for s in sets[1:]:
+            out &= s
+        return out
+    return set()
+
+
+def pad_disjunctions(formula: Formula) -> Formula:
+    """Return ``formula`` with every disjunct EMPTY-padded to a common
+    variable set (bottom-up)."""
+    if isinstance(formula, And):
+        return And(tuple(pad_disjunctions(op) for op in formula.operands))
+    if isinstance(formula, Not):
+        return Not(pad_disjunctions(formula.operand))
+    if isinstance(formula, Or):
+        branches = [pad_disjunctions(op) for op in formula.operands]
+        all_bound: set[str] = set()
+        for b in branches:
+            all_bound |= bound_vars(b)
+        padded = []
+        for b in branches:
+            missing = sorted(all_bound - bound_vars(b))
+            if missing:
+                b = conjoin([b] + [Empty(v) for v in missing])
+            padded.append(b)
+        return Or(tuple(padded))
+    return formula
+
+
+def negated_vars(formula: Formula) -> set[str]:
+    """Variables appearing anywhere under a negation."""
+    out: set[str] = set()
+    for node in formula.walk():
+        if isinstance(node, Not):
+            for inner in node.operand.walk():
+                if isinstance(inner, (Has, Empty)):
+                    out.add(inner.var)
+                elif isinstance(inner, Pred):
+                    out.update(inner.vars)
+    return out
+
+
+def check_safe(formula: Formula, free_vars: tuple[str, ...]) -> None:
+    """Raise :class:`UnsafeQueryError` unless ``formula`` is safe-range
+    with respect to the declared output variables."""
+    bound = bound_vars(formula)
+    unbound = [v for v in free_vars if v not in bound]
+    if unbound:
+        raise UnsafeQueryError(
+            f"free variables {unbound} are not bound (by HAS or EMPTY) on "
+            "every disjunct; apply pad_disjunctions or rewrite the query"
+        )
+    neg = negated_vars(formula)
+    leaked = neg.intersection(free_vars)
+    if leaked:
+        raise UnsafeQueryError(
+            f"output variables {sorted(leaked)} occur under negation; "
+            "negated variables must be quantified away"
+        )
+    all_bindable = {
+        node.var
+        for node in formula.walk()
+        if isinstance(node, (Has, Empty))
+    }
+    for node in formula.walk():
+        if isinstance(node, Pred):
+            dangling = [v for v in node.vars if v not in all_bindable]
+            if dangling:
+                raise UnsafeQueryError(
+                    f"predicate {node.name} constrains unbound "
+                    f"variables {dangling}"
+                )

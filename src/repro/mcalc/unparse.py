@@ -1,0 +1,82 @@
+"""Render a Query back into the Section-8 shorthand syntax.
+
+The inverse of :func:`repro.mcalc.parser.parse_query` (up to whitespace):
+``parse_query(unparse(q))`` reproduces ``q``'s formula exactly.  Used by
+tooling (CLI, logs) and as the round-trip property anchoring the parser
+tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.mcalc.ast import And, Formula, Has, Not, Or, Pred, Query
+
+
+def unparse(query: Query) -> str:
+    """Shorthand text whose parse equals ``query``."""
+    return _render(query.source_formula, top=True)
+
+
+def _render(formula: Formula, top: bool = False) -> str:
+    if isinstance(formula, Has):
+        return formula.keyword
+    if isinstance(formula, Not):
+        inner = _render(formula.operand)
+        if " " in inner and not inner.startswith("("):
+            inner = f"({inner})"
+        return f"-{inner}"
+    if isinstance(formula, Or):
+        body = " | ".join(_render(op) for op in formula.operands)
+        return body if top else f"({body})"
+    if isinstance(formula, And):
+        return _render_and(formula, top)
+    if isinstance(formula, Pred):
+        raise PlanError(
+            "a bare predicate cannot be rendered; predicates must be "
+            "attached to the conjunction binding their variables"
+        )
+    raise PlanError(f"cannot unparse {type(formula).__name__}")
+
+
+def _render_and(formula: And, top: bool) -> str:
+    keywords = [op for op in formula.operands if isinstance(op, Has)]
+    preds = [op for op in formula.operands if isinstance(op, Pred)]
+    others = [
+        op for op in formula.operands
+        if not isinstance(op, (Has, Pred))
+    ]
+
+    if preds and not others and _is_phrase(keywords, preds):
+        return '"' + " ".join(h.keyword for h in keywords) + '"'
+
+    if preds:
+        body = " ".join(_render(op) for op in formula.operands
+                        if not isinstance(op, Pred))
+        if len(preds) == 1:
+            pred = preds[0]
+            consts = (
+                "[" + ",".join(str(c) for c in pred.constants) + "]"
+                if pred.constants else ""
+            )
+            return f"({body}){pred.name}{consts}"
+        raise PlanError(
+            "cannot render multiple non-phrase predicates on one group"
+        )
+
+    parts = [_render(op) for op in formula.operands]
+    body = " ".join(parts)
+    return body if top else f"({body})"
+
+
+def _is_phrase(keywords: list[Has], preds: list[Pred]) -> bool:
+    """A DISTANCE-1 chain over consecutive keyword variables."""
+    if len(preds) != len(keywords) - 1 or len(keywords) < 2:
+        return False
+    expected_pairs = [
+        (a.var, b.var) for a, b in zip(keywords, keywords[1:])
+    ]
+    actual_pairs = [
+        p.vars for p in preds
+        if p.name == "DISTANCE" and p.constants == (1,)
+    ]
+    return actual_pairs == expected_pairs

@@ -1,0 +1,116 @@
+"""Optimization-relevant scoring scheme properties (Section 5.1).
+
+The scheme developer declares "a small set of fundamental properties about
+her implementation ... and the optimizer infers which optimizations will
+preserve score consistency".  The property set mirrors the rows of the
+paper's Table 2:
+
+* directionality (row-first / column-first / diagonal);
+* positionality (do term positions factor into scores?);
+* associativity, commutativity, monotonicity and idempotency of the
+  alternate combinator; whether it *multiplies*; whether the scheme is
+  *constant*;
+* commutativity / monotonicity / associativity of the conjunctive and
+  disjunctive combinators.
+
+Properties are declarations about the scheme's behaviour *on the score
+domain it produces* — e.g. AnySum's alternate combinator "commutes" because
+all alternate scores of a document are equal under AnySum, even though
+``lambda a, b: a`` does not commute on arbitrary floats.  The hypothesis
+test-suite validates each declaration on scheme-generated scores.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields
+
+
+class Associativity(enum.Enum):
+    """How freely an aggregation may be regrouped.
+
+    FULL: any regrouping yields the same score (Yan-Larson "fully
+    associative"); LEFT: only the left-to-right fold order is defined, but
+    prefixes may be pre-aggregated when stream order is preserved; NONE: no
+    regrouping allowed.
+    """
+
+    FULL = "full"
+    LEFT = "left"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class SchemeProperties:
+    """Declared properties of one scoring scheme implementation.
+
+    Attributes:
+        directional: ``"row"`` for row-first schemes, ``"col"`` for
+            column-first, ``None`` for diagonal schemes (Definition 3),
+            which score identically under either pattern.
+        positional: True when term positions factor into scores
+            (Section 5.1).  Schemes may additionally refine positionality
+            per query column via
+            :meth:`repro.sa.scheme.ScoringScheme.positional_vars`; such
+            schemes set ``positional_per_query`` so position-forgetting
+            rewrites know to consult the refinement (Table 2's footnote:
+            "Lucene is positional only for queries with phrase or
+            proximity predicates").
+        positional_per_query: Positionality depends on the query; the
+            per-column refinement decides which columns may forget
+            positions.
+        constant: True when all matches of a document score equally and
+            the alternate combinator is idempotent, so one match suffices
+            to score the document (enables forward-scan joins and
+            alternate elimination).
+        alt_*: properties of the alternate combinator; ``alt_multiplies``
+            asserts a constant-time ``times(s, k)`` equal to folding k
+            equal scores.
+        conj_* / disj_*: properties of the conjunctive / disjunctive
+            combinators.
+    """
+
+    directional: str | None = None
+    positional: bool = False
+    positional_per_query: bool = False
+    constant: bool = False
+
+    alt_associates: Associativity = Associativity.FULL
+    alt_commutes: bool = True
+    alt_monotonic_increasing: bool = False
+    alt_idempotent: bool = False
+    alt_multiplies: bool = True
+
+    conj_associates: Associativity = Associativity.FULL
+    conj_commutes: bool = True
+    conj_monotonic_increasing: bool = False
+
+    disj_associates: Associativity = Associativity.FULL
+    disj_commutes: bool = True
+    disj_monotonic_increasing: bool = False
+
+    def __post_init__(self):
+        if self.directional not in (None, "row", "col"):
+            raise ValueError(
+                f"directional must be 'row', 'col' or None, "
+                f"got {self.directional!r}"
+            )
+
+    @property
+    def diagonal(self) -> bool:
+        """Diagonal schemes (Definition 3) aggregate row- or column-first
+        interchangeably."""
+        return self.directional is None
+
+    def as_table_row(self) -> dict[str, str]:
+        """Render the declaration as a Table-2-style row of cells."""
+        def mark(value) -> str:
+            if isinstance(value, bool):
+                return "yes" if value else ""
+            if isinstance(value, Associativity):
+                return {"full": "yes", "left": "left", "none": ""}[value.value]
+            if value is None:
+                return ""
+            return str(value)
+
+        return {f.name: mark(getattr(self, f.name)) for f in fields(self)}

@@ -1,0 +1,127 @@
+"""Reference (top-down) scoring semantics over materialized match tables.
+
+Section 4.2 defines match-table scoring inductively, choosing row-wise or
+column-wise subtables per the scheme's directionality.  This module is the
+direct, unoptimized implementation of that definition: it materializes the
+match table and aggregates it exactly as written.  It defines the scores
+that every optimized plan must reproduce (Definition 1, score
+consistency), and so serves as the ground truth of the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.collection import DocumentCollection
+from repro.errors import PlanError
+from repro.mcalc.ast import Query
+from repro.mcalc.oracle import document_matches
+from repro.mcalc.scoring_plan import PhiNode, derive_scoring_plan, fold_phi
+from repro.sa.context import ScoringContext
+from repro.sa.scheme import ScoringScheme
+
+
+def _alpha_rows(
+    scheme: ScoringScheme,
+    ctx: ScoringContext,
+    query: Query,
+    doc_id: int,
+    rows: list[tuple],
+) -> list[dict[str, object]]:
+    """Initialize every cell of ``rows``, applying per-row positional
+    adjustments (the Lucene extension hook) where declared."""
+    columns = query.free_vars
+    preds = tuple(query.predicates())
+    out: list[dict[str, object]] = []
+    for row in rows:
+        cells = dict(zip(columns, row[1:]))
+        scores = {
+            var: scheme.alpha(ctx, doc_id, var, query.var_keywords[var], cell)
+            for var, cell in cells.items()
+        }
+        factors = scheme.cell_adjust(ctx, doc_id, cells, preds)
+        if factors:
+            for var, factor in factors.items():
+                scores[var] = _scale(scores[var], factor)
+        out.append(scores)
+    return out
+
+
+def _scale(score, factor: float):
+    """Multiply a float-typed internal score by an adjustment factor."""
+    if not isinstance(score, (int, float)):
+        raise PlanError(
+            "cell adjustments require float internal scores; "
+            f"got {type(score).__name__}"
+        )
+    return score * factor
+
+
+def score_match_table(
+    scheme: ScoringScheme,
+    ctx: ScoringContext,
+    query: Query,
+    doc_id: int,
+    rows: list[tuple],
+    phi: PhiNode | None = None,
+    direction: str | None = None,
+) -> float:
+    """Score one document's match rows per the Section 4 semantics.
+
+    Args:
+        rows: The document's matches, in canonical (sorted) table order.
+        phi: Scoring plan; derived from the query if omitted.
+        direction: Force ``"row"`` or ``"col"`` aggregation; defaults to
+            the scheme's declared directionality (column-first for
+            diagonal schemes, where the choice is immaterial).
+
+    Raises:
+        PlanError: if ``rows`` is empty (documents without matches are not
+            scored; they simply are not answers).
+    """
+    if not rows:
+        raise PlanError("cannot score a document with no matches")
+    if phi is None:
+        phi = derive_scoring_plan(query)
+    if direction is None:
+        direction = scheme.properties.directional or "col"
+
+    initialized = _alpha_rows(scheme, ctx, query, doc_id, rows)
+
+    if direction == "row":
+        row_scores = [
+            fold_phi(phi, lambda v, s=s: s[v], scheme.conj, scheme.disj)
+            for s in initialized
+        ]
+        aggregate = scheme.fold_alt(row_scores)
+    elif direction == "col":
+        col_scores = {
+            var: scheme.fold_alt(s[var] for s in initialized)
+            for var in query.free_vars
+        }
+        aggregate = fold_phi(phi, lambda v: col_scores[v], scheme.conj, scheme.disj)
+    else:
+        raise PlanError(f"unknown scoring direction {direction!r}")
+    return scheme.omega(ctx, doc_id, aggregate)
+
+
+def rank_with_oracle(
+    scheme: ScoringScheme,
+    ctx: ScoringContext,
+    query: Query,
+    collection: DocumentCollection,
+) -> list[tuple[int, float]]:
+    """Rank ``collection`` for ``query`` by brute force.
+
+    Matches come from the MCalc oracle and scores from the reference
+    semantics; results are ``(doc_id, score)`` sorted by descending score
+    (ties by ascending doc id).  Exponential — use on small collections.
+    """
+    phi = derive_scoring_plan(query)
+    results: list[tuple[int, float]] = []
+    for doc in collection:
+        rows = document_matches(query, doc)
+        if rows:
+            results.append(
+                (doc.doc_id, score_match_table(scheme, ctx, query, doc.doc_id, rows, phi))
+            )
+    results.sort(key=lambda r: (-r[1], r[0]))
+    return results

@@ -1,0 +1,58 @@
+"""Scoring scheme registry.
+
+User-defined schemes register here and become first-class citizens of the
+optimizer — exactly the paper's "plug-in ranking" desideratum.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import UnknownSchemeError
+from repro.sa.scheme import ScoringScheme
+
+_REGISTRY: dict[str, Callable[[], ScoringScheme]] = {}
+
+
+def register_scheme(factory: Callable[[], ScoringScheme], name: str | None = None) -> None:
+    """Register a scheme factory under ``name`` (default: the scheme's
+    declared name)."""
+    key = name if name is not None else factory().name
+    _REGISTRY[key] = factory
+
+
+def get_scheme(name: str) -> ScoringScheme:
+    """Instantiate the scheme registered under ``name``."""
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise UnknownSchemeError(
+            f"unknown scoring scheme {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return factory()
+
+
+def available_schemes() -> list[str]:
+    """Names of all registered schemes, sorted."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    """Register the seven schemes of Section 7 plus the extra instances
+    the section mentions (import-cycle-safe)."""
+    from repro.sa.schemes import (
+        AnySum,
+        BestSumMinDist,
+        EventModel,
+        JoinNormalized,
+        Lucene,
+        MeanSum,
+        SumBest,
+    )
+    from repro.sa.schemes.extras import AnyProd, KLSum
+
+    for cls in (AnySum, SumBest, Lucene, JoinNormalized, EventModel, MeanSum,
+                BestSumMinDist, AnyProd, KLSum):
+        register_scheme(cls)
+
+
+_register_builtins()

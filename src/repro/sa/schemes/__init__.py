@@ -1,0 +1,24 @@
+"""The seven scoring schemes of the paper's Section 7 study.
+
+Each module implements one scheme from the literature as an SA scoring
+scheme, with the Section 5.1 properties declared; the property-based test
+suite validates every declaration against the implementation.
+"""
+
+from repro.sa.schemes.anysum import AnySum
+from repro.sa.schemes.sumbest import SumBest
+from repro.sa.schemes.lucene import Lucene
+from repro.sa.schemes.join_normalized import JoinNormalized
+from repro.sa.schemes.event_model import EventModel
+from repro.sa.schemes.meansum import MeanSum
+from repro.sa.schemes.bestsum_mindist import BestSumMinDist
+
+__all__ = [
+    "AnySum",
+    "SumBest",
+    "Lucene",
+    "JoinNormalized",
+    "EventModel",
+    "MeanSum",
+    "BestSumMinDist",
+]

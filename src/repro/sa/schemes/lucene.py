@@ -1,0 +1,89 @@
+"""Lucene's scoring scheme: SumBest plus sloppy proximity weighting.
+
+"Excluding the special handling of proximity predicates, the Lucene
+scoring scheme coincides with SumBest" (Section 7).  The special handling
+— which the paper implements but omits presenting, calling it an ad-hoc
+solution to the general fuzzy-matching problem — scores matches of a
+proximity predicate by their divergence from the proximity parameter.
+
+Our reconstruction follows Lucene's SloppyPhraseScorer: a match whose
+positions use ``slop`` more separation than the tightest possible
+arrangement is weighted ``1 / (1 + slop)``.  The weight is applied, per
+row, to the initial scores of the columns the predicate constrains
+(through the :meth:`cell_adjust` extension hook), *before* any
+aggregation, so every aggregation order sees the same adjusted cell scores
+and score consistency is preserved.
+
+Per Table 2's footnote, "Lucene is positional only for queries with phrase
+or proximity predicates": :meth:`positional_vars` reports exactly the
+predicate-constrained columns, so pre-counting remains valid for the
+query's free keywords.
+"""
+
+from __future__ import annotations
+
+from repro.mcalc.ast import Pred, Query
+from repro.sa.context import ScoringContext
+from repro.sa.properties import Associativity, SchemeProperties
+from repro.sa.schemes.sumbest import SumBest
+
+#: Predicates whose matches receive sloppy weighting.  WINDOW and ORDER
+#: constrain but do not grade positions in Lucene's model.
+_SLOPPY = ("PROXIMITY", "DISTANCE")
+
+
+class Lucene(SumBest):
+    """SumBest + per-row sloppy proximity weights on predicate columns."""
+
+    name = "lucene"
+    properties = SchemeProperties(
+        directional="col",
+        positional=True,
+        positional_per_query=True,  # refined by positional_vars()
+        constant=False,
+        alt_associates=Associativity.FULL,
+        alt_commutes=True,
+        alt_monotonic_increasing=True,
+        alt_idempotent=True,
+        alt_multiplies=True,
+        conj_associates=Associativity.FULL,
+        conj_commutes=True,
+        conj_monotonic_increasing=True,
+        disj_associates=Associativity.FULL,
+        disj_commutes=True,
+        disj_monotonic_increasing=True,
+    )
+
+    def positional_vars(self, query: Query) -> set[str]:
+        """Only phrase/proximity columns are positional (Table 2 note 2)."""
+        out: set[str] = set()
+        for pred in query.predicates():
+            if pred.name in _SLOPPY:
+                out.update(pred.vars)
+        return out
+
+    def adjusting_predicates(self, predicates: tuple[Pred, ...]) -> tuple[Pred, ...]:
+        """Only PROXIMITY grades matches (DISTANCE fixes the span)."""
+        return tuple(p for p in predicates if p.name == "PROXIMITY")
+
+    def cell_adjust(
+        self,
+        ctx: ScoringContext,
+        doc_id: int,
+        cells: dict[str, int | None],
+        predicates: tuple[Pred, ...],
+    ) -> dict[str, float] | None:
+        factors: dict[str, float] = {}
+        for pred in predicates:
+            if pred.name != "PROXIMITY":
+                # DISTANCE fixes the exact span, so every match of it has
+                # slop 0 and weight 1; only PROXIMITY grades matches.
+                continue
+            concrete = [cells[v] for v in pred.vars if cells.get(v) is not None]
+            if len(concrete) < 2:
+                continue
+            slop = (max(concrete) - min(concrete)) - (len(concrete) - 1)
+            weight = 1.0 / (1.0 + max(0, slop))
+            for var in pred.vars:
+                factors[var] = factors.get(var, 1.0) * weight
+        return factors or None

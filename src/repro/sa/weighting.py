@@ -1,0 +1,87 @@
+"""Term-weighting functions used by scoring initializers (Section 4.1).
+
+"The initializer function typically implements a term weighting function
+such as TF-IDF, BM25, KL Divergence" — all three are provided, in the
+standard textbook formulations of Manning, Raghavan & Schuetze (the
+paper's reference [18]).  :func:`tfidf_meansum` is the paper's own variant
+used by the MEANSUM worked example (Example 3/5).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sa.context import ScoringContext
+
+#: BM25 defaults (Manning et al., Chapter 11).
+BM25_K1 = 1.2
+BM25_B = 0.75
+
+
+def tfidf_meansum(ctx: ScoringContext, doc_id: int, term: str) -> float:
+    """The MEANSUM tf-idf of Example 3:
+    ``(#InDoc / d.length) * (d.collectionSize / #Docs)``.
+
+    Returns 0.0 when the term does not occur in the document or nowhere in
+    the collection.
+    """
+    tf = ctx.term_frequency(doc_id, term)
+    df = ctx.document_frequency(term)
+    length = ctx.doc_length(doc_id)
+    if tf == 0 or df == 0 or length == 0:
+        return 0.0
+    return (tf / length) * (ctx.collection_size() / df)
+
+
+def tfidf(ctx: ScoringContext, doc_id: int, term: str) -> float:
+    """Classic log-scaled tf-idf: ``(1 + ln tf) * ln(N / df)``."""
+    tf = ctx.term_frequency(doc_id, term)
+    df = ctx.document_frequency(term)
+    if tf == 0 or df == 0:
+        return 0.0
+    return (1.0 + math.log(tf)) * math.log(ctx.collection_size() / df)
+
+
+def bm25(
+    ctx: ScoringContext,
+    doc_id: int,
+    term: str,
+    k1: float = BM25_K1,
+    b: float = BM25_B,
+) -> float:
+    """Okapi BM25 term weight with the standard smoothed idf."""
+    tf = ctx.term_frequency(doc_id, term)
+    if tf == 0:
+        return 0.0
+    df = ctx.document_frequency(term)
+    n = ctx.collection_size()
+    idf = math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+    avg = ctx.avg_doc_length() or 1.0
+    norm = tf + k1 * (1.0 - b + b * ctx.doc_length(doc_id) / avg)
+    return idf * tf * (k1 + 1.0) / norm
+
+
+def kl_divergence(
+    ctx: ScoringContext,
+    doc_id: int,
+    term: str,
+    mu: float = 2000.0,
+    collection_total_tokens: int | None = None,
+) -> float:
+    """Dirichlet-smoothed language-model (KL divergence) term weight.
+
+    ``log(1 + tf / (mu * p_coll)) + log(mu / (dl + mu))`` per query-term
+    occurrence; the second (document-constant) part is omitted here since
+    initializers score terms independently and finalizers may normalize.
+    """
+    tf = ctx.term_frequency(doc_id, term)
+    if tf == 0:
+        return 0.0
+    total = collection_total_tokens
+    if total is None:
+        total = max(1, ctx.collection_size() * int(ctx.avg_doc_length() or 1))
+    df = max(1, ctx.document_frequency(term))
+    # Collection language model estimated from document frequency when raw
+    # collection term counts are unavailable.
+    p_coll = df / total
+    return math.log(1.0 + tf / (mu * p_coll))

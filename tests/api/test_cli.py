@@ -1,0 +1,130 @@
+"""CLI tests (invoked in-process)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def docs_dir(tmp_path):
+    d = tmp_path / "docs"
+    d.mkdir()
+    (d / "wine.txt").write_text(
+        "wine is a free software windows emulator for unix"
+    )
+    (d / "emulator.txt").write_text(
+        "an emulator lets one computer behave like another computer"
+    )
+    (d / "glass.txt").write_text(
+        "a window is an opening in a wall fitted with glass"
+    )
+    return d
+
+
+@pytest.fixture
+def index_dir(docs_dir, tmp_path):
+    out = tmp_path / "idx"
+    assert main(["index", str(docs_dir), str(out)]) == 0
+    return out
+
+
+def test_index_reports_counts(docs_dir, tmp_path, capsys):
+    main(["index", str(docs_dir), str(tmp_path / 'i')])
+    out = capsys.readouterr().out
+    assert "indexed 3 documents" in out
+
+
+def test_index_empty_directory_fails(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["index", str(empty), str(tmp_path / "i")]) == 1
+    assert "no .txt files" in capsys.readouterr().err
+
+
+def test_search_ranks_and_titles(index_dir, capsys):
+    assert main(["search", str(index_dir), "windows emulator"]) == 0
+    out = capsys.readouterr().out
+    assert "wine" in out
+    assert out.strip().startswith("1.")
+
+
+def test_search_phrase(index_dir, capsys):
+    assert main(["search", str(index_dir), '"free software"']) == 0
+    out = capsys.readouterr().out
+    assert "wine" in out and "glass" not in out
+
+
+def test_search_no_matches(index_dir, capsys):
+    assert main(["search", str(index_dir), "zebra"]) == 0
+    assert "no matches" in capsys.readouterr().out
+
+
+def test_search_with_scheme_and_topk(index_dir, capsys):
+    assert main([
+        "search", str(index_dir), "emulator", "--scheme", "meansum",
+        "--top-k", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert len(out.strip().splitlines()) == 1
+
+
+def test_search_unknown_scheme_errors(index_dir, capsys):
+    assert main(["search", str(index_dir), "emulator", "--scheme", "x"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_search_bad_query_errors(index_dir, capsys):
+    assert main(["search", str(index_dir), "(unbalanced"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_explain_shows_plan(index_dir, capsys):
+    assert main(["explain", str(index_dir), "windows emulator",
+                 "--scheme", "anysum"]) == 0
+    out = capsys.readouterr().out
+    assert "scheme: anysum" in out
+    assert "alternate-elimination" in out
+    assert "delta[doc]" in out
+
+
+def test_explain_canonical(index_dir, capsys):
+    assert main(["explain", str(index_dir), "windows emulator",
+                 "--no-optimize"]) == 0
+    out = capsys.readouterr().out
+    assert "rewrites: none" in out
+    assert "tau[" in out
+
+
+def test_schemes_lists_all(capsys):
+    assert main(["schemes"]) == 0
+    out = capsys.readouterr().out
+    for name in ("anysum", "meansum", "bestsum-mindist", "lucene"):
+        assert name in out
+    assert "constant" in out
+    assert "positional" in out
+
+
+def test_index_with_sentences_enables_samesentence(tmp_path, capsys):
+    docs = tmp_path / "sdocs"
+    docs.mkdir()
+    (docs / "a.txt").write_text("the fox runs fast. the dog sleeps here.")
+    (docs / "b.txt").write_text("the fox chases the dog around the yard.")
+    out = tmp_path / "sidx"
+    assert main(["index", str(docs), str(out), "--sentences"]) == 0
+    capsys.readouterr()
+    assert main(["search", str(out), "(fox dog)SAMESENTENCE"]) == 0
+    text = capsys.readouterr().out
+    # Only b.txt holds fox and dog in one sentence.
+    assert "[1] b" in text and "[0] a" not in text
+
+
+def test_index_without_sentences_uses_fallback(tmp_path, capsys):
+    docs = tmp_path / "pdocs"
+    docs.mkdir()
+    (docs / "a.txt").write_text("the fox runs fast. the dog sleeps here.")
+    out = tmp_path / "pidx"
+    assert main(["index", str(docs), str(out)]) == 0
+    capsys.readouterr()
+    assert main(["search", str(out), "(fox dog)SAMESENTENCE"]) == 0
+    # Fixed-span fallback (20 tokens): the whole document is one bucket.
+    assert "[0] a" in capsys.readouterr().out

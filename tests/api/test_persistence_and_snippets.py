@@ -1,0 +1,81 @@
+"""Engine persistence and hit-highlighting helpers."""
+
+import pytest
+
+from repro.api import SearchEngine
+from repro.corpus.io import load_collection, save_collection
+from repro.errors import IndexError_
+
+from tests.conftest import make_tiny_collection
+
+
+class TestCollectionIO:
+    def test_round_trip(self, tmp_path, tiny_collection):
+        save_collection(tiny_collection, tmp_path)
+        loaded = load_collection(tmp_path)
+        assert len(loaded) == len(tiny_collection)
+        for a, b in zip(loaded, tiny_collection):
+            assert a.tokens == b.tokens
+            assert a.title == b.title
+
+    def test_sentence_starts_survive(self, tmp_path):
+        from repro.corpus.analyzer import SentenceAnalyzer
+        from repro.corpus.collection import DocumentCollection
+
+        col = DocumentCollection(analyzer=SentenceAnalyzer())
+        col.add_text("one sentence here. another one there.")
+        save_collection(col, tmp_path)
+        loaded = load_collection(tmp_path)
+        assert loaded[0].sentence_starts == col[0].sentence_starts
+
+    def test_missing_raises(self, tmp_path):
+        with pytest.raises(IndexError_):
+            load_collection(tmp_path / "none")
+
+
+class TestEngineSaveLoad:
+    def test_identical_results_after_reload(self, tmp_path):
+        engine = SearchEngine(make_tiny_collection())
+        before = engine.search('quick (fox | "lazy dog")', scheme="meansum")
+        engine.save(tmp_path / "engine")
+        restored = SearchEngine.load(tmp_path / "engine")
+        after = restored.search('quick (fox | "lazy dog")', scheme="meansum")
+        assert [(r.doc_id, r.score, r.title) for r in before] == \
+            [(r.doc_id, r.score, r.title) for r in after]
+
+    def test_loaded_engine_can_keep_indexing(self, tmp_path):
+        engine = SearchEngine(make_tiny_collection())
+        engine.save(tmp_path / "engine")
+        restored = SearchEngine.load(tmp_path / "engine")
+        restored.add("a brand new fox appears")
+        results = restored.search("fox")
+        assert len(results) == len(engine.search("fox")) + 1
+
+
+class TestMatchesAndSnippets:
+    @pytest.fixture
+    def engine(self):
+        return SearchEngine(make_tiny_collection())
+
+    def test_matches_maps_variables_to_offsets(self, engine):
+        (match,) = engine.matches('"quick fox"', doc_id=4, limit=1)
+        assert match == {"p0": 0, "p1": 1}
+
+    def test_matches_limit(self, engine):
+        # Doc 4 has 2x2 quick/fox combinations.
+        found = engine.matches("quick fox", doc_id=4, limit=3)
+        assert len(found) == 3
+
+    def test_matches_absent_document(self, engine):
+        assert engine.matches("quick fox", doc_id=5) == []
+
+    def test_matches_report_empty_cells(self, engine):
+        found = engine.matches("quick (fox | terrier)", doc_id=0, limit=10)
+        assert any(m["p2"] is None for m in found)
+
+    def test_snippet_shows_context(self, engine):
+        text = engine.snippet("lazy dog", doc_id=0)
+        assert "lazy" in text and "dog" in text
+
+    def test_snippet_empty_for_non_matching_doc(self, engine):
+        assert engine.snippet("zebra", doc_id=0) == ""

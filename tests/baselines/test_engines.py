@@ -1,0 +1,87 @@
+"""Rigid engines vs GRAFT: the Figure-4 correctness cross-check.
+
+GRAFT optimized for Lucene's scheme must return exactly Lucene's ranking,
+and GRAFT optimized for Terrier's scheme (AnySum) exactly Terrier's — the
+whole point of flexible plan generation is matching the rigid engines'
+*semantics* while keeping scoring generic.
+"""
+
+import pytest
+
+from repro.baselines import LuceneLikeEngine, TerrierLikeEngine
+from repro.bench.workload import RIGID_SUPPORTED, bench_fixture
+from repro.errors import UnsupportedQueryError
+from repro.exec.engine import execute, make_runtime
+from repro.graft.optimizer import Optimizer
+from repro.mcalc.parser import parse_query
+from repro.sa.registry import get_scheme
+
+from tests.conftest import assert_same_ranking
+
+
+@pytest.fixture(scope="module")
+def fx():
+    return bench_fixture(num_docs=1200)
+
+
+def graft_ranking(query, scheme_name, index):
+    scheme = get_scheme(scheme_name)
+    res = Optimizer(scheme, index).optimize(query)
+    return execute(res.plan, make_runtime(index, scheme, res.info))
+
+
+@pytest.mark.parametrize("name", RIGID_SUPPORTED)
+def test_lucene_like_equals_graft_lucene(name, fx):
+    q = fx.queries[name]
+    want = graft_ranking(q, "lucene", fx.index)
+    got = LuceneLikeEngine(fx.index).search(q)
+    assert_same_ranking(got, want)
+
+
+@pytest.mark.parametrize("name", RIGID_SUPPORTED)
+def test_terrier_like_equals_graft_anysum(name, fx):
+    q = fx.queries[name]
+    want = graft_ranking(q, "anysum", fx.index)
+    got = TerrierLikeEngine(fx.index).search(q)
+    assert_same_ranking(got, want)
+
+
+@pytest.mark.parametrize("engine_cls", [LuceneLikeEngine, TerrierLikeEngine])
+def test_window_queries_rejected(engine_cls, fx):
+    for name in ("Q8", "Q10"):
+        with pytest.raises(UnsupportedQueryError):
+            engine_cls(fx.index).search(fx.queries[name])
+
+
+@pytest.mark.parametrize("engine_cls", [LuceneLikeEngine, TerrierLikeEngine])
+def test_top_k_truncates(engine_cls, fx):
+    q = fx.queries["Q4"]
+    full = engine_cls(fx.index).search(q)
+    top = engine_cls(fx.index).search(q, top_k=3)
+    assert top == full[:3]
+
+
+def test_phrase_must_be_verified_not_just_cooccur(tiny_index):
+    """Docs containing both words but not adjacent must be rejected."""
+    q = parse_query('"fox quick"')  # reversed: never adjacent in doc 0
+    results = LuceneLikeEngine(tiny_index).search(q)
+    assert all(doc != 0 for doc, _ in results)
+
+
+def test_proximity_weighting_prefers_tight_matches(tiny_index):
+    """'quick fox' adjacent (doc 4) must outscore looser co-occurrence
+    under Lucene's sloppy weighting, relative to BM25-only baselines."""
+    q = parse_query("(quick dog)PROXIMITY[8]")
+    lucene = dict(LuceneLikeEngine(tiny_index).search(q))
+    terrier = dict(TerrierLikeEngine(tiny_index).search(q))
+    assert set(lucene) == set(terrier)
+    # Lucene discounts sloppy matches: no Lucene score may exceed the
+    # undiscounted AnySum-style sum.
+    for doc, score in lucene.items():
+        assert score <= terrier[doc] + 1e-9
+
+
+def test_empty_query_result_for_absent_terms(tiny_index):
+    q = parse_query("zebra unicorn")
+    assert LuceneLikeEngine(tiny_index).search(q) == []
+    assert TerrierLikeEngine(tiny_index).search(q) == []

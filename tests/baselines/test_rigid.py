@@ -1,0 +1,82 @@
+"""Rigid query decomposition and positional helpers."""
+
+import pytest
+
+from repro.baselines.rigid import (
+    best_proximity_slop,
+    decompose_rigid,
+    min_span,
+    phrase_occurs,
+)
+from repro.bench.workload import PAPER_QUERIES, RIGID_SUPPORTED
+from repro.errors import UnsupportedQueryError
+from repro.mcalc.parser import parse_query
+
+
+class TestDecomposition:
+    def test_bare_terms(self):
+        rigid = decompose_rigid(parse_query("san francisco fault line"))
+        assert rigid.terms == ["san", "francisco", "fault", "line"]
+
+    def test_or_group(self):
+        rigid = decompose_rigid(parse_query("a (b | c | d)"))
+        assert rigid.or_groups == [["b", "c", "d"]]
+
+    def test_phrase(self):
+        rigid = decompose_rigid(parse_query('"orange county convention center"'))
+        assert rigid.phrases == [["orange", "county", "convention", "center"]]
+
+    def test_proximity_group(self):
+        rigid = decompose_rigid(parse_query("(free wireless internet)PROXIMITY[10]"))
+        assert rigid.proximities == [(["free", "wireless", "internet"], 10)]
+
+    def test_window_unsupported(self):
+        with pytest.raises(UnsupportedQueryError):
+            decompose_rigid(parse_query("(a b)WINDOW[50]"))
+
+    def test_nested_disjunction_unsupported(self):
+        with pytest.raises(UnsupportedQueryError):
+            decompose_rigid(parse_query('a (b | "c d")'))
+
+    def test_negation_unsupported(self):
+        with pytest.raises(UnsupportedQueryError):
+            decompose_rigid(parse_query("a -b"))
+
+    @pytest.mark.parametrize("name", RIGID_SUPPORTED)
+    def test_supported_paper_queries_decompose(self, name):
+        decompose_rigid(parse_query(PAPER_QUERIES[name]))
+
+    @pytest.mark.parametrize("name", ("Q8", "Q10"))
+    def test_window_paper_queries_rejected(self, name):
+        """Section 8: "Lucene and Terrier do not support Q8 or Q10"."""
+        with pytest.raises(UnsupportedQueryError):
+            decompose_rigid(parse_query(PAPER_QUERIES[name]))
+
+    def test_all_keywords_in_query_order(self):
+        rigid = decompose_rigid(parse_query('a (b | c) "d e"'))
+        assert rigid.all_keywords() == ["a", "b", "c", "d", "e"]
+
+
+class TestPositionalHelpers:
+    def test_phrase_occurs(self):
+        assert phrase_occurs([(3, 9), (4,), (5, 20)])
+        assert not phrase_occurs([(3,), (5,)])
+        assert not phrase_occurs([(3,), ()])
+
+    def test_min_span_pairs(self):
+        assert min_span([(1, 50), (40,)]) == 10
+        assert min_span([(1,), (2,), (3,)]) == 2
+
+    def test_min_span_empty_list(self):
+        assert min_span([(1,), ()]) is None
+
+    def test_min_span_finds_tight_cluster(self):
+        assert min_span([(0, 100), (1, 200), (2, 300)]) == 2
+
+    def test_best_proximity_slop(self):
+        # span 4 over 2 terms -> slop 3.
+        assert best_proximity_slop([(0,), (4,)], 10) == 3
+        # adjacent -> slop 0.
+        assert best_proximity_slop([(0,), (1,)], 10) == 0
+        # out of range -> None.
+        assert best_proximity_slop([(0,), (20,)], 10) is None

@@ -1,0 +1,34 @@
+"""Measurement methodology tests."""
+
+import pytest
+
+from repro.bench.measure import paper_measure, reduction_percent
+
+
+def test_paper_measure_runs_nine_times():
+    calls = []
+    paper_measure(lambda: calls.append(1))
+    assert len(calls) == 9
+
+
+def test_paper_measure_is_mean_of_middle_medians(monkeypatch):
+    times = iter([0.0, 1, 3, 5, 7, 9, 11, 13, 100, 100])
+    # perf_counter is called twice per run; feed deltas via a counter.
+    ticks = iter([0, 1, 10, 12, 20, 23, 30, 34, 40, 45, 50, 56, 60, 67,
+                  70, 78, 80, 89])
+    import repro.bench.measure as m
+
+    monkeypatch.setattr(m.time, "perf_counter", lambda: next(ticks))
+    value = paper_measure(lambda: None)
+    # Durations: 1..9 ascending; middle five are 3,4,5,6,7 -> mean 5.
+    assert value == pytest.approx(5.0)
+
+
+def test_reduction_percent():
+    assert reduction_percent(2.0, 1.0) == pytest.approx(50.0)
+    assert reduction_percent(2.0, 2.0) == 0.0
+    assert reduction_percent(0.0, 1.0) == 0.0
+
+
+def test_reduction_can_be_negative():
+    assert reduction_percent(1.0, 2.0) == pytest.approx(-100.0)

@@ -1,0 +1,53 @@
+"""Report rendering tests."""
+
+from repro.bench.reporting import render_bars, render_table
+
+
+class TestRenderTable:
+    def test_columns_aligned(self):
+        text = render_table(
+            ["name", "value"],
+            [["a", "1"], ["longer-name", "22"]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        header, rule, row1, row2 = lines[1:]
+        assert header.index("value") == row1.index("1")
+        assert set(rule) <= {"-", " "}
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+    def test_wide_cells_stretch_columns(self):
+        text = render_table(["h"], [["wider-than-header"]])
+        assert "wider-than-header" in text
+
+
+class TestRenderBars:
+    def test_bars_scale_to_maximum(self):
+        text = render_bars(
+            {"g": {"small": 1.0, "big": 10.0}}, unit="ms", width=10
+        )
+        lines = [l for l in text.splitlines() if "#" in l]
+        big = next(l for l in lines if "big" in l)
+        small = next(l for l in lines if "small" in l)
+        assert big.count("#") == 10
+        assert small.count("#") == 1
+
+    def test_zero_values_render_without_bars(self):
+        text = render_bars({"g": {"x": 0.0}}, unit="%")
+        assert "0.000" in text
+
+    def test_groups_labelled(self):
+        text = render_bars(
+            {"Q4": {"a": 1.0}, "Q5": {"a": 2.0}}, unit="ms", title="F"
+        )
+        assert text.splitlines()[0] == "F"
+        assert "Q4:" in text and "Q5:" in text
+
+    def test_negative_values_clamped(self):
+        text = render_bars({"g": {"x": -5.0, "y": 5.0}}, unit="%")
+        bad = next(l for l in text.splitlines() if "x" in l)
+        assert "#" not in bad

@@ -1,0 +1,50 @@
+"""Benchmark workload sanity: the evaluation must measure real work."""
+
+import pytest
+
+from repro.bench.workload import (
+    PAPER_QUERIES,
+    RIGID_SUPPORTED,
+    bench_fixture,
+)
+from repro.exec.engine import execute, make_runtime
+from repro.graft.optimizer import Optimizer
+from repro.sa.registry import get_scheme
+
+
+@pytest.fixture(scope="module")
+def fx():
+    return bench_fixture(num_docs=1200)
+
+
+def test_eight_queries():
+    assert sorted(PAPER_QUERIES) == [f"Q{i}" for i in range(10, 12)] + [
+        f"Q{i}" for i in range(4, 10)
+    ]
+    assert len(PAPER_QUERIES) == 8
+
+
+def test_rigid_supported_excludes_window_queries():
+    assert set(RIGID_SUPPORTED) == set(PAPER_QUERIES) - {"Q8", "Q10"}
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_QUERIES))
+def test_every_query_has_answers(name, fx):
+    """A benchmark query with an empty result measures nothing."""
+    scheme = get_scheme("anysum")
+    res = Optimizer(scheme, fx.index).optimize(fx.queries[name])
+    results = execute(res.plan, make_runtime(fx.index, scheme, res.info))
+    assert len(results) >= 1, name
+
+
+def test_fixture_is_cached():
+    a = bench_fixture(num_docs=1200)
+    b = bench_fixture(num_docs=1200)
+    assert a is b
+
+
+def test_fixture_scales(fx):
+    small = bench_fixture(num_docs=300)
+    assert small.num_docs == 300
+    assert fx.num_docs == 1200
+    assert small.index.num_docs == 300

@@ -1,0 +1,101 @@
+"""Shared fixtures for the GRAFT reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.wine import wine_collection, wine_stats_overrides
+from repro.index.builder import build_index
+from repro.sa.context import IndexScoringContext, OverrideScoringContext
+from repro.sa.registry import get_scheme
+
+#: Names of the seven built-in schemes (Section 7).
+SCHEME_NAMES = (
+    "anysum",
+    "sumbest",
+    "lucene",
+    "join-normalized",
+    "event-model",
+    "meansum",
+    "bestsum-mindist",
+)
+
+
+def make_tiny_collection() -> DocumentCollection:
+    """A small hand-written collection with phrases, repeats and overlap,
+    designed so the example queries in tests produce varied match tables."""
+    col = DocumentCollection()
+    col.add_text("the quick brown fox jumps over the lazy dog")
+    col.add_text("a quick quick fox and a slow dog walk home")
+    col.add_text("dogs and foxes are not the same animal")
+    col.add_text("quick release fox terrier dog show dog fox")
+    col.add_text("quick fox quick fox dog dog dog lazy")
+    col.add_text("nothing relevant here at all just filler words")
+    col.add_text("the brown dog naps while the brown fox runs quick")
+    return col
+
+
+#: Query texts exercising conjunction, phrases, disjunction (with and
+#: without phrases inside), n-ary predicates and negation.
+TINY_QUERIES = (
+    "quick fox",
+    '"quick fox"',
+    "quick (fox | dog)",
+    "(quick dog)PROXIMITY[4] fox",
+    'quick (fox | "lazy dog") show',
+    "(quick fox dog)WINDOW[6]",
+    "(quick fox)ORDER",
+    "fox -terrier",
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_collection() -> DocumentCollection:
+    return make_tiny_collection()
+
+
+@pytest.fixture(scope="session")
+def tiny_index(tiny_collection):
+    return build_index(tiny_collection)
+
+
+@pytest.fixture(scope="session")
+def tiny_ctx(tiny_index):
+    return IndexScoringContext(tiny_index)
+
+
+@pytest.fixture(scope="session")
+def wine_env():
+    """(collection, index, ctx) reproducing the paper's Figure 1 numbers."""
+    col = wine_collection()
+    idx = build_index(col)
+    ov = wine_stats_overrides()
+    ctx = OverrideScoringContext(
+        IndexScoringContext(idx),
+        collection_size=ov["collection_size"],
+        document_frequency=ov["document_frequency"],
+    )
+    return col, idx, ctx
+
+
+@pytest.fixture(params=SCHEME_NAMES)
+def scheme(request):
+    """Parametrized over all seven built-in schemes."""
+    return get_scheme(request.param)
+
+
+def assert_same_ranking(got, want, tol=1e-7):
+    """Rankings agree as doc -> score maps (ties may permute)."""
+    gs, ws = dict(got), dict(want)
+    assert len(got) == len(gs), "duplicate documents in results"
+    assert len(want) == len(ws), "duplicate documents in expectation"
+    assert set(gs) == set(ws), (
+        f"document sets differ: extra={sorted(set(gs) - set(ws))[:5]} "
+        f"missing={sorted(set(ws) - set(gs))[:5]}"
+    )
+    for doc, want_score in ws.items():
+        got_score = gs[doc]
+        assert got_score == pytest.approx(want_score, rel=tol, abs=tol), (
+            f"doc {doc}: got {got_score}, want {want_score}"
+        )

@@ -1,0 +1,40 @@
+"""Analyzer tests."""
+
+import pytest
+
+from repro.corpus.analyzer import SimpleAnalyzer, WhitespaceAnalyzer
+
+
+def test_simple_analyzer_lowercases_and_splits():
+    assert SimpleAnalyzer().tokens("Hello, World!") == ["hello", "world"]
+
+
+def test_simple_analyzer_keeps_digits():
+    assert SimpleAnalyzer().tokens("win32 api") == ["win32", "api"]
+
+
+def test_simple_analyzer_drops_short_tokens():
+    analyzer = SimpleAnalyzer(min_token_length=2)
+    assert analyzer.tokens("a bc d ef") == ["bc", "ef"]
+
+
+def test_simple_analyzer_rejects_zero_min_length():
+    with pytest.raises(ValueError):
+        SimpleAnalyzer(min_token_length=0)
+
+
+def test_single_keyword_analysis():
+    assert SimpleAnalyzer().token("Quick") == "quick"
+
+
+def test_multi_token_keyword_rejected():
+    with pytest.raises(ValueError):
+        SimpleAnalyzer().token("san francisco")
+
+
+def test_whitespace_analyzer_preserves_case():
+    assert WhitespaceAnalyzer().tokens("Ab cD") == ["Ab", "cD"]
+
+
+def test_empty_text_analyzes_to_no_tokens():
+    assert SimpleAnalyzer().tokens("  ... !! ") == []

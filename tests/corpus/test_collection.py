@@ -1,0 +1,50 @@
+"""DocumentCollection tests."""
+
+from repro.corpus.collection import DocumentCollection
+
+
+def test_ids_are_dense_and_ordered():
+    col = DocumentCollection()
+    a = col.add_text("one two")
+    b = col.add_text("three")
+    assert (a.doc_id, b.doc_id) == (0, 1)
+    assert [d.doc_id for d in col] == [0, 1]
+
+
+def test_add_text_uses_analyzer():
+    col = DocumentCollection()
+    doc = col.add_text("Hello, World!")
+    assert doc.tokens == ("hello", "world")
+
+
+def test_add_tokens_is_verbatim():
+    col = DocumentCollection()
+    doc = col.add_tokens(["Keep", "Case!"])
+    assert doc.tokens == ("Keep", "Case!")
+
+
+def test_total_tokens_sums_lengths():
+    col = DocumentCollection()
+    col.add_text("a b c")
+    col.add_text("d e")
+    assert col.total_tokens == 5
+
+
+def test_vocabulary_is_distinct_terms():
+    col = DocumentCollection()
+    col.add_text("a b a")
+    col.add_text("b c")
+    assert col.vocabulary() == {"a", "b", "c"}
+
+
+def test_getitem_by_doc_id():
+    col = DocumentCollection()
+    col.add_text("x")
+    col.add_text("y")
+    assert col[1].tokens == ("y",)
+
+
+def test_extend_texts():
+    col = DocumentCollection()
+    col.extend_texts(["a", "b", "c"])
+    assert len(col) == 3

@@ -1,0 +1,55 @@
+"""Document model tests."""
+
+import pytest
+
+from repro.corpus.document import Document, DocumentBuilder
+
+
+@pytest.fixture
+def doc():
+    return Document(3, ("a", "b", "a", "c", "b", "a"), title="t")
+
+
+def test_length_is_token_count(doc):
+    assert doc.length == 6
+
+
+def test_positions_of_lists_all_offsets_ascending(doc):
+    assert doc.positions_of("a") == [0, 2, 5]
+    assert doc.positions_of("b") == [1, 4]
+
+
+def test_positions_of_missing_term_is_empty(doc):
+    assert doc.positions_of("zzz") == []
+
+
+def test_term_frequency_counts_occurrences(doc):
+    assert doc.term_frequency("a") == 3
+    assert doc.term_frequency("c") == 1
+    assert doc.term_frequency("zzz") == 0
+
+
+def test_snippet_is_window_around_center(doc):
+    assert doc.snippet(2, radius=1) == "b a c"
+
+
+def test_snippet_clips_at_document_edges(doc):
+    assert doc.snippet(0, radius=2) == "a b a"
+    assert doc.snippet(5, radius=2) == "c b a"
+
+
+def test_documents_are_immutable(doc):
+    with pytest.raises(AttributeError):
+        doc.doc_id = 7
+
+
+def test_builder_accumulates_fragments():
+    built = (
+        DocumentBuilder(1, title="x")
+        .add_tokens(["a", "b"])
+        .add_tokens(["c"])
+        .build()
+    )
+    assert built.tokens == ("a", "b", "c")
+    assert built.doc_id == 1
+    assert built.title == "x"

@@ -1,0 +1,83 @@
+"""Synthetic corpus generator tests."""
+
+import pytest
+
+from repro.corpus.synthetic import (
+    SyntheticCorpusConfig,
+    Theme,
+    _topic,
+    generate_corpus,
+    paper_themes,
+)
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return generate_corpus(SyntheticCorpusConfig(num_docs=300, seed=7))
+
+
+def test_deterministic_given_seed():
+    a = generate_corpus(SyntheticCorpusConfig(num_docs=50, seed=42))
+    b = generate_corpus(SyntheticCorpusConfig(num_docs=50, seed=42))
+    assert [d.tokens for d in a] == [d.tokens for d in b]
+
+
+def test_different_seeds_differ():
+    a = generate_corpus(SyntheticCorpusConfig(num_docs=50, seed=1))
+    b = generate_corpus(SyntheticCorpusConfig(num_docs=50, seed=2))
+    assert [d.tokens for d in a] != [d.tokens for d in b]
+
+
+def test_requested_document_count(small_corpus):
+    assert len(small_corpus) == 300
+
+
+def test_planted_phrases_are_contiguous(small_corpus):
+    """A planted 'san francisco' must appear as adjacent tokens."""
+    found = 0
+    for doc in small_corpus:
+        for pos in doc.positions_of("francisco"):
+            if pos > 0 and doc.tokens[pos - 1] == "san":
+                found += 1
+    assert found > 0
+
+
+def test_common_words_more_frequent_than_rare(small_corpus):
+    df = {
+        term: sum(1 for d in small_corpus if d.term_frequency(term))
+        for term in ("free", "foss")
+    }
+    assert df["free"] > 10 * max(1, df["foss"])
+
+
+def test_theme_correlation_boosts_cooccurrence(small_corpus):
+    """Docs containing 'dinosaur' should disproportionately contain
+    'species' (the theme mechanism)."""
+    dino = [d for d in small_corpus if d.term_frequency("dinosaur")]
+    other = [d for d in small_corpus if not d.term_frequency("dinosaur")]
+    assert dino, "theme planting produced no dinosaur documents"
+    rate_dino = sum(1 for d in dino if d.term_frequency("species")) / len(dino)
+    rate_other = sum(1 for d in other if d.term_frequency("species")) / len(other)
+    assert rate_dino > rate_other
+
+
+def test_theme_weights_must_not_exceed_one():
+    heavy = Theme("x", 1.5, (_topic("a", 1.0),))
+    with pytest.raises(ValueError):
+        generate_corpus(SyntheticCorpusConfig(num_docs=5, themes=[heavy]))
+
+
+def test_paper_themes_cover_all_query_keywords():
+    words = set()
+    for theme in paper_themes():
+        for topic in theme.topics:
+            words.update(topic.tokens)
+    for needed in (
+        "san", "francisco", "fault", "line", "dinosaur", "species", "list",
+        "image", "picture", "drawing", "illustration", "orange", "county",
+        "convention", "center", "orlando", "windows", "emulator", "foss",
+        "free", "software", "wireless", "internet", "service", "arizona",
+        "fishing", "hunting", "rules", "regulations", "rick", "warren",
+        "obama", "inauguration", "controversy", "invocation",
+    ):
+        assert needed in words, needed

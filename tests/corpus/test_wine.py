@@ -1,0 +1,49 @@
+"""The d_w fixture must reproduce Figure 1 exactly."""
+
+from repro.corpus.wine import (
+    WINE_COLLECTION_SIZE,
+    WINE_DOC_LENGTH,
+    WINE_OFFSETS,
+    wine_collection,
+    wine_document,
+    wine_stats_overrides,
+)
+
+
+def test_document_length_is_207():
+    assert wine_document().length == WINE_DOC_LENGTH == 207
+
+
+def test_offsets_match_figure_1():
+    doc = wine_document()
+    assert doc.positions_of("emulator") == [64]
+    assert doc.positions_of("free") == [3]
+    assert doc.positions_of("foss") == [179]
+    assert doc.positions_of("software") == [4, 32, 180, 189]
+    assert doc.positions_of("windows") == [27, 42, 144, 187]
+
+
+def test_in_document_frequencies_match_figure_1():
+    doc = wine_document()
+    assert doc.term_frequency("software") == 4
+    assert doc.term_frequency("windows") == 4
+    assert doc.term_frequency("emulator") == 1
+
+
+def test_filler_tokens_do_not_collide_with_keywords():
+    doc = wine_document()
+    for term, offsets in WINE_OFFSETS.items():
+        assert doc.positions_of(term) == offsets
+
+
+def test_stats_overrides_carry_collection_numbers():
+    ov = wine_stats_overrides()
+    assert ov["collection_size"] == WINE_COLLECTION_SIZE == 4_638_535
+    assert ov["document_frequency"]["foss"] == 2044
+    assert ov["document_frequency"]["free"] == 332_335
+
+
+def test_wine_collection_has_one_document():
+    col = wine_collection()
+    assert len(col) == 1
+    assert col[0].length == 207

@@ -1,0 +1,69 @@
+"""Engine entry-point tests."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.exec.engine import execute, execute_streaming, make_runtime
+from repro.graft.canonical import canonical_plan
+from repro.graft.optimizer import Optimizer
+from repro.mcalc.parser import parse_query
+from repro.sa.registry import get_scheme
+
+
+def test_streaming_yields_ascending_doc_order(tiny_index):
+    scheme = get_scheme("sumbest")
+    plan, info = canonical_plan(parse_query("fox"), scheme)
+    docs = [d for d, _ in execute_streaming(plan, make_runtime(tiny_index, scheme, info))]
+    assert docs == sorted(docs)
+
+
+def test_execute_ranks_descending_with_doc_tiebreak(tiny_index):
+    scheme = get_scheme("anysum")
+    res = Optimizer(scheme, tiny_index).optimize(parse_query("fox"))
+    ranked = execute(res.plan, make_runtime(tiny_index, scheme, res.info))
+    scores = [s for _, s in ranked]
+    assert scores == sorted(scores, reverse=True)
+    for (d1, s1), (d2, s2) in zip(ranked, ranked[1:]):
+        if s1 == s2:
+            assert d1 < d2
+
+
+def test_top_k_is_prefix_of_full(tiny_index):
+    scheme = get_scheme("meansum")
+    res = Optimizer(scheme, tiny_index).optimize(parse_query("quick dog"))
+    runtime = make_runtime(tiny_index, scheme, res.info)
+    full = execute(res.plan, runtime)
+    runtime2 = make_runtime(tiny_index, scheme, res.info)
+    top = execute(res.plan, runtime2, top_k=2)
+    assert top == full[:2]
+
+
+def test_incomplete_plan_rejected(tiny_index):
+    scheme = get_scheme("sumbest")
+    from repro.ma.translate import matching_subplan
+    from repro.graft.canonical import make_query_info
+
+    q = parse_query("fox")
+    info = make_query_info(q, scheme)
+    with pytest.raises(PlanError):
+        list(execute_streaming(
+            matching_subplan(q), make_runtime(tiny_index, scheme, info)
+        ))
+
+
+def test_no_matches_yields_empty(tiny_index):
+    scheme = get_scheme("sumbest")
+    res = Optimizer(scheme, tiny_index).optimize(parse_query("qzxv"))
+    assert execute(res.plan, make_runtime(tiny_index, scheme, res.info)) == []
+
+
+def test_runtime_defaults_to_index_context(tiny_index):
+    scheme = get_scheme("sumbest")
+    from repro.graft.canonical import make_query_info
+    from repro.sa.context import IndexScoringContext
+
+    runtime = make_runtime(
+        tiny_index, scheme, make_query_info(parse_query("fox"), scheme)
+    )
+    assert isinstance(runtime.ctx, IndexScoringContext)
+    assert runtime.ctx.index is tiny_index

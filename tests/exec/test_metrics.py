@@ -1,0 +1,105 @@
+"""Work-counter tests: the cost model behind the paper's speedup claims.
+
+The optimizations' value is *how much index data a plan touches*; these
+tests pin the counters that the Figure 3 / Section 5.2.3 benchmarks rely
+on (pre-counting reads document entries instead of positions; alternate
+elimination abandons unconsumed join combinations).
+"""
+
+import pytest
+
+from repro.bench.workload import bench_fixture
+from repro.exec.engine import execute, make_runtime
+from repro.graft.optimizer import Optimizer, OptimizerOptions
+from repro.mcalc.parser import parse_query
+from repro.sa.registry import get_scheme
+
+
+def run_with_metrics(query, scheme, index, options=None):
+    res = Optimizer(scheme, index, options).optimize(query)
+    runtime = make_runtime(index, scheme, res.info)
+    execute(res.plan, runtime)
+    return runtime.metrics, res
+
+
+@pytest.fixture(scope="module")
+def fx():
+    return bench_fixture(num_docs=800)
+
+
+def test_precount_reads_no_positions_for_free_keywords(fx):
+    scheme = get_scheme("anysum")
+    q = parse_query("san francisco fault line")
+    metrics, res = run_with_metrics(q, scheme, fx.index)
+    assert "pre-counting" in res.applied
+    # All four keywords are free: the whole query runs on the
+    # term-document index.
+    assert metrics.positions_scanned == 0
+    assert metrics.doc_entries_scanned > 0
+
+
+def test_eager_count_reads_positions(fx):
+    scheme = get_scheme("anysum")
+    q = parse_query("san francisco fault line")
+    options = OptimizerOptions(pre_counting=False, alternate_elimination=False)
+    metrics, res = run_with_metrics(q, scheme, fx.index, options)
+    assert "eager-counting" in res.applied
+    assert metrics.positions_scanned > 0
+    assert metrics.doc_entries_scanned == 0
+
+
+def test_precount_touches_fewer_entries_than_eager_count(fx):
+    scheme = get_scheme("anysum")
+    q = parse_query("san francisco fault line")
+    eager, _ = run_with_metrics(
+        q, scheme, fx.index,
+        OptimizerOptions(pre_counting=False, alternate_elimination=False),
+    )
+    pre, _ = run_with_metrics(
+        q, scheme, fx.index, OptimizerOptions(alternate_elimination=False)
+    )
+    assert pre.doc_entries_scanned < eager.positions_scanned
+
+
+def test_alternate_elimination_reduces_join_work(fx):
+    """delta abandons a document's remaining cross-product combinations."""
+    scheme = get_scheme("anysum")
+    q = fx.queries["Q8"]
+    base = OptimizerOptions(pre_counting=False, alternate_elimination=False)
+    with_delta = OptimizerOptions(pre_counting=False, alternate_elimination=True)
+    m_base, _ = run_with_metrics(q, scheme, fx.index, base)
+    m_delta, r = run_with_metrics(q, scheme, fx.index, with_delta)
+    assert "alternate-elimination" in r.applied
+    assert m_delta.rows_joined <= m_base.rows_joined
+    assert m_delta.positions_scanned <= m_base.positions_scanned
+
+
+def test_q8_free_keyword_positions_are_small_fraction(fx):
+    """Section 8's Amdahl's-law analysis: Q8's free keyword ('foss')
+    accounts for a few percent of the positions the unoptimized plan
+    scans, which is why pre-counting barely helps Q8."""
+    scheme = get_scheme("anysum")
+    q = fx.queries["Q8"]
+    options = OptimizerOptions(
+        eager_counting=False, pre_counting=False, alternate_elimination=False
+    )
+    metrics, _ = run_with_metrics(q, scheme, fx.index, options)
+    foss = metrics.positions_by_keyword.get("foss", 0)
+    total = metrics.positions_scanned
+    assert total > 0
+    assert foss / total < 0.15
+
+
+def test_zigzag_seek_skips_postings(fx):
+    """Joining a rare term against a common one must not scan the common
+    term's full postings (the zig-zag skip benefit)."""
+    scheme = get_scheme("anysum")
+    q = parse_query("orlando free")
+    options = OptimizerOptions(
+        eager_counting=False, pre_counting=False,
+        alternate_elimination=False, sort_elimination=True,
+    )
+    metrics, _ = run_with_metrics(q, scheme, fx.index, options)
+    total_free_positions = fx.index.total_positions("free")
+    scanned_free = metrics.positions_by_keyword.get("free", 0)
+    assert scanned_free < total_free_positions

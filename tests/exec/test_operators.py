@@ -1,0 +1,217 @@
+"""Physical operator unit tests."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec.compile import compile_plan
+from repro.exec.engine import make_runtime
+from repro.exec.iterator import DocCursor, RowSchema
+from repro.graft.canonical import make_query_info
+from repro.ma.match_table import ANY_POSITION
+from repro.ma.nodes import (
+    AntiJoin,
+    Atom,
+    GroupCount,
+    Join,
+    PositionProject,
+    PreCountAtom,
+    Select,
+    Sort,
+    Union,
+)
+from repro.mcalc.ast import Pred
+from repro.mcalc.parser import parse_query
+from repro.sa.registry import get_scheme
+
+
+@pytest.fixture
+def runtime(tiny_index):
+    q = parse_query("quick fox dog lazy")
+    scheme = get_scheme("sumbest")
+    return make_runtime(tiny_index, scheme, make_query_info(q, scheme))
+
+
+def drain(op):
+    """All (doc, rows-list) groups of an operator."""
+    out = []
+    while True:
+        group = op.next_doc()
+        if group is None:
+            return out
+        out.append((group[0], list(group[1])))
+
+
+def test_row_schema_indices():
+    s = RowSchema(positions=("a", "b"), scores=("a", "s"))
+    assert s.position_index("b") == 1
+    assert s.count_index == 2
+    assert s.score_index("s") == 4
+    assert s.width == 5
+    with pytest.raises(ExecutionError):
+        s.position_index("zz")
+    with pytest.raises(ExecutionError):
+        s.score_index("zz")
+
+
+class TestScans:
+    def test_atom_scan_rows(self, runtime, tiny_index):
+        op = compile_plan(Atom("p0", "lazy"), runtime)
+        groups = drain(op)
+        assert [g[0] for g in groups] == [0, 4]
+        assert groups[0][1] == [(7, 1)]  # offset 7, count 1
+
+    def test_atom_scan_seek(self, runtime):
+        op = compile_plan(Atom("p0", "dog"), runtime)
+        op.seek_doc(3)
+        groups = drain(op)
+        assert [g[0] for g in groups] == [3, 4, 6]
+
+    def test_precount_scan_rows(self, runtime):
+        op = compile_plan(PreCountAtom("p0", "dog"), runtime)
+        groups = drain(op)
+        by_doc = {d: rows for d, rows in groups}
+        assert by_doc[4] == [(ANY_POSITION, 3)]  # 'dog' x3 in doc 4
+        assert by_doc[0] == [(ANY_POSITION, 1)]
+
+    def test_precount_bills_doc_entries_not_positions(self, runtime):
+        op = compile_plan(PreCountAtom("p0", "dog"), runtime)
+        drain(op)
+        assert runtime.metrics.positions_scanned == 0
+        assert runtime.metrics.doc_entries_scanned == 5
+
+    def test_atom_scan_bills_positions_lazily(self, runtime):
+        op = compile_plan(Atom("p0", "dog"), runtime)
+        group = op.next_doc()
+        assert runtime.metrics.positions_scanned == 0  # nothing consumed yet
+        next(group[1])
+        assert runtime.metrics.positions_scanned == 1
+
+
+class TestForgetAndCount:
+    def test_forget_replaces_cells(self, runtime):
+        plan = PositionProject(Atom("p0", "dog"), ("p0",))
+        groups = drain(compile_plan(plan, runtime))
+        assert all(
+            row == (ANY_POSITION, 1) for _, rows in groups for row in rows
+        )
+
+    def test_count_collapses_identical_rows(self, runtime):
+        plan = GroupCount(PositionProject(Atom("p0", "dog"), ("p0",)))
+        groups = drain(compile_plan(plan, runtime))
+        by_doc = {d: rows for d, rows in groups}
+        assert by_doc[4] == [(ANY_POSITION, 3)]
+
+    def test_count_preserves_distinct_rows(self, runtime):
+        plan = GroupCount(Atom("p0", "dog"))
+        groups = drain(compile_plan(plan, runtime))
+        by_doc = {d: rows for d, rows in groups}
+        assert sorted(by_doc[4]) == [(4, 1), (5, 1), (6, 1)]
+
+
+class TestMergeJoin:
+    def test_join_is_per_doc_cross_product(self, runtime):
+        plan = Join(Atom("p0", "quick"), Atom("p1", "fox"))
+        groups = drain(compile_plan(plan, runtime))
+        by_doc = {d: rows for d, rows in groups}
+        # Doc 1: 'quick' x2, 'fox' x1 -> 2 rows; doc 4: 2x2 -> 4 rows.
+        assert len(by_doc[1]) == 2
+        assert len(by_doc[4]) == 4
+
+    def test_join_multiplies_counts(self, runtime):
+        plan = Join(
+            GroupCount(PositionProject(Atom("p0", "quick"), ("p0",))),
+            GroupCount(PositionProject(Atom("p1", "fox"), ("p1",))),
+        )
+        groups = drain(compile_plan(plan, runtime))
+        by_doc = {d: rows for d, rows in groups}
+        assert by_doc[4] == [(ANY_POSITION, ANY_POSITION, 4)]
+
+    def test_join_evaluates_predicates(self, runtime):
+        pred = Pred("DISTANCE", ("p0", "p1"), (1,))
+        plan = Join(Atom("p0", "quick"), Atom("p1", "fox"), (pred,))
+        groups = drain(compile_plan(plan, runtime))
+        rows = [r for _, rs in groups for r in rs]
+        assert all(r[1] - r[0] == 1 for r in rows)
+
+    def test_predicate_on_forgotten_column_rejected(self, runtime):
+        pred = Pred("DISTANCE", ("p0", "p1"), (1,))
+        plan = Join(
+            PositionProject(Atom("p0", "quick"), ("p0",)),
+            Atom("p1", "fox"),
+            (pred,),
+        )
+        op = compile_plan(plan, runtime)
+        with pytest.raises(ExecutionError):
+            drain(op)
+
+    def test_overlapping_schemas_rejected(self, runtime):
+        plan = Join(Atom("p0", "quick"), Atom("p0", "fox"))
+        with pytest.raises(ExecutionError):
+            compile_plan(plan, runtime)
+
+
+class TestUnion:
+    def test_union_pads_with_empty(self, runtime):
+        plan = Union(Atom("p0", "lazy"), Atom("p1", "terrier"))
+        groups = drain(compile_plan(plan, runtime))
+        by_doc = {d: rows for d, rows in groups}
+        assert (7, None, 1) in by_doc[0]        # lazy side, p1 padded
+        assert (None, 3, 1) in by_doc[3]        # terrier side, p0 padded
+
+    def test_union_left_rows_first_on_shared_doc(self, runtime):
+        plan = Union(Atom("p0", "quick"), Atom("p1", "fox"))
+        groups = drain(compile_plan(plan, runtime))
+        rows = dict(groups)[0]
+        assert rows[0][0] is not None  # left branch first
+        assert rows[-1][0] is None
+
+    def test_union_seek(self, runtime):
+        plan = Union(Atom("p0", "lazy"), Atom("p1", "terrier"))
+        op = compile_plan(plan, runtime)
+        op.seek_doc(2)
+        groups = drain(op)
+        assert [g[0] for g in groups] == [3, 4]
+
+
+class TestSortAndSelect:
+    def test_sort_orders_rows_lexicographically(self, runtime):
+        plan = Sort(
+            Union(Atom("p0", "quick"), Atom("p1", "fox")), ("p0", "p1")
+        )
+        groups = drain(compile_plan(plan, runtime))
+        rows = dict(groups)[4]
+        from repro.ma.match_table import cell_sort_key
+
+        keys = [tuple(cell_sort_key(c) for c in r[:2]) for r in rows]
+        assert keys == sorted(keys)
+
+    def test_select_filters(self, runtime):
+        pred = Pred("PROXIMITY", ("p0", "p1"), (2,))
+        plan = Select(Join(Atom("p0", "quick"), Atom("p1", "fox")), (pred,))
+        groups = drain(compile_plan(plan, runtime))
+        for _, rows in groups:
+            for r in rows:
+                assert abs(r[0] - r[1]) <= 2
+
+
+class TestAntiJoin:
+    def test_excludes_docs_present_on_right(self, runtime):
+        plan = AntiJoin(Atom("p0", "fox"), Atom("q0", "terrier"))
+        groups = drain(compile_plan(plan, runtime))
+        assert [g[0] for g in groups] == [0, 1, 4, 6]  # doc 3 has terrier
+
+
+class TestDocCursor:
+    def test_seek_is_noop_when_at_or_past(self, runtime):
+        cur = DocCursor(compile_plan(Atom("p0", "dog"), runtime))
+        cur.seek(0)
+        first = cur.doc()
+        cur.seek(first)  # exact position: no-op
+        assert cur.doc() == first
+
+    def test_exhausted_cursor_reports_none(self, runtime):
+        cur = DocCursor(compile_plan(Atom("p0", "terrier"), runtime))
+        cur.advance()
+        assert cur.doc() is None
+        with pytest.raises(ExecutionError):
+            cur.rows()

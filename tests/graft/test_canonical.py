@@ -1,0 +1,84 @@
+"""Canonical score-isolated plan tests (Plans 5/6/7)."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.graft.canonical import canonical_plan, make_query_info
+from repro.graft.plan import CombinePhi, Finalize, GroupScore, ScoreInit
+from repro.ma.nodes import Select, Sort
+from repro.mcalc.parser import parse_query
+from repro.sa.registry import get_scheme
+
+
+def test_column_first_shape():
+    """Plan 5: omega(Phi(gamma_alt(alpha(matching))))."""
+    q = parse_query("a b")
+    plan, info = canonical_plan(q, get_scheme("sumbest"))
+    assert info.direction == "col"
+    assert isinstance(plan, Finalize)
+    assert isinstance(plan.child, CombinePhi)
+    assert isinstance(plan.child.child, GroupScore)
+    assert isinstance(plan.child.child.child, ScoreInit)
+    assert isinstance(plan.child.child.child.child, Sort)
+
+
+def test_row_first_shape():
+    """Plan 6: omega(gamma_alt(Phi(alpha(matching))))."""
+    q = parse_query("a b")
+    plan, info = canonical_plan(q, get_scheme("event-model"))
+    assert info.direction == "row"
+    assert isinstance(plan, Finalize)
+    assert isinstance(plan.child, GroupScore)
+    assert isinstance(plan.child.child, CombinePhi)
+    assert isinstance(plan.child.child.child, ScoreInit)
+
+
+def test_diagonal_defaults_to_column_first():
+    q = parse_query("a b")
+    _, info = canonical_plan(q, get_scheme("meansum"))
+    assert info.direction == "col"
+
+
+def test_diagonal_accepts_forced_row_first():
+    q = parse_query("a b")
+    plan, info = canonical_plan(q, get_scheme("meansum"), direction="row")
+    assert info.direction == "row"
+    assert isinstance(plan.child, GroupScore)
+
+
+def test_directional_scheme_rejects_wrong_direction():
+    q = parse_query("a b")
+    with pytest.raises(PlanError):
+        canonical_plan(q, get_scheme("event-model"), direction="col")
+
+
+def test_score_isolation():
+    """The matching subplan contains no scoring operators (Definition 1's
+    precondition: score-isolated input plans)."""
+    q = parse_query('(a b)WINDOW[5] (c | "d e")')
+    plan, _ = canonical_plan(q, get_scheme("meansum"))
+    init = plan.child.child.child
+    assert isinstance(init, ScoreInit)
+    matching_nodes = list(init.child.walk())
+    from repro.graft.plan import AlternateElim
+
+    for node in matching_nodes:
+        assert not isinstance(
+            node, (ScoreInit, CombinePhi, GroupScore, Finalize, AlternateElim)
+        )
+
+
+def test_canonical_has_single_sort_and_selection():
+    q = parse_query('(a b)WINDOW[5] c')
+    plan, _ = canonical_plan(q, get_scheme("meansum"))
+    sorts = [n for n in plan.walk() if isinstance(n, Sort)]
+    selects = [n for n in plan.walk() if isinstance(n, Select)]
+    assert len(sorts) == 1
+    assert len(selects) == 1
+
+
+def test_query_info_carries_predicates():
+    q = parse_query('(a b)WINDOW[5] c')
+    info = make_query_info(q, get_scheme("lucene"))
+    assert [p.name for p in info.predicates] == ["WINDOW"]
+    assert info.free_vars == ("p0", "p1", "p2")

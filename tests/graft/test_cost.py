@@ -1,0 +1,138 @@
+"""Cost model tests (the future-work extension of Section 8)."""
+
+import pytest
+
+from repro.graft.canonical import canonical_plan
+from repro.graft.cost import (
+    best_join_order,
+    estimate,
+    explain_with_costs,
+    predicate_selectivity,
+)
+from repro.graft.optimizer import Optimizer
+from repro.ma.nodes import Atom, Join, PreCountAtom
+from repro.ma.translate import matching_subplan
+from repro.mcalc.ast import Pred
+from repro.mcalc.parser import parse_query
+from repro.sa.registry import get_scheme
+
+
+class TestLeafEstimates:
+    def test_atom_estimate_is_exact(self, tiny_index):
+        e = estimate(Atom("p0", "dog"), tiny_index)
+        assert e.docs == tiny_index.document_frequency("dog")
+        assert e.rows == tiny_index.total_positions("dog")
+        assert e.cost == e.rows
+
+    def test_precount_cheaper_than_atom(self, tiny_index):
+        atom = estimate(Atom("p0", "dog"), tiny_index)
+        pre = estimate(PreCountAtom("p0", "dog"), tiny_index)
+        assert pre.cost < atom.cost
+        assert pre.rows == pre.docs
+
+    def test_unknown_term(self, tiny_index):
+        e = estimate(Atom("p0", "qzxv"), tiny_index)
+        assert e.docs == e.rows == e.cost == 0
+
+
+class TestJoinEstimates:
+    def test_join_docs_shrink(self, tiny_index):
+        j = Join(Atom("a", "quick"), Atom("b", "fox"))
+        e = estimate(j, tiny_index)
+        assert e.docs <= min(
+            tiny_index.document_frequency("quick"),
+            tiny_index.document_frequency("fox"),
+        ) + 1e-9
+
+    def test_predicates_reduce_rows(self, tiny_index):
+        plain = Join(Atom("a", "quick"), Atom("b", "fox"))
+        constrained = Join(
+            Atom("a", "quick"), Atom("b", "fox"),
+            (Pred("DISTANCE", ("a", "b"), (1,)),),
+        )
+        assert estimate(constrained, tiny_index).rows < \
+            estimate(plain, tiny_index).rows
+
+    def test_selectivity_ordering(self):
+        tight = predicate_selectivity(Pred("DISTANCE", ("a", "b"), (1,)), 100)
+        loose = predicate_selectivity(Pred("WINDOW", ("a", "b"), (50,)), 100)
+        assert tight < loose <= 1.0
+
+
+class TestWholePlans:
+    def test_optimized_plan_estimated_cheaper_than_canonical(self, tiny_index):
+        q = parse_query("quick fox dog")
+        scheme = get_scheme("anysum")
+        canonical, _ = canonical_plan(q, scheme)
+        optimized = Optimizer(scheme, tiny_index).optimize(q).plan
+        assert estimate(optimized, tiny_index).cost < \
+            estimate(canonical, tiny_index).cost
+
+    def test_every_paper_query_estimable(self):
+        from repro.bench.workload import bench_fixture
+
+        fx = bench_fixture(num_docs=300)
+        scheme = get_scheme("meansum")
+        for q in fx.queries.values():
+            res = Optimizer(scheme, fx.index).optimize(q)
+            e = estimate(res.plan, fx.index)
+            assert e.cost > 0
+
+    def test_explain_with_costs_annotates_every_node(self, tiny_index):
+        q = parse_query('(quick fox)WINDOW[5] dog')
+        res = Optimizer(get_scheme("sumbest"), tiny_index).optimize(q)
+        text = explain_with_costs(res.plan, tiny_index)
+        nodes = sum(1 for _ in res.plan.walk())
+        assert text.count("cost~") == nodes
+
+
+class TestJoinOrdering:
+    def test_exhaustive_puts_selective_first(self, tiny_index):
+        parts = [Atom("a", "dog"), Atom("b", "lazy"), Atom("c", "fox")]
+        ordered = best_join_order(parts, tiny_index)
+        assert ordered[0].keyword == "lazy"  # rarest drives
+
+    def test_fallback_to_greedy_beyond_limit(self, tiny_index):
+        parts = [Atom(f"v{i}", kw) for i, kw in enumerate(
+            ["dog", "lazy", "fox", "quick", "brown", "the", "show"]
+        )]
+        ordered = best_join_order(parts, tiny_index, max_exhaustive=4)
+        costs = [estimate(p, tiny_index).cost for p in ordered]
+        assert costs == sorted(costs)
+
+    def test_single_input(self, tiny_index):
+        parts = [Atom("a", "dog")]
+        assert best_join_order(parts, tiny_index) == parts
+
+
+class TestCostBasedOptimizerOption:
+    def test_cost_based_order_is_score_consistent(
+        self, tiny_collection, tiny_index, tiny_ctx
+    ):
+        from repro.exec.engine import execute, make_runtime
+        from repro.graft.optimizer import OptimizerOptions
+        from repro.sa.reference import rank_with_oracle
+
+        from tests.conftest import assert_same_ranking
+
+        q = parse_query('quick (fox | "lazy dog") dog')
+        scheme = get_scheme("meansum")
+        options = OptimizerOptions(cost_based_join_order=True)
+        res = Optimizer(scheme, tiny_index, options).optimize(q)
+        assert "join-reordering(cost)" in res.applied
+        got = execute(res.plan, make_runtime(tiny_index, scheme, res.info, tiny_ctx))
+        want = rank_with_oracle(scheme, tiny_ctx, q, tiny_collection)
+        assert_same_ranking(got, want)
+
+    def test_cost_based_never_worse_than_heuristic_estimate(self, tiny_index):
+        from repro.graft.optimizer import OptimizerOptions
+        from repro.ma.translate import matching_subplan
+        from repro.graft.rules import apply_join_reordering
+
+        q = parse_query("dog fox quick lazy")
+        heuristic = apply_join_reordering(matching_subplan(q), tiny_index)
+        cost_based = apply_join_reordering(
+            matching_subplan(q), tiny_index, cost_based=True
+        )
+        assert estimate(cost_based, tiny_index).cost <= \
+            estimate(heuristic, tiny_index).cost + 1e-9

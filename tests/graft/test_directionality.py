@@ -1,0 +1,71 @@
+"""Directionality semantics (Section 4.2.2).
+
+Diagonal schemes must score identically row-first and column-first —
+through the full engine, not just the reference scorer — while forcing a
+directional scheme across its declared direction must be refused.
+"""
+
+import pytest
+
+from repro.exec.engine import execute, make_runtime
+from repro.errors import PlanError
+from repro.graft.canonical import canonical_plan
+from repro.mcalc.parser import parse_query
+from repro.sa.registry import get_scheme
+
+from tests.conftest import TINY_QUERIES, assert_same_ranking
+
+DIAGONAL = ("anysum", "meansum", "anyprod", "klsum")
+
+
+@pytest.mark.parametrize("scheme_name", DIAGONAL)
+@pytest.mark.parametrize("text", TINY_QUERIES)
+def test_diagonal_schemes_direction_invariant(
+    scheme_name, text, tiny_index, tiny_ctx
+):
+    scheme = get_scheme(scheme_name)
+    q = parse_query(text)
+    results = {}
+    for direction in ("row", "col"):
+        plan, info = canonical_plan(q, scheme, direction=direction)
+        results[direction] = execute(
+            plan, make_runtime(tiny_index, scheme, info, tiny_ctx)
+        )
+    assert_same_ranking(results["row"], results["col"])
+
+
+@pytest.mark.parametrize("scheme_name,wrong", [
+    ("sumbest", "row"),
+    ("lucene", "row"),
+    ("event-model", "col"),
+    ("bestsum-mindist", "col"),
+])
+def test_directional_schemes_refuse_wrong_direction(scheme_name, wrong):
+    with pytest.raises(PlanError):
+        canonical_plan(parse_query("a b"), get_scheme(scheme_name), direction=wrong)
+
+
+def test_directional_scheme_would_score_differently(tiny_index, tiny_ctx):
+    """The refusal above is not pedantry: forcing SumBest row-first (via
+    the reference scorer) genuinely changes scores."""
+    from repro.mcalc.oracle import document_matches
+    from repro.sa.reference import score_match_table
+
+    scheme = get_scheme("sumbest")
+    q = parse_query("quick (fox | dog)")
+    differ = 0
+    from tests.conftest import make_tiny_collection
+
+    for doc in make_tiny_collection():
+        rows = document_matches(q, doc)
+        if not rows:
+            continue
+        row_first = score_match_table(
+            scheme, tiny_ctx, q, doc.doc_id, rows, direction="row"
+        )
+        col_first = score_match_table(
+            scheme, tiny_ctx, q, doc.doc_id, rows, direction="col"
+        )
+        if abs(row_first - col_first) > 1e-12:
+            differ += 1
+    assert differ > 0

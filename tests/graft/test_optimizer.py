@@ -1,0 +1,121 @@
+"""Optimizer pipeline tests: gating, plan shapes, option toggles."""
+
+import pytest
+
+from repro.graft.explain import explain
+from repro.graft.optimizer import Optimizer, OptimizerOptions
+from repro.graft.plan import AlternateElim, GroupScore
+from repro.ma.nodes import GroupCount, Join, PreCountAtom, Sort
+from repro.mcalc.parser import parse_query
+from repro.sa.registry import get_scheme
+
+
+def optimize(text, scheme_name, index=None, **options):
+    scheme = get_scheme(scheme_name)
+    opts = OptimizerOptions(**options) if options else None
+    return Optimizer(scheme, index, opts).optimize(parse_query(text))
+
+
+class TestGating:
+    def test_constant_scheme_gets_delta_and_precount(self):
+        res = optimize("a b c", "anysum")
+        assert "alternate-elimination" in res.applied
+        assert "pre-counting" in res.applied
+        assert any(isinstance(n, AlternateElim) for n in res.plan.walk())
+        assert any(isinstance(n, PreCountAtom) for n in res.plan.walk())
+
+    def test_eager_agg_scheme_gets_pushed_groups(self):
+        res = optimize("a b c", "sumbest")
+        assert "eager-aggregation" in res.applied
+        assert "alternate-elimination" not in res.applied
+        groups = [n for n in res.plan.walk() if isinstance(n, GroupScore)]
+        assert all(g.counts_incorporated for g in groups)
+
+    def test_row_first_scheme_keeps_canonical_arrangement(self):
+        res = optimize("a b c", "event-model")
+        assert "eager-aggregation" not in res.applied
+        assert "alternate-elimination" not in res.applied
+        # Counting still fires (non-positional free keywords).
+        assert "eager-counting" in res.applied
+
+    def test_positional_scheme_never_counts(self):
+        res = optimize("a b c", "bestsum-mindist")
+        assert "eager-counting" not in res.applied
+        assert "pre-counting" not in res.applied
+        assert not any(isinstance(n, (GroupCount, PreCountAtom))
+                       for n in res.plan.walk())
+
+    def test_sort_survives_for_non_commutative_alt(self):
+        """A custom scheme with a non-commutative alternate combinator
+        must keep the canonical sort."""
+        from repro.sa.properties import SchemeProperties
+        from repro.sa.schemes.sumbest import SumBest
+
+        class FirstMatch(SumBest):
+            name = "first-match"
+            properties = SchemeProperties(
+                directional="col",
+                alt_commutes=False,
+                alt_idempotent=False,
+                alt_multiplies=False,
+            )
+
+            def alt(self, left, right):
+                return left  # first in table order: order-sensitive
+
+        res = Optimizer(FirstMatch()).optimize(parse_query("a b"))
+        assert "sort-elimination" not in res.applied
+        assert any(isinstance(n, Sort) for n in res.plan.walk())
+
+    def test_forward_scan_off_by_default(self):
+        res = optimize('"a b"', "anysum")
+        assert "forward-scan-join" not in res.applied
+
+    def test_forward_scan_opt_in_constant_only(self):
+        res = optimize('"a b"', "anysum", forward_scan=True)
+        assert "forward-scan-join" in res.applied
+        joins = [n for n in res.plan.walk() if isinstance(n, Join)]
+        assert any(j.algorithm == "forward" for j in joins)
+        res2 = optimize('"a b"', "sumbest", forward_scan=True)
+        assert "forward-scan-join" not in res2.applied
+
+
+class TestOptions:
+    def test_disabling_everything_is_canonical_shaped(self):
+        res = optimize(
+            "a b", "anysum",
+            selection_pushing=False, join_reordering=False,
+            eager_counting=False, pre_counting=False,
+            eager_aggregation=False, alternate_elimination=False,
+            sort_elimination=False,
+        )
+        assert res.applied == []
+        canonical = Optimizer(get_scheme("anysum")).canonical(parse_query("a b"))
+        assert explain(res.plan) == explain(canonical.plan)
+
+    def test_pre_counting_requires_eager_counting(self):
+        res = optimize("a b", "anysum", eager_counting=False)
+        assert "pre-counting" not in res.applied
+
+    def test_alt_elim_without_precount(self):
+        res = optimize("a b", "anysum", pre_counting=False)
+        assert "alternate-elimination" in res.applied
+        assert "eager-counting" in res.applied
+        assert not any(isinstance(n, PreCountAtom) for n in res.plan.walk())
+
+    def test_join_reordering_needs_index(self, tiny_index):
+        without = optimize("dog fox lazy", "anysum")
+        assert "join-reordering" not in without.applied
+        with_idx = optimize("dog fox lazy", "anysum", index=tiny_index)
+        assert "join-reordering" in with_idx.applied
+
+
+class TestProvenance:
+    def test_applied_list_matches_plan(self, tiny_index):
+        res = optimize("a (b | c)", "meansum", index=tiny_index)
+        assert "eager-aggregation" in res.applied
+        assert "selection-pushing" in res.applied
+
+    def test_canonical_reports_no_rewrites(self):
+        res = Optimizer(get_scheme("meansum")).canonical(parse_query("a b"))
+        assert res.applied == []

@@ -1,0 +1,106 @@
+"""Golden plan shapes: the optimizer's output for the paper's queries.
+
+These snapshots lock in the plan structure per scheme family (constant /
+eager-aggregation / row-first) so optimizer regressions show up as a
+readable plan diff, the way the paper's Plans 7 and 8 document their
+shapes.
+"""
+
+import pytest
+
+from repro.graft.explain import explain
+from repro.graft.optimizer import Optimizer
+from repro.mcalc.parser import parse_query
+from repro.sa.registry import get_scheme
+
+
+def plan_text(text, scheme_name, index=None):
+    scheme = get_scheme(scheme_name)
+    res = Optimizer(scheme, index).optimize(parse_query(text))
+    return explain(res.plan)
+
+
+def test_constant_scheme_shape_plan8_style():
+    """The optimized Q3 plan under AnySum mirrors the paper's Plan 8:
+    pre-counted free keyword, predicates in joins, no sort, delta."""
+    assert plan_text(
+        '(windows emulator)WINDOW[50] (foss | "free software")', "anysum"
+    ) == """\
+pi[omega]
+  pi[Phi]
+    pi[alpha: p0, p1, p2, p3, p4]
+      delta[doc]
+        zigzag-join
+          zigzag-join[WINDOW(p0, p1, 50)]
+            A(p0:'windows')
+            A(p1:'emulator')
+          outer-union
+            CA(p2:'foss')
+            zigzag-join[DISTANCE(p3, p4, 1)]
+              A(p3:'free')
+              A(p4:'software')"""
+
+
+def test_eager_aggregation_shape():
+    """Column-first schemes push group-bys beneath joins; pre-counted
+    leaves are fused score scans; the phrase join aggregates above its
+    predicate."""
+    assert plan_text('"a b" c', "sumbest") == """\
+pi[omega]
+  pi[Phi]
+    gamma[alt]
+      pi[alpha: p2]
+        zigzag-join
+          gamma[alt]
+            pi[alpha: p0, p1]
+              zigzag-join[DISTANCE(p0, p1, 1)]
+                A(p0:'a')
+                A(p1:'b')
+          CA(p2:'c')"""
+
+
+def test_row_first_shape():
+    """Row-first schemes keep the canonical Phi-then-group arrangement;
+    counting still applies to the free keywords."""
+    assert plan_text("a b", "event-model") == """\
+pi[omega]
+  gamma[alt]
+    pi[Phi]
+      pi[alpha: p0, p1]
+        zigzag-join
+          CA(p0:'a')
+          CA(p1:'b')"""
+
+
+def test_positional_scheme_keeps_positions():
+    """BestSum+MinDist forbids counting: raw position scans survive."""
+    text = plan_text("a b", "bestsum-mindist")
+    assert "CA(" not in text
+    assert "A(p0:'a')" in text and "A(p1:'b')" in text
+    assert "gamma[alt]" in text
+
+
+def test_canonical_shape_is_plan7_style():
+    """The canonical plan: right-deep joins, one top selection, one sort,
+    scoring isolated on top."""
+    scheme = get_scheme("meansum")
+    res = Optimizer(scheme).canonical(
+        parse_query('(a b)WINDOW[5] (c | "d e")')
+    )
+    text = explain(res.plan)
+    assert text == """\
+pi[omega]
+  pi[Phi]
+    gamma[alt]
+      pi[alpha: p0, p1, p2, p3, p4]
+        tau[p0, p1, p2, p3, p4]
+          sigma[WINDOW(p0, p1, 5) & DISTANCE(p3, p4, 1)]
+            zigzag-join
+              zigzag-join
+                A(p0:'a')
+                A(p1:'b')
+              outer-union
+                A(p2:'c')
+                zigzag-join
+                  A(p3:'d')
+                  A(p4:'e')"""

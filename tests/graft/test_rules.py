@@ -1,0 +1,246 @@
+"""Structural tests for the individual rewrite rules."""
+
+import pytest
+
+from repro.graft.canonical import make_query_info
+from repro.graft.plan import AlternateElim, GroupScore, ScoreInit
+from repro.graft.rules import (
+    apply_alternate_elimination,
+    apply_eager_aggregation,
+    apply_eager_counting,
+    apply_forward_scan_joins,
+    apply_join_reordering,
+    apply_pre_counting,
+    apply_selection_pushing,
+    apply_sort_elimination,
+    countable_vars,
+)
+from repro.ma.nodes import (
+    Atom,
+    GroupCount,
+    Join,
+    PositionProject,
+    PreCountAtom,
+    Select,
+    Sort,
+    Union,
+)
+from repro.ma.translate import matching_subplan
+from repro.mcalc.parser import parse_query
+from repro.sa.registry import get_scheme
+
+
+def subplan(text):
+    return matching_subplan(parse_query(text))
+
+
+class TestSelectionPushing:
+    def test_predicate_lands_on_straddling_join(self):
+        plan = apply_selection_pushing(subplan("(a b)WINDOW[5]"))
+        joins = [n for n in plan.walk() if isinstance(n, Join)]
+        assert len(joins) == 1
+        assert [p.name for p in joins[0].predicates] == ["WINDOW"]
+        assert not any(isinstance(n, Select) for n in plan.walk())
+
+    def test_predicate_descends_into_subtree(self):
+        plan = apply_selection_pushing(subplan('c "a b"'))
+        joins = [n for n in plan.walk() if isinstance(n, Join)]
+        # The DISTANCE lands on the inner a-b join, not the outer one.
+        outer = [j for j in joins if "c" in {a.keyword for a in j.walk() if isinstance(a, Atom)}]
+        inner = [j for j in joins if j.predicates]
+        assert len(inner) == 1
+        keywords = {a.keyword for a in inner[0].walk() if isinstance(a, Atom)}
+        assert keywords == {"a", "b"}
+        assert outer and not outer[0].predicates
+
+    def test_predicate_descends_into_union_branch(self):
+        plan = apply_selection_pushing(subplan('x (y | "a b")'))
+        unions = [n for n in plan.walk() if isinstance(n, Union)]
+        assert len(unions) == 1
+        branch_joins = [n for n in unions[0].walk() if isinstance(n, Join)]
+        assert any(j.predicates for j in branch_joins)
+
+    def test_branch_straddling_predicate_dropped_as_vacuous(self):
+        # PROXIMITY over variables from different union branches can never
+        # constrain a row (one side is always EMPTY).
+        from repro.mcalc.ast import And, Has, Or, Pred, Query
+        from repro.mcalc.safety import pad_disjunctions
+
+        raw = And((
+            Or((Has("p0", "a"), Has("p1", "b"))),
+            Pred("PROXIMITY", ("p0", "p1"), (3,)),
+        ))
+        q = Query(
+            formula=pad_disjunctions(raw),
+            free_vars=("p0", "p1"),
+            source_formula=raw,
+        )
+        plan = apply_selection_pushing(matching_subplan(q))
+        assert not any(isinstance(n, Select) for n in plan.walk())
+        assert not any(
+            isinstance(n, Join) and n.predicates for n in plan.walk()
+        )
+
+    def test_idempotent(self):
+        once = apply_selection_pushing(subplan("(a b)WINDOW[5] c"))
+        twice = apply_selection_pushing(once)
+        from repro.graft.explain import explain
+
+        assert explain(once) == explain(twice)
+
+
+class TestSortElimination:
+    def test_removes_sort(self):
+        plan = apply_sort_elimination(subplan("a b"))
+        assert not any(isinstance(n, Sort) for n in plan.walk())
+
+
+class TestCounting:
+    def test_countable_vars_excludes_predicate_vars(self):
+        q = parse_query("(a b)WINDOW[5] c")
+        info = make_query_info(q, get_scheme("anysum"))
+        assert countable_vars(info, get_scheme("anysum")) == {"p2"}
+
+    def test_countable_vars_respects_positionality(self):
+        q = parse_query("a b")
+        info = make_query_info(q, get_scheme("bestsum-mindist"))
+        assert countable_vars(info, get_scheme("bestsum-mindist")) == set()
+
+    def test_lucene_counts_free_keywords_only(self):
+        """Table 2 footnote: Lucene is positional only for its
+        phrase/proximity columns, so free keywords still pre-count."""
+        q = parse_query("(a b)PROXIMITY[3] c")
+        scheme = get_scheme("lucene")
+        info = make_query_info(q, scheme)
+        assert countable_vars(info, scheme) == {"p2"}
+
+    def test_eager_counting_builds_chain(self):
+        q = parse_query("a b")
+        scheme = get_scheme("anysum")
+        info = make_query_info(q, scheme)
+        plan = apply_eager_counting(subplan("a b"), info, scheme)
+        counts = [n for n in plan.walk() if isinstance(n, GroupCount)]
+        assert len(counts) == 2
+        assert all(isinstance(c.child, PositionProject) for c in counts)
+
+    def test_pre_counting_swaps_index(self):
+        q = parse_query("a b")
+        scheme = get_scheme("anysum")
+        info = make_query_info(q, scheme)
+        counted = apply_eager_counting(subplan("a b"), info, scheme)
+        pre = apply_pre_counting(counted, info, scheme)
+        leaves = [n for n in pre.walk() if isinstance(n, PreCountAtom)]
+        assert {leaf.keyword for leaf in leaves} == {"a", "b"}
+        assert not any(isinstance(n, GroupCount) for n in pre.walk())
+
+
+class TestAlternateElimination:
+    def test_replaces_group_score_below_score_init(self):
+        from repro.graft.canonical import canonical_plan
+
+        q = parse_query("a b")
+        plan, _ = canonical_plan(q, get_scheme("anysum"))
+        plan = apply_sort_elimination(plan)
+        rewritten = apply_alternate_elimination(plan)
+        deltas = [n for n in rewritten.walk() if isinstance(n, AlternateElim)]
+        assert len(deltas) == 1
+        inits = [n for n in rewritten.walk() if isinstance(n, ScoreInit)]
+        assert isinstance(inits[0].child, AlternateElim)
+        assert not any(isinstance(n, GroupScore) for n in rewritten.walk())
+
+    def test_replaces_eager_count_groups(self):
+        q = parse_query("a b")
+        scheme = get_scheme("anysum")
+        info = make_query_info(q, scheme)
+        counted = apply_eager_counting(subplan("a b"), info, scheme)
+        rewritten = apply_alternate_elimination(counted)
+        assert not any(isinstance(n, GroupCount) for n in rewritten.walk())
+        assert sum(isinstance(n, AlternateElim) for n in rewritten.walk()) == 2
+
+
+class TestEagerAggregation:
+    def test_group_bys_pushed_to_leaves(self):
+        q = parse_query("a b")
+        info = make_query_info(q, get_scheme("sumbest"))
+        matching = apply_selection_pushing(subplan("a b"))
+        plan = apply_eager_aggregation(matching, info)
+        groups = [n for n in plan.walk() if isinstance(n, GroupScore)]
+        # One partial aggregation per (raw, multi-row) leaf, plus the root
+        # merge group-by.
+        assert len(groups) == 3
+        leaf_groups = [g for g in groups if isinstance(g.child, ScoreInit)]
+        assert len(leaf_groups) == 2
+        for g in leaf_groups:
+            assert isinstance(g.child.child, Atom)
+            assert g.counts_incorporated
+
+    def test_predicate_join_aggregated_above(self):
+        q = parse_query('(a b)WINDOW[5] c')
+        info = make_query_info(q, get_scheme("sumbest"))
+        matching = apply_selection_pushing(subplan('(a b)WINDOW[5] c'))
+        plan = apply_eager_aggregation(matching, info)
+        # The a-b join carries WINDOW; its leaves must stay raw and the
+        # aggregation must sit above that join.
+        pred_joins = [
+            n for n in plan.walk()
+            if isinstance(n, Join) and n.predicates
+        ]
+        assert len(pred_joins) == 1
+        for leaf in pred_joins[0].walk():
+            assert not isinstance(leaf, (ScoreInit, GroupScore))
+
+    def test_row_first_rejected(self):
+        from repro.errors import OptimizationError
+
+        q = parse_query("a b")
+        info = make_query_info(q, get_scheme("event-model"))
+        with pytest.raises(OptimizationError):
+            apply_eager_aggregation(subplan("a b"), info)
+
+    def test_no_sort_in_eager_plan(self):
+        q = parse_query("a b")
+        info = make_query_info(q, get_scheme("meansum"))
+        plan = apply_eager_aggregation(subplan("a b"), info)
+        assert not any(isinstance(n, Sort) for n in plan.walk())
+
+
+class TestForwardScan:
+    def test_marks_predicate_joins(self):
+        plan = apply_selection_pushing(subplan('"a b"'))
+        marked = apply_forward_scan_joins(plan)
+        joins = [n for n in marked.walk() if isinstance(n, Join)]
+        assert [j.algorithm for j in joins] == ["forward"]
+
+    def test_leaves_predicate_free_joins_alone(self):
+        plan = apply_forward_scan_joins(subplan("a b"))
+        joins = [n for n in plan.walk() if isinstance(n, Join)]
+        assert [j.algorithm for j in joins] == ["merge"]
+
+
+class TestJoinReordering:
+    def test_cheapest_leaf_drives(self, tiny_index):
+        # 'lazy' (2 positions) is rarer than 'dog' (8) and 'fox' (6): it
+        # must end up as the left-deep chain's driving (innermost-left)
+        # leaf.
+        plan = apply_selection_pushing(subplan("dog fox lazy"))
+        reordered = apply_join_reordering(plan, tiny_index)
+        top = reordered
+        while isinstance(top, Sort):
+            top = top.child
+        assert isinstance(top, Join)
+        driver = top
+        while isinstance(driver, Join):
+            driver = driver.left
+        assert isinstance(driver, Atom) and driver.keyword == "lazy"
+
+    def test_predicate_groups_kept_intact(self, tiny_index):
+        plan = apply_selection_pushing(subplan('dog "quick fox"'))
+        reordered = apply_join_reordering(plan, tiny_index)
+        pred_joins = [
+            n for n in reordered.walk() if isinstance(n, Join) and n.predicates
+        ]
+        assert len(pred_joins) == 1
+        keywords = {
+            a.keyword for a in pred_joins[0].walk() if isinstance(a, Atom)
+        }
+        assert keywords == {"quick", "fox"}

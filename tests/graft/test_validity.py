@@ -1,0 +1,120 @@
+"""Table 1 (validity matrix) and Table 3 (allowed optimizations) goldens."""
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.graft.validity import (
+    OPTIMIZATIONS,
+    allowed_optimizations,
+    optimization_allowed,
+    require_allowed,
+    table1_rows,
+)
+from repro.sa.registry import get_scheme
+
+from tests.conftest import SCHEME_NAMES
+
+
+def test_table_1_row_set():
+    names = [spec.name for spec in OPTIMIZATIONS]
+    assert names == [
+        "sort-elimination",
+        "join-reordering",
+        "selection-pushing",
+        "zigzag-join",
+        "forward-scan-join",
+        "alternate-elimination",
+        "eager-aggregation",
+        "eager-counting",
+        "pre-counting",
+        "rank-join",
+        "rank-union",
+    ]
+
+
+def test_classical_optimizations_unrestricted():
+    """Table 1: "there are no restrictions on classical optimizations
+    (join reordering, selection pushing, zig-zag joins, and eager
+    counting)"."""
+    for name in SCHEME_NAMES:
+        props = get_scheme(name).properties
+        for opt in ("join-reordering", "selection-pushing", "zigzag-join",
+                    "eager-counting"):
+            assert optimization_allowed(opt, props), (name, opt)
+
+
+def test_constant_gates():
+    """Forward-scan joins and alternate elimination require constant."""
+    assert optimization_allowed("forward-scan-join", get_scheme("anysum").properties)
+    assert optimization_allowed("alternate-elimination", get_scheme("anysum").properties)
+    for name in SCHEME_NAMES:
+        if name == "anysum":
+            continue
+        props = get_scheme(name).properties
+        assert not optimization_allowed("forward-scan-join", props), name
+        assert not optimization_allowed("alternate-elimination", props), name
+
+
+def test_eager_aggregation_blocked_row_first():
+    # Join-Normalized is row-first here (the paper's piecewise disjunctive
+    # combinator is provably non-diagonal; see EXPERIMENTS.md), so it
+    # joins the blocked set — a documented deviation from Table 3.
+    for name in ("event-model", "bestsum-mindist", "join-normalized"):
+        assert not optimization_allowed(
+            "eager-aggregation", get_scheme(name).properties
+        ), name
+    for name in ("anysum", "sumbest", "lucene", "meansum"):
+        assert optimization_allowed(
+            "eager-aggregation", get_scheme(name).properties
+        ), name
+
+
+def test_rank_join_requires_diagonal_and_monotone():
+    assert optimization_allowed("rank-join", get_scheme("anysum").properties)
+    # Column-first (not diagonal):
+    assert not optimization_allowed("rank-join", get_scheme("sumbest").properties)
+    # Row-first:
+    assert not optimization_allowed("rank-join", get_scheme("event-model").properties)
+    assert not optimization_allowed("rank-join", get_scheme("join-normalized").properties)
+
+
+def test_pre_counting_blocked_for_positional():
+    assert not optimization_allowed(
+        "pre-counting", get_scheme("bestsum-mindist").properties
+    )
+    assert optimization_allowed("pre-counting", get_scheme("anysum").properties)
+
+
+def test_table_3_derivation():
+    """Table 3 = Table 1 x Table 2: the full per-scheme columns."""
+    table3 = {name: set(allowed_optimizations(get_scheme(name).properties))
+              for name in SCHEME_NAMES}
+    classical = {"sort-elimination", "join-reordering", "selection-pushing",
+                 "zigzag-join", "eager-counting"}
+    for name, allowed in table3.items():
+        assert classical <= allowed, name
+    assert "forward-scan-join" in table3["anysum"]
+    assert "alternate-elimination" in table3["anysum"]
+    assert "eager-aggregation" not in table3["bestsum-mindist"]
+    assert "pre-counting" not in table3["bestsum-mindist"]
+    assert "rank-union" in table3["meansum"]
+
+
+def test_unknown_optimization_rejected():
+    with pytest.raises(OptimizationError):
+        optimization_allowed("teleportation", get_scheme("anysum").properties)
+
+
+def test_require_allowed_raises_with_requirement_text():
+    with pytest.raises(OptimizationError) as err:
+        require_allowed("alternate-elimination", get_scheme("meansum").properties)
+    assert "constant" in str(err.value)
+
+
+def test_table1_rows_render():
+    rows = table1_rows()
+    assert len(rows) == len(OPTIMIZATIONS)
+    by_name = {r["optimization"]: r for r in rows}
+    assert by_name["forward-scan-join"]["operator requirement"] == "constant"
+    assert by_name["eager-aggregation"]["direction requirement"] == "not row-first"
+    assert by_name["selection-pushing"]["operator requirement"] == "-"

@@ -1,0 +1,62 @@
+"""Index builder tests."""
+
+import pytest
+
+from repro.corpus.collection import DocumentCollection
+from repro.index.builder import IndexBuilder, build_index
+
+
+def test_build_from_collection(tiny_collection):
+    index = build_index(tiny_collection)
+    assert index.num_docs == len(tiny_collection)
+    # 'fox' occurs in docs 0, 1, 3, 4, 6 of the tiny collection.
+    assert index.document_frequency("fox") == 5
+
+
+def test_positions_recorded(tiny_collection):
+    index = build_index(tiny_collection)
+    doc0 = tiny_collection[0]
+    assert list(index.postings("quick").positions_in(0)) == doc0.positions_of("quick")
+
+
+def test_term_frequency_matches_documents(tiny_collection):
+    index = build_index(tiny_collection)
+    for doc in tiny_collection:
+        for term in set(doc.tokens):
+            assert index.term_frequency(doc.doc_id, term) == doc.term_frequency(term)
+
+
+def test_unknown_term_has_empty_postings(tiny_index):
+    assert tiny_index.document_frequency("qzxv") == 0
+    assert tiny_index.postings("qzxv").positions_in(0) == ()
+
+
+def test_doc_lengths(tiny_collection, tiny_index):
+    for doc in tiny_collection:
+        assert tiny_index.stats.doc_length(doc.doc_id) == doc.length
+
+
+def test_avg_doc_length(tiny_collection, tiny_index):
+    expect = tiny_collection.total_tokens / len(tiny_collection)
+    assert tiny_index.stats.avg_doc_length == pytest.approx(expect)
+
+
+def test_out_of_order_ids_rejected():
+    builder = IndexBuilder()
+    builder.add_document(0, ("a",))
+    with pytest.raises(ValueError):
+        builder.add_document(2, ("b",))
+
+
+def test_term_document_index_is_logical_subset(tiny_index):
+    """The term-document view must agree with the term-position view."""
+    for term, postings in tiny_index.terms.items():
+        docs = tiny_index.doc_terms[term]
+        assert list(docs.doc_ids) == list(postings.doc_ids)
+        assert list(docs.counts) == [len(o) for o in postings.offsets]
+
+
+def test_empty_collection_index():
+    index = build_index(DocumentCollection())
+    assert index.num_docs == 0
+    assert index.stats.avg_doc_length == 0.0

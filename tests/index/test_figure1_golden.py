@@ -1,0 +1,45 @@
+"""Figure 1 as a golden index test: the fragment of the normalized
+term-position index for d_w, reproduced by our builder."""
+
+import pytest
+
+from repro.corpus.wine import wine_collection, wine_stats_overrides
+from repro.index.builder import build_index
+
+#: Figure 1's rows: token -> (#INDOC, #DOCS, OFFSETS).
+FIGURE_1 = {
+    "emulator": (1, 2768, (64,)),
+    "free": (1, 332_335, (3,)),
+    "foss": (1, 2044, (179,)),
+    "software": (4, 71_735, (4, 32, 180, 189)),
+    "windows": (4, 43_949, (27, 42, 144, 187)),
+}
+
+
+@pytest.fixture(scope="module")
+def index():
+    return build_index(wine_collection())
+
+
+@pytest.mark.parametrize("token", sorted(FIGURE_1))
+def test_offsets_column(token, index):
+    _, _, offsets = FIGURE_1[token]
+    assert index.postings(token).positions_in(0) == offsets
+
+
+@pytest.mark.parametrize("token", sorted(FIGURE_1))
+def test_indoc_column(token, index):
+    indoc, _, _ = FIGURE_1[token]
+    assert index.term_frequency(0, token) == indoc
+
+
+@pytest.mark.parametrize("token", sorted(FIGURE_1))
+def test_docs_column_via_overrides(token):
+    """#DOCS is a collection statistic we cannot rebuild from one
+    document; the override context carries the paper's numbers."""
+    _, docs, _ = FIGURE_1[token]
+    assert wine_stats_overrides()["document_frequency"][token] == docs
+
+
+def test_document_length(index):
+    assert index.stats.doc_length(0) == 207

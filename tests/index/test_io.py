@@ -1,0 +1,84 @@
+"""Index persistence round-trip tests."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.builder import build_index
+from repro.index.io import FORMAT_VERSION, load_index, save_index
+
+
+@pytest.fixture
+def saved(tmp_path, tiny_collection):
+    index = build_index(tiny_collection)
+    save_index(index, tmp_path / "idx")
+    return index, tmp_path / "idx"
+
+
+def test_round_trip_preserves_postings(saved):
+    original, path = saved
+    loaded = load_index(path)
+    assert set(loaded.terms) == set(original.terms)
+    for term, postings in original.terms.items():
+        other = loaded.terms[term]
+        assert list(other.doc_ids) == list(postings.doc_ids)
+        assert other.offsets == postings.offsets
+
+
+def test_round_trip_preserves_stats(saved):
+    original, path = saved
+    loaded = load_index(path)
+    assert loaded.num_docs == original.num_docs
+    assert loaded.stats.avg_doc_length == original.stats.avg_doc_length
+    assert list(loaded.stats.doc_lengths) == list(original.stats.doc_lengths)
+
+
+def test_round_trip_preserves_term_document_view(saved):
+    original, path = saved
+    loaded = load_index(path)
+    for term in original.terms:
+        assert list(loaded.doc_terms[term].counts) == \
+            list(original.doc_terms[term].counts)
+
+
+def test_search_results_identical_after_reload(saved, tiny_collection):
+    from repro.exec.engine import execute, make_runtime
+    from repro.graft.optimizer import Optimizer
+    from repro.mcalc.parser import parse_query
+    from repro.sa.registry import get_scheme
+
+    original, path = saved
+    loaded = load_index(path)
+    q = parse_query('quick (fox | "lazy dog")')
+    scheme = get_scheme("meansum")
+
+    def ranked(index):
+        res = Optimizer(scheme, index).optimize(q)
+        return execute(res.plan, make_runtime(index, scheme, res.info))
+
+    assert ranked(loaded) == ranked(original)
+
+
+def test_missing_directory_raises(tmp_path):
+    with pytest.raises(IndexError_):
+        load_index(tmp_path / "nothing")
+
+
+def test_version_mismatch_raises(saved, tmp_path):
+    import json
+
+    _, path = saved
+    meta = json.loads((path / "meta.json").read_text())
+    meta["version"] = FORMAT_VERSION + 1
+    (path / "meta.json").write_text(json.dumps(meta))
+    with pytest.raises(IndexError_):
+        load_index(path)
+
+
+def test_empty_index_round_trips(tmp_path):
+    from repro.corpus.collection import DocumentCollection
+
+    index = build_index(DocumentCollection())
+    save_index(index, tmp_path / "empty")
+    loaded = load_index(tmp_path / "empty")
+    assert loaded.num_docs == 0
+    assert loaded.terms == {}

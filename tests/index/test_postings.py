@@ -1,0 +1,56 @@
+"""Position postings tests."""
+
+import numpy as np
+import pytest
+
+from repro.index.postings import PositionPostings
+
+
+@pytest.fixture
+def postings():
+    return PositionPostings.from_dict({5: [9, 2], 1: [3], 8: [0, 4, 7]})
+
+
+def test_doc_ids_sorted(postings):
+    assert list(postings.doc_ids) == [1, 5, 8]
+
+
+def test_offsets_sorted_per_doc(postings):
+    assert postings.positions_in(5) == (2, 9)
+
+
+def test_document_frequency(postings):
+    assert postings.document_frequency == 3
+
+
+def test_total_positions(postings):
+    assert postings.total_positions == 6
+
+
+def test_positions_in_absent_doc_is_empty(postings):
+    assert postings.positions_in(4) == ()
+    assert postings.positions_in(100) == ()
+
+
+def test_term_frequency(postings):
+    assert postings.term_frequency(8) == 3
+    assert postings.term_frequency(2) == 0
+
+
+def test_seek_index(postings):
+    assert postings.entry_index_at_or_after(0) == 0
+    assert postings.entry_index_at_or_after(1) == 0
+    assert postings.entry_index_at_or_after(2) == 1
+    assert postings.entry_index_at_or_after(9) == 3
+
+
+def test_empty_postings():
+    empty = PositionPostings.empty()
+    assert empty.document_frequency == 0
+    assert empty.total_positions == 0
+    assert empty.positions_in(0) == ()
+
+
+def test_misaligned_construction_rejected():
+    with pytest.raises(ValueError):
+        PositionPostings(np.asarray([1, 2], dtype=np.int64), [(1,)])

@@ -1,0 +1,109 @@
+"""Property-based tests on the index data structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.collection import DocumentCollection
+from repro.index.builder import build_index
+from repro.index.io import load_index, save_index
+from repro.index.postings import PositionPostings
+
+documents = st.lists(
+    st.lists(st.sampled_from("abcde"), min_size=0, max_size=15),
+    min_size=0,
+    max_size=8,
+)
+
+
+def collection_of(docs):
+    col = DocumentCollection()
+    for tokens in docs:
+        col.add_tokens(tokens)
+    return col
+
+
+@settings(max_examples=60, deadline=None)
+@given(docs=documents)
+def test_index_agrees_with_documents(docs):
+    """Every statistic the index reports must equal recounting the
+    documents directly."""
+    col = collection_of(docs)
+    index = build_index(col)
+    vocabulary = col.vocabulary()
+    assert set(index.terms) == vocabulary
+    for term in vocabulary:
+        postings = index.postings(term)
+        containing = [d for d in col if d.term_frequency(term)]
+        assert list(postings.doc_ids) == [d.doc_id for d in containing]
+        for doc in containing:
+            assert list(postings.positions_in(doc.doc_id)) == \
+                doc.positions_of(term)
+        assert postings.total_positions == sum(
+            d.term_frequency(term) for d in col
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(docs=documents, targets=st.lists(st.integers(0, 10), max_size=5))
+def test_seek_index_is_lower_bound(docs, targets):
+    col = collection_of(docs)
+    index = build_index(col)
+    for term, postings in index.terms.items():
+        ids = list(postings.doc_ids)
+        for target in targets:
+            i = postings.entry_index_at_or_after(target)
+            assert all(d < target for d in ids[:i])
+            assert all(d >= target for d in ids[i:])
+
+
+@settings(max_examples=40, deadline=None)
+@given(docs=documents)
+def test_doc_id_list_matches_array(docs):
+    index = build_index(collection_of(docs))
+    for postings in index.terms.values():
+        assert postings.doc_id_list == [int(d) for d in postings.doc_ids]
+
+
+@settings(max_examples=25, deadline=None)
+@given(docs=documents)
+def test_io_round_trip_any_corpus(docs, tmp_path_factory):
+    index = build_index(collection_of(docs))
+    path = tmp_path_factory.mktemp("idx")
+    save_index(index, path)
+    loaded = load_index(path)
+    assert set(loaded.terms) == set(index.terms)
+    for term, postings in index.terms.items():
+        assert loaded.terms[term].offsets == postings.offsets
+        assert list(loaded.terms[term].doc_ids) == list(postings.doc_ids)
+    assert list(loaded.stats.doc_lengths) == list(index.stats.doc_lengths)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    by_doc=st.dictionaries(
+        st.integers(0, 50),
+        st.lists(st.integers(0, 100), min_size=1, max_size=5),
+        max_size=8,
+    )
+)
+def test_postings_from_dict_normalizes(by_doc):
+    postings = PositionPostings.from_dict(by_doc)
+    ids = list(postings.doc_ids)
+    assert ids == sorted(by_doc)
+    for doc, offsets in zip(ids, postings.offsets):
+        assert list(offsets) == sorted(by_doc[doc])
+    assert postings.document_frequency == len(by_doc)
+
+
+@settings(max_examples=60, deadline=None)
+@given(docs=documents)
+def test_term_document_counts_consistent(docs):
+    index = build_index(collection_of(docs))
+    for term, doc_postings in index.doc_terms.items():
+        positions = index.terms[term]
+        assert list(doc_postings.doc_ids) == list(positions.doc_ids)
+        assert [int(c) for c in doc_postings.counts] == \
+            [len(o) for o in positions.offsets]
+        assert int(np.sum(doc_postings.counts)) == positions.total_positions

@@ -1,0 +1,70 @@
+"""Seekable scan tests."""
+
+from repro.index.scan import DocumentScan, PositionScan
+
+
+def test_position_scan_iterates_all_entries(tiny_index):
+    scan = PositionScan(tiny_index, "fox")
+    docs = []
+    while True:
+        entry = scan.next_entry()
+        if entry is None:
+            break
+        docs.append(entry[0])
+    assert docs == sorted(docs)
+    assert len(docs) == tiny_index.document_frequency("fox")
+
+
+def test_position_scan_counts_work(tiny_index):
+    scan = PositionScan(tiny_index, "fox")
+    while scan.next_entry() is not None:
+        pass
+    assert scan.positions_touched == tiny_index.total_positions("fox")
+    assert scan.docs_touched == tiny_index.document_frequency("fox")
+
+
+def test_position_scan_seek_skips(tiny_index):
+    scan = PositionScan(tiny_index, "fox")
+    scan.seek(3)
+    entry = scan.next_entry()
+    assert entry is not None and entry[0] >= 3
+
+
+def test_seek_never_goes_backward(tiny_index):
+    scan = PositionScan(tiny_index, "fox")
+    first = scan.next_entry()
+    scan.seek(0)  # earlier than current: must be a no-op
+    second = scan.next_entry()
+    assert second[0] > first[0]
+
+
+def test_position_scan_exhaustion(tiny_index):
+    scan = PositionScan(tiny_index, "fox")
+    scan.seek(10**9)
+    assert scan.next_entry() is None
+    assert scan.current_doc() is None
+
+
+def test_document_scan_counts(tiny_index):
+    scan = DocumentScan(tiny_index, "dog")
+    total = 0
+    while True:
+        entry = scan.next_entry()
+        if entry is None:
+            break
+        doc, count = entry
+        assert count == tiny_index.term_frequency(doc, "dog")
+        total += 1
+    assert total == tiny_index.document_frequency("dog")
+
+
+def test_document_scan_unknown_term(tiny_index):
+    scan = DocumentScan(tiny_index, "qzxv")
+    assert scan.next_entry() is None
+
+
+def test_document_scan_seek(tiny_index):
+    scan = DocumentScan(tiny_index, "dog")
+    scan.seek(4)
+    entry = scan.next_entry()
+    assert entry is not None and entry[0] >= 4

@@ -1,0 +1,65 @@
+"""Score-encapsulated legacy framework tests (beyond the motivation demo,
+which lives in tests/graft/test_motivation.py)."""
+
+import pytest
+
+from repro.index.builder import build_index
+from repro.legacy.encapsulated import EncapsulatedEngine, join_normalized_sj
+from repro.mcalc.ast import Pred
+from repro.sa.context import IndexScoringContext
+
+from tests.conftest import make_tiny_collection
+
+
+@pytest.fixture
+def engine():
+    col = make_tiny_collection()
+    idx = build_index(col)
+    return EncapsulatedEngine(
+        idx,
+        IndexScoringContext(idx),
+        sj=join_normalized_sj,
+        initial=lambda ctx, doc, var, kw: 1.0,
+    )
+
+
+def test_sj_distributes_score_mass():
+    # m_L.s / |M_R| + m_R.s / |M_L|
+    assert join_normalized_sj(2.0, 3.0, 2, 4) == pytest.approx(2 / 4 + 3 / 2)
+
+
+def test_sj_zero_cardinality_guard():
+    assert join_normalized_sj(2.0, 3.0, 0, 0) == 0.0
+
+
+def test_atom_produces_one_tuple_per_position(engine):
+    tuples = engine.atom("p0", "dog")
+    # 'dog' total positions in the tiny collection: 1+1+1+2+3+0+1 = 8? See
+    # the index itself for the ground truth.
+    assert len(tuples) == engine.index.total_positions("dog")
+
+
+def test_join_preserves_score_mass_per_document(engine):
+    """The SJ design goal: joining neither creates nor destroys score
+    mass (before any selection)."""
+    left = engine.atom("p0", "quick")
+    right = engine.atom("p1", "fox")
+    joined = engine.join(left, right)
+    docs = {t[0] for t in joined}
+    for doc in docs:
+        mass_in = sum(s for d, _, s in left if d == doc) + \
+            sum(s for d, _, s in right if d == doc)
+        mass_out = sum(s for d, _, s in joined if d == doc)
+        assert mass_out == pytest.approx(mass_in)
+
+
+def test_select_silently_drops_mass(engine):
+    joined = engine.join(engine.atom("p0", "quick"), engine.atom("p1", "fox"))
+    pred = Pred("DISTANCE", ("p0", "p1"), (1,))
+    selected = engine.select(joined, pred)
+    assert sum(s for _, _, s in selected) < sum(s for _, _, s in joined)
+
+
+def test_document_scores_sum_matches(engine):
+    tuples = [(0, {}, 1.0), (0, {}, 2.0), (3, {}, 4.0)]
+    assert engine.document_scores(tuples) == {0: 3.0, 3: 4.0}

@@ -1,0 +1,64 @@
+"""Match-table value-type tests."""
+
+from repro.ma.match_table import (
+    ANY_POSITION,
+    MatchTable,
+    cell_repr,
+    cell_sort_key,
+    row_sort_key,
+)
+
+
+def test_cell_order_any_then_positions_then_empty():
+    cells = [None, 5, ANY_POSITION, 0, 100]
+    ordered = sorted(cells, key=cell_sort_key)
+    assert ordered == [ANY_POSITION, 0, 5, 100, None]
+
+
+def test_row_order_is_lexicographic_doc_major():
+    rows = [
+        (1, 5, None),
+        (0, 9, 1),
+        (1, 5, 3),
+        (0, 2, 7),
+    ]
+    assert sorted(rows, key=row_sort_key) == [
+        (0, 2, 7),
+        (0, 9, 1),
+        (1, 5, 3),
+        (1, 5, None),
+    ]
+
+
+def test_cell_repr():
+    assert cell_repr(None) == "-"
+    assert cell_repr(ANY_POSITION) == "*"
+    assert cell_repr(12) == "12"
+
+
+def test_table_sorted_copy():
+    t = MatchTable(("a",), [(1, 2), (0, 5), (1, None)])
+    s = t.sorted()
+    assert s.rows == [(0, 5), (1, 2), (1, None)]
+    assert t.rows[0] == (1, 2)  # original untouched
+
+
+def test_for_document_filters():
+    t = MatchTable(("a",), [(1, 2), (0, 5), (1, 3)])
+    assert t.for_document(1).rows == [(1, 2), (1, 3)]
+
+
+def test_documents_distinct_sorted():
+    t = MatchTable(("a",), [(3, 1), (1, 2), (3, 9)])
+    assert t.documents() == [1, 3]
+
+
+def test_column_values():
+    t = MatchTable(("a", "b"), [(0, 1, 2), (0, 3, None)])
+    assert t.column_values("b") == [2, None]
+
+
+def test_str_renders_all_rows():
+    t = MatchTable(("a",), [(0, 1), (0, None)])
+    text = str(t)
+    assert "1" in text and "-" in text

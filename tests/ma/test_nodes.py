@@ -1,0 +1,71 @@
+"""Logical plan node structural tests."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.ma.nodes import (
+    Atom,
+    GroupCount,
+    Join,
+    PositionProject,
+    PreCountAtom,
+    Select,
+    Sort,
+    Union,
+    merge_vars,
+)
+from repro.mcalc.ast import Pred
+
+
+def test_atom_schema():
+    a = Atom("p0", "fox")
+    assert a.position_vars == ("p0",)
+    assert not a.counted
+
+
+def test_precount_atom_is_counted():
+    assert PreCountAtom("p0", "fox").counted
+
+
+def test_join_concatenates_schemas():
+    j = Join(Atom("a", "x"), Atom("b", "y"))
+    assert j.position_vars == ("a", "b")
+
+
+def test_join_schema_deduplicates():
+    assert merge_vars(("a", "b"), ("b", "c")) == ("a", "b", "c")
+
+
+def test_union_merges_schemas():
+    u = Union(Atom("a", "x"), Join(Atom("b", "y"), Atom("c", "z")))
+    assert u.position_vars == ("a", "b", "c")
+
+
+def test_counted_propagates_through_join():
+    j = Join(GroupCount(PositionProject(Atom("a", "x"), ("a",))), Atom("b", "y"))
+    assert j.counted
+
+
+def test_with_children_rebuilds():
+    j = Join(Atom("a", "x"), Atom("b", "y"), (Pred("ORDER", ("a", "b")),))
+    j2 = j.with_children(Atom("a", "x2"), Atom("b", "y"))
+    assert j2.left.keyword == "x2"
+    assert j2.predicates == j.predicates
+
+
+def test_leaf_rejects_children():
+    with pytest.raises(PlanError):
+        Atom("a", "x").with_children(Atom("b", "y"))
+
+
+def test_labels_are_descriptive():
+    assert "fox" in Atom("p", "fox").label()
+    assert "zigzag" in Join(Atom("a", "x"), Atom("b", "y")).label()
+    assert "sigma" in Select(Atom("a", "x"), (Pred("ORDER", ("a", "a")),)).label()
+    assert "tau" in Sort(Atom("a", "x"), ("a",)).label()
+
+
+def test_walk_is_preorder():
+    j = Join(Atom("a", "x"), Atom("b", "y"))
+    labels = [type(n).__name__ for n in j.walk()]
+    assert labels == ["Join", "Atom", "Atom"]

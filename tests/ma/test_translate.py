@@ -1,0 +1,90 @@
+"""MCalc-to-MA translation: structure and semantics-vs-oracle."""
+
+import pytest
+
+from repro.exec.compile import compile_plan
+from repro.exec.engine import make_runtime
+from repro.graft.canonical import make_query_info
+from repro.ma.match_table import row_sort_key
+from repro.ma.nodes import Atom, Join, Select, Sort, Union
+from repro.ma.translate import matching_subplan
+from repro.mcalc.oracle import match_table
+from repro.mcalc.parser import parse_query
+from repro.sa.registry import get_scheme
+
+from tests.conftest import TINY_QUERIES
+
+
+def run_matching(query, index):
+    """Execute the canonical matching subplan; rows as (doc, cells...) in
+    query column order."""
+    scheme = get_scheme("sumbest")
+    info = make_query_info(query, scheme)
+    runtime = make_runtime(index, scheme, info)
+    op = compile_plan(matching_subplan(query), runtime)
+    order = [op.schema.position_index(v) for v in query.free_vars]
+    rows = []
+    while True:
+        group = op.next_doc()
+        if group is None:
+            break
+        doc, row_iter = group
+        rows.extend((doc,) + tuple(r[i] for i in order) for r in row_iter)
+    return rows
+
+
+class TestStructure:
+    def test_canonical_shape_sort_select_joins(self):
+        q = parse_query("(a b)WINDOW[5] c")
+        plan = matching_subplan(q)
+        assert isinstance(plan, Sort)
+        assert isinstance(plan.child, Select)
+
+    def test_right_deep_in_keyword_order(self):
+        q = parse_query("a b c")
+        plan = matching_subplan(q)
+        join = plan.child  # no predicates -> no Select
+        assert isinstance(join, Join)
+        assert isinstance(join.left, Atom) and join.left.keyword == "a"
+        inner = join.right
+        assert isinstance(inner.left, Atom) and inner.left.keyword == "b"
+        assert isinstance(inner.right, Atom) and inner.right.keyword == "c"
+
+    def test_all_predicates_in_one_top_selection(self):
+        """Canonical Plan 7: selections follow all joins."""
+        q = parse_query('(a b)WINDOW[50] (c | "d e")')
+        plan = matching_subplan(q)
+        select = plan.child
+        assert isinstance(select, Select)
+        assert sorted(p.name for p in select.predicates) == ["DISTANCE", "WINDOW"]
+
+    def test_disjunction_becomes_union(self):
+        q = parse_query("a (b | c)")
+        plan = matching_subplan(q)
+        kinds = [type(n).__name__ for n in plan.walk()]
+        assert "Union" in kinds
+
+    def test_sort_vars_are_query_order(self):
+        q = parse_query("b a")
+        plan = matching_subplan(q)
+        assert plan.sort_vars == ("p0", "p1")
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("text", TINY_QUERIES)
+    def test_subplan_rows_equal_oracle(self, text, tiny_collection, tiny_index):
+        q = parse_query(text)
+        got = run_matching(q, tiny_index)
+        want = match_table(q, tiny_collection).rows
+        assert sorted(got, key=row_sort_key) == sorted(want, key=row_sort_key)
+
+    def test_q3_over_wine_matches_figure_2(self, wine_env):
+        col, idx, _ = wine_env
+        q = parse_query('(windows emulator)WINDOW[50] (foss | "free software")')
+        got = run_matching(q, idx)
+        assert sorted(got, key=row_sort_key) == [
+            (0, 27, 64, 179, None, None),
+            (0, 27, 64, None, 3, 4),
+            (0, 42, 64, 179, None, None),
+            (0, 42, 64, None, 3, 4),
+        ]

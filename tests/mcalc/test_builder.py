@@ -1,0 +1,123 @@
+"""Programmatic query builder tests: builder == parser."""
+
+import pytest
+
+from repro.errors import PlanError, UnsafeQueryError
+from repro.mcalc.builder import (
+    all_of,
+    any_of,
+    constrained,
+    exclude,
+    ordered,
+    phrase,
+    proximity,
+    term,
+    window,
+)
+from repro.mcalc.parser import parse_query
+
+
+def assert_equivalent(built, text):
+    """Built query must equal the parsed query structurally."""
+    parsed = parse_query(text)
+    assert built.free_vars == parsed.free_vars
+    assert built.var_keywords == parsed.var_keywords
+    assert str(built.formula) == str(parsed.formula)
+    assert str(built.source_formula) == str(parsed.source_formula)
+
+
+def test_single_term():
+    assert_equivalent(term("Fox").build(), "fox")
+
+
+def test_conjunction():
+    assert_equivalent(all_of(term("a"), term("b"), term("c")).build(), "a b c")
+
+
+def test_phrase():
+    assert_equivalent(phrase("quick", "fox").build(), '"quick fox"')
+
+
+def test_disjunction_is_padded():
+    assert_equivalent(any_of(term("a"), term("b")).build(), "a | b")
+
+
+def test_q3_shape():
+    built = all_of(
+        window(term("windows"), term("emulator"), size=50),
+        any_of(term("foss"), phrase("free", "software")),
+    ).build()
+    assert_equivalent(
+        built, '(windows emulator)WINDOW[50] (foss | "free software")'
+    )
+
+
+def test_proximity_and_order():
+    assert_equivalent(
+        proximity(term("a"), term("b"), distance=4).build(),
+        "(a b)PROXIMITY[4]",
+    )
+    assert_equivalent(ordered(term("a"), term("b")).build(), "(a b)ORDER")
+
+
+def test_operators_sugar():
+    built = (term("a") & (term("b") | term("c"))).build()
+    assert_equivalent(built, "a (b | c)")
+
+
+def test_exclude():
+    assert_equivalent(all_of(term("fox"), exclude(term("terrier"))).build(),
+                      "fox -terrier")
+
+
+def test_predicate_over_disjunction():
+    built = constrained(
+        all_of(any_of(term("a"), term("b")), any_of(term("c"), term("d"))),
+        "WINDOW", 20,
+    ).build()
+    assert_equivalent(built, "((a | b) (c | d))WINDOW[20]")
+
+
+def test_arity_checked_at_build():
+    from repro.errors import PredicateArityError
+
+    with pytest.raises(PredicateArityError):
+        constrained(term("a"), "WINDOW", 5).build()
+
+
+def test_window_requires_size():
+    with pytest.raises(PlanError):
+        window(term("a"), term("b"))
+
+
+def test_unsafe_all_negative_rejected():
+    with pytest.raises((UnsafeQueryError, PlanError)):
+        exclude(term("a")).build()
+
+
+def test_built_queries_run(tiny_index, tiny_collection, tiny_ctx):
+    from repro.exec.engine import execute, make_runtime
+    from repro.graft.optimizer import Optimizer
+    from repro.sa.reference import rank_with_oracle
+    from repro.sa.registry import get_scheme
+
+    from tests.conftest import assert_same_ranking
+
+    built = all_of(
+        term("quick"),
+        any_of(term("fox"), phrase("lazy", "dog")),
+    ).build()
+    scheme = get_scheme("meansum")
+    res = Optimizer(scheme, tiny_index).optimize(built)
+    got = execute(res.plan, make_runtime(tiny_index, scheme, res.info, tiny_ctx))
+    want = rank_with_oracle(scheme, tiny_ctx, built, tiny_collection)
+    assert_same_ranking(got, want)
+
+
+def test_empty_constructors_rejected():
+    with pytest.raises(PlanError):
+        all_of()
+    with pytest.raises(PlanError):
+        any_of()
+    with pytest.raises(PlanError):
+        phrase()

@@ -1,0 +1,84 @@
+"""Brute-force oracle tests, including the Figure 2 golden table."""
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.wine import wine_collection
+from repro.mcalc.oracle import document_matches, match_table
+from repro.mcalc.parser import parse_query
+
+
+def test_figure_2_match_table():
+    """Q3 over d_w yields exactly the four rows of Figure 2."""
+    q = parse_query('(windows emulator)WINDOW[50] (foss | "free software")')
+    table = match_table(q, wine_collection())
+    # Columns: p0=windows p1=emulator p2=foss p3=free p4=software.
+    assert table.rows == [
+        (0, 27, 64, 179, None, None),
+        (0, 27, 64, None, 3, 4),
+        (0, 42, 64, 179, None, None),
+        (0, 42, 64, None, 3, 4),
+    ]
+
+
+def test_q1_single_match():
+    """Section 2: d_w has exactly one match to Q1 (emulator, free
+    immediately before software) at offsets (64, 3, 4)."""
+    q = parse_query('emulator "free software"')
+    col = wine_collection()
+    rows = document_matches(q, col[0])
+    assert rows == [(0, 64, 3, 4)]
+
+
+def test_without_distance_four_matches():
+    """Section 2: without the adjacency clause Q1 would have four matches,
+    one per position of 'software'."""
+    q = parse_query("emulator free software")
+    col = wine_collection()
+    rows = document_matches(q, col[0])
+    assert [r[3] for r in rows] == [4, 32, 180, 189]
+
+
+def test_conjunction_is_cross_product():
+    col = DocumentCollection()
+    col.add_text("a b a b")
+    q = parse_query("a b")
+    rows = document_matches(q, col[0])
+    assert len(rows) == 4  # 2 x 2 positions
+
+
+def test_no_match_for_missing_keyword():
+    col = DocumentCollection()
+    col.add_text("a b c")
+    assert document_matches(parse_query("a z"), col[0]) == []
+
+
+def test_disjunction_rows_are_branch_exclusive():
+    col = DocumentCollection()
+    col.add_text("x y")
+    rows = document_matches(parse_query("x | y"), col[0])
+    assert (0, 0, None) in rows
+    assert (0, None, 1) in rows
+    assert len(rows) == 2
+
+
+def test_negation_excludes_documents():
+    col = DocumentCollection()
+    col.add_text("fox terrier")
+    col.add_text("fox hound")
+    q = parse_query("fox -terrier")
+    assert document_matches(q, col[0]) == []
+    assert document_matches(q, col[1]) == [(1, 0)]
+
+
+def test_rows_sorted_lexicographically_empty_last():
+    col = DocumentCollection()
+    col.add_text("x y x")
+    rows = document_matches(parse_query("x | y"), col[0])
+    # Real positions ascending before EMPTY within each column.
+    assert rows == [(0, 0, None), (0, 2, None), (0, None, 1)]
+
+
+def test_match_table_columns_follow_query(tiny_collection):
+    q = parse_query("quick fox")
+    table = match_table(q, tiny_collection)
+    assert table.columns == ("p0", "p1")
+    assert table.documents() == [0, 1, 3, 4, 6]

@@ -1,0 +1,171 @@
+"""Shorthand query parser tests (the Section-8 syntax)."""
+
+import pytest
+
+from repro.errors import (
+    PredicateArityError,
+    QuerySyntaxError,
+    UnknownPredicateError,
+)
+from repro.mcalc.ast import And, Has, Not, Or, Pred
+from repro.mcalc.parser import parse_query
+from repro.bench.workload import PAPER_QUERIES
+
+
+class TestBasics:
+    def test_single_keyword(self):
+        q = parse_query("fox")
+        assert q.free_vars == ("p0",)
+        assert q.var_keywords == {"p0": "fox"}
+        assert isinstance(q.formula, Has)
+
+    def test_conjunction_by_juxtaposition(self):
+        q = parse_query("quick brown fox")
+        assert q.free_vars == ("p0", "p1", "p2")
+        assert q.keywords == ("quick", "brown", "fox")
+        assert isinstance(q.formula, And)
+
+    def test_keywords_are_lowercased(self):
+        q = parse_query("Quick FOX")
+        assert q.keywords == ("quick", "fox")
+
+    def test_variables_in_appearance_order(self):
+        q = parse_query('alpha "beta gamma" delta')
+        assert q.keywords == ("alpha", "beta", "gamma", "delta")
+
+
+class TestPhrases:
+    def test_phrase_becomes_distance_chain(self):
+        q = parse_query('"orange county convention center"')
+        preds = q.predicates()
+        assert [p.name for p in preds] == ["DISTANCE"] * 3
+        assert all(p.constants == (1,) for p in preds)
+        assert [p.vars for p in preds] == [
+            ("p0", "p1"), ("p1", "p2"), ("p2", "p3"),
+        ]
+
+    def test_empty_phrase_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query('""')
+
+    def test_unterminated_phrase_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query('"quick fox')
+
+
+class TestDisjunction:
+    def test_top_level_disjunction(self):
+        q = parse_query("fox | dog")
+        assert isinstance(q.source_formula, Or)
+
+    def test_branch_variables_padded(self):
+        q = parse_query("fox | dog")
+        # After padding, both free vars are bound on both branches.
+        from repro.mcalc.safety import bound_vars
+        for branch in q.formula.operands:
+            assert bound_vars(branch) == {"p0", "p1"}
+
+    def test_grouped_disjunction(self):
+        q = parse_query("quick (fox | dog)")
+        assert q.keywords == ("quick", "fox", "dog")
+
+
+class TestPredicateSuffix:
+    def test_window_on_group(self):
+        q = parse_query("(windows emulator)WINDOW[50]")
+        (pred,) = q.predicates()
+        assert pred.name == "WINDOW"
+        assert pred.vars == ("p0", "p1")
+        assert pred.constants == (50,)
+
+    def test_proximity_with_trailing_term(self):
+        q = parse_query("(free wireless internet)PROXIMITY[10] service")
+        (pred,) = q.predicates()
+        assert pred.vars == ("p0", "p1", "p2")
+        assert q.keywords[-1] == "service"
+
+    def test_order_predicate_without_constants(self):
+        q = parse_query("(quick fox)ORDER")
+        (pred,) = q.predicates()
+        assert pred.name == "ORDER" and pred.constants == ()
+
+    def test_predicate_over_nested_disjunctions(self):
+        q = parse_query("((fishing | hunting) (rules | regulations))WINDOW[20]")
+        (pred,) = q.predicates()
+        assert pred.name == "WINDOW"
+        assert len(pred.vars) == 4
+
+    def test_lowercase_name_is_a_keyword_not_a_predicate(self):
+        q = parse_query("(quick fox) window")
+        assert q.predicates() == []
+        assert q.keywords == ("quick", "fox", "window")
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(UnknownPredicateError):
+            parse_query("(a b)NOSUCH[3]")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(PredicateArityError):
+            parse_query("(a)WINDOW[5] b")
+
+
+class TestNegation:
+    def test_negated_keyword_excluded_from_free_vars(self):
+        q = parse_query("fox -terrier")
+        assert q.keywords == ("fox",)
+        assert any(isinstance(n, Not) for n in q.formula.walk())
+
+
+class TestErrors:
+    def test_unbalanced_paren(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("(quick fox")
+
+    def test_stray_character(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("quick & fox")
+
+    def test_empty_query(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("")
+
+    def test_empty_group(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("()")
+
+    def test_error_carries_position(self):
+        with pytest.raises(QuerySyntaxError) as err:
+            parse_query("quick ^fox")
+        assert err.value.position == 6
+
+
+class TestPaperQueries:
+    @pytest.mark.parametrize("name", sorted(PAPER_QUERIES))
+    def test_all_paper_queries_parse(self, name):
+        q = parse_query(PAPER_QUERIES[name])
+        assert q.free_vars
+
+    def test_q8_structure_matches_q3(self):
+        """Q8 is the shorthand translation of MCalc query Q3."""
+        q = parse_query(PAPER_QUERIES["Q8"])
+        assert q.keywords == ("windows", "emulator", "foss", "free", "software")
+        names = sorted(p.name for p in q.predicates())
+        assert names == ["DISTANCE", "WINDOW"]
+
+    def test_free_keyword_detection(self):
+        """Q8/Q10 have one free keyword; Q7/Q11 have none (Section 8)."""
+        free = {
+            name: [
+                parse_query(text).var_keywords[v]
+                for v in parse_query(text).free_keyword_vars()
+            ]
+            for name, text in PAPER_QUERIES.items()
+        }
+        assert free["Q4"] == ["san", "francisco", "fault", "line"]
+        assert len(free["Q5"]) == 7
+        assert free["Q6"] == ["orlando"]
+        assert free["Q7"] == []
+        assert free["Q8"] == ["foss"]
+        assert free["Q9"] == ["service"]
+        assert free["Q10"] == ["arizona"]
+        assert free["Q11"] == []

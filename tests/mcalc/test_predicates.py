@@ -1,0 +1,118 @@
+"""Full-text predicate semantics, including the empty-position rule."""
+
+import pytest
+
+from repro.errors import PredicateArityError, UnknownPredicateError
+from repro.mcalc.predicates import (
+    PredicateImpl,
+    get_predicate,
+    register_predicate,
+    registered_predicates,
+)
+
+
+def holds(name, positions, constants=()):
+    return get_predicate(name).holds(positions, tuple(constants))
+
+
+class TestDistance:
+    def test_exact_distance_holds(self):
+        assert holds("DISTANCE", [3, 4], [1])
+        assert holds("DISTANCE", [10, 15], [5])
+
+    def test_wrong_distance_fails(self):
+        assert not holds("DISTANCE", [3, 5], [1])
+
+    def test_distance_is_directional(self):
+        assert not holds("DISTANCE", [4, 3], [1])
+
+    def test_empty_argument_vacuously_true(self):
+        assert holds("DISTANCE", [None, 5], [1])
+        assert holds("DISTANCE", [3, None], [1])
+        assert holds("DISTANCE", [None, None], [1])
+
+
+class TestProximity:
+    def test_within_distance(self):
+        assert holds("PROXIMITY", [10, 13], [3])
+
+    def test_beyond_distance(self):
+        assert not holds("PROXIMITY", [10, 14], [3])
+
+    def test_order_agnostic(self):
+        assert holds("PROXIMITY", [13, 10], [3])
+
+    def test_nary_uses_span(self):
+        assert holds("PROXIMITY", [5, 8, 10], [5])
+        assert not holds("PROXIMITY", [5, 8, 11], [5])
+
+    def test_empty_arguments_ignored(self):
+        assert holds("PROXIMITY", [5, None, 8], [3])
+        assert not holds("PROXIMITY", [5, None, 9], [3])
+
+
+class TestWindow:
+    def test_span_strictly_less_than_window(self):
+        # A window of n tokens covers a span of at most n - 1.
+        assert holds("WINDOW", [0, 49], [50])
+        assert not holds("WINDOW", [0, 50], [50])
+
+    def test_figure_2_example(self):
+        """The WINDOW(50) of Q3: emulator@64 with windows@27/42 pass,
+        windows@144/187 fail."""
+        assert holds("WINDOW", [27, 64], [50])
+        assert holds("WINDOW", [42, 64], [50])
+        assert not holds("WINDOW", [144, 64], [50])
+        assert not holds("WINDOW", [187, 64], [50])
+
+
+class TestOrder:
+    def test_strictly_increasing(self):
+        assert holds("ORDER", [1, 5, 9])
+        assert not holds("ORDER", [1, 5, 5])
+        assert not holds("ORDER", [5, 1])
+
+    def test_empties_skipped(self):
+        assert holds("ORDER", [1, None, 9])
+
+
+class TestSameSentence:
+    def test_same_bucket(self):
+        assert holds("SAMESENTENCE", [21, 39])
+
+    def test_different_bucket(self):
+        assert not holds("SAMESENTENCE", [19, 21])
+
+
+class TestRegistry:
+    def test_unknown_predicate(self):
+        with pytest.raises(UnknownPredicateError):
+            get_predicate("NOPE")
+
+    def test_arity_check_vars(self):
+        with pytest.raises(PredicateArityError):
+            get_predicate("DISTANCE").check_arity(3, 1)
+
+    def test_arity_check_constants(self):
+        with pytest.raises(PredicateArityError):
+            get_predicate("DISTANCE").check_arity(2, 0)
+
+    def test_plugin_registration(self):
+        """GRAFT 'can support as plug-ins virtually any predicate on
+        positions' (Section 8)."""
+        impl = PredicateImpl(
+            "SAMEPARITY",
+            lambda p, c: (p[0] - p[1]) % 2 == 0,
+            2,
+            2,
+            0,
+            forward_class=False,
+        )
+        register_predicate(impl)
+        assert holds("SAMEPARITY", [2, 4])
+        assert not holds("SAMEPARITY", [2, 5])
+        assert "SAMEPARITY" in registered_predicates()
+
+    def test_builtins_are_forward_class(self):
+        for name in ("DISTANCE", "PROXIMITY", "WINDOW", "ORDER"):
+            assert get_predicate(name).forward_class

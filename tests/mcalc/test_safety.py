@@ -1,0 +1,83 @@
+"""Safe-range analysis and EMPTY-padding tests."""
+
+import pytest
+
+from repro.errors import UnsafeQueryError
+from repro.mcalc.ast import And, Empty, Has, Not, Or, Pred
+from repro.mcalc.safety import (
+    bound_vars,
+    check_safe,
+    negated_vars,
+    pad_disjunctions,
+)
+
+
+def test_has_binds_its_variable():
+    assert bound_vars(Has("p", "a")) == {"p"}
+
+
+def test_conjunction_unions_bindings():
+    f = And((Has("p", "a"), Has("q", "b")))
+    assert bound_vars(f) == {"p", "q"}
+
+
+def test_disjunction_intersects_bindings():
+    f = Or((Has("p", "a"), Has("q", "b")))
+    assert bound_vars(f) == set()
+
+
+def test_predicates_bind_nothing():
+    assert bound_vars(Pred("DISTANCE", ("p", "q"), (1,))) == set()
+
+
+def test_padding_reproduces_q3_shape():
+    """Padding (foss | free^software) gives the paper's Psi^0/Psi^1."""
+    f = Or((
+        Has("p4", "foss"),
+        And((Has("p2", "free"), Has("p3", "software"))),
+    ))
+    padded = pad_disjunctions(f)
+    assert isinstance(padded, Or)
+    left, right = padded.operands
+    # foss branch gains EMPTY(p2) and EMPTY(p3).
+    assert bound_vars(left) == {"p2", "p3", "p4"}
+    assert Empty("p2") in left.operands and Empty("p3") in left.operands
+    # phrase branch gains EMPTY(p4).
+    assert bound_vars(right) == {"p2", "p3", "p4"}
+    assert Empty("p4") in right.operands
+
+
+def test_padding_is_recursive():
+    inner = Or((Has("a", "x"), Has("b", "y")))
+    outer = Or((inner, Has("c", "z")))
+    padded = pad_disjunctions(outer)
+    assert bound_vars(padded) == {"a", "b", "c"}
+
+
+def test_padded_disjunction_is_safe():
+    f = pad_disjunctions(Or((Has("p", "a"), Has("q", "b"))))
+    check_safe(f, ("p", "q"))
+
+
+def test_unpadded_disjunction_is_unsafe():
+    f = Or((Has("p", "a"), Has("q", "b")))
+    with pytest.raises(UnsafeQueryError):
+        check_safe(f, ("p", "q"))
+
+
+def test_negated_output_variable_is_unsafe():
+    f = And((Has("p", "a"), Not(Has("q", "b"))))
+    assert negated_vars(f) == {"q"}
+    with pytest.raises(UnsafeQueryError):
+        check_safe(f, ("p", "q"))
+
+
+def test_negation_with_quantified_vars_is_safe():
+    f = And((Has("p", "a"), Not(Has("q", "b"))))
+    check_safe(f, ("p",))
+
+
+def test_predicate_on_unbound_variable_is_unsafe():
+    f = And((Has("p", "a"), Pred("DISTANCE", ("p", "z"), (1,))))
+    with pytest.raises(UnsafeQueryError):
+        check_safe(f, ("p",))

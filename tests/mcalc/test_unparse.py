@@ -1,0 +1,72 @@
+"""Unparser round-trip tests, including a hypothesis-generated suite."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workload import PAPER_QUERIES
+from repro.mcalc.parser import parse_query
+from repro.mcalc.unparse import unparse
+
+
+def assert_round_trip(text):
+    q = parse_query(text)
+    again = parse_query(unparse(q))
+    assert str(again.source_formula) == str(q.source_formula)
+    assert again.free_vars == q.free_vars
+    assert again.var_keywords == q.var_keywords
+
+
+@pytest.mark.parametrize("text", [
+    "fox",
+    "quick fox",
+    '"quick brown fox"',
+    "a | b | c",
+    "a (b | c)",
+    "(a b)WINDOW[50]",
+    "(a b c)PROXIMITY[10] d",
+    "(a b)ORDER",
+    'x (y | "a b")',
+    "fox -terrier",
+    "a -(b c)",
+    "((a | b) (c | d))WINDOW[20]",
+])
+def test_round_trips(text):
+    assert_round_trip(text)
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_QUERIES))
+def test_paper_queries_round_trip(name):
+    assert_round_trip(PAPER_QUERIES[name])
+
+
+WORDS = st.sampled_from(["aa", "bb", "cc", "dd"])
+
+
+@st.composite
+def random_shorthand(draw):
+    items = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        kind = draw(st.sampled_from(
+            ["term", "phrase", "disj", "window", "neg"]
+        ))
+        if kind == "term":
+            items.append(draw(WORDS))
+        elif kind == "phrase":
+            items.append(f'"{draw(WORDS)} {draw(WORDS)}"')
+        elif kind == "disj":
+            items.append(f"({draw(WORDS)} | {draw(WORDS)})")
+        elif kind == "window":
+            n = draw(st.integers(min_value=2, max_value=30))
+            items.append(f"({draw(WORDS)} {draw(WORDS)})WINDOW[{n}]")
+        else:
+            items.append(f"-{draw(WORDS)}")
+    if all(i.startswith("-") for i in items):
+        items.append(draw(WORDS))
+    return " ".join(items)
+
+
+@settings(max_examples=100, deadline=None)
+@given(text=random_shorthand())
+def test_random_queries_round_trip(text):
+    assert_round_trip(text)

@@ -1,0 +1,36 @@
+"""Scoring context tests."""
+
+from repro.sa.context import IndexScoringContext, OverrideScoringContext
+
+
+def test_index_context_reads_index(tiny_index, tiny_ctx):
+    assert tiny_ctx.collection_size() == tiny_index.num_docs
+    assert tiny_ctx.document_frequency("fox") == tiny_index.document_frequency("fox")
+    assert tiny_ctx.term_frequency(4, "dog") == 3
+    assert tiny_ctx.doc_length(0) == 9
+
+
+def test_override_collection_size(tiny_ctx):
+    ctx = OverrideScoringContext(tiny_ctx, collection_size=10**6)
+    assert ctx.collection_size() == 10**6
+    # Everything else falls through.
+    assert ctx.doc_length(0) == tiny_ctx.doc_length(0)
+
+
+def test_override_document_frequency(tiny_ctx):
+    ctx = OverrideScoringContext(tiny_ctx, document_frequency={"fox": 12345})
+    assert ctx.document_frequency("fox") == 12345
+    assert ctx.document_frequency("dog") == tiny_ctx.document_frequency("dog")
+
+
+def test_override_avg_doc_length(tiny_ctx):
+    ctx = OverrideScoringContext(tiny_ctx, avg_doc_length=99.0)
+    assert ctx.avg_doc_length() == 99.0
+
+
+def test_wine_context_reproduces_paper_numbers(wine_env):
+    _, _, ctx = wine_env
+    assert ctx.collection_size() == 4_638_535
+    assert ctx.document_frequency("software") == 71_735
+    assert ctx.doc_length(0) == 207
+    assert ctx.term_frequency(0, "windows") == 4

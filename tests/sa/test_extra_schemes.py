@@ -1,0 +1,77 @@
+"""The extra Section-7 scheme instances (AnyProd, KLSum)."""
+
+import pytest
+
+from repro.exec.engine import execute, make_runtime
+from repro.graft.optimizer import Optimizer
+from repro.mcalc.parser import parse_query
+from repro.sa.reference import rank_with_oracle
+from repro.sa.registry import available_schemes, get_scheme
+from repro.sa.weighting import bm25, kl_divergence
+
+from tests.conftest import assert_same_ranking
+
+
+def test_registered():
+    assert {"anyprod", "klsum"} <= set(available_schemes())
+
+
+def test_anyprod_multiplies_term_weights(tiny_ctx):
+    s = get_scheme("anyprod")
+    assert s.conj(2.0, 3.0) == 6.0
+    assert s.disj(2.0, 3.0) == 6.0
+    # alpha still BM25, cell-independent (constant scheme).
+    assert s.alpha(tiny_ctx, 0, "p0", "fox", None) == bm25(tiny_ctx, 0, "fox")
+
+
+def test_klsum_uses_language_model_weights(tiny_ctx):
+    s = get_scheme("klsum")
+    assert s.alpha(tiny_ctx, 4, "p0", "dog", 5) == pytest.approx(
+        kl_divergence(tiny_ctx, 4, "dog")
+    )
+
+
+@pytest.mark.parametrize("name", ["anyprod", "klsum"])
+def test_extra_schemes_are_constant(name):
+    props = get_scheme(name).properties
+    assert props.constant
+    assert props.diagonal
+
+
+@pytest.mark.parametrize("name", ["anyprod", "klsum"])
+@pytest.mark.parametrize(
+    "text", ["quick fox", 'quick (fox | "lazy dog")', "(quick dog)PROXIMITY[4]"]
+)
+def test_extra_schemes_score_consistent(
+    name, text, tiny_collection, tiny_index, tiny_ctx
+):
+    scheme = get_scheme(name)
+    q = parse_query(text)
+    res = Optimizer(scheme, tiny_index).optimize(q)
+    got = execute(res.plan, make_runtime(tiny_index, scheme, res.info, tiny_ctx))
+    want = rank_with_oracle(scheme, tiny_ctx, q, tiny_collection)
+    assert_same_ranking(got, want)
+    # Constant schemes earn the novel rewrites.
+    assert "alternate-elimination" in res.applied
+
+
+def test_anyprod_and_anysum_rank_differently(tiny_index, tiny_ctx):
+    """Products and sums order multi-term documents differently — that is
+    the point of supporting both."""
+    from repro.exec.engine import execute, make_runtime
+    from repro.graft.optimizer import Optimizer
+
+    q = parse_query("quick fox dog")
+    rankings = {}
+    for name in ("anysum", "anyprod"):
+        scheme = get_scheme(name)
+        res = Optimizer(scheme, tiny_index).optimize(q)
+        rankings[name] = execute(
+            res.plan, make_runtime(tiny_index, scheme, res.info, tiny_ctx)
+        )
+    assert {d for d, _ in rankings["anysum"]} == {d for d, _ in rankings["anyprod"]}
+    scores_sum = dict(rankings["anysum"])
+    scores_prod = dict(rankings["anyprod"])
+    assert any(
+        abs(scores_sum[d] - scores_prod[d]) > 1e-9 for d in scores_sum
+    )

@@ -1,0 +1,83 @@
+"""Golden test: the paper's Example 5 MEANSUM walk-through, to the digit."""
+
+import pytest
+
+from repro.mcalc.oracle import document_matches
+from repro.mcalc.parser import parse_query
+from repro.sa.reference import score_match_table
+from repro.sa.registry import get_scheme
+
+Q3 = '(windows emulator)WINDOW[50] (foss | "free software")'
+
+
+@pytest.fixture(scope="module")
+def env():
+    from repro.corpus.wine import wine_collection, wine_stats_overrides
+    from repro.index.builder import build_index
+    from repro.sa.context import IndexScoringContext, OverrideScoringContext
+
+    col = wine_collection()
+    ov = wine_stats_overrides()
+    ctx = OverrideScoringContext(
+        IndexScoringContext(build_index(col)),
+        collection_size=ov["collection_size"],
+        document_frequency=ov["document_frequency"],
+    )
+    q = parse_query(Q3)
+    rows = document_matches(q, col[0])
+    return q, rows, ctx
+
+
+def test_final_score_is_0660(env):
+    """omega(d, <65.086, 4>) = 1 - 1/ln(65.086/4 + e) = 0.660."""
+    q, rows, ctx = env
+    scheme = get_scheme("meansum")
+    score = score_match_table(scheme, ctx, q, 0, rows)
+    assert score == pytest.approx(0.660, abs=5e-4)
+
+
+def test_diagonal_row_equals_column(env):
+    """MEANSUM satisfies Definition 3: row-first == column-first."""
+    q, rows, ctx = env
+    scheme = get_scheme("meansum")
+    row_first = score_match_table(scheme, ctx, q, 0, rows, direction="row")
+    col_first = score_match_table(scheme, ctx, q, 0, rows, direction="col")
+    assert row_first == pytest.approx(col_first)
+
+
+def test_aggregate_before_finalize_is_65086_over_4(env):
+    """The internal aggregate of Example 5: <65.086, 4>."""
+    q, rows, ctx = env
+    scheme = get_scheme("meansum")
+    from repro.mcalc.scoring_plan import derive_scoring_plan, fold_phi
+
+    phi = derive_scoring_plan(q)
+    initialized = [
+        {
+            var: scheme.alpha(ctx, 0, var, q.var_keywords[var], cell)
+            for var, cell in zip(q.free_vars, row[1:])
+        }
+        for row in rows
+    ]
+    col_scores = {
+        var: scheme.fold_alt(s[var] for s in initialized)
+        for var in q.free_vars
+    }
+    aggregate = fold_phi(phi, lambda v: col_scores[v], scheme.conj, scheme.disj)
+    assert aggregate[0] == pytest.approx(65.086, abs=5e-2)
+    assert aggregate[1] == 4
+
+
+def test_engine_reproduces_example_5_end_to_end(env, wine_env):
+    """The full pipeline — parse, optimize, execute — yields 0.660."""
+    _, idx, ctx = wine_env
+    from repro.exec.engine import execute, make_runtime
+    from repro.graft import Optimizer
+
+    scheme = get_scheme("meansum")
+    q = parse_query(Q3)
+    result = Optimizer(scheme, idx).optimize(q)
+    runtime = make_runtime(idx, scheme, result.info, ctx)
+    ((doc, score),) = execute(result.plan, runtime)
+    assert doc == 0
+    assert score == pytest.approx(0.660, abs=5e-4)

@@ -1,0 +1,68 @@
+"""Reference scorer edge cases."""
+
+import pytest
+
+from repro.errors import ExecutionError, PlanError
+from repro.mcalc.parser import parse_query
+from repro.sa.reference import rank_with_oracle, score_match_table
+from repro.sa.registry import get_scheme
+
+
+def test_empty_rows_rejected(tiny_ctx):
+    with pytest.raises(PlanError):
+        score_match_table(get_scheme("anysum"), tiny_ctx, parse_query("a"), 0, [])
+
+
+def test_unknown_direction_rejected(tiny_ctx, tiny_collection):
+    q = parse_query("quick")
+    rows = [(0, 1)]
+    with pytest.raises(PlanError):
+        score_match_table(
+            get_scheme("anysum"), tiny_ctx, q, 0, rows, direction="diag"
+        )
+
+
+def test_fold_alt_of_nothing_rejected():
+    with pytest.raises(ExecutionError):
+        get_scheme("anysum").fold_alt([])
+
+
+def test_default_times_rejects_zero_copies():
+    from repro.sa.scheme import ScoringScheme
+
+    with pytest.raises(ExecutionError):
+        ScoringScheme.times(get_scheme("meansum"), (1.0, 1), 0)
+
+
+def test_default_times_folds():
+    from repro.sa.scheme import ScoringScheme
+
+    scheme = get_scheme("event-model")
+    assert ScoringScheme.times(scheme, 0.25, 3) == pytest.approx(
+        scheme.alt(scheme.alt(0.25, 0.25), 0.25)
+    )
+
+
+def test_cell_adjust_rejects_structured_scores(tiny_ctx):
+    """The positional-adjust hook is only defined for float scores; a
+    scheme combining it with tuple scores is a contract violation."""
+    from repro.mcalc.ast import Pred
+    from repro.sa.reference import _scale
+
+    with pytest.raises(PlanError):
+        _scale((1.0, 2), 0.5)
+
+
+def test_oracle_ranking_sorted(tiny_ctx, tiny_collection):
+    ranking = rank_with_oracle(
+        get_scheme("sumbest"), tiny_ctx, parse_query("dog"), tiny_collection
+    )
+    scores = [s for _, s in ranking]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_oracle_excludes_non_matching_documents(tiny_ctx, tiny_collection):
+    ranking = rank_with_oracle(
+        get_scheme("sumbest"), tiny_ctx, parse_query("terrier"), tiny_collection
+    )
+    assert [d for d, _ in ranking] == [3]

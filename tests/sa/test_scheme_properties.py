@@ -1,0 +1,285 @@
+"""Property-based validation of the Table 2 declarations.
+
+Every optimization-relevant property a scheme declares is checked against
+its implementation on randomized scores from the scheme's *reachable*
+domain (properties are contextual: e.g. AnySum's alternate combinator
+commutes because all alternate scores of one document are equal, and
+Join-Normalized sizes are constant down a column).  Directional schemes
+are additionally shown to *violate* Definition 3 on a concrete
+counterexample — the declarations are tight, not just sufficient.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sa.properties import Associativity
+from repro.sa.registry import get_scheme
+
+from tests.conftest import SCHEME_NAMES
+
+finite = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+prob = st.floats(min_value=0.0, max_value=0.999)
+count = st.integers(min_value=1, max_value=20)
+size = st.floats(min_value=1.0, max_value=9.0)
+offsets = st.lists(
+    st.integers(min_value=0, max_value=200), min_size=1, max_size=4, unique=True
+)
+
+
+def alt_domain(name: str, shared=None):
+    """Scores that can legitimately meet under the alternate combinator.
+
+    ``shared`` carries per-column constants (sizes for join-normalized;
+    the single value for the constant AnySum)."""
+    if name == "anysum":
+        return st.just(shared)
+    if name in ("sumbest", "lucene"):
+        return finite
+    if name == "event-model":
+        return prob
+    if name == "meansum":
+        return st.tuples(finite, count)
+    if name == "join-normalized":
+        return st.tuples(finite, st.just(shared))
+    if name == "bestsum-mindist":
+        # Row scores: (score, min distance, positions) — positions are
+        # dropped by the alternate combinator.
+        return st.tuples(
+            finite,
+            st.one_of(st.just(math.inf), st.floats(min_value=0, max_value=100)),
+            st.just(()),
+        )
+    raise AssertionError(name)
+
+
+def shared_constant(name: str, draw_value: float):
+    if name == "anysum":
+        return draw_value
+    if name == "join-normalized":
+        return float(int(draw_value) % 8 + 1)
+    return None
+
+
+def canon(name: str, score):
+    """Comparison projection (BestSum's alternate combinator drops the
+    position list, which carries no score information across matches)."""
+    if name == "bestsum-mindist":
+        return score[:2]
+    return score
+
+
+def approx_equal(a, b) -> bool:
+    if isinstance(a, tuple):
+        return len(a) == len(b) and all(approx_equal(x, y) for x, y in zip(a, b))
+    if a == b:
+        return True
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isinf(a) or math.isinf(b):
+            return a == b
+        return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+    return False
+
+
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), seed_value=finite)
+def test_declared_alt_commutativity(name, data, seed_value):
+    scheme = get_scheme(name)
+    if not scheme.properties.alt_commutes:
+        pytest.skip("not declared")
+    shared = shared_constant(name, seed_value)
+    dom = alt_domain(name, shared)
+    a, b = data.draw(dom), data.draw(dom)
+    lhs = canon(name, scheme.alt(a, b))
+    rhs = canon(name, scheme.alt(b, a))
+    assert approx_equal(lhs, rhs), (a, b, lhs, rhs)
+
+
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), seed_value=finite)
+def test_declared_alt_associativity(name, data, seed_value):
+    scheme = get_scheme(name)
+    if scheme.properties.alt_associates is not Associativity.FULL:
+        pytest.skip("not declared fully associative")
+    shared = shared_constant(name, seed_value)
+    dom = alt_domain(name, shared)
+    a, b, c = data.draw(dom), data.draw(dom), data.draw(dom)
+    lhs = canon(name, scheme.alt(scheme.alt(a, b), c))
+    rhs = canon(name, scheme.alt(a, scheme.alt(b, c)))
+    assert approx_equal(lhs, rhs), (a, b, c, lhs, rhs)
+
+
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), seed_value=finite)
+def test_declared_alt_idempotency(name, data, seed_value):
+    scheme = get_scheme(name)
+    if not scheme.properties.alt_idempotent:
+        pytest.skip("not declared")
+    shared = shared_constant(name, seed_value)
+    a = data.draw(alt_domain(name, shared))
+    assert approx_equal(canon(name, scheme.alt(a, a)), canon(name, a))
+
+
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), seed_value=finite, k=st.integers(min_value=1, max_value=6))
+def test_declared_alt_multiplies(name, data, seed_value, k):
+    """times(s, k) must equal folding k equal scores (Section 5.1)."""
+    scheme = get_scheme(name)
+    if not scheme.properties.alt_multiplies:
+        pytest.skip("not declared")
+    shared = shared_constant(name, seed_value)
+    a = data.draw(alt_domain(name, shared))
+    folded = a
+    for _ in range(k - 1):
+        folded = scheme.alt(folded, a)
+    assert approx_equal(canon(name, scheme.times(a, k)), canon(name, folded))
+
+
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), seed_value=finite)
+def test_declared_conj_commutativity(name, data, seed_value):
+    scheme = get_scheme(name)
+    if not scheme.properties.conj_commutes:
+        pytest.skip("not declared")
+    dom = conj_domain(name, seed_value)
+    a, b = data.draw(dom), data.draw(dom)
+    assert approx_equal(
+        canon(name, scheme.conj(a, b)), canon(name, scheme.conj(b, a))
+    )
+
+
+def conj_domain(name: str, seed_value: float):
+    """Conjuncted scores refer to the same match set, hence (for the
+    structured schemes) share row counts."""
+    if name in ("anysum", "sumbest", "lucene"):
+        return finite
+    if name == "event-model":
+        return prob
+    if name == "meansum":
+        shared_count = int(seed_value) % 10 + 1
+        return st.tuples(finite, st.just(shared_count))
+    if name == "join-normalized":
+        return st.tuples(finite, size)
+    if name == "bestsum-mindist":
+        return st.tuples(finite, st.just(math.inf), st.lists(
+            st.integers(min_value=0, max_value=100), max_size=3
+        ).map(tuple))
+    raise AssertionError(name)
+
+
+class TestDiagonality:
+    """Definition 3, both directions: diagonal schemes satisfy it on
+    random scores; directional schemes have concrete counterexamples."""
+
+    @pytest.mark.parametrize(
+        "name", [n for n in SCHEME_NAMES
+                 if get_scheme(n).properties.directional is None]
+    )
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(), seed_value=finite)
+    def test_diagonal_schemes_satisfy_definition_3(self, name, data, seed_value):
+        scheme = get_scheme(name)
+        shared = shared_constant(name, seed_value)
+        if name == "anysum":
+            dom = st.just(shared)
+        elif name == "meansum":
+            shared_count = int(seed_value) % 10 + 1
+            dom = st.tuples(finite, st.just(shared_count))
+        elif name == "join-normalized":
+            dom = st.tuples(finite, st.just(shared))
+        else:
+            dom = finite
+        w, x, y, z = (data.draw(dom) for _ in range(4))
+        lhs = scheme.alt(scheme.conj(w, x), scheme.conj(y, z))
+        rhs = scheme.conj(scheme.alt(w, y), scheme.alt(x, z))
+        assert approx_equal(canon(name, lhs), canon(name, rhs))
+
+    def test_sumbest_violates_definition_3(self):
+        """max-then-sum != sum-then-max: the paper's Example 6 in spirit."""
+        s = get_scheme("sumbest")
+        w, x, y, z = 5.0, 0.0, 0.0, 5.0
+        lhs = s.alt(s.conj(w, x), s.conj(y, z))   # max(5, 5) = 5
+        rhs = s.conj(s.alt(w, y), s.alt(x, z))    # 5 + 5 = 10
+        assert lhs != rhs
+
+    def test_event_model_violates_definition_3(self):
+        s = get_scheme("event-model")
+        w, x, y, z = 0.9, 0.1, 0.1, 0.9
+        lhs = s.alt(s.conj(w, x), s.conj(y, z))
+        rhs = s.conj(s.alt(w, y), s.alt(x, z))
+        assert abs(lhs - rhs) > 1e-6
+
+    def test_bestsum_violates_definition_3(self):
+        s = get_scheme("bestsum-mindist")
+        w = (5.0, math.inf, (10,))
+        x = (0.0, math.inf, ())
+        y = (0.0, math.inf, ())
+        z = (5.0, math.inf, (90,))
+        lhs = s.alt(s.conj(w, x), s.conj(y, z))
+        rhs = s.conj(s.alt(w, y), s.alt(x, z))
+        assert canon("bestsum-mindist", lhs) != canon("bestsum-mindist", rhs)
+
+
+class TestConstantProperty:
+    """AnySum is constant: every match of a document scores identically
+    (Section 5.1), validated on real matches of a real collection."""
+
+    def test_all_matches_score_equally(self, tiny_collection, tiny_index, tiny_ctx):
+        from repro.mcalc.oracle import document_matches
+        from repro.mcalc.parser import parse_query
+        from repro.mcalc.scoring_plan import derive_scoring_plan, fold_phi
+
+        scheme = get_scheme("anysum")
+        q = parse_query("quick (fox | dog)")
+        phi = derive_scoring_plan(q)
+        for doc in tiny_collection:
+            rows = document_matches(q, doc)
+            scores = set()
+            for row in rows:
+                cells = dict(zip(q.free_vars, row[1:]))
+                s = fold_phi(
+                    phi,
+                    lambda v: scheme.alpha(
+                        tiny_ctx, doc.doc_id, v, q.var_keywords[v], cells[v]
+                    ),
+                    scheme.conj,
+                    scheme.disj,
+                )
+                scores.add(round(s, 12))
+            assert len(scores) <= 1, (doc.doc_id, scores)
+
+    def test_non_constant_scheme_matches_differ(self, tiny_collection, tiny_ctx):
+        from repro.mcalc.oracle import document_matches
+        from repro.mcalc.parser import parse_query
+        from repro.mcalc.scoring_plan import derive_scoring_plan, fold_phi
+
+        scheme = get_scheme("sumbest")
+        q = parse_query("quick (fox | dog)")
+        phi = derive_scoring_plan(q)
+        differing = 0
+        for doc in tiny_collection:
+            rows = document_matches(q, doc)
+            scores = set()
+            for row in rows:
+                cells = dict(zip(q.free_vars, row[1:]))
+                s = fold_phi(
+                    phi,
+                    lambda v: scheme.alpha(
+                        tiny_ctx, doc.doc_id, v, q.var_keywords[v], cells[v]
+                    ),
+                    scheme.conj,
+                    scheme.disj,
+                )
+                scores.add(round(s, 12))
+            if len(scores) > 1:
+                differing += 1
+        assert differing > 0

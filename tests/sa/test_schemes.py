@@ -1,0 +1,218 @@
+"""Unit tests for the seven scoring schemes of Section 7."""
+
+import math
+
+import pytest
+
+from repro.mcalc.parser import parse_query
+from repro.sa.registry import available_schemes, get_scheme
+from repro.sa.schemes.bestsum_mindist import min_dist
+from repro.sa.weighting import bm25, tfidf_meansum
+
+from tests.conftest import SCHEME_NAMES
+
+
+def test_all_seven_schemes_registered():
+    assert set(SCHEME_NAMES) <= set(available_schemes())
+
+
+def test_registry_returns_fresh_instances():
+    a = get_scheme("anysum")
+    b = get_scheme("anysum")
+    assert a is not b and a.name == b.name
+
+
+class TestAnySum:
+    scheme = get_scheme("anysum")
+
+    def test_alpha_ignores_cell(self, tiny_ctx):
+        s = self.scheme
+        by_offset = s.alpha(tiny_ctx, 0, "p0", "fox", 3)
+        by_other = s.alpha(tiny_ctx, 0, "p0", "fox", 99)
+        by_empty = s.alpha(tiny_ctx, 0, "p0", "fox", None)
+        assert by_offset == by_other == by_empty == bm25(tiny_ctx, 0, "fox")
+
+    def test_combinators_sum(self):
+        s = self.scheme
+        assert s.conj(1.5, 2.0) == 3.5
+        assert s.disj(1.5, 2.0) == 3.5
+
+    def test_alt_picks_any(self):
+        assert self.scheme.alt(7.0, 7.0) == 7.0
+
+    def test_times_is_identity(self):
+        assert self.scheme.times(3.0, 100) == 3.0
+
+    def test_declared_constant(self):
+        assert self.scheme.properties.constant
+
+
+class TestSumBest:
+    scheme = get_scheme("sumbest")
+
+    def test_empty_scores_zero(self, tiny_ctx):
+        assert self.scheme.alpha(tiny_ctx, 0, "p0", "fox", None) == 0.0
+
+    def test_occurrence_scores_bm25(self, tiny_ctx):
+        s = self.scheme.alpha(tiny_ctx, 0, "p0", "fox", 3)
+        assert s == bm25(tiny_ctx, 0, "fox")
+
+    def test_alt_is_max(self):
+        assert self.scheme.alt(2.0, 5.0) == 5.0
+
+    def test_column_first_declared(self):
+        assert self.scheme.properties.directional == "col"
+
+
+class TestLucene:
+    scheme = get_scheme("lucene")
+
+    def test_coincides_with_sumbest_without_predicates(self, tiny_ctx):
+        sb = get_scheme("sumbest")
+        for cell in (None, 3):
+            assert self.scheme.alpha(tiny_ctx, 0, "p0", "fox", cell) == \
+                sb.alpha(tiny_ctx, 0, "p0", "fox", cell)
+
+    def test_positional_only_for_proximity_queries(self):
+        plain = parse_query("quick fox")
+        prox = parse_query("(quick fox)PROXIMITY[5] dog")
+        assert self.scheme.positional_vars(plain) == set()
+        assert self.scheme.positional_vars(prox) == {"p0", "p1"}
+
+    def test_cell_adjust_tight_match_weighs_one(self):
+        q = parse_query("(a b)PROXIMITY[5]")
+        (pred,) = q.predicates()
+        factors = self.scheme.cell_adjust(None, 0, {"p0": 4, "p1": 5}, (pred,))
+        assert factors == {"p0": 1.0, "p1": 1.0}
+
+    def test_cell_adjust_sloppy_match_discounted(self):
+        q = parse_query("(a b)PROXIMITY[5]")
+        (pred,) = q.predicates()
+        factors = self.scheme.cell_adjust(None, 0, {"p0": 4, "p1": 8}, (pred,))
+        # span 4, minimal 1 -> slop 3 -> weight 1/4.
+        assert factors["p0"] == pytest.approx(0.25)
+
+    def test_cell_adjust_ignores_phrases(self):
+        q = parse_query('"a b"')
+        (pred,) = q.predicates()
+        assert self.scheme.cell_adjust(None, 0, {"p0": 4, "p1": 5}, (pred,)) is None
+
+    def test_cell_adjust_skips_empty_cells(self):
+        q = parse_query("(a b)PROXIMITY[5]")
+        (pred,) = q.predicates()
+        assert self.scheme.cell_adjust(None, 0, {"p0": 4, "p1": None}, (pred,)) is None
+
+
+class TestJoinNormalized:
+    scheme = get_scheme("join-normalized")
+
+    def test_alpha_carries_size(self, tiny_ctx):
+        scr, size = self.scheme.alpha(tiny_ctx, 4, "p0", "dog", 5)
+        assert scr == pytest.approx(tfidf_meansum(tiny_ctx, 4, "dog"))
+        assert size == 3.0  # 'dog' occurs three times in doc 4
+
+    def test_empty_alpha_keeps_occurrence_size(self, tiny_ctx):
+        scr, size = self.scheme.alpha(tiny_ctx, 4, "p0", "dog", None)
+        assert scr == 0.0 and size == 3.0
+
+    def test_conj_distributes_by_sizes(self):
+        out = self.scheme.conj((6.0, 2.0), (8.0, 4.0))
+        assert out == (6.0 / 4.0 + 8.0 / 2.0, 8.0)
+
+    def test_conj_zero_size_contributes_nothing(self):
+        scr, size = self.scheme.conj((6.0, 0.0), (8.0, 4.0))
+        assert scr == 6.0 / 4.0 and size == 0.0
+
+    def test_disj_zero_score_cases(self):
+        assert self.scheme.disj((6.0, 2.0), (0.0, 3.0))[0] == 3.0
+        assert self.scheme.disj((0.0, 2.0), (6.0, 3.0))[0] == 3.0
+
+    def test_alt_sums_scores_keeps_right_size(self):
+        assert self.scheme.alt((1.0, 2.0), (3.0, 2.0)) == (4.0, 2.0)
+
+    def test_omega_projects_score(self, tiny_ctx):
+        assert self.scheme.omega(tiny_ctx, 0, (5.5, 99.0)) == 5.5
+
+
+class TestEventModel:
+    scheme = get_scheme("event-model")
+
+    def test_alpha_is_probability(self, tiny_ctx):
+        p = self.scheme.alpha(tiny_ctx, 0, "p0", "fox", 3)
+        assert 0.0 < p < 1.0
+        assert p == pytest.approx(1 - math.exp(-bm25(tiny_ctx, 0, "fox")))
+
+    def test_conj_is_product(self):
+        assert self.scheme.conj(0.5, 0.4) == pytest.approx(0.2)
+
+    def test_disj_is_inclusion_exclusion(self):
+        assert self.scheme.disj(0.5, 0.4) == pytest.approx(0.7)
+
+    def test_times_matches_folding(self):
+        s = 0.3
+        folded = s
+        for _ in range(4):
+            folded = self.scheme.alt(folded, s)
+        assert self.scheme.times(s, 5) == pytest.approx(folded)
+
+    def test_row_first_declared(self):
+        assert self.scheme.properties.directional == "row"
+
+
+class TestMeanSum:
+    scheme = get_scheme("meansum")
+
+    def test_pseudocode_alpha(self, wine_env):
+        _, _, ctx = wine_env
+        assert self.scheme.alpha(ctx, 0, "p4", "foss", None) == (0.0, 1)
+        scr, count = self.scheme.alpha(ctx, 0, "p4", "foss", 179)
+        assert scr == pytest.approx(10.963, abs=1e-3)
+        assert count == 1
+
+    def test_alt_adds_sums_and_counts(self):
+        assert self.scheme.alt((10.96, 1), (0.0, 1)) == (10.96, 2)
+
+    def test_example_5_column_aggregation(self):
+        """(10.96,1)+(0,1)+(10.96,1)+(0,1) = (21.92,4)."""
+        s = self.scheme
+        col = s.alt(s.alt((10.96, 1), (0.0, 1)), s.alt((10.96, 1), (0.0, 1)))
+        assert col == (pytest.approx(21.92), 4)
+
+    def test_conj_keeps_left_count(self):
+        assert self.scheme.conj((1.0, 4), (2.0, 4)) == (3.0, 4)
+
+    def test_omega_normalizes(self, tiny_ctx):
+        assert self.scheme.omega(tiny_ctx, 0, (65.086, 4)) == pytest.approx(0.660, abs=1e-3)
+
+    def test_times(self):
+        assert self.scheme.times((2.0, 3), 4) == (8.0, 12)
+
+
+class TestBestSumMinDist:
+    scheme = get_scheme("bestsum-mindist")
+
+    def test_min_dist(self):
+        assert min_dist((3,)) == math.inf
+        assert min_dist((3, 10, 12)) == 2.0
+        assert min_dist(()) == math.inf
+
+    def test_alpha_tracks_positions(self, tiny_ctx):
+        scr, dist, pos = self.scheme.alpha(tiny_ctx, 0, "p0", "fox", 3)
+        assert scr > 0 and dist == math.inf and pos == (3,)
+
+    def test_conj_concatenates_positions(self):
+        out = self.scheme.conj((1.0, math.inf, (3,)), (2.0, math.inf, (7,)))
+        assert out == (3.0, 4.0, (3, 7))
+
+    def test_alt_best_score_min_dist(self):
+        out = self.scheme.alt((1.0, 5.0, ()), (2.0, 9.0, ()))
+        assert out[:2] == (2.0, 5.0)
+
+    def test_omega_adds_proximity_bonus(self, tiny_ctx):
+        near = self.scheme.omega(tiny_ctx, 0, (1.0, 1.0))
+        far = self.scheme.omega(tiny_ctx, 0, (1.0, 5.0))
+        alone = self.scheme.omega(tiny_ctx, 0, (1.0, math.inf))
+        assert near > far > alone == 1.0
+
+    def test_positional_declared(self):
+        assert self.scheme.properties.positional

@@ -1,0 +1,63 @@
+"""Term-weighting function tests."""
+
+import math
+
+import pytest
+
+from repro.sa.weighting import bm25, kl_divergence, tfidf, tfidf_meansum
+
+
+def test_meansum_tfidf_reproduces_example_5(wine_env):
+    """alpha(d_w, p4, 179) = (1/207) * (4638535/2044) = 10.96."""
+    _, _, ctx = wine_env
+    value = tfidf_meansum(ctx, 0, "foss")
+    assert value == pytest.approx((1 / 207) * (4_638_535 / 2044))
+    assert round(value, 2) == 10.96
+
+
+def test_meansum_tfidf_column_sums_match_example_5(wine_env):
+    """The per-column aggregates quoted in Example 5."""
+    _, _, ctx = wine_env
+    per_row = {
+        "windows": 4 * tfidf_meansum(ctx, 0, "windows"),
+        "emulator": 4 * tfidf_meansum(ctx, 0, "emulator"),
+        "free": 2 * tfidf_meansum(ctx, 0, "free"),
+        "software": 2 * tfidf_meansum(ctx, 0, "software"),
+    }
+    assert per_row["windows"] == pytest.approx(8.156, abs=5e-3)
+    assert per_row["emulator"] == pytest.approx(32.38, abs=5e-2)
+    assert per_row["free"] == pytest.approx(0.134, abs=2e-3)
+    assert per_row["software"] == pytest.approx(2.498, abs=5e-3)
+
+
+def test_absent_term_weights_zero(tiny_ctx):
+    assert tfidf_meansum(tiny_ctx, 0, "qzxv") == 0.0
+    assert tfidf(tiny_ctx, 0, "qzxv") == 0.0
+    assert bm25(tiny_ctx, 0, "qzxv") == 0.0
+    assert kl_divergence(tiny_ctx, 0, "qzxv") == 0.0
+
+
+def test_bm25_increases_with_tf(tiny_ctx):
+    # 'dog' occurs 3x in doc 4 and 1x in doc 0 of the tiny collection.
+    assert bm25(tiny_ctx, 4, "dog") > bm25(tiny_ctx, 0, "dog")
+
+
+def test_bm25_rewards_rarity(tiny_ctx):
+    # 'lazy' (df 2) should outweigh 'dog' (df 5) at equal tf.
+    assert bm25(tiny_ctx, 0, "lazy") > bm25(tiny_ctx, 0, "dog")
+
+
+def test_bm25_positive_for_present_terms(tiny_ctx):
+    assert bm25(tiny_ctx, 0, "fox") > 0.0
+
+
+def test_tfidf_log_scaling(tiny_ctx):
+    v1 = tfidf(tiny_ctx, 0, "dog")   # tf 1
+    v3 = tfidf(tiny_ctx, 4, "dog")   # tf 3
+    assert v3 == pytest.approx(v1 * (1 + math.log(3)))
+
+
+def test_kl_divergence_positive_and_tf_monotone(tiny_ctx):
+    v1 = kl_divergence(tiny_ctx, 0, "dog")
+    v3 = kl_divergence(tiny_ctx, 4, "dog")
+    assert 0 < v1 < v3

@@ -1,0 +1,60 @@
+"""Error hierarchy and top-level packaging checks."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+def test_all_errors_derive_from_graft_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            if obj is errors.GraftError:
+                continue
+            assert issubclass(obj, errors.GraftError), name
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_public_api_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_readme_quickstart_matches_api():
+    """The README's quickstart snippet must actually run."""
+    from repro import SearchEngine
+
+    engine = SearchEngine()
+    engine.add("wine is a free software windows emulator", title="Wine")
+    engine.add("an emulator makes one computer behave like another")
+    outcome = engine.search(
+        '(windows emulator)WINDOW[50] (foss | "free software")',
+        scheme="meansum",
+    )
+    assert [r.doc_id for r in outcome] == [0]
+    assert outcome.applied_optimizations
+
+
+def test_main_module_importable():
+    import importlib
+
+    module = importlib.import_module("repro.__main__")
+    assert callable(module.main)
+
+
+def test_query_syntax_error_str_contains_position():
+    err = errors.QuerySyntaxError("boom", position=7)
+    assert "character 7" in str(err)
+    assert err.position == 7
+
+
+def test_design_docs_exist():
+    import pathlib
+
+    root = pathlib.Path(repro.__file__).resolve().parents[2]
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+        assert (root / name).exists(), name
