@@ -27,7 +27,12 @@ model and optimizer; :mod:`repro.exec` the physical engine;
 
 from repro.api import SearchEngine, SearchOutcome, SearchResult
 from repro.corpus import DocumentCollection
-from repro.errors import GraftError
+from repro.errors import (
+    GraftError,
+    QueryTimeoutError,
+    ResourceExhaustedError,
+)
+from repro.exec import FaultInjector, FaultSpec, QueryLimits
 from repro.graft import Optimizer, OptimizerOptions
 from repro.index import build_index
 from repro.mcalc import parse_query
@@ -56,5 +61,10 @@ __all__ = [
     "Optimizer",
     "OptimizerOptions",
     "GraftError",
+    "ResourceExhaustedError",
+    "QueryTimeoutError",
+    "QueryLimits",
+    "FaultInjector",
+    "FaultSpec",
     "__version__",
 ]

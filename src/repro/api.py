@@ -13,13 +13,18 @@ Example:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 from repro.corpus.analyzer import Analyzer
 from repro.corpus.collection import DocumentCollection
-from repro.errors import GraftError
-from repro.exec.engine import execute, make_runtime
-from repro.exec.iterator import ExecutionMetrics
+from repro.errors import GraftError, ResourceExhaustedError
+from repro.exec.engine import execute, make_runtime, validate_top_k
+from repro.exec.iterator import ExecutionMetrics, pull_doc
+from repro.exec.limits import QueryGuard, QueryLimits
 from repro.exec.topk import rank_join_applicable, rank_topk
+
+if TYPE_CHECKING:
+    from repro.exec.faults import FaultInjector
 from repro.graft.canonical import make_query_info
 from repro.graft.explain import explain as explain_plan
 from repro.graft.optimizer import Optimizer, OptimizerOptions
@@ -45,12 +50,20 @@ class SearchResult:
 
 @dataclass
 class SearchOutcome:
-    """Results plus execution provenance (plan, rewrites, work counters)."""
+    """Results plus execution provenance (plan, rewrites, work counters).
+
+    ``degraded`` is True when a resource limit tripped under
+    ``on_limit="partial"`` and the results are the correctly-ranked
+    prefix of the documents scored before the trip; the tripped limit is
+    recorded in ``metrics.limit_tripped`` and echoed in
+    ``applied_optimizations`` as ``limit:<name>``.
+    """
 
     results: list[SearchResult]
     applied_optimizations: list[str]
     metrics: ExecutionMetrics
     plan_text: str = ""
+    degraded: bool = False
 
     def __iter__(self):
         return iter(self.results)
@@ -92,9 +105,13 @@ class SearchEngine:
         self._index = None
         return doc.doc_id
 
-    def add_many(self, texts: list[str]) -> None:
-        for text in texts:
-            self.add(text)
+    def add_many(self, texts: Iterable[str]) -> list[int]:
+        """Analyze and add many documents; returns their assigned ids.
+
+        Accepts any iterable of strings (generator, tuple, ...),
+        mirroring :meth:`add`.
+        """
+        return [self.add(text) for text in texts]
 
     @property
     def index(self) -> Index:
@@ -122,66 +139,117 @@ class SearchEngine:
         optimize: bool = True,
         options: OptimizerOptions | None = None,
         use_rank_join: bool = False,
+        limits: QueryLimits | None = None,
+        faults: "FaultInjector | None" = None,
     ) -> SearchOutcome:
         """Rank the collection for ``query`` under ``scheme``.
 
         Args:
             query: Shorthand text or a pre-built :class:`Query`.
             scheme: Scoring scheme name or instance.
-            top_k: Truncate to the k best documents.
+            top_k: Truncate to the k best documents (must be >= 1).
             optimize: False executes the canonical score-isolated plan
                 (useful for verification; potentially very slow).
             options: Optimizer toggles (benchmarking individual rewrites).
             use_rank_join: Attempt the rank-join/rank-union top-k path;
                 silently falls back to full evaluation when the query or
                 scheme does not qualify.
+            limits: Resource limits (deadline, row budget, per-document
+                match cap).  With ``on_limit="error"`` a tripped limit
+                raises :class:`repro.errors.ResourceExhaustedError` (or
+                its :class:`repro.errors.QueryTimeoutError` subclass);
+                with ``on_limit="partial"`` the outcome carries the
+                correctly-ranked prefix with ``degraded=True``.
+            faults: Deterministic fault injector (robustness testing).
         """
+        validate_top_k(top_k)
         query = self._resolve_query(query)
         scheme = self._resolve_scheme(scheme)
         ctx = self.scoring_context()
 
         if use_rank_join and top_k is not None and rank_join_applicable(query, scheme):
-            pairs = rank_topk(query, scheme, self.index, top_k, ctx)
-            return SearchOutcome(
-                results=self._wrap(pairs),
-                applied_optimizations=["rank-join-topk"],
-                metrics=ExecutionMetrics(),
-            )
+            guard = QueryGuard(limits)
+            pairs = rank_topk(query, scheme, self.index, top_k, ctx, guard=guard)
+            metrics = ExecutionMetrics(rows_charged=guard.rows_charged)
+            return self._outcome(pairs, ["rank-join-topk"], metrics, "", guard)
 
         optimizer = Optimizer(scheme, self.index, options)
         result = optimizer.optimize(query) if optimize else optimizer.canonical(query)
-        runtime = make_runtime(self.index, scheme, result.info, ctx)
+        runtime = make_runtime(
+            self.index, scheme, result.info, ctx, limits=limits, faults=faults
+        )
         pairs = execute(result.plan, runtime, top_k=top_k)
-        return SearchOutcome(
-            results=self._wrap(pairs),
-            applied_optimizations=result.applied,
-            metrics=runtime.metrics,
-            plan_text=explain_plan(result.plan),
+        runtime.metrics.rows_charged = runtime.guard.rows_charged
+        return self._outcome(
+            pairs,
+            list(result.applied),
+            runtime.metrics,
+            explain_plan(result.plan),
+            runtime.guard,
         )
 
-    def match_table(self, query: str | Query) -> MatchTable:
+    def _outcome(
+        self,
+        pairs: list[tuple[int, float]],
+        applied: list[str],
+        metrics: ExecutionMetrics,
+        plan_text: str,
+        guard: QueryGuard,
+    ) -> SearchOutcome:
+        degraded = guard.tripped is not None
+        if degraded:
+            metrics.limit_tripped = guard.tripped
+            applied.append(f"limit:{guard.tripped}")
+        return SearchOutcome(
+            results=self._wrap(pairs),
+            applied_optimizations=applied,
+            metrics=metrics,
+            plan_text=plan_text,
+            degraded=degraded,
+        )
+
+    def match_table(
+        self, query: str | Query, limits: QueryLimits | None = None
+    ) -> MatchTable:
         """Materialize the full match table of ``query`` (Section 3.2).
 
         Executes the canonical matching subplan; beware the O(W^Q) worst
-        case of Section 6 on large collections.
+        case of Section 6 on large collections — pass ``limits`` to bound
+        the work.  With ``on_limit="partial"`` a tripped limit returns
+        the rows materialized so far, with ``table.truncated`` set to the
+        tripped limit's name.
         """
         query = self._resolve_query(query)
         scheme = get_scheme("sumbest")  # matching needs no scoring; any scheme
         info = make_query_info(query, scheme)
         subplan = matching_subplan(query)
-        runtime = make_runtime(self.index, scheme, info, self.scoring_context())
-        from repro.exec.compile import compile_plan
+        runtime = make_runtime(
+            self.index, scheme, info, self.scoring_context(), limits=limits
+        )
+        from repro.exec.compile import compile_op
 
-        op = compile_plan(subplan, runtime)
-        order = [op.schema.position_index(v) for v in query.free_vars]
+        guard = runtime.guard
+        guard.start()
+        governed = guard.active
         table = MatchTable(query.free_vars)
-        while True:
-            group = op.next_doc()
-            if group is None:
-                break
-            doc, rows = group
-            for row in rows:
-                table.rows.append((doc,) + tuple(row[i] for i in order))
+        try:
+            # Compilation pulls the leaves' first doc groups, so it is
+            # already governed work.
+            op = compile_op(subplan, runtime)
+            order = [op.schema.position_index(v) for v in query.free_vars]
+            while True:
+                group = pull_doc(op)
+                if group is None:
+                    break
+                if governed:
+                    guard.tick()
+                doc, rows = group
+                for row in rows:
+                    table.rows.append((doc,) + tuple(row[i] for i in order))
+        except ResourceExhaustedError:
+            if guard.on_limit != "partial":
+                raise
+            table.truncated = guard.tripped
         return table
 
     def explain(
@@ -200,42 +268,80 @@ class SearchEngine:
         return header + explain_plan(result.plan)
 
     def matches(
-        self, query: str | Query, doc_id: int, limit: int = 5
+        self,
+        query: str | Query,
+        doc_id: int,
+        limit: int = 5,
+        limits: QueryLimits | None = None,
     ) -> list[dict[str, int | None]]:
         """Up to ``limit`` matches of ``query`` inside one document.
 
         Executes the matching subplan with a seek directly to the
         document, pulling matches lazily — the basis for hit highlighting
         and snippets.  Each match maps variables to offsets (None for the
-        empty symbol).
+        empty symbol).  ``limits`` bounds the work; with
+        ``on_limit="partial"`` a tripped limit returns the matches found
+        so far.
         """
+        self._check_doc_id(doc_id)
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+            raise GraftError(f"limit must be a positive integer, got {limit!r}")
         query = self._resolve_query(query)
         scheme = get_scheme("sumbest")
         info = make_query_info(query, scheme)
-        runtime = make_runtime(self.index, scheme, info, self.scoring_context())
-        from repro.exec.compile import compile_plan
+        runtime = make_runtime(
+            self.index, scheme, info, self.scoring_context(), limits=limits
+        )
+        from repro.exec.compile import compile_op
+        from repro.exec.iterator import seek_op
         from repro.graft.rules import apply_selection_pushing
         from repro.ma.nodes import Sort
 
+        guard = runtime.guard
+        guard.start()
         subplan = apply_selection_pushing(matching_subplan(query))
         while isinstance(subplan, Sort):
             subplan = subplan.child
-        op = compile_plan(subplan, runtime)
-        op.seek_doc(doc_id)
-        group = op.next_doc()
         out: list[dict[str, int | None]] = []
-        if group is None or group[0] != doc_id:
-            return out
-        indices = {v: op.schema.position_index(v) for v in query.free_vars}
-        for row in group[1]:
-            out.append({v: row[i] for v, i in indices.items()})
-            if len(out) >= limit:
-                break
+        try:
+            op = compile_op(subplan, runtime)
+            seek_op(op, doc_id)
+            group = pull_doc(op)
+            if group is None or group[0] != doc_id:
+                return out
+            indices = {v: op.schema.position_index(v) for v in query.free_vars}
+            for row in group[1]:
+                out.append({v: row[i] for v, i in indices.items()})
+                if len(out) >= limit:
+                    break
+        except ResourceExhaustedError:
+            if guard.on_limit != "partial":
+                raise
         return out
 
-    def snippet(self, query: str | Query, doc_id: int, radius: int = 4) -> str:
+    def _check_doc_id(self, doc_id: int) -> None:
+        """Raise a clear error for ids outside the collection instead of
+        leaking a raw KeyError/IndexError from the index or collection."""
+        size = len(self.collection)
+        if not isinstance(doc_id, int) or isinstance(doc_id, bool):
+            raise GraftError(
+                f"doc_id must be an integer, got {type(doc_id).__name__}"
+            )
+        if doc_id < 0 or doc_id >= size:
+            raise GraftError(
+                f"doc_id {doc_id} out of range for a collection of "
+                f"{size} documents"
+            )
+
+    def snippet(
+        self,
+        query: str | Query,
+        doc_id: int,
+        radius: int = 4,
+        limits: QueryLimits | None = None,
+    ) -> str:
         """A display snippet around the document's first match."""
-        found = self.matches(query, doc_id, limit=1)
+        found = self.matches(query, doc_id, limit=1, limits=limits)
         if not found:
             return ""
         offsets = [o for o in found[0].values() if o is not None and o >= 0]

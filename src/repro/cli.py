@@ -23,6 +23,7 @@ import sys
 from repro.corpus.analyzer import SentenceAnalyzer, SimpleAnalyzer
 from repro.errors import GraftError
 from repro.exec.engine import execute, make_runtime
+from repro.exec.limits import QueryLimits
 from repro.graft.explain import explain as explain_plan
 from repro.graft.optimizer import Optimizer
 from repro.index.builder import IndexBuilder
@@ -64,6 +65,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="number of results (search only)")
         p.add_argument("--no-optimize", action="store_true",
                        help="run/show the canonical score-isolated plan")
+        p.add_argument("--timeout-ms", type=float, default=None,
+                       help="wall-clock deadline for query execution "
+                            "(milliseconds)")
+        p.add_argument("--max-rows", type=int, default=None,
+                       help="budget on rows materialized during execution")
+        p.add_argument("--max-matches-per-doc", type=int, default=None,
+                       help="cap on match rows produced within one document")
+        p.add_argument("--on-limit", choices=("error", "partial"),
+                       default="error",
+                       help="tripped limit behavior: fail the query "
+                            "(error) or return the ranked prefix computed "
+                            "so far (partial)")
 
     sub.add_parser("schemes", help="list registered scoring schemes")
     return parser
@@ -111,11 +124,30 @@ def _optimize(args: argparse.Namespace, index: Index):
     return scheme, result
 
 
+def _limits_from_args(args: argparse.Namespace) -> QueryLimits | None:
+    if (
+        args.timeout_ms is None
+        and args.max_rows is None
+        and args.max_matches_per_doc is None
+    ):
+        return None
+    return QueryLimits(
+        deadline_ms=args.timeout_ms,
+        max_rows=args.max_rows,
+        max_matches_per_doc=args.max_matches_per_doc,
+        on_limit=args.on_limit,
+    )
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     index, titles = _load(args)
     scheme, result = _optimize(args, index)
-    runtime = make_runtime(index, scheme, result.info)
+    runtime = make_runtime(index, scheme, result.info,
+                           limits=_limits_from_args(args))
     ranked = execute(result.plan, runtime, top_k=args.top_k)
+    if runtime.guard.tripped is not None:
+        print(f"note: partial results — {runtime.guard.tripped} limit hit",
+              file=sys.stderr)
     if not ranked:
         print("no matches")
         return 0

@@ -53,7 +53,35 @@ class OptimizationError(GraftError):
 
 
 class ExecutionError(GraftError):
-    """A physical operator failed during evaluation."""
+    """A physical operator failed during evaluation.
+
+    When the failure is localized to one operator, ``operator`` names the
+    physical operator class and the message is prefixed with it, so a
+    query over a deep plan reports *where* evaluation broke instead of a
+    raw traceback.
+    """
+
+    def __init__(self, message: str, operator: str | None = None):
+        if operator is not None:
+            message = f"[{operator}] {message}"
+        super().__init__(message)
+        self.operator = operator
+
+
+class ResourceExhaustedError(GraftError):
+    """A query exceeded a configured resource limit.
+
+    ``limit`` names the tripped :class:`repro.exec.limits.QueryLimits`
+    field (``"max_rows"``, ``"max_matches_per_doc"`` or ``"deadline_ms"``).
+    """
+
+    def __init__(self, message: str, limit: str | None = None):
+        super().__init__(message)
+        self.limit = limit
+
+
+class QueryTimeoutError(ResourceExhaustedError):
+    """A query exceeded its wall-clock deadline."""
 
 
 class UnsupportedQueryError(GraftError):

@@ -7,9 +7,26 @@ zig-zag joins seek their inputs to each other's documents (Section 5.2.1),
 and alternate elimination abandons a document's remaining rows and seeks
 on (Section 5.2.3).  Rows within a group are produced lazily wherever
 possible, so an abandoned group costs nothing beyond what was consumed.
+
+Execution is resource-governed: see :mod:`repro.exec.limits` for query
+deadlines, row budgets and per-document match caps, and
+:mod:`repro.exec.faults` for the deterministic fault-injection harness
+that proves the engine's error paths.
 """
 
 from repro.exec.engine import execute, execute_streaming
+from repro.exec.faults import FaultInjector, FaultSpec, InjectedFault
 from repro.exec.iterator import ExecutionMetrics, Runtime
+from repro.exec.limits import QueryGuard, QueryLimits
 
-__all__ = ["execute", "execute_streaming", "Runtime", "ExecutionMetrics"]
+__all__ = [
+    "execute",
+    "execute_streaming",
+    "Runtime",
+    "ExecutionMetrics",
+    "QueryGuard",
+    "QueryLimits",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+]

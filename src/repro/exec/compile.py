@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from repro.errors import PlanError
-from repro.exec.iterator import PhysicalOp, Runtime
+from repro.errors import GraftError, PlanError
+from repro.exec.iterator import PhysicalOp, Runtime, _boundary_error
 from repro.exec.join_ops import ForwardScanJoinOp, MergeJoinOp
 from repro.exec.misc_ops import (
     AlternateElimOp,
@@ -52,7 +52,35 @@ def compile_plan(node: PlanNode, runtime: Runtime) -> PhysicalOp:
     One physical-level fusion applies: the eager-aggregation leaf pattern
     ``GroupScore(ScoreInit(PreCountAtom))`` compiles to a single fused
     scan (see :class:`repro.exec.scan_ops.ScoredPreCountScanOp`).
+
+    When the runtime carries a :class:`repro.exec.faults.FaultInjector`,
+    every compiled operator is passed through it, planting any matching
+    deterministic faults; without one, operators compile unwrapped.
     """
+    op = _compile_node(node, runtime)
+    if runtime.faults is not None:
+        op = runtime.faults.wrap(op)
+    return op
+
+
+def compile_op(plan: PlanNode, runtime: Runtime) -> PhysicalOp:
+    """Compile a plan root behind the engine's error boundary.
+
+    Operator construction primes cursors (pulling the leaves' first doc
+    groups), so a raw failure can already happen here; execution entry
+    points use this wrapper so such failures surface as
+    :class:`repro.errors.ExecutionError` attributed to the operator
+    closest to the fault, exactly like failures during the pull loop.
+    """
+    try:
+        return compile_plan(plan, runtime)
+    except GraftError:
+        raise
+    except Exception as exc:
+        raise _boundary_error("operator construction", exc) from exc
+
+
+def _compile_node(node: PlanNode, runtime: Runtime) -> PhysicalOp:
     if (
         isinstance(node, GroupScore)
         and node.counts_incorporated

@@ -1,11 +1,23 @@
-"""Plan execution entry points."""
+"""Plan execution entry points.
+
+Execution is resource-governed: the runtime's
+:class:`repro.exec.limits.QueryGuard` is armed when a plan starts and
+checked cooperatively inside every operator's ``next_doc`` loop.  On
+budget exhaustion :func:`execute` either propagates the trip
+(``on_limit="error"``) or returns the correctly-ranked prefix of the
+rows produced so far (``on_limit="partial"``) — callers read
+``runtime.guard.tripped`` to learn whether (and why) the result was
+degraded.
+"""
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from repro.exec.compile import compile_plan
-from repro.exec.iterator import Runtime
+from repro.errors import GraftError, ResourceExhaustedError
+from repro.exec.compile import compile_op
+from repro.exec.iterator import Runtime, pull_doc
+from repro.exec.limits import QueryGuard, QueryLimits
 from repro.graft.canonical import QueryInfo
 from repro.graft.plan import validate_plan
 from repro.index.index import Index
@@ -13,29 +25,65 @@ from repro.ma.nodes import PlanNode
 from repro.sa.context import IndexScoringContext, ScoringContext
 from repro.sa.scheme import ScoringScheme
 
+if TYPE_CHECKING:
+    from repro.exec.faults import FaultInjector
+
 
 def make_runtime(
     index: Index,
     scheme: ScoringScheme,
     info: QueryInfo,
     ctx: ScoringContext | None = None,
+    limits: QueryLimits | None = None,
+    faults: "FaultInjector | None" = None,
 ) -> Runtime:
-    """Assemble the shared execution state for one plan run."""
+    """Assemble the shared execution state for one plan run.
+
+    ``limits`` installs a resource guard over the run; ``faults``
+    attaches a deterministic fault injector (testing only).
+    """
     if ctx is None:
         ctx = IndexScoringContext(index)
-    return Runtime(index=index, ctx=ctx, scheme=scheme, info=info)
+    return Runtime(
+        index=index,
+        ctx=ctx,
+        scheme=scheme,
+        info=info,
+        guard=QueryGuard(limits),
+        faults=faults,
+    )
+
+
+def validate_top_k(top_k: int | None) -> None:
+    """Reject non-positive ``top_k`` values.
+
+    ``results[:top_k]`` with a negative k silently drops results from
+    the *end* of the ranking — a classic slicing bug — so the engine
+    refuses anything below 1 outright.
+    """
+    if top_k is None:
+        return
+    if not isinstance(top_k, int) or isinstance(top_k, bool) or top_k < 1:
+        raise GraftError(f"top_k must be a positive integer, got {top_k!r}")
 
 
 def execute_streaming(plan: PlanNode, runtime: Runtime) -> Iterator[tuple[int, float]]:
     """Execute a complete GRAFT plan, yielding (doc_id, score) pairs in
     ascending document order."""
     validate_plan(plan)
-    root = compile_plan(plan, runtime)
+    runtime.guard.start()
+    # Compilation pulls the leaves' first doc groups (DocCursor priming),
+    # so it sits inside the same error boundary as the pull loop.
+    root = compile_op(plan, runtime)
     score_index = root.schema.score_index("score")
+    guard = runtime.guard
+    governed = guard.active
     while True:
-        group = root.next_doc()
+        group = pull_doc(root)
         if group is None:
             return
+        if governed:
+            guard.tick()
         doc, rows = group
         for row in rows:
             yield doc, row[score_index]
@@ -49,10 +97,23 @@ def execute(
     """Execute a plan and return ranked results.
 
     Results are sorted by descending score, ties broken by ascending doc
-    id; ``top_k`` truncates after ranking (rank-join based early
-    termination lives in :mod:`repro.exec.topk`).
+    id; ``top_k`` (which must be >= 1) truncates after ranking
+    (rank-join based early termination lives in :mod:`repro.exec.topk`).
+
+    Under a resource guard with ``on_limit="partial"``, a tripped limit
+    ends the scan early and the documents scored so far are ranked and
+    returned; ``runtime.guard.tripped`` names the limit.  Every returned
+    prefix is exactly ranked — degradation drops tail documents, never
+    reorders scored ones.
     """
-    results = list(execute_streaming(plan, runtime))
+    validate_top_k(top_k)
+    results: list[tuple[int, float]] = []
+    try:
+        for pair in execute_streaming(plan, runtime):
+            results.append(pair)
+    except ResourceExhaustedError:
+        if runtime.guard.on_limit != "partial":
+            raise
     results.sort(key=lambda r: (-r[1], r[0]))
     if top_k is not None:
         return results[:top_k]

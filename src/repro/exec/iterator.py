@@ -16,13 +16,17 @@ part of the row — it is the group key of the doc-group stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, GraftError
+from repro.exec.limits import QueryGuard
 from repro.graft.canonical import QueryInfo
 from repro.index.index import Index
 from repro.sa.context import ScoringContext
 from repro.sa.scheme import ScoringScheme
+
+if TYPE_CHECKING:
+    from repro.exec.faults import FaultInjector
 
 #: A doc group: (doc_id, iterator of rows).
 DocGroup = tuple[int, Iterator[tuple]]
@@ -70,6 +74,11 @@ class ExecutionMetrics:
     positions_by_keyword: dict[str, int] = field(default_factory=dict)
     rows_grouped: int = 0
     rows_joined: int = 0
+    #: Rows charged against the query's resource budget (0 when the query
+    #: ran without limits; see :mod:`repro.exec.limits`).
+    rows_charged: int = 0
+    #: Name of the resource limit that tripped, or None.
+    limit_tripped: str | None = None
 
     def count_positions(self, keyword: str, n: int = 1) -> None:
         self.positions_scanned += n
@@ -81,13 +90,16 @@ class ExecutionMetrics:
 @dataclass
 class Runtime:
     """Shared execution state: the index, the scoring context, the scheme,
-    the query info, and work counters."""
+    the query info, work counters, the resource guard, and (optionally)
+    a fault injector for robustness testing."""
 
     index: Index
     ctx: ScoringContext
     scheme: ScoringScheme
     info: QueryInfo
     metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
+    guard: QueryGuard = field(default_factory=QueryGuard)
+    faults: "FaultInjector | None" = None
 
 
 class PhysicalOp:
@@ -116,8 +128,72 @@ class PhysicalOp:
         """Release resources (default: propagate to nothing)."""
 
 
+def op_label(op: PhysicalOp) -> str:
+    """Display name of a physical operator (fault wrappers masquerade as
+    the operator they wrap via an ``op_name`` attribute)."""
+    return getattr(op, "op_name", type(op).__name__)
+
+
+def _innermost_op(exc: BaseException) -> str | None:
+    """Name of the deepest physical operator on the exception's traceback
+    (the operator closest to the fault), or None if no operator frame is
+    present."""
+    label = None
+    tb = exc.__traceback__
+    while tb is not None:
+        self_obj = tb.tb_frame.f_locals.get("self")
+        if isinstance(self_obj, PhysicalOp):
+            label = op_label(self_obj)
+        tb = tb.tb_next
+    return label
+
+
+def _boundary_error(stage: str, exc: Exception) -> ExecutionError:
+    return ExecutionError(
+        f"{type(exc).__name__} during {stage}: {exc}",
+        operator=_innermost_op(exc),
+    )
+
+
+def pull_doc(op: PhysicalOp) -> DocGroup | None:
+    """Pull the next doc group through the engine's error boundary.
+
+    This is the *root* boundary: interior operators call each other
+    directly (via :class:`DocCursor`) with no per-pull wrapping cost, and
+    a raw failure anywhere in the tree propagates here, where the
+    traceback is walked to attribute it to the operator closest to the
+    fault.  Library errors (:class:`repro.errors.GraftError`, including
+    resource trips) propagate untouched; anything else — a bug, a
+    corrupted index, an injected fault — is wrapped in
+    :class:`ExecutionError`, so callers never see a raw foreign
+    traceback.
+    """
+    try:
+        return op.next_doc()
+    except GraftError:
+        raise
+    except Exception as exc:
+        raise _boundary_error("next_doc", exc) from exc
+
+
+def seek_op(op: PhysicalOp, doc_id: int) -> None:
+    """Seek an operator through the same error boundary as :func:`pull_doc`."""
+    try:
+        op.seek_doc(doc_id)
+    except GraftError:
+        raise
+    except Exception as exc:
+        raise _boundary_error(f"seek_doc({doc_id})", exc) from exc
+
+
 class DocCursor:
-    """Peekable wrapper over a physical operator's doc-group stream."""
+    """Peekable wrapper over a physical operator's doc-group stream.
+
+    Pulls call the operator directly — the error boundary lives at the
+    root of the tree (:func:`pull_doc` / :func:`seek_op`), which
+    attributes failures to the innermost operator from the traceback, so
+    the hot path pays nothing for it.
+    """
 
     __slots__ = ("op", "_group")
 

@@ -100,6 +100,9 @@ class MergeJoinOp(PhysicalOp):
         self._preds = compile_predicates(predicates, self.schema)
 
     def next_doc(self) -> DocGroup | None:
+        guard = self.runtime.guard
+        if guard.active:
+            guard.tick()
         doc = self._align()
         if doc is None:
             return None
@@ -108,7 +111,7 @@ class MergeJoinOp(PhysicalOp):
         self.left.advance()
         self.right.advance()
         starts = doc_structure(self.runtime, self._preds, doc)
-        return doc, self._cross(lrows, rrows, starts)
+        return doc, self._cross(doc, lrows, rrows, starts)
 
     def _align(self) -> int | None:
         """Zig-zag both inputs until their current docs coincide."""
@@ -126,12 +129,15 @@ class MergeJoinOp(PhysicalOp):
 
     def _cross(
         self,
+        doc: int,
         lrows: list[tuple],
         rrows: list[tuple],
         starts: tuple[int, ...] = (),
     ) -> Iterator[tuple]:
         times = self.runtime.scheme.times
         metrics = self.runtime.metrics
+        guard = self.runtime.guard
+        governed = guard.active
         preds = self._preds
         lw, lc, rc = self._l_width, self._l_count, self._r_count
         for lrow in lrows:
@@ -146,6 +152,10 @@ class MergeJoinOp(PhysicalOp):
                 if preds:
                     row_probe = cells + (0,)
                     if not all(p.holds(row_probe, starts) for p in preds):
+                        if governed:
+                            # Filtered combinations are still enumerated
+                            # work; keep the deadline responsive here.
+                            guard.tick()
                         continue
                 ls = lscores
                 rs = rscores
@@ -154,6 +164,9 @@ class MergeJoinOp(PhysicalOp):
                 if self._r_has_scores and lcount != 1:
                     rs = tuple(times(s, lcount) for s in rs)
                 metrics.rows_joined += 1
+                if governed:
+                    guard.charge_rows()
+                    guard.charge_doc_rows(doc)
                 yield cells + (lcount * rcount,) + ls + rs
 
     def seek_doc(self, doc_id: int) -> None:
@@ -173,7 +186,11 @@ class ForwardScanJoinOp(MergeJoinOp):
     """
 
     def next_doc(self) -> DocGroup | None:
+        guard = self.runtime.guard
+        governed = guard.active
         while True:
+            if governed:
+                guard.tick()
             doc = self._align()
             if doc is None:
                 return None
@@ -182,7 +199,7 @@ class ForwardScanJoinOp(MergeJoinOp):
             self.left.advance()
             self.right.advance()
             starts = doc_structure(self.runtime, self._preds, doc)
-            row = self._first_match(lrows, rrows, starts)
+            row = self._first_match(doc, lrows, rrows, starts)
             if row is not None:
                 return doc, iter((row,))
             # No match in this document: move on rather than emit an
@@ -197,13 +214,14 @@ class ForwardScanJoinOp(MergeJoinOp):
 
     def _first_match(
         self,
+        doc: int,
         lrows: list[tuple],
         rrows: list[tuple],
         starts: tuple[int, ...],
     ) -> tuple | None:
         if self._can_sweep():
             return self._sweep(lrows, rrows)
-        for row in self._cross(lrows, rrows, starts):
+        for row in self._cross(doc, lrows, rrows, starts):
             return row
         return None
 

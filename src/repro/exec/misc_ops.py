@@ -37,6 +37,9 @@ class UnaryLazyOp(PhysicalOp):
 
     def next_doc(self) -> DocGroup | None:
         self._settle()
+        guard = self.runtime.guard
+        if guard.active:
+            guard.tick()
         doc = self.child.doc()
         if doc is None:
             return None
@@ -109,6 +112,9 @@ class SortOp(PhysicalOp):
             key=lambda r: tuple(cell_sort_key(r[i]) for i in indices),
         )
         self.child.advance()
+        guard = self.runtime.guard
+        if guard.active:
+            guard.charge_rows(len(rows))
         return doc, iter(rows)
 
     def seek_doc(self, doc_id: int) -> None:
@@ -136,6 +142,9 @@ class CountOp(PhysicalOp):
             tally[key] = tally.get(key, 0) + row[ci]
         self.child.advance()
         self.runtime.metrics.rows_grouped += len(tally)
+        guard = self.runtime.guard
+        if guard.active:
+            guard.charge_rows(len(tally))
         return doc, (key + (count,) for key, count in tally.items())
 
     def seek_doc(self, doc_id: int) -> None:
@@ -156,7 +165,11 @@ class AntiJoinOp(PhysicalOp):
         if self._pending_advance:
             self.left.advance()
             self._pending_advance = False
+        guard = self.runtime.guard
+        governed = guard.active
         while True:
+            if governed:
+                guard.tick()
             doc = self.left.doc()
             if doc is None:
                 return None
@@ -191,7 +204,11 @@ class AlternateElimOp(PhysicalOp):
         self.schema = base
 
     def next_doc(self) -> DocGroup | None:
+        guard = self.runtime.guard
+        governed = guard.active
         while True:
+            if governed:
+                guard.tick()
             doc = self.child.doc()
             if doc is None:
                 return None

@@ -42,6 +42,12 @@ class AtomScanOp(PhysicalOp):
         doc = self._doc_ids[i]
         offsets = self._offsets[i]
         self._i = i + 1
+        guard = self.runtime.guard
+        if guard.active:
+            # Budget accounting is eager per document: the group's
+            # positions are charged up front even if a skip signal later
+            # abandons some of them (metrics stay lazily billed).
+            guard.charge_rows(len(offsets))
         return doc, self._rows(offsets)
 
     def _rows(self, offsets: tuple[int, ...]):
@@ -81,6 +87,9 @@ class PreCountScanOp(PhysicalOp):
         count = self._counts[i]
         self._i = i + 1
         self.runtime.metrics.doc_entries_scanned += 1
+        guard = self.runtime.guard
+        if guard.active:
+            guard.charge_rows()
         return doc, iter(((ANY_POSITION, count),))
 
     def seek_doc(self, doc_id: int) -> None:
@@ -120,6 +129,8 @@ class ScoredPreCountScanOp(PhysicalOp):
         self._i = i + 1
         runtime = self.runtime
         runtime.metrics.doc_entries_scanned += 1
+        if runtime.guard.active:
+            runtime.guard.charge_rows()
         scheme = runtime.scheme
         score = scheme.alpha(
             runtime.ctx, doc, self.var, self.keyword, ANY_POSITION

@@ -169,9 +169,13 @@ class GroupScoreOp(PhysicalOp):
         scheme = self.runtime.scheme
         alt = scheme.alt
         times = scheme.times
+        guard = self.runtime.guard
+        governed = guard.active
         incorporated = self.counts_incorporated
         ci = self._count_index
         while True:
+            if governed:
+                guard.tick()
             doc = self.child.doc()
             if doc is None:
                 return None
@@ -218,7 +222,11 @@ class FinalizeOp(PhysicalOp):
     def next_doc(self) -> DocGroup | None:
         scheme = self.runtime.scheme
         ctx = self.runtime.ctx
+        guard = self.runtime.guard
+        governed = guard.active
         while True:
+            if governed:
+                guard.tick()
             doc = self.child.doc()
             if doc is None:
                 return None

@@ -22,7 +22,8 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Iterator
 
-from repro.errors import OptimizationError
+from repro.errors import GraftError, OptimizationError, ResourceExhaustedError
+from repro.exec.limits import QueryGuard
 from repro.graft.validity import optimization_allowed
 from repro.index.index import Index
 from repro.mcalc.ast import And, Has, Or, Query
@@ -76,6 +77,7 @@ def _column_stream(
     scheme: ScoringScheme,
     var: str,
     keyword: str,
+    guard: QueryGuard | None = None,
 ) -> list[tuple[float, int]]:
     """Per-document column scores for one keyword, descending.
 
@@ -84,10 +86,13 @@ def _column_stream(
     """
     postings = index.postings(keyword)
     scored = []
+    governed = guard is not None and guard.active
     for i in range(len(postings.doc_ids)):
         doc = int(postings.doc_ids[i])
         offset = postings.offsets[i][0]
         s = scheme.alpha(ctx, doc, var, keyword, offset)
+        if governed:
+            guard.charge_rows()
         scored.append((float(s), doc))
     scored.sort(key=lambda t: (-t[0], t[1]))
     return scored
@@ -189,8 +194,13 @@ def rank_topk(
     index: Index,
     k: int,
     ctx: ScoringContext | None = None,
+    guard: QueryGuard | None = None,
 ) -> list[tuple[int, float]]:
     """Top-k (doc, score) results via rank join / rank union.
+
+    ``guard`` subjects the evaluation to the same resource governance as
+    plan execution; with ``on_limit="partial"`` a tripped limit returns
+    the (correctly ranked, possibly empty) results accumulated so far.
 
     Raises:
         OptimizationError: when the (query, scheme) pair does not qualify
@@ -202,51 +212,66 @@ def rank_topk(
             "and an idempotent alternate combinator, on a predicate-free "
             "flat query"
         )
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise GraftError(f"top_k must be a positive integer, got {k!r}")
     if ctx is None:
         ctx = IndexScoringContext(index)
+    if guard is not None:
+        guard.start()
+    governed = guard is not None and guard.active
     kind, vars_ = _structure(query)
-    streams = [
-        _column_stream(index, ctx, scheme, v, query.var_keywords[v])
-        for v in vars_
-    ]
-    if kind == "conj":
-        acc = streams[0]
-        for nxt in streams[1:]:
-            acc_list = []
-            for pair in _HRJN(acc, nxt, scheme.conj):
-                acc_list.append(pair)
-                # Inner joins must run to completion to stay exact when
-                # composed; only the outermost level stops at k.
-            acc = acc_list
-        combined = acc
-    else:
-        def empty_for(var: str) -> Callable[[int], float]:
-            keyword = query.var_keywords[var]
+    results: list[tuple[int, float]] = []
+    try:
+        streams = [
+            _column_stream(index, ctx, scheme, v, query.var_keywords[v], guard)
+            for v in vars_
+        ]
+        if kind == "conj":
+            acc = streams[0]
+            for nxt in streams[1:]:
+                acc_list = []
+                for pair in _HRJN(acc, nxt, scheme.conj):
+                    if governed:
+                        guard.tick()
+                    acc_list.append(pair)
+                    # Inner joins must run to completion to stay exact when
+                    # composed; only the outermost level stops at k.
+                acc = acc_list
+            combined = acc
+        else:
+            def empty_for(var: str) -> Callable[[int], float]:
+                keyword = query.var_keywords[var]
 
-            def value(doc: int) -> float:
-                return float(scheme.alpha(ctx, doc, var, keyword, None))
+                def value(doc: int) -> float:
+                    return float(scheme.alpha(ctx, doc, var, keyword, None))
 
-            return value
+                return value
 
-        acc = streams[0]
-        acc_empty = empty_for(vars_[0])
-        for var, nxt in zip(vars_[1:], streams[1:]):
-            union = _RankUnion(
-                acc, nxt, scheme.disj, acc_empty, empty_for(var)
-            )
-            merged = list(union)
-            prev_empty, next_empty = acc_empty, empty_for(var)
+            acc = streams[0]
+            acc_empty = empty_for(vars_[0])
+            for var, nxt in zip(vars_[1:], streams[1:]):
+                union = _RankUnion(
+                    acc, nxt, scheme.disj, acc_empty, empty_for(var)
+                )
+                merged = []
+                for pair in union:
+                    if governed:
+                        guard.tick()
+                    merged.append(pair)
+                prev_empty, next_empty = acc_empty, empty_for(var)
 
-            def combined_empty(doc: int, p=prev_empty, q=next_empty) -> float:
-                return scheme.disj(p(doc), q(doc))
+                def combined_empty(doc: int, p=prev_empty, q=next_empty) -> float:
+                    return scheme.disj(p(doc), q(doc))
 
-            acc, acc_empty = merged, combined_empty
-        combined = acc
+                acc, acc_empty = merged, combined_empty
+            combined = acc
 
-    results = []
-    for score, doc in combined:
-        results.append((doc, scheme.omega(ctx, doc, score)))
-        if len(results) >= k:
-            break
+        for score, doc in combined:
+            results.append((doc, scheme.omega(ctx, doc, score)))
+            if len(results) >= k:
+                break
+    except ResourceExhaustedError:
+        if guard is None or guard.on_limit != "partial":
+            raise
     results.sort(key=lambda r: (-r[1], r[0]))
-    return results
+    return results[:k]

@@ -109,6 +109,9 @@ class UnionOp(PhysicalOp):
 
     def next_doc(self) -> DocGroup | None:
         self._settle()
+        guard = self.runtime.guard
+        if guard.active:
+            guard.tick()
         dl = self.left.doc()
         dr = self.right.doc()
         if dl is None and dr is None:

@@ -66,10 +66,14 @@ class MatchTable:
     Attributes:
         columns: Position-variable names, in schema order.
         rows: ``(doc_id, cell0, ..., cellN)`` tuples, in table order.
+        truncated: ``None`` for a complete table; otherwise the name of
+            the resource limit that cut materialization short (see
+            :meth:`repro.api.SearchEngine.match_table`).
     """
 
     columns: tuple[str, ...]
     rows: list[tuple] = field(default_factory=list)
+    truncated: str | None = None
 
     def sorted(self) -> "MatchTable":
         """A lexicographically sorted copy (the canonical table order)."""

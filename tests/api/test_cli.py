@@ -104,6 +104,37 @@ def test_schemes_lists_all(capsys):
     assert "positional" in out
 
 
+def test_search_max_rows_error_mode(index_dir, capsys):
+    assert main(["search", str(index_dir), "windows emulator",
+                 "--max-rows", "1"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_search_max_rows_partial_mode(index_dir, capsys):
+    assert main(["search", str(index_dir), "windows emulator",
+                 "--max-rows", "1", "--on-limit", "partial"]) == 0
+    captured = capsys.readouterr()
+    assert "partial results" in captured.err
+    assert "max_rows" in captured.err
+
+
+def test_search_generous_limits_match_unrestricted(index_dir, capsys):
+    assert main(["search", str(index_dir), "windows emulator"]) == 0
+    unrestricted = capsys.readouterr().out
+    assert main(["search", str(index_dir), "windows emulator",
+                 "--timeout-ms", "60000", "--max-rows", "1000000",
+                 "--max-matches-per-doc", "1000000"]) == 0
+    governed = capsys.readouterr()
+    assert governed.out == unrestricted
+    assert "partial" not in governed.err
+
+
+def test_search_invalid_limit_flag_errors(index_dir, capsys):
+    assert main(["search", str(index_dir), "emulator",
+                 "--timeout-ms", "-5"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
 def test_index_with_sentences_enables_samesentence(tmp_path, capsys):
     docs = tmp_path / "sdocs"
     docs.mkdir()

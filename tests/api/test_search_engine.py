@@ -129,3 +129,52 @@ def test_parse_uses_collection_analyzer():
 
 def test_empty_result_for_unmatched_query(engine):
     assert len(engine.search("zebra")) == 0
+
+
+# -- input validation and bulk ingestion ------------------------------------
+
+
+@pytest.mark.parametrize("bad", [0, -1, -100, 2.5, True, "3"])
+def test_invalid_top_k_rejected(engine, bad):
+    with pytest.raises(GraftError):
+        engine.search("quick fox", top_k=bad)
+
+
+def test_top_k_one_returns_single_best(engine):
+    full = engine.search("quick fox")
+    out = engine.search("quick fox", top_k=1)
+    assert [(r.doc_id, r.score) for r in out] == [
+        (full[0].doc_id, full[0].score)
+    ]
+
+
+def test_add_many_returns_assigned_ids():
+    e = SearchEngine()
+    first = e.add("a lone seed document")
+    ids = e.add_many(["quick fox", "lazy dog", "quick dog"])
+    assert ids == [first + 1, first + 2, first + 3]
+    assert {r.doc_id for r in e.search("quick")} == {ids[0], ids[2]}
+
+
+def test_add_many_accepts_any_iterable():
+    e = SearchEngine()
+    ids = e.add_many(f"document number {i}" for i in range(5))
+    assert ids == [0, 1, 2, 3, 4]
+    assert len(e.collection) == 5
+
+
+@pytest.mark.parametrize("bad_id", [-1, 99, "0", 1.0, None])
+def test_matches_out_of_range_doc_id_rejected(engine, bad_id):
+    with pytest.raises(GraftError) as info:
+        engine.matches("quick fox", bad_id)
+    msg = str(info.value)
+    assert "doc_id" in msg
+    if isinstance(bad_id, int):
+        # The message names the offending id and the collection size.
+        assert str(bad_id) in msg and str(len(engine.collection)) in msg
+
+
+def test_snippet_out_of_range_doc_id_rejected(engine):
+    with pytest.raises(GraftError) as info:
+        engine.snippet("quick fox", len(engine.collection))
+    assert "doc_id" in str(info.value)

@@ -1,0 +1,195 @@
+"""Deterministic fault injection across every physical operator.
+
+These tests prove the engine's error contract: a raw, non-Graft failure
+inside *any* physical operator — simulated by the harness in
+:mod:`repro.exec.faults` — must surface through the public API as
+:class:`repro.errors.ExecutionError` carrying the operator's name, never
+as a foreign traceback.  The query configurations below are chosen so
+that, together, their plans instantiate every physical operator class.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SearchEngine
+from repro.errors import ExecutionError, GraftError
+from repro.exec.faults import FaultInjector, FaultSpec, InjectedFault
+from repro.exec.limits import QueryLimits
+from repro.graft.optimizer import OptimizerOptions
+
+#: Every physical operator class of the execution engine.
+ALL_OPS = {
+    "AtomScanOp",
+    "PreCountScanOp",
+    "ScoredPreCountScanOp",
+    "MergeJoinOp",
+    "ForwardScanJoinOp",
+    "UnionOp",
+    "SelectOp",
+    "ForgetOp",
+    "SortOp",
+    "CountOp",
+    "AntiJoinOp",
+    "AlternateElimOp",
+    "ScoreInitOp",
+    "CombinePhiOp",
+    "GroupScoreOp",
+    "FinalizeOp",
+}
+
+#: Query/scheme/options combinations whose plans, together, instantiate
+#: every operator class in ALL_OPS (verified by test_configs_cover_all_ops).
+CONFIGS = [
+    ("fused-leaf", dict(query="quick", scheme="sumbest")),
+    ("optimized-conj", dict(query="quick dog", scheme="sumbest")),
+    (
+        "canonical-conj",
+        dict(query="quick dog", scheme="sumbest", optimize=False),
+    ),
+    ("disjunction", dict(query="quick | dog", scheme="anysum")),
+    (
+        "canonical-disj",
+        dict(query="quick | dog", scheme="sumbest", optimize=False),
+    ),
+    ("negation", dict(query="quick -lazy", scheme="sumbest")),
+    (
+        "eager-counting",
+        dict(
+            query="quick dog",
+            scheme="sumbest",
+            options=OptimizerOptions(pre_counting=False),
+        ),
+    ),
+    (
+        "unpushed-phrase",
+        dict(
+            query='"quick fox"',
+            scheme="sumbest",
+            options=OptimizerOptions(selection_pushing=False),
+        ),
+    ),
+    (
+        "forward-scan-phrase",
+        dict(
+            query='"quick fox"',
+            scheme="anysum",
+            options=OptimizerOptions(forward_scan=True),
+        ),
+    ),
+]
+
+
+def make_engine() -> SearchEngine:
+    e = SearchEngine()
+    e.add("the quick brown fox jumps over the lazy dog")
+    e.add("a quick quick fox and a slow dog walk home")
+    e.add("dogs and foxes are not the same animal")
+    e.add("quick release fox terrier dog show dog fox")
+    e.add("quick fox quick fox dog dog dog lazy")
+    e.add("the brown dog naps while the brown fox runs quick")
+    return e
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return make_engine()
+
+
+def discover_ops(engine, kwargs) -> set[str]:
+    """Operator classes instantiated by one configuration's plan."""
+    probe = FaultInjector([])
+    engine.search(faults=probe, **kwargs)
+    return set(probe.seen_ops)
+
+
+def test_configs_cover_all_ops(engine):
+    seen = set()
+    for _, kwargs in CONFIGS:
+        seen |= discover_ops(engine, kwargs)
+    assert seen == ALL_OPS
+
+
+@pytest.mark.parametrize("name,kwargs", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_every_operator_surfaces_execution_error(engine, name, kwargs):
+    """Fail each operator of each plan on its first next_doc call: the
+    public API must raise ExecutionError naming that operator."""
+    for op in sorted(discover_ops(engine, kwargs)):
+        inj = FaultInjector([FaultSpec(op_name=op, fail_at_call=1)])
+        with pytest.raises(ExecutionError) as info:
+            engine.search(faults=inj, **kwargs)
+        assert info.value.operator == op, f"{name}: wrong operator context"
+        assert op in str(info.value)
+        assert inj.fired, f"{name}: fault for {op} never fired"
+        # The raw injected fault is preserved as the cause.
+        assert isinstance(info.value.__cause__, InjectedFault)
+
+
+def test_seek_doc_fault_is_wrapped(engine):
+    # "fox" and "lazy" postings have gaps relative to each other, so the
+    # zig-zag join must issue real seeks into the leaf scans.
+    inj = FaultInjector(
+        [FaultSpec(op_name="AtomScanOp", method="seek_doc", fail_at_call=1)]
+    )
+    with pytest.raises(ExecutionError) as info:
+        engine.search("fox lazy", optimize=False, faults=inj)
+    assert info.value.operator == "AtomScanOp"
+
+
+def test_fail_on_doc_triggers_on_that_document(engine):
+    inj = FaultInjector([FaultSpec(op_name="FinalizeOp", fail_on_doc=4)])
+    with pytest.raises(ExecutionError) as info:
+        engine.search("quick dog", faults=inj)
+    assert "doc 4" in str(info.value)
+    assert info.value.operator == "FinalizeOp"
+
+
+def test_mid_stream_fault_does_not_corrupt_earlier_results(engine):
+    """A fault on a later document must abort the query (not silently
+    truncate it): no partial SearchOutcome leaks out of an error path."""
+    inj = FaultInjector([FaultSpec(op_name="FinalizeOp", fail_on_doc=4)])
+    with pytest.raises(ExecutionError):
+        engine.search("quick dog", faults=inj)
+
+
+def test_seeded_injection_is_deterministic(engine):
+    messages = []
+    for _ in range(2):
+        inj = FaultInjector([FaultSpec(op_name=None)], seed=1234, max_call=8)
+        with pytest.raises(ExecutionError) as info:
+            engine.search("quick dog", faults=inj)
+        messages.append(str(info.value))
+    assert messages[0] == messages[1]
+
+
+def test_seedless_unresolved_spec_rejected():
+    with pytest.raises(GraftError):
+        FaultInjector([FaultSpec(op_name="MergeJoinOp")])
+
+
+def test_bad_fault_method_rejected():
+    with pytest.raises(GraftError):
+        FaultSpec(op_name="MergeJoinOp", method="explode", fail_at_call=1)
+
+
+def test_faults_are_not_swallowed_by_partial_degradation(engine):
+    """Graceful degradation applies to resource trips only: an injected
+    operator failure must still raise, even with on_limit='partial'."""
+    inj = FaultInjector([FaultSpec(op_name="MergeJoinOp", fail_at_call=1)])
+    with pytest.raises(ExecutionError):
+        engine.search(
+            "quick dog",
+            optimize=False,
+            faults=inj,
+            limits=QueryLimits(max_rows=10**9, on_limit="partial"),
+        )
+
+
+def test_no_injector_means_no_wrapping(engine):
+    """Without a FaultInjector the fault path costs nothing and results
+    are identical."""
+    plain = engine.search("quick dog")
+    probed = engine.search("quick dog", faults=FaultInjector([]))
+    assert [(r.doc_id, r.score) for r in plain] == [
+        (r.doc_id, r.score) for r in probed
+    ]
