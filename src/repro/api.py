@@ -17,14 +17,17 @@ from typing import TYPE_CHECKING, Iterable
 
 from repro.corpus.analyzer import Analyzer
 from repro.corpus.collection import DocumentCollection
-from repro.errors import GraftError, ResourceExhaustedError
+from repro.errors import GraftError, IndexError_, ResourceExhaustedError
 from repro.exec.engine import execute, make_runtime, validate_top_k
 from repro.exec.iterator import ExecutionMetrics, pull_doc
 from repro.exec.limits import QueryGuard, QueryLimits
 from repro.exec.topk import rank_join_applicable, rank_topk
 
 if TYPE_CHECKING:
+    import pathlib
+
     from repro.exec.faults import FaultInjector
+    from repro.index.store import IndexStore, StoreFaultInjector, StoreLock
 from repro.graft.canonical import make_query_info
 from repro.graft.explain import explain as explain_plan
 from repro.graft.optimizer import Optimizer, OptimizerOptions
@@ -96,13 +99,27 @@ class SearchEngine:
         )
         self._index: Index | None = None
         self._ctx_override = scoring_context
+        self._store: "IndexStore | None" = None
+        self._lock: "StoreLock | None" = None
 
     # -- corpus management ---------------------------------------------------
 
     def add(self, text: str, title: str = "") -> int:
-        """Analyze and add one document; returns its id."""
+        """Analyze and add one document; returns its id.
+
+        On an engine opened on a durable store (:meth:`open`), the
+        analyzed document is also appended to the store's write-ahead
+        log before this returns, so it survives a crash that happens
+        before the next :meth:`checkpoint`.
+        """
         doc = self.collection.add_text(text, title)
         self._index = None
+        if self._store is not None:
+            from repro.corpus.io import document_record
+
+            self._store.append_wal(
+                {"seq": doc.doc_id, **document_record(doc)}
+            )
         return doc.doc_id
 
     def add_many(self, texts: Iterable[str]) -> list[int]:
@@ -350,24 +367,197 @@ class SearchEngine:
         return self.collection[doc_id].snippet(min(offsets), radius=radius)
 
     # -- persistence -------------------------------------------------------------
+    #
+    # Durable state lives in a crash-safe generational store
+    # (repro.index.store; format spec in docs/STORAGE.md): every save is
+    # an atomic checkpoint, every load verifies checksums, and an engine
+    # *opened on* a store WAL-logs each added document.  All store code
+    # is imported lazily, so purely in-memory engines never touch it.
 
-    def save(self, directory) -> None:
-        """Persist the index and the collection under ``directory``."""
-        from repro.corpus.io import save_collection
-        from repro.index.io import save_index
+    def save(self, directory=None) -> None:
+        """Checkpoint the index and collection under ``directory``.
 
-        save_index(self.index, directory)
-        save_collection(self.collection, directory)
+        Writes a new store generation atomically: a crash at any moment
+        leaves either the previous checkpoint or the new one on disk,
+        never a blend.  With no argument, checkpoints the store this
+        engine was :meth:`open`\\ ed on.
+        """
+        import pathlib
+
+        if directory is None:
+            self.checkpoint()
+            return
+        if (
+            self._store is not None
+            and pathlib.Path(directory).resolve() == self._store.path.resolve()
+        ):
+            self.checkpoint()
+            return
+        from repro.index.store import IndexStore, engine_payload
+
+        store = IndexStore(directory)
+        if IndexStore.is_store(directory):
+            store.read_manifest()
+        with store.lock():
+            store.checkpoint(
+                engine_payload(self.index, self.collection),
+                doc_count=len(self.collection),
+            )
 
     @classmethod
     def load(cls, directory, analyzer: Analyzer | None = None) -> "SearchEngine":
-        """Restore an engine saved with :meth:`save`."""
+        """Restore an engine saved with :meth:`save` (read-only).
+
+        Verifies every file's checksum against the store manifest and
+        replays write-ahead-logged documents added since the last
+        checkpoint; damage raises
+        :class:`repro.errors.IndexCorruptionError` naming the bad file.
+        Legacy (pre-store, v1 layout) directories load via a migration
+        shim.  Takes no lock — concurrent readers are always safe.
+        """
+        from repro.index.store import IndexStore
+
+        if IndexStore.is_store(directory):
+            return cls._load_from_store(IndexStore.open(directory), analyzer)
         from repro.corpus.io import load_collection
         from repro.index.io import load_index
 
         engine = cls(load_collection(directory, analyzer))
         engine._index = load_index(directory)
         return engine
+
+    @classmethod
+    def open(
+        cls,
+        directory,
+        analyzer: Analyzer | None = None,
+        faults: "StoreFaultInjector | None" = None,
+    ) -> "SearchEngine":
+        """Open a durable store for writing, creating it if absent.
+
+        The returned engine holds the store's advisory writer lock
+        (released by :meth:`close`, or use the engine as a context
+        manager); a second concurrent writer raises
+        :class:`repro.errors.StoreLockedError`.  Every subsequent
+        :meth:`add` is WAL-logged durably, and :meth:`checkpoint`
+        compacts the log into a new generation.  Opening repairs crash
+        residue: a torn WAL tail is truncated and stale generations are
+        garbage-collected.  A legacy v1 directory is migrated to the
+        store format in place.
+
+        Args:
+            directory: Store directory (created if missing).
+            analyzer: Analyzer for a fresh store (stored collections
+                re-use their saved tokens).
+            faults: Crash-point injector (robustness testing only).
+        """
+        from repro.index.store import IndexStore, engine_payload
+
+        store = IndexStore(directory, faults=faults)
+        lock = store.lock().acquire()
+        try:
+            if IndexStore.is_store(directory):
+                store.read_manifest()
+                store.repair_wal()
+                store.gc()
+                engine = cls._load_from_store(store, analyzer)
+            else:
+                engine = cls._open_fresh_or_legacy(directory, analyzer)
+                store.checkpoint(
+                    engine_payload(engine.index, engine.collection),
+                    doc_count=len(engine.collection),
+                )
+        except BaseException:
+            lock.release()
+            raise
+        engine._store = store
+        engine._lock = lock
+        return engine
+
+    def checkpoint(self) -> str:
+        """Compact WAL'd documents into a new atomic store generation.
+
+        Requires an engine opened on a store (:meth:`open`); returns the
+        new generation name.
+        """
+        if self._store is None:
+            raise GraftError(
+                "checkpoint() requires an engine opened on a store; use "
+                "SearchEngine.open(directory) or save(directory)"
+            )
+        from repro.index.store import engine_payload
+
+        return self._store.checkpoint(
+            engine_payload(self.index, self.collection),
+            doc_count=len(self.collection),
+        )
+
+    def close(self) -> None:
+        """Detach from the store and release the writer lock.
+
+        In-memory state stays usable; WAL'd documents are already
+        durable.  No-op for engines not opened on a store.
+        """
+        if self._lock is not None:
+            self._lock.release()
+            self._lock = None
+        self._store = None
+
+    def __enter__(self) -> "SearchEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def store_path(self) -> "pathlib.Path | None":
+        """The attached store directory, or None for in-memory engines."""
+        return self._store.path if self._store is not None else None
+
+    @classmethod
+    def _load_from_store(
+        cls, store: "IndexStore", analyzer: Analyzer | None
+    ) -> "SearchEngine":
+        from repro.corpus.io import add_record, collection_from_bytes
+        from repro.errors import IndexCorruptionError
+        from repro.index.store import DOCS_FILE
+
+        blobs = store.read_all_verified()
+        if DOCS_FILE not in blobs:
+            raise IndexError_(f"no saved collection under {store.path}")
+        docs_source = str(store.generation_dir / DOCS_FILE)
+        collection = collection_from_bytes(
+            blobs[DOCS_FILE], analyzer, source=docs_source
+        )
+        if len(collection) != store.manifest.doc_count:
+            raise IndexCorruptionError(
+                f"generation holds {len(collection)} documents but the "
+                f"manifest records {store.manifest.doc_count}",
+                path=docs_source,
+            )
+        index = store.load_index(blobs)
+        replayed = store.wal_records()
+        for record in replayed:
+            add_record(collection, record)
+        engine = cls(collection)
+        # WAL'd documents postdate the checkpointed index; rebuild lazily.
+        engine._index = index if not replayed else None
+        return engine
+
+    @classmethod
+    def _open_fresh_or_legacy(
+        cls, directory, analyzer: Analyzer | None
+    ) -> "SearchEngine":
+        import pathlib
+
+        from repro.corpus.io import load_collection
+        from repro.index.io import load_index
+
+        if (pathlib.Path(directory) / "meta.json").exists():
+            engine = cls(load_collection(directory, analyzer))
+            engine._index = load_index(directory)
+            return engine
+        return cls(analyzer=analyzer)
 
     # -- helpers -----------------------------------------------------------------
 

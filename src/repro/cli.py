@@ -5,12 +5,19 @@ Usage::
     python -m repro index  DOCS_DIR  INDEX_DIR      # index *.txt files
     python -m repro search INDEX_DIR QUERY [options]
     python -m repro explain INDEX_DIR QUERY [options]
+    python -m repro verify INDEX_DIR                 # integrity audit
+    python -m repro checkpoint INDEX_DIR             # compact the WAL
     python -m repro schemes                          # list scoring schemes
 
-``index`` builds and persists the inverted index (plus document titles)
-from a directory of text files, one document per file; ``search`` runs a
+``index`` builds and persists the inverted index (plus documents and
+titles) as a crash-safe generational store (``docs/STORAGE.md``) from a
+directory of text files, one document per file; ``search`` runs a
 shorthand query against a persisted index under any registered scoring
-scheme; ``explain`` prints the optimized plan instead of executing it.
+scheme; ``explain`` prints the optimized plan instead of executing it;
+``verify`` audits every checksum and structural invariant of a store;
+``checkpoint`` compacts write-ahead-logged documents into a new atomic
+generation.  ``search``/``explain``/``verify`` also accept legacy (v1,
+pre-store) index directories.
 """
 
 from __future__ import annotations
@@ -21,14 +28,14 @@ import pathlib
 import sys
 
 from repro.corpus.analyzer import SentenceAnalyzer, SimpleAnalyzer
+from repro.corpus.collection import DocumentCollection
 from repro.errors import GraftError
 from repro.exec.engine import execute, make_runtime
 from repro.exec.limits import QueryLimits
 from repro.graft.explain import explain as explain_plan
 from repro.graft.optimizer import Optimizer
-from repro.index.builder import IndexBuilder
 from repro.index.index import Index
-from repro.index.io import load_index, save_index
+from repro.index.io import load_index
 from repro.mcalc.parser import parse_query
 from repro.sa.registry import available_schemes, get_scheme
 
@@ -78,38 +85,83 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(error) or return the ranked prefix computed "
                             "so far (partial)")
 
+    p_verify = sub.add_parser(
+        "verify",
+        help="audit a persisted index: checksums, structure, WAL",
+    )
+    p_verify.add_argument("index_dir", help="directory written by 'repro index'")
+
+    p_ckpt = sub.add_parser(
+        "checkpoint",
+        help="compact write-ahead-logged documents into a new generation",
+    )
+    p_ckpt.add_argument("index_dir", help="store directory to checkpoint")
+
     sub.add_parser("schemes", help="list registered scoring schemes")
     return parser
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.api import SearchEngine
+
     docs_dir = pathlib.Path(args.docs_dir)
     files = sorted(docs_dir.glob("*.txt"))
     if not files:
         print(f"no .txt files under {docs_dir}", file=sys.stderr)
         return 1
     analyzer = SentenceAnalyzer() if args.sentences else SimpleAnalyzer()
-    builder = IndexBuilder()
-    titles = []
-    for doc_id, path in enumerate(files):
-        analyzed = analyzer.analyze(path.read_text())
-        builder.add_document(
-            doc_id, analyzed.tokens, analyzed.sentence_starts
-        )
-        titles.append(path.stem)
-    index = builder.build()
-    out = save_index(index, args.index_dir)
-    (out / _TITLES).write_text(json.dumps(titles))
-    print(f"indexed {len(titles)} documents "
+    collection = DocumentCollection(analyzer)
+    for path in files:
+        collection.add_text(path.read_text(), title=path.stem)
+    engine = SearchEngine(collection)
+    engine.save(args.index_dir)
+    index = engine.index
+    print(f"indexed {len(collection)} documents "
           f"({index.stats.total_tokens} tokens, "
-          f"{index.vocabulary_size()} terms) -> {out}")
+          f"{index.vocabulary_size()} terms) -> {args.index_dir}")
     return 0
 
 
+def _warn(message: str) -> None:
+    print(f"warning: {message}", file=sys.stderr)
+
+
 def _load(args: argparse.Namespace) -> tuple[Index, list[str]]:
-    index = load_index(args.index_dir)
-    titles_path = pathlib.Path(args.index_dir) / _TITLES
-    titles = json.loads(titles_path.read_text()) if titles_path.exists() else []
+    """Load the index and titles from a store or legacy directory.
+
+    A missing title list degrades output (results show bare doc ids), so
+    it is warned about explicitly instead of silently substituting [].
+    """
+    from repro.index.store import TITLES_FILE, IndexStore
+
+    index_dir = pathlib.Path(args.index_dir)
+    if IndexStore.is_store(index_dir):
+        store = IndexStore.open(index_dir)
+        index = store.load_index()
+        if store.wal_records():
+            _warn(
+                f"{index_dir} has write-ahead-logged documents not yet "
+                f"checkpointed; run 'repro checkpoint' to include them"
+            )
+        if store.has_file(TITLES_FILE):
+            titles = json.loads(store.read_file(TITLES_FILE))
+        else:
+            _warn(
+                f"no {TITLES_FILE} in {index_dir}; results will show "
+                f"bare doc ids instead of titles"
+            )
+            titles = []
+        return index, titles
+    index = load_index(index_dir)
+    titles_path = index_dir / _TITLES
+    if titles_path.exists():
+        titles = json.loads(titles_path.read_text())
+    else:
+        _warn(
+            f"no {_TITLES} in {index_dir}; results will show bare doc "
+            f"ids instead of titles"
+        )
+        titles = []
     return index, titles
 
 
@@ -167,6 +219,42 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.index.store import IndexStore
+
+    index_dir = pathlib.Path(args.index_dir)
+    if IndexStore.is_store(index_dir):
+        report = IndexStore.open(index_dir).verify()
+        print(f"store OK: generation {report['generation']}, "
+              f"{report['doc_count']} documents")
+        for name, size in sorted(report["files"].items()):
+            print(f"  {name:20} {size:10d} bytes  sha256 verified")
+        print(f"  WAL: {report['wal_records']} records "
+              f"({report['wal_pending']} pending checkpoint, "
+              f"{report['wal_torn_bytes']} torn bytes)")
+        if report["wal_torn_bytes"]:
+            _warn("torn WAL tail present (interrupted append); it will "
+                  "be truncated on the next writer open")
+        return 0
+    # Legacy v1 layout: no checksums to audit, but a full decode still
+    # proves structural integrity.
+    load_index(index_dir)
+    print(f"legacy (v1) index OK under {index_dir} — no checksums; "
+          f"re-save to upgrade to the crash-safe store format")
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from repro.api import SearchEngine
+
+    with SearchEngine.open(args.index_dir) as engine:
+        pending = len(engine.collection)
+        generation = engine.checkpoint()
+    print(f"checkpointed {pending} documents into {generation} "
+          f"under {args.index_dir}")
+    return 0
+
+
 def _cmd_schemes(args: argparse.Namespace) -> int:
     for name in available_schemes():
         props = get_scheme(name).properties
@@ -184,6 +272,8 @@ _COMMANDS = {
     "index": _cmd_index,
     "search": _cmd_search,
     "explain": _cmd_explain,
+    "verify": _cmd_verify,
+    "checkpoint": _cmd_checkpoint,
     "schemes": _cmd_schemes,
 }
 

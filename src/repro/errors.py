@@ -96,3 +96,36 @@ class IndexError_(GraftError):
     Named with a trailing underscore to avoid shadowing the builtin
     ``IndexError``.
     """
+
+
+class IndexCorruptionError(IndexError_):
+    """A persisted index failed an integrity check.
+
+    Raised when loading or verifying an on-disk index finds a damaged
+    artifact: a checksum mismatch, an unparseable or truncated file, a
+    missing array, or postings arrays whose shapes are mutually
+    inconsistent.  ``path`` names the offending file so operators know
+    exactly which artifact to restore from a checkpoint.
+    """
+
+    def __init__(self, message: str, path: str | None = None):
+        if path is not None:
+            message = f"{path}: {message}"
+        super().__init__(message)
+        self.path = path
+
+
+class StoreLockedError(IndexError_):
+    """Another writer holds the store's advisory lock.
+
+    One index store directory admits one writer at a time; a second
+    concurrent writer would silently interleave WAL appends and
+    checkpoint renames.  ``holder`` describes the current lock owner as
+    recorded in the lockfile (``pid@host``).
+    """
+
+    def __init__(self, message: str, path: str | None = None,
+                 holder: str | None = None):
+        super().__init__(message)
+        self.path = path
+        self.holder = holder

@@ -1,6 +1,6 @@
 """Index persistence: save a built index to disk and load it back.
 
-The layout is a single directory:
+The legacy (v1) layout is a single directory:
 
 * ``meta.json`` — format version, vocabulary (term -> postings slice),
   per-term entry counts;
@@ -12,16 +12,27 @@ Loading reconstructs the same in-memory :class:`repro.index.Index` the
 builder produces (the term-document view is re-derived, as at build
 time).  Term order, doc order and offsets round-trip exactly, so every
 plan produces identical results on a reloaded index.
+
+This module is also the codec for the crash-safe generational store
+(:mod:`repro.index.store`): :func:`flatten_index` /
+:func:`assemble_index` convert between an :class:`Index` and the
+serialized ``meta`` dict + array mapping, and :func:`check_invariants`
+is the shared shape-consistency validator.  Every malformed artifact —
+unparseable JSON, a truncated or non-zip ``postings.npz``, a missing
+array, or mutually inconsistent bounds arrays — surfaces as
+:class:`repro.errors.IndexCorruptionError` naming the offending file,
+never as a raw ``JSONDecodeError``/``BadZipFile``/``KeyError``.
 """
 
 from __future__ import annotations
 
+import io as _io
 import json
 import pathlib
 
 import numpy as np
 
-from repro.errors import IndexError_
+from repro.errors import IndexCorruptionError, IndexError_
 from repro.index.index import Index
 from repro.index.postings import PositionPostings
 from repro.index.stats import CollectionStats
@@ -31,12 +42,24 @@ FORMAT_VERSION = 1
 _META = "meta.json"
 _ARRAYS = "postings.npz"
 
+#: Arrays every postings.npz must contain.
+ARRAY_KEYS = (
+    "sentence_flat",
+    "sentence_bounds",
+    "doc_lengths",
+    "doc_ids",
+    "offsets",
+    "entry_offset_counts",
+    "doc_bounds",
+    "offset_bounds",
+)
 
-def save_index(index: Index, directory: str | pathlib.Path) -> pathlib.Path:
-    """Write ``index`` under ``directory`` (created if missing)."""
-    path = pathlib.Path(directory)
-    path.mkdir(parents=True, exist_ok=True)
 
+# -- flatten / assemble -------------------------------------------------------
+
+
+def flatten_index(index: Index) -> tuple[dict, dict[str, np.ndarray]]:
+    """Serialize ``index`` to a ``meta`` dict and a named-array mapping."""
     terms = sorted(index.terms)
     doc_id_chunks: list[np.ndarray] = []
     offset_chunks: list[int] = []
@@ -58,48 +81,104 @@ def save_index(index: Index, directory: str | pathlib.Path) -> pathlib.Path:
         sentence_flat.extend(starts)
         sentence_bounds.append(len(sentence_flat))
 
-    np.savez_compressed(
-        path / _ARRAYS,
-        sentence_flat=np.asarray(sentence_flat, dtype=np.int64),
-        sentence_bounds=np.asarray(sentence_bounds, dtype=np.int64),
-        doc_lengths=index.stats.doc_lengths,
-        doc_ids=(
+    arrays = {
+        "sentence_flat": np.asarray(sentence_flat, dtype=np.int64),
+        "sentence_bounds": np.asarray(sentence_bounds, dtype=np.int64),
+        "doc_lengths": index.stats.doc_lengths,
+        "doc_ids": (
             np.concatenate(doc_id_chunks)
             if doc_id_chunks
             else np.empty(0, dtype=np.int64)
         ),
-        offsets=np.asarray(offset_chunks, dtype=np.int64),
-        entry_offset_counts=np.asarray(entry_offset_counts, dtype=np.int64),
-        doc_bounds=np.asarray(doc_bounds, dtype=np.int64),
-        offset_bounds=np.asarray(offset_bounds, dtype=np.int64),
-    )
+        "offsets": np.asarray(offset_chunks, dtype=np.int64),
+        "entry_offset_counts": np.asarray(entry_offset_counts, dtype=np.int64),
+        "doc_bounds": np.asarray(doc_bounds, dtype=np.int64),
+        "offset_bounds": np.asarray(offset_bounds, dtype=np.int64),
+    }
     meta = {"version": FORMAT_VERSION, "terms": terms}
-    (path / _META).write_text(json.dumps(meta))
-    return path
+    return meta, arrays
 
 
-def load_index(directory: str | pathlib.Path) -> Index:
-    """Load an index previously written by :func:`save_index`."""
-    path = pathlib.Path(directory)
-    meta_path = path / _META
-    arrays_path = path / _ARRAYS
-    if not meta_path.exists() or not arrays_path.exists():
-        raise IndexError_(f"no saved index under {path}")
-    meta = json.loads(meta_path.read_text())
-    version = meta.get("version")
-    if version != FORMAT_VERSION:
-        raise IndexError_(
-            f"unsupported index format version {version!r} "
-            f"(expected {FORMAT_VERSION})"
+def check_invariants(
+    meta: dict, arrays: dict, source: str = _ARRAYS
+) -> None:
+    """Cross-check the mutual consistency of the postings arrays.
+
+    Raises :class:`IndexCorruptionError` naming ``source`` when any
+    structural invariant of the flattened layout is violated — the
+    checks a checksum cannot make (a file can be byte-intact yet
+    describe an impossible index, e.g. after a buggy external writer).
+    """
+
+    def bad(detail: str) -> IndexCorruptionError:
+        return IndexCorruptionError(f"inconsistent index arrays: {detail}",
+                                    path=source)
+
+    terms = meta.get("terms")
+    if not isinstance(terms, list):
+        raise IndexCorruptionError("meta 'terms' is not a list", path=source)
+    n_terms = len(terms)
+    doc_bounds = arrays["doc_bounds"]
+    offset_bounds = arrays["offset_bounds"]
+    entry_offset_counts = arrays["entry_offset_counts"]
+    doc_ids = arrays["doc_ids"]
+    offsets = arrays["offsets"]
+    sentence_flat = arrays["sentence_flat"]
+    sentence_bounds = arrays["sentence_bounds"]
+
+    for name, bounds, flat, expect_len in (
+        ("doc_bounds", doc_bounds, doc_ids, n_terms + 1),
+        ("offset_bounds", offset_bounds, offsets, n_terms + 1),
+        ("sentence_bounds", sentence_bounds, sentence_flat, None),
+    ):
+        if expect_len is not None and len(bounds) != expect_len:
+            raise bad(
+                f"{name} has {len(bounds)} entries for {n_terms} terms"
+            )
+        if len(bounds) == 0 or int(bounds[0]) != 0:
+            raise bad(f"{name} does not start at 0")
+        if len(bounds) > 1 and bool(np.any(np.diff(bounds) < 0)):
+            raise bad(f"{name} is not monotonically non-decreasing")
+        if int(bounds[-1]) != len(flat):
+            raise bad(
+                f"{name} ends at {int(bounds[-1])} but its flat array "
+                f"has {len(flat)} entries"
+            )
+    if len(entry_offset_counts) != int(doc_bounds[-1]):
+        raise bad(
+            f"entry_offset_counts has {len(entry_offset_counts)} entries "
+            f"for {int(doc_bounds[-1])} postings"
         )
-    with np.load(arrays_path) as arrays:
-        doc_lengths = arrays["doc_lengths"]
-        doc_ids = arrays["doc_ids"]
-        offsets = arrays["offsets"]
-        entry_offset_counts = arrays["entry_offset_counts"]
-        doc_bounds = arrays["doc_bounds"]
-        sentence_flat = arrays["sentence_flat"].tolist()
-        sentence_bounds = arrays["sentence_bounds"].tolist()
+    if len(entry_offset_counts) and bool(np.any(entry_offset_counts < 0)):
+        raise bad("entry_offset_counts contains negative counts")
+    if int(entry_offset_counts.sum()) != len(offsets):
+        raise bad(
+            f"entry_offset_counts sums to {int(entry_offset_counts.sum())} "
+            f"but offsets has {len(offsets)} entries"
+        )
+    if len(sentence_bounds) - 1 not in (0, len(arrays["doc_lengths"])):
+        raise bad(
+            f"sentence_bounds describes {len(sentence_bounds) - 1} documents "
+            f"but doc_lengths has {len(arrays['doc_lengths'])}"
+        )
+
+
+def assemble_index(
+    meta: dict, arrays: dict, source: str = _ARRAYS
+) -> Index:
+    """Rebuild an :class:`Index` from :func:`flatten_index` output.
+
+    Validates shape invariants first; ``source`` labels corruption
+    errors with the artifact being decoded.
+    """
+    check_invariants(meta, arrays, source)
+    doc_lengths = arrays["doc_lengths"]
+    doc_ids = arrays["doc_ids"]
+    offsets = arrays["offsets"]
+    entry_offset_counts = arrays["entry_offset_counts"]
+    doc_bounds = arrays["doc_bounds"]
+    sentence_flat = arrays["sentence_flat"].tolist()
+    sentence_bounds = arrays["sentence_bounds"].tolist()
 
     terms: dict[str, PositionPostings] = {}
     entry_cursor = 0
@@ -125,3 +204,87 @@ def load_index(directory: str | pathlib.Path) -> Index:
     return Index(
         terms, CollectionStats(doc_lengths), sentence_starts=sentence_starts
     )
+
+
+# -- bytes codec (used by the generational store) ----------------------------
+
+
+def meta_to_bytes(meta: dict) -> bytes:
+    return json.dumps(meta).encode("utf-8")
+
+
+def arrays_to_bytes(arrays: dict) -> bytes:
+    buf = _io.BytesIO()
+    np.savez_compressed(buf, **arrays)
+    return buf.getvalue()
+
+
+def meta_from_bytes(data: bytes, source: str = _META) -> dict:
+    try:
+        meta = json.loads(data.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise IndexCorruptionError(
+            f"malformed index metadata: {exc}", path=source
+        ) from exc
+    if not isinstance(meta, dict):
+        raise IndexCorruptionError(
+            "index metadata is not a JSON object", path=source
+        )
+    return meta
+
+
+def arrays_from_bytes(data: bytes, source: str = _ARRAYS) -> dict:
+    try:
+        with np.load(_io.BytesIO(data)) as npz:
+            missing = [k for k in ARRAY_KEYS if k not in npz.files]
+            if missing:
+                raise IndexCorruptionError(
+                    f"postings archive is missing arrays: {missing}",
+                    path=source,
+                )
+            return {k: npz[k] for k in ARRAY_KEYS}
+    except IndexCorruptionError:
+        raise
+    except Exception as exc:  # BadZipFile, EOFError, OSError, ValueError, ...
+        raise IndexCorruptionError(
+            f"unreadable postings archive: {exc}", path=source
+        ) from exc
+
+
+# -- legacy v1 directory layout ----------------------------------------------
+
+
+def save_index(index: Index, directory: str | pathlib.Path) -> pathlib.Path:
+    """Write ``index`` under ``directory`` (created if missing).
+
+    This is the legacy v1 single-directory layout, overwritten in place.
+    For crash-safe, checksummed persistence use
+    :class:`repro.index.store.IndexStore` (what
+    :meth:`repro.SearchEngine.save` does).
+    """
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    meta, arrays = flatten_index(index)
+    np.savez_compressed(path / _ARRAYS, **arrays)
+    (path / _META).write_text(json.dumps(meta))
+    return path
+
+
+def load_index(directory: str | pathlib.Path) -> Index:
+    """Load an index previously written by :func:`save_index`."""
+    path = pathlib.Path(directory)
+    meta_path = path / _META
+    arrays_path = path / _ARRAYS
+    if not meta_path.exists() or not arrays_path.exists():
+        raise IndexError_(f"no saved index under {path}")
+    meta = meta_from_bytes(meta_path.read_bytes(), source=str(meta_path))
+    version = meta.get("version")
+    if version != FORMAT_VERSION:
+        raise IndexError_(
+            f"unsupported index format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    arrays = arrays_from_bytes(
+        arrays_path.read_bytes(), source=str(arrays_path)
+    )
+    return assemble_index(meta, arrays, source=str(arrays_path))

@@ -1,0 +1,90 @@
+"""Deterministic crash-point fault injection for the durable store.
+
+The execution engine proves its error paths with
+:mod:`repro.exec.faults`; this module does the same for *storage*.  A
+:class:`StoreFaultInjector` is attached to an
+:class:`repro.index.store.IndexStore` and observes every durability-
+relevant filesystem step — each file write, fsync, rename, append,
+truncate and removal — as a named *crash point* such as
+``"after:rename:gen-000002"`` or ``"mid:append:wal.jsonl"``.
+
+Running once with no target records the full ordered crash-point
+schedule in :attr:`StoreFaultInjector.points`; a sweep then re-runs the
+same scenario once per point with ``crash_at=<point>``, which makes the
+injector raise :class:`SimulatedCrash` at exactly that step — *before*
+any in-process cleanup can run, exactly like a power loss.  ``mid:``
+points additionally write only a prefix of the payload first, modeling a
+torn write.
+
+The store performs no ``try/finally`` cleanup around its mutation steps
+on purpose: a real crash would not run cleanup either, so recovery must
+come entirely from the on-disk protocol (manifest pointer swap, WAL
+framing, open-time garbage collection) — which is what the sweep in
+``tests/index/test_store_faults.py`` asserts for every single point.
+
+When no injector is attached the hooks are never consulted, so the
+production write path pays nothing.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedCrash(RuntimeError):
+    """The process 'died' at an injected crash point.
+
+    Deliberately *not* a :class:`repro.errors.GraftError`: it models the
+    process disappearing mid-operation, not a library failure, and must
+    never be caught by store code (only by the test harness driving the
+    sweep).
+    """
+
+
+class StoreFaultInjector:
+    """Records crash points and optionally crashes at one of them.
+
+    Args:
+        crash_at: The crash-point name to die at (``None`` records
+            without crashing — the discovery pass of a sweep).
+        crash_on_hit: Die on the Nth time ``crash_at`` is reached
+            (1-based); points that recur, like WAL appends, need this to
+            address a specific occurrence.
+
+    Attributes:
+        points: Every crash point reached, in order (discovery output).
+        fired: The points at which a crash was actually raised.
+    """
+
+    def __init__(self, crash_at: str | None = None, crash_on_hit: int = 1):
+        self.crash_at = crash_at
+        self.crash_on_hit = crash_on_hit
+        self.points: list[str] = []
+        self.fired: list[str] = []
+        self._hits = 0
+
+    def hit(self, point: str) -> None:
+        """Pass through crash point ``point``; raise if it is the target."""
+        self.points.append(point)
+        if self.crash_at is not None and point == self.crash_at:
+            self._hits += 1
+            if self._hits == self.crash_on_hit:
+                self.fired.append(point)
+                raise SimulatedCrash(f"simulated crash at {point}")
+
+    def torn_prefix(self, point: str, data: bytes) -> bytes | None:
+        """Consult a ``mid:`` (torn-write) point.
+
+        Returns the byte prefix to write before 'dying' when ``point``
+        is the crash target, else ``None``.  The caller writes the
+        prefix, flushes it, then calls :meth:`crash`.
+        """
+        self.points.append(point)
+        if self.crash_at is not None and point == self.crash_at:
+            self._hits += 1
+            if self._hits == self.crash_on_hit:
+                return data[: max(1, len(data) // 2)]
+        return None
+
+    def crash(self, point: str) -> None:
+        """Raise the crash for a ``mid:`` point whose prefix was written."""
+        self.fired.append(point)
+        raise SimulatedCrash(f"simulated torn write at {point}")

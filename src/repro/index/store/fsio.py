@@ -1,0 +1,136 @@
+"""Durable filesystem primitives with crash-point instrumentation.
+
+Every mutation the store performs goes through one of these helpers so
+that (a) durability is uniform — data reaches the disk via ``fsync`` on
+the file *and* on the containing directory before anything depends on
+it — and (b) a :class:`repro.index.store.faults.StoreFaultInjector` can
+observe and interrupt each step.  ``rel`` labels the crash points with a
+path relative to the store root, keeping point names stable across
+temporary directories.
+
+None of these helpers catches :class:`SimulatedCrash` or cleans up after
+an interrupted step: recovery is the job of the on-disk protocol, not of
+in-process exception handlers a real crash would never run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import shutil
+
+from repro.index.store.faults import StoreFaultInjector
+
+
+def _hit(inj: StoreFaultInjector | None, point: str) -> None:
+    if inj is not None:
+        inj.hit(point)
+
+
+def write_file(
+    path: pathlib.Path,
+    data: bytes,
+    inj: StoreFaultInjector | None = None,
+    rel: str = "",
+) -> None:
+    """Write ``data`` to ``path`` and fsync it."""
+    rel = rel or path.name
+    _hit(inj, f"before:write:{rel}")
+    with open(path, "wb") as out:
+        out.write(data)
+        out.flush()
+        _hit(inj, f"before:fsync:{rel}")
+        os.fsync(out.fileno())
+    _hit(inj, f"after:write:{rel}")
+
+
+def append_frame(
+    path: pathlib.Path,
+    data: bytes,
+    inj: StoreFaultInjector | None = None,
+    rel: str = "",
+) -> None:
+    """Append ``data`` to ``path`` and fsync.
+
+    Exposes a ``mid:append`` torn-write point that persists only a
+    prefix of ``data`` before dying — the failure mode WAL recovery must
+    truncate away.
+    """
+    rel = rel or path.name
+    _hit(inj, f"before:append:{rel}")
+    with open(path, "ab") as out:
+        if inj is not None:
+            prefix = inj.torn_prefix(f"mid:append:{rel}", data)
+            if prefix is not None:
+                out.write(prefix)
+                out.flush()
+                os.fsync(out.fileno())
+                inj.crash(f"mid:append:{rel}")
+        out.write(data)
+        out.flush()
+        _hit(inj, f"before:fsync:{rel}")
+        os.fsync(out.fileno())
+    _hit(inj, f"after:append:{rel}")
+
+
+def truncate_file(
+    path: pathlib.Path,
+    length: int,
+    inj: StoreFaultInjector | None = None,
+    rel: str = "",
+) -> None:
+    """Truncate ``path`` to ``length`` bytes and fsync."""
+    rel = rel or path.name
+    _hit(inj, f"before:truncate:{rel}")
+    with open(path, "r+b") as out:
+        out.truncate(length)
+        out.flush()
+        os.fsync(out.fileno())
+    _hit(inj, f"after:truncate:{rel}")
+
+
+def atomic_rename(
+    src: pathlib.Path,
+    dst: pathlib.Path,
+    inj: StoreFaultInjector | None = None,
+    rel: str = "",
+) -> None:
+    """Atomically replace ``dst`` with ``src`` (``os.replace``)."""
+    rel = rel or dst.name
+    _hit(inj, f"before:rename:{rel}")
+    os.replace(src, dst)
+    _hit(inj, f"after:rename:{rel}")
+
+
+def fsync_dir(
+    path: pathlib.Path,
+    inj: StoreFaultInjector | None = None,
+    rel: str = "",
+) -> None:
+    """fsync a directory so its entry renames/creations are durable."""
+    rel = rel or path.name
+    _hit(inj, f"before:fsyncdir:{rel}")
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    _hit(inj, f"after:fsyncdir:{rel}")
+
+
+def remove_entry(
+    path: pathlib.Path,
+    inj: StoreFaultInjector | None = None,
+    rel: str = "",
+) -> None:
+    """Remove a stale file or directory tree (idempotent)."""
+    rel = rel or path.name
+    _hit(inj, f"before:remove:{rel}")
+    if path.is_dir():
+        shutil.rmtree(path, ignore_errors=True)
+    else:
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+    _hit(inj, f"after:remove:{rel}")

@@ -1,0 +1,107 @@
+"""Advisory single-writer lock for a store directory.
+
+Two engines appending to one ``wal.jsonl`` — or racing a checkpoint
+rename — would interleave silently; the lockfile turns that misuse into
+a typed :class:`repro.errors.StoreLockedError` instead.  The lock is a
+``LOCK`` file created with ``O_CREAT | O_EXCL`` (atomic on POSIX and
+NTFS) containing ``pid@host``.  A lockfile whose pid is no longer alive
+on the same host is stale (the previous writer crashed — the very event
+this store is designed around) and is broken automatically.
+
+Readers never take the lock: a reader resolves one manifest and only
+touches files that manifest references, which a concurrent writer never
+mutates in place.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import socket
+
+from repro.errors import StoreLockedError
+
+LOCK_NAME = "LOCK"
+
+
+class StoreLock:
+    """Holds the writer lock on a store directory."""
+
+    def __init__(self, directory: str | pathlib.Path):
+        self.path = pathlib.Path(directory) / LOCK_NAME
+        self._held = False
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def acquire(self) -> "StoreLock":
+        holder = f"{os.getpid()}@{socket.gethostname()}"
+        for attempt in range(2):
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                current = self._read_holder()
+                if attempt == 0 and self._is_stale(current):
+                    try:
+                        self.path.unlink()
+                    except FileNotFoundError:
+                        pass
+                    continue
+                raise StoreLockedError(
+                    f"store {self.path.parent} is locked by another writer "
+                    f"({current or 'unknown holder'}); close that engine or "
+                    f"remove a stale {LOCK_NAME} file",
+                    path=str(self.path),
+                    holder=current,
+                )
+            try:
+                os.write(fd, holder.encode("ascii"))
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            self._held = True
+            return self
+        raise AssertionError("unreachable")
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def _read_holder(self) -> str | None:
+        try:
+            return self.path.read_text(errors="replace").strip() or None
+        except OSError:
+            return None
+
+    def _is_stale(self, holder: str | None) -> bool:
+        """A same-host lock whose pid is gone was left by a crash."""
+        if holder is None or "@" not in holder:
+            return False
+        pid_text, host = holder.split("@", 1)
+        if host != socket.gethostname():
+            return False
+        try:
+            pid = int(pid_text)
+        except ValueError:
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except PermissionError:
+            return False  # alive, owned by someone else
+        return False
+
+    def __enter__(self) -> "StoreLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

@@ -1,0 +1,107 @@
+"""The MANIFEST: the store's single atomically-swapped source of truth.
+
+A store directory is defined by its ``MANIFEST`` file.  It names the
+current generation directory, records a SHA-256 digest (and size) for
+every file inside that generation, the number of documents the
+generation incorporates (the WAL replay watermark), and the WAL file
+name.  Readers resolve the manifest first and then only ever touch files
+it references — so a half-written next generation is invisible until the
+one ``os.replace`` that installs a new manifest, and anything the
+manifest does not reference is garbage by definition.
+
+The manifest guards itself: its first line is the SHA-256 of the JSON
+body that follows, verified on every read, so a flipped byte anywhere in
+the file surfaces as :class:`repro.errors.IndexCorruptionError` rather
+than as silently wrong pointers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import IndexCorruptionError, IndexError_
+
+MANIFEST_NAME = "MANIFEST"
+STORE_FORMAT = 2
+
+
+def sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class Manifest:
+    """Parsed manifest contents."""
+
+    generation: str                      # e.g. "gen-000002"
+    doc_count: int                       # documents inside the generation
+    files: dict[str, dict] = field(default_factory=dict)
+    # relpath within the generation dir -> {"sha256": hex, "size": bytes}
+    wal: str = "wal.jsonl"
+    format: int = STORE_FORMAT
+
+    @property
+    def generation_number(self) -> int:
+        return int(self.generation.rsplit("-", 1)[1])
+
+
+def encode_manifest(manifest: Manifest) -> bytes:
+    body = json.dumps(
+        {
+            "format": manifest.format,
+            "generation": manifest.generation,
+            "doc_count": manifest.doc_count,
+            "files": manifest.files,
+            "wal": manifest.wal,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return sha256_hex(body).encode("ascii") + b"\n" + body
+
+
+def decode_manifest(data: bytes, source: str) -> Manifest:
+    """Parse and self-verify a manifest; raises on any damage."""
+    newline = data.find(b"\n")
+    if newline != 64:
+        raise IndexCorruptionError(
+            "manifest does not start with a 64-hex-digit checksum line",
+            path=source,
+        )
+    declared, body = data[:64], data[65:]
+    if sha256_hex(body).encode("ascii") != declared:
+        raise IndexCorruptionError(
+            "manifest self-checksum mismatch", path=source
+        )
+    try:
+        obj = json.loads(body)
+    except ValueError as exc:
+        raise IndexCorruptionError(
+            f"checksummed manifest body is not JSON: {exc}", path=source
+        ) from exc
+    fmt = obj.get("format")
+    if fmt != STORE_FORMAT:
+        raise IndexError_(
+            f"unsupported store format {fmt!r} (expected {STORE_FORMAT})"
+        )
+    try:
+        manifest = Manifest(
+            generation=obj["generation"],
+            doc_count=int(obj["doc_count"]),
+            files=dict(obj["files"]),
+            wal=obj.get("wal", "wal.jsonl"),
+            format=fmt,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise IndexCorruptionError(
+            f"manifest is missing required fields: {exc}", path=source
+        ) from exc
+    for name, entry in manifest.files.items():
+        if not isinstance(entry, dict) or "sha256" not in entry:
+            raise IndexCorruptionError(
+                f"manifest entry for {name!r} lacks a sha256 digest",
+                path=source,
+            )
+    return manifest

@@ -1,0 +1,145 @@
+"""Write-ahead log of document additions: framed, checksummed, recoverable.
+
+Documents added to an engine opened on a store must survive a crash
+*before* the next checkpoint.  Each :meth:`repro.SearchEngine.add`
+appends one framed record to ``wal.jsonl`` and fsyncs it; recovery
+replays the log on open.
+
+Frame layout (one record)::
+
+    pcrc(8 hex) plen(8 hex) hcrc(8 hex) payload(plen bytes) '\\n'
+
+* ``payload`` — the record as compact JSON (no raw newlines, so a frame
+  never contains ``'\\n'`` except its terminator);
+* ``plen`` — payload length in bytes; ``pcrc`` — CRC-32 of the payload;
+* ``hcrc`` — CRC-32 of the first 16 header characters, guarding the
+  length field itself.
+
+The header checksum is what makes *torn write* and *corruption*
+distinguishable, byte for byte:
+
+* A torn write persists a strict **prefix** of the intended bytes, so
+  the tail is an incomplete frame: fewer than 24 header bytes, or a
+  valid header whose payload/terminator bytes ran out.  Recovery
+  truncates it silently (:func:`scan_wal` reports the valid prefix
+  length).
+* A flipped byte never removes bytes, so the frame is *complete* but
+  fails a checksum (or its terminator is wrong) — that is corruption
+  and raises :class:`repro.errors.IndexCorruptionError` naming the
+  file.  Without ``hcrc``, a flip inside the length field could
+  masquerade as a torn tail and be silently dropped.
+
+Records carry a ``seq`` field equal to the document id they create.
+Replay skips records with ``seq < manifest.doc_count``: those documents
+are already inside the current checkpoint generation, which makes the
+post-checkpoint WAL reset safe to crash around (a stale log is merely
+skipped, never double-applied).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import zlib
+
+from repro.errors import IndexCorruptionError
+from repro.index.store import fsio
+from repro.index.store.faults import StoreFaultInjector
+
+_HEADER_LEN = 24
+
+
+def encode_record(record: dict) -> bytes:
+    """Frame one record for appending."""
+    payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    core = f"{zlib.crc32(payload):08x}{len(payload):08x}"
+    hcrc = f"{zlib.crc32(core.encode('ascii')):08x}"
+    return core.encode("ascii") + hcrc.encode("ascii") + payload + b"\n"
+
+
+def scan_wal(data: bytes, source: str) -> tuple[list[dict], int]:
+    """Parse a WAL byte stream.
+
+    Returns ``(records, valid_length)`` where ``valid_length`` is the
+    byte offset of the last complete, verified frame — shorter than
+    ``len(data)`` exactly when the log ends in a torn tail the caller
+    should truncate.  A complete frame that fails verification raises
+    :class:`IndexCorruptionError` naming ``source``.
+    """
+
+    def bad(detail: str, pos: int) -> IndexCorruptionError:
+        return IndexCorruptionError(
+            f"corrupt WAL record at byte {pos}: {detail}", path=source
+        )
+
+    records: list[dict] = []
+    pos = 0
+    n = len(data)
+    while pos < n:
+        if n - pos < _HEADER_LEN:
+            break  # torn: header bytes ran out
+        header = data[pos:pos + _HEADER_LEN]
+        core, hcrc_hex = header[:16], header[16:24]
+        try:
+            declared_hcrc = int(hcrc_hex, 16)
+        except ValueError as exc:
+            raise bad(f"malformed header checksum {hcrc_hex!r}", pos) from exc
+        if zlib.crc32(core) != declared_hcrc:
+            raise bad("header checksum mismatch", pos)
+        # hcrc matched, so the length/payload-crc fields are as written.
+        pcrc = int(core[:8], 16)
+        plen = int(core[8:16], 16)
+        if n - pos - _HEADER_LEN < plen + 1:
+            break  # torn: payload or terminator ran out
+        payload = data[pos + _HEADER_LEN:pos + _HEADER_LEN + plen]
+        terminator = data[pos + _HEADER_LEN + plen:pos + _HEADER_LEN + plen + 1]
+        if zlib.crc32(payload) != pcrc:
+            raise bad("payload checksum mismatch", pos)
+        if terminator != b"\n":
+            raise bad("missing record terminator", pos)
+        try:
+            record = json.loads(payload)
+        except ValueError as exc:
+            raise bad(f"checksummed payload is not JSON: {exc}", pos) from exc
+        if not isinstance(record, dict):
+            raise bad("record payload is not a JSON object", pos)
+        records.append(record)
+        pos += _HEADER_LEN + plen + 1
+    return records, pos
+
+
+def read_wal(path: pathlib.Path) -> tuple[list[dict], int, int]:
+    """Read ``path``; returns ``(records, valid_length, total_length)``.
+
+    A missing file is an empty log.  Corruption (as opposed to a torn
+    tail) raises :class:`IndexCorruptionError`.
+    """
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return [], 0, 0
+    records, valid = scan_wal(data, source=str(path))
+    return records, valid, len(data)
+
+
+def append_record(
+    path: pathlib.Path,
+    record: dict,
+    inj: StoreFaultInjector | None = None,
+    rel: str = "",
+) -> None:
+    """Durably append one framed record."""
+    fsio.append_frame(path, encode_record(record), inj=inj, rel=rel)
+
+
+def repair_torn_tail(
+    path: pathlib.Path,
+    inj: StoreFaultInjector | None = None,
+    rel: str = "",
+) -> int:
+    """Truncate a torn trailing record, returning bytes removed."""
+    records, valid, total = read_wal(path)
+    del records
+    if valid < total:
+        fsio.truncate_file(path, valid, inj=inj, rel=rel or path.name)
+    return total - valid

@@ -149,6 +149,94 @@ def test_index_with_sentences_enables_samesentence(tmp_path, capsys):
     assert "[1] b" in text and "[0] a" not in text
 
 
+class TestStoreCommands:
+    def test_index_writes_a_store(self, index_dir):
+        from repro.index.store import IndexStore
+
+        assert IndexStore.is_store(index_dir)
+
+    def test_verify_clean_store(self, index_dir, capsys):
+        assert main(["verify", str(index_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "store OK" in out
+        assert "sha256 verified" in out
+
+    def test_verify_corrupt_store_names_the_file(self, index_dir, capsys):
+        target = next(index_dir.glob("gen-*/postings.npz"))
+        data = bytearray(target.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        target.write_bytes(bytes(data))
+        assert main(["verify", str(index_dir)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "postings.npz" in err
+
+    def test_search_corrupt_store_is_a_typed_error(self, index_dir, capsys):
+        (index_dir / "MANIFEST").write_bytes(b"garbage")
+        assert main(["search", str(index_dir), "emulator"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_checkpoint_compacts_wal(self, index_dir, capsys):
+        from repro.api import SearchEngine
+
+        with SearchEngine.open(index_dir) as engine:
+            engine.add("a fresh walled document about emulators")
+        capsys.readouterr()
+        assert main(["checkpoint", str(index_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpointed 4 documents" in out
+        assert (index_dir / "wal.jsonl").stat().st_size == 0
+
+    def test_search_warns_about_pending_wal_documents(self, index_dir, capsys):
+        from repro.api import SearchEngine
+
+        with SearchEngine.open(index_dir) as engine:
+            engine.add("pending wal document")
+        capsys.readouterr()
+        assert main(["search", str(index_dir), "emulator"]) == 0
+        assert "not yet checkpointed" in capsys.readouterr().err
+
+
+class TestLegacyLayoutCli:
+    @pytest.fixture
+    def legacy_dir(self, docs_dir, tmp_path):
+        """A v1 (pre-store) index directory, as old CLI versions wrote."""
+        import json
+
+        from repro.corpus.analyzer import SimpleAnalyzer
+        from repro.index.builder import IndexBuilder
+        from repro.index.io import save_index
+
+        analyzer = SimpleAnalyzer()
+        builder = IndexBuilder()
+        titles = []
+        for doc_id, path in enumerate(sorted(docs_dir.glob("*.txt"))):
+            analyzed = analyzer.analyze(path.read_text())
+            builder.add_document(doc_id, analyzed.tokens,
+                                 analyzed.sentence_starts)
+            titles.append(path.stem)
+        out = save_index(builder.build(), tmp_path / "v1idx")
+        (out / "titles.json").write_text(json.dumps(titles))
+        return out
+
+    def test_search_still_reads_legacy_layout(self, legacy_dir, capsys):
+        assert main(["search", str(legacy_dir), "windows emulator"]) == 0
+        out = capsys.readouterr().out
+        assert "wine" in out
+
+    def test_verify_reports_legacy_layout(self, legacy_dir, capsys):
+        assert main(["verify", str(legacy_dir)]) == 0
+        assert "legacy (v1) index OK" in capsys.readouterr().out
+
+    def test_missing_titles_warns_instead_of_silent(self, legacy_dir, capsys):
+        (legacy_dir / "titles.json").unlink()
+        assert main(["search", str(legacy_dir), "windows emulator"]) == 0
+        captured = capsys.readouterr()
+        assert "warning:" in captured.err and "titles.json" in captured.err
+        # Results still print, with the doc-id fallback title.
+        assert captured.out.strip().startswith("1.")
+        assert "doc2" in captured.out
+
+
 def test_index_without_sentences_uses_fallback(tmp_path, capsys):
     docs = tmp_path / "pdocs"
     docs.mkdir()

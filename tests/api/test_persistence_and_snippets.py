@@ -52,6 +52,33 @@ class TestEngineSaveLoad:
         assert len(results) == len(engine.search("fox")) + 1
 
 
+class TestDurableOpen:
+    """Engine-level surface of the crash-safe store (details in
+    tests/index/test_store.py and test_store_faults.py)."""
+
+    def test_open_add_survives_without_explicit_save(self, tmp_path):
+        with SearchEngine.open(tmp_path / "engine") as engine:
+            engine.add("a wal protected fox", title="walled")
+        restored = SearchEngine.load(tmp_path / "engine")
+        assert [r.title for r in restored.search("fox")] == ["walled"]
+
+    def test_save_then_open_then_checkpoint_round_trip(self, tmp_path):
+        engine = SearchEngine(make_tiny_collection())
+        engine.save(tmp_path / "engine")
+        with SearchEngine.open(tmp_path / "engine") as writer:
+            writer.add("a brand new fox appears")
+            writer.checkpoint()
+        restored = SearchEngine.load(tmp_path / "engine")
+        assert len(restored.search("fox")) == \
+            len(engine.search("fox")) + 1
+
+    def test_store_path_property(self, tmp_path):
+        engine = SearchEngine()
+        assert engine.store_path is None
+        with SearchEngine.open(tmp_path / "engine") as opened:
+            assert opened.store_path == tmp_path / "engine"
+
+
 class TestMatchesAndSnippets:
     @pytest.fixture
     def engine(self):

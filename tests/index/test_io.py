@@ -1,8 +1,9 @@
 """Index persistence round-trip tests."""
 
+import numpy as np
 import pytest
 
-from repro.errors import IndexError_
+from repro.errors import IndexCorruptionError, IndexError_
 from repro.index.builder import build_index
 from repro.index.io import FORMAT_VERSION, load_index, save_index
 
@@ -72,6 +73,63 @@ def test_version_mismatch_raises(saved, tmp_path):
     (path / "meta.json").write_text(json.dumps(meta))
     with pytest.raises(IndexError_):
         load_index(path)
+
+
+class TestCorruptionHardening:
+    """Malformed artifacts surface as IndexCorruptionError naming the
+    file — never as raw JSONDecodeError / BadZipFile / KeyError."""
+
+    def test_malformed_meta_json(self, saved):
+        _, path = saved
+        (path / "meta.json").write_text("{not valid json")
+        with pytest.raises(IndexCorruptionError, match="meta.json"):
+            load_index(path)
+
+    def test_truncated_npz(self, saved):
+        _, path = saved
+        arrays = path / "postings.npz"
+        arrays.write_bytes(arrays.read_bytes()[:40])
+        with pytest.raises(IndexCorruptionError, match="postings.npz"):
+            load_index(path)
+
+    def test_non_zip_npz(self, saved):
+        _, path = saved
+        (path / "postings.npz").write_bytes(b"this is not a zip archive")
+        with pytest.raises(IndexCorruptionError, match="postings.npz"):
+            load_index(path)
+
+    def test_missing_array_key(self, saved):
+        _, path = saved
+        with np.load(path / "postings.npz") as npz:
+            arrays = {k: npz[k] for k in npz.files if k != "doc_bounds"}
+        np.savez_compressed(path / "postings.npz", **arrays)
+        with pytest.raises(IndexCorruptionError, match="doc_bounds"):
+            load_index(path)
+
+    def test_inconsistent_bounds_arrays(self, saved):
+        _, path = saved
+        with np.load(path / "postings.npz") as npz:
+            arrays = {k: npz[k] for k in npz.files}
+        arrays["doc_bounds"] = arrays["doc_bounds"][:-1]
+        np.savez_compressed(path / "postings.npz", **arrays)
+        with pytest.raises(IndexCorruptionError, match="doc_bounds"):
+            load_index(path)
+
+    def test_offset_count_mismatch(self, saved):
+        _, path = saved
+        with np.load(path / "postings.npz") as npz:
+            arrays = {k: npz[k] for k in npz.files}
+        arrays["entry_offset_counts"] = arrays["entry_offset_counts"].copy()
+        arrays["entry_offset_counts"][0] += 1
+        np.savez_compressed(path / "postings.npz", **arrays)
+        with pytest.raises(IndexCorruptionError, match="offsets"):
+            load_index(path)
+
+    def test_corruption_error_is_an_index_error(self, saved):
+        _, path = saved
+        (path / "meta.json").write_text("[]")
+        with pytest.raises(IndexError_):
+            load_index(path)
 
 
 def test_empty_index_round_trips(tmp_path):

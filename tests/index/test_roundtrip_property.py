@@ -1,0 +1,121 @@
+"""Randomized save/load round-trip properties.
+
+For arbitrary corpora — unicode and empty-string terms, empty and
+single-document collections — a reloaded engine must return *identical*
+search results (doc ids and exact float scores) under every registered
+scoring scheme, through both the crash-safe store and the legacy v1
+codec.  Plus deterministic edges: offsets far beyond int32.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import SearchEngine
+from repro.corpus.collection import DocumentCollection
+from repro.index.builder import build_index
+from repro.index.index import Index
+from repro.index.io import load_index, save_index
+from repro.index.postings import PositionPostings
+from repro.index.stats import CollectionStats
+from repro.mcalc.builder import all_of, term
+from repro.sa.registry import available_schemes
+
+# Lowercase so built query terms (which .lower() their keyword) can hit.
+TOKEN_ALPHABET = "abcdéλøß日本語🦊"
+
+tokens = st.text(alphabet=TOKEN_ALPHABET, min_size=0, max_size=6)
+documents = st.lists(tokens, min_size=0, max_size=10)
+corpora = st.lists(documents, min_size=0, max_size=5)
+
+
+def make_engine(corpus: list[list[str]]) -> SearchEngine:
+    collection = DocumentCollection()
+    for i, doc_tokens in enumerate(corpus):
+        collection.add_tokens(doc_tokens, title=f"δoc-{i}")
+    return SearchEngine(collection)
+
+
+def queries_for(corpus: list[list[str]]):
+    vocab = sorted({t for doc in corpus for t in doc if t})
+    picks = vocab[:2] if vocab else ["absent"]
+    built = [term(picks[0]).build()]
+    if len(picks) > 1:
+        built.append(all_of(term(picks[0]), term(picks[1])).build())
+    return built
+
+
+@settings(max_examples=20, deadline=None)
+@given(corpus=corpora)
+def test_store_round_trip_is_result_identical(corpus):
+    tmp = tempfile.mkdtemp(prefix="graft-roundtrip-")
+    try:
+        engine = make_engine(corpus)
+        engine.save(tmp + "/s")
+        restored = SearchEngine.load(tmp + "/s")
+        assert len(restored.collection) == len(corpus)
+        for scheme in available_schemes():
+            for query in queries_for(corpus):
+                before = [(r.doc_id, r.score, r.title)
+                          for r in engine.search(query, scheme=scheme)]
+                after = [(r.doc_id, r.score, r.title)
+                         for r in restored.search(query, scheme=scheme)]
+                assert before == after
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+@settings(max_examples=20, deadline=None)
+@given(corpus=corpora)
+def test_legacy_v1_round_trip_preserves_postings(corpus):
+    tmp = tempfile.mkdtemp(prefix="graft-v1-roundtrip-")
+    try:
+        collection = DocumentCollection()
+        for doc_tokens in corpus:
+            collection.add_tokens(doc_tokens)
+        index = build_index(collection)
+        save_index(index, tmp + "/idx")
+        loaded = load_index(tmp + "/idx")
+        assert set(loaded.terms) == set(index.terms)
+        for t, postings in index.terms.items():
+            assert list(loaded.terms[t].doc_ids) == list(postings.doc_ids)
+            assert loaded.terms[t].offsets == postings.offsets
+        assert list(loaded.stats.doc_lengths) == list(index.stats.doc_lengths)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def test_empty_engine_round_trips_through_store(tmp_path):
+    engine = SearchEngine()
+    engine.save(tmp_path / "s")
+    restored = SearchEngine.load(tmp_path / "s")
+    assert len(restored.collection) == 0
+    assert len(restored.search("anything")) == 0
+
+
+def test_single_document_round_trip(tmp_path):
+    engine = SearchEngine()
+    engine.add("a single lonely document", title="only")
+    engine.save(tmp_path / "s")
+    restored = SearchEngine.load(tmp_path / "s")
+    (result,) = restored.search("lonely")
+    assert (result.doc_id, result.title) == (0, "only")
+
+
+def test_offsets_beyond_int32_round_trip(tmp_path):
+    big = 2 ** 40
+    index = Index(
+        {"far": PositionPostings(np.asarray([0], dtype=np.int64),
+                                 [(big, big + 7)])},
+        CollectionStats(np.asarray([big + 8], dtype=np.int64)),
+        sentence_starts=[()],
+    )
+    save_index(index, tmp_path / "idx")
+    loaded = load_index(tmp_path / "idx")
+    assert loaded.terms["far"].offsets == [(big, big + 7)]
+    assert list(loaded.stats.doc_lengths) == [big + 8]

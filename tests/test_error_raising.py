@@ -89,6 +89,22 @@ def raise_index_error(engine, tmp_path):
     SearchEngine.load(tmp_path / "nowhere")
 
 
+def raise_index_corruption_error(engine, tmp_path):
+    other = SearchEngine()
+    other.add("the quick brown fox")
+    other.save(tmp_path / "store")
+    manifest = tmp_path / "store" / "MANIFEST"
+    data = bytearray(manifest.read_bytes())
+    data[70] ^= 0x01
+    manifest.write_bytes(bytes(data))
+    SearchEngine.load(tmp_path / "store")
+
+
+def raise_store_locked_error(engine, tmp_path):
+    with SearchEngine.open(tmp_path / "locked"):
+        SearchEngine.open(tmp_path / "locked")
+
+
 def raise_resource_exhausted_error(engine):
     engine.search("boom boom", optimize=False, limits=QueryLimits(max_rows=5))
 
@@ -112,8 +128,17 @@ SCENARIOS = {
     errors.ExecutionError: raise_execution_error,
     errors.UnsupportedQueryError: raise_unsupported_query_error,
     errors.IndexError_: raise_index_error,
+    errors.IndexCorruptionError: raise_index_corruption_error,
+    errors.StoreLockedError: raise_store_locked_error,
     errors.ResourceExhaustedError: raise_resource_exhausted_error,
     errors.QueryTimeoutError: raise_query_timeout_error,
+}
+
+#: Scenarios that persist state and therefore need a scratch directory.
+NEEDS_TMP_PATH = {
+    raise_index_error,
+    raise_index_corruption_error,
+    raise_store_locked_error,
 }
 
 
@@ -140,7 +165,7 @@ def test_every_public_error_class_is_exercised():
 def test_error_class_raised_through_public_api(cls, engine, tmp_path):
     scenario = SCENARIOS[cls]
     with pytest.raises(cls) as info:
-        if scenario is raise_index_error:
+        if scenario in NEEDS_TMP_PATH:
             scenario(engine, tmp_path)
         else:
             scenario(engine)
