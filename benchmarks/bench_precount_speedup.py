@@ -19,7 +19,12 @@ from repro.index.builder import build_index
 from repro.mcalc.parser import parse_query
 from repro.sa.registry import get_scheme
 
-from benchmarks.conftest import make_runner, median_seconds, write_artifact
+from benchmarks.conftest import (
+    make_runner,
+    median_seconds,
+    write_artifact,
+    write_bench_json,
+)
 
 #: The speedup ratio is bounded by the mean in-document frequency of the
 #: query's keywords (positions scanned per doc entry skipped).  The
@@ -66,14 +71,21 @@ def test_precount_report(benchmark):
     if set(MEASURED) != set(VARIANTS):
         pytest.skip("measurements missing (run the whole module)")
 
+    from repro.obs.metrics import MetricsRegistry, record_execution_metrics
+
     collection, index = long_doc_fixture()
     query = parse_query(QUERY_TEXT, collection.analyzer)
     scheme = get_scheme("anysum")
     work = {}
+    registry = MetricsRegistry()  # fresh: only this benchmark's work
     for variant, options in VARIANTS.items():
         res = Optimizer(scheme, index, options).optimize(query)
         runtime = make_runtime(index, scheme, res.info)
         execute(res.plan, runtime)
+        record_execution_metrics(runtime.metrics, registry)
+        registry.histogram(
+            "bench_run_seconds", "Per-variant median runtime", labelnames=("variant",)
+        ).labels(variant=variant).observe(MEASURED[variant])
         work[variant] = (
             runtime.metrics.positions_scanned,
             runtime.metrics.doc_entries_scanned,
@@ -99,6 +111,17 @@ def test_precount_report(benchmark):
         ),
     )
     write_artifact("precount_speedup.txt", text)
+    write_bench_json("precount_speedup", {
+        "query": QUERY_TEXT,
+        "scheme": "anysum",
+        "median_ms": {v: MEASURED[v] * 1000 for v in VARIANTS},
+        "speedup": speedup,
+        "work": {
+            v: {"positions_scanned": work[v][0], "doc_entries_scanned": work[v][1]}
+            for v in VARIANTS
+        },
+        "metrics": registry.snapshot(),
+    })
 
     # Shape: pre-counting must eliminate position scanning entirely and
     # deliver a clearly super-unit speedup on this all-frequent-keyword

@@ -11,6 +11,7 @@ Benchmarks regenerate every table and figure of the paper's evaluation
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -58,3 +59,18 @@ def write_artifact(name: str, text: str) -> pathlib.Path:
 
 def median_seconds(benchmark) -> float:
     return benchmark.stats.stats.median
+
+
+def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+    """Write a machine-readable benchmark artifact as ``BENCH_<name>.json``.
+
+    The convention: ``payload`` carries the benchmark's headline numbers
+    plus a metrics-registry snapshot
+    (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`), so perf
+    trajectories can be diffed across commits with one ``jq`` call.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench json written to {path}]")
+    return path

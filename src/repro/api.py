@@ -12,7 +12,8 @@ Example:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 from repro.corpus.analyzer import Analyzer
@@ -28,6 +29,8 @@ if TYPE_CHECKING:
 
     from repro.exec.faults import FaultInjector
     from repro.index.store import IndexStore, StoreFaultInjector, StoreLock
+    from repro.obs.rewrite import RewriteEvent
+    from repro.obs.trace import TraceNode
 from repro.graft.canonical import make_query_info
 from repro.graft.explain import explain as explain_plan
 from repro.graft.optimizer import Optimizer, OptimizerOptions
@@ -59,7 +62,17 @@ class SearchOutcome:
     ``on_limit="partial"`` and the results are the correctly-ranked
     prefix of the documents scored before the trip; the tripped limit is
     recorded in ``metrics.limit_tripped`` and echoed in
-    ``applied_optimizations`` as ``limit:<name>``.
+    ``applied_optimizations`` as ``limit:<name>``.  ``limit_hit`` names
+    that limit machine-readably (``"deadline_ms"``, ``"max_rows"``,
+    ``"max_matches_per_doc"``; None when no limit tripped).
+
+    ``rewrite_log`` is the optimizer's structured trace — one
+    :class:`repro.obs.rewrite.RewriteEvent` per rule considered (empty
+    on the rank-join path and for unoptimized searches).  ``stats`` is
+    the per-operator execution trace tree
+    (:class:`repro.obs.trace.TraceNode`), populated only for
+    ``search(..., profile=True)``; ``wall_ms`` is the traced
+    execution's wall-clock time.
     """
 
     results: list[SearchResult]
@@ -67,6 +80,10 @@ class SearchOutcome:
     metrics: ExecutionMetrics
     plan_text: str = ""
     degraded: bool = False
+    limit_hit: str | None = None
+    rewrite_log: "list[RewriteEvent]" = field(default_factory=list)
+    stats: "TraceNode | None" = None
+    wall_ms: float | None = None
 
     def __iter__(self):
         return iter(self.results)
@@ -158,6 +175,7 @@ class SearchEngine:
         use_rank_join: bool = False,
         limits: QueryLimits | None = None,
         faults: "FaultInjector | None" = None,
+        profile: bool = False,
     ) -> SearchOutcome:
         """Rank the collection for ``query`` under ``scheme``.
 
@@ -178,6 +196,13 @@ class SearchEngine:
                 with ``on_limit="partial"`` the outcome carries the
                 correctly-ranked prefix with ``degraded=True``.
             faults: Deterministic fault injector (robustness testing).
+            profile: Attach the execution tracer: the outcome's
+                ``stats`` carries the per-operator trace tree (with
+                cost-model estimates annotated) and ``wall_ms`` the
+                traced wall time.  Adds per-row timing overhead; off by
+                default.  The rank-join path does not trace (its
+                operators bypass plan compilation) and leaves ``stats``
+                None.
         """
         validate_top_k(top_k)
         query = self._resolve_query(query)
@@ -186,24 +211,77 @@ class SearchEngine:
 
         if use_rank_join and top_k is not None and rank_join_applicable(query, scheme):
             guard = QueryGuard(limits)
+            started = time.perf_counter()
             pairs = rank_topk(query, scheme, self.index, top_k, ctx, guard=guard)
             metrics = ExecutionMetrics(rows_charged=guard.rows_charged)
-            return self._outcome(pairs, ["rank-join-topk"], metrics, "", guard)
+            outcome = self._outcome(pairs, ["rank-join-topk"], metrics, "", guard)
+            self._record_query(
+                scheme.name, outcome, time.perf_counter() - started
+            )
+            return outcome
 
+        tracer = None
+        if profile:
+            from repro.obs.trace import Tracer
+
+            tracer = Tracer()
         optimizer = Optimizer(scheme, self.index, options)
         result = optimizer.optimize(query) if optimize else optimizer.canonical(query)
         runtime = make_runtime(
-            self.index, scheme, result.info, ctx, limits=limits, faults=faults
+            self.index, scheme, result.info, ctx,
+            limits=limits, faults=faults, tracer=tracer,
         )
-        pairs = execute(result.plan, runtime, top_k=top_k)
+        started = time.perf_counter()
+        try:
+            pairs = execute(result.plan, runtime, top_k=top_k)
+        except GraftError:
+            self._record_query(scheme.name, None, time.perf_counter() - started)
+            raise
+        elapsed = time.perf_counter() - started
         runtime.metrics.rows_charged = runtime.guard.rows_charged
-        return self._outcome(
+        outcome = self._outcome(
             pairs,
             list(result.applied),
             runtime.metrics,
             explain_plan(result.plan),
             runtime.guard,
         )
+        outcome.rewrite_log = list(result.rewrites)
+        if tracer is not None and tracer.root is not None:
+            from repro.obs.analyze import annotate_estimates
+
+            annotate_estimates(tracer.root, self.index)
+            outcome.stats = tracer.root
+            outcome.wall_ms = tracer.total_ns / 1e6
+        self._record_query(scheme.name, outcome, elapsed)
+        return outcome
+
+    @staticmethod
+    def _record_query(
+        scheme_name: str, outcome: SearchOutcome | None, seconds: float
+    ) -> None:
+        """Fold one search into the process-wide metrics registry.
+
+        ``outcome`` is None for queries that raised; those count with
+        ``status="error"`` and contribute no work counters.
+        """
+        from repro.obs.metrics import (
+            REGISTRY,
+            query_counters,
+            query_seconds,
+            record_execution_metrics,
+        )
+
+        if outcome is None:
+            status = "error"
+        elif outcome.degraded:
+            status = "degraded"
+        else:
+            status = "ok"
+        query_counters(REGISTRY).labels(scheme=scheme_name, status=status).inc()
+        query_seconds(REGISTRY).child().observe(seconds)
+        if outcome is not None:
+            record_execution_metrics(outcome.metrics, REGISTRY)
 
     def _outcome(
         self,
@@ -223,6 +301,7 @@ class SearchEngine:
             metrics=metrics,
             plan_text=plan_text,
             degraded=degraded,
+            limit_hit=guard.tripped,
         )
 
     def match_table(
@@ -275,14 +354,47 @@ class SearchEngine:
         scheme: str | ScoringScheme = "sumbest",
         optimize: bool = True,
         options: OptimizerOptions | None = None,
+        analyze: bool = False,
+        trace_rules: bool = False,
     ) -> str:
-        """The plan ``search`` would run, as an operator tree."""
+        """The plan ``search`` would run, as a cost-annotated operator tree.
+
+        ``trace_rules`` appends the optimizer's structured rewrite log —
+        every rule considered, with its gate verdict and cost-model
+        estimates bracketing each fired rule.  ``analyze`` actually
+        *executes* the plan (full evaluation, no top-k cutoff) under the
+        execution tracer and appends the EXPLAIN ANALYZE view:
+        per-operator actual doc/row counts and wall time next to the
+        cost model's estimates, misestimates flagged.
+        """
         query = self._resolve_query(query)
         scheme = self._resolve_scheme(scheme)
         optimizer = Optimizer(scheme, self.index, options)
         result = optimizer.optimize(query) if optimize else optimizer.canonical(query)
         header = f"-- scheme: {scheme.name}; rewrites: {', '.join(result.applied) or 'none'}\n"
-        return header + explain_plan(result.plan)
+        sections = [header + explain_plan(result.plan, index=self.index)]
+        if trace_rules:
+            from repro.obs.rewrite import render_rewrite_log
+
+            sections.append(
+                "-- rewrite log\n" + render_rewrite_log(result.rewrites)
+            )
+        if analyze:
+            from repro.obs.analyze import annotate_estimates, render_analyze
+            from repro.obs.trace import Tracer
+
+            tracer = Tracer()
+            runtime = make_runtime(
+                self.index, scheme, result.info, self.scoring_context(),
+                tracer=tracer,
+            )
+            execute(result.plan, runtime)
+            annotate_estimates(tracer.root, self.index)
+            sections.append(
+                "-- analyze\n"
+                + render_analyze(tracer.root, total_ns=tracer.total_ns)
+            )
+        return "\n\n".join(sections)
 
     def matches(
         self,
@@ -539,6 +651,10 @@ class SearchEngine:
         replayed = store.wal_records()
         for record in replayed:
             add_record(collection, record)
+        if replayed:
+            from repro.obs.metrics import wal_replayed
+
+            wal_replayed().child().inc(len(replayed))
         engine = cls(collection)
         # WAL'd documents postdate the checkpointed index; rebuild lazily.
         engine._index = index if not replayed else None

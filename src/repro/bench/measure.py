@@ -22,14 +22,23 @@ def paper_measure(
     fn: Callable[[], object],
     repeats: int = REPEATS,
     kept: int = KEPT_MEDIANS,
+    observe: Callable[[float], object] | None = None,
 ) -> float:
     """Run ``fn`` ``repeats`` times; return the mean of the ``kept``
-    median wall-clock times, in seconds."""
+    median wall-clock times, in seconds.
+
+    ``observe`` receives every repetition's duration (seconds) — pass a
+    metrics-registry histogram's ``observe`` so benchmark timings land
+    in the same families the engine serves (``BENCH_*.json`` exports).
+    """
     times = []
     for _ in range(repeats):
         start = time.perf_counter()
         fn()
-        times.append(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        times.append(elapsed)
+        if observe is not None:
+            observe(elapsed)
     times.sort()
     lo = (repeats - kept) // 2
     middle = times[lo:lo + kept]

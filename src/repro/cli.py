@@ -8,16 +8,25 @@ Usage::
     python -m repro verify INDEX_DIR                 # integrity audit
     python -m repro checkpoint INDEX_DIR             # compact the WAL
     python -m repro schemes                          # list scoring schemes
+    python -m repro metrics [--format json|prom]     # metrics registry
 
 ``index`` builds and persists the inverted index (plus documents and
 titles) as a crash-safe generational store (``docs/STORAGE.md``) from a
 directory of text files, one document per file; ``search`` runs a
 shorthand query against a persisted index under any registered scoring
-scheme; ``explain`` prints the optimized plan instead of executing it;
-``verify`` audits every checksum and structural invariant of a store;
-``checkpoint`` compacts write-ahead-logged documents into a new atomic
-generation.  ``search``/``explain``/``verify`` also accept legacy (v1,
-pre-store) index directories.
+scheme (``--profile`` attaches the execution tracer and prints EXPLAIN
+ANALYZE); ``explain`` prints the cost-annotated optimized plan instead
+of executing it (``--analyze`` executes under the tracer, since actuals
+require running; ``--trace-rules`` appends the optimizer's rewrite
+log); ``verify`` audits every checksum and structural invariant of a
+store; ``checkpoint`` compacts write-ahead-logged documents into a new
+atomic generation; ``metrics`` exports this process's metrics registry.
+``search``/``explain``/``verify`` also accept legacy (v1, pre-store)
+index directories.
+
+``search``/``explain``/``verify`` take ``--json``: exactly one JSON
+object on stdout (schema for the search trace:
+``tests/obs/trace_schema.json``); warnings stay on stderr.
 """
 
 from __future__ import annotations
@@ -84,12 +93,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="tripped limit behavior: fail the query "
                             "(error) or return the ranked prefix computed "
                             "so far (partial)")
+        p.add_argument("--json", action="store_true",
+                       help="emit one JSON object on stdout instead of text")
+        if name == "search":
+            p.add_argument("--profile", action="store_true",
+                           help="trace execution and print EXPLAIN ANALYZE "
+                                "(per-operator actuals vs. estimates)")
+        else:
+            p.add_argument("--analyze", action="store_true",
+                           help="execute the plan under the tracer and show "
+                                "per-operator actuals next to estimates")
+            p.add_argument("--trace-rules", action="store_true",
+                           help="show the optimizer's rewrite log: every "
+                                "rule considered, its verdict, and costs")
 
     p_verify = sub.add_parser(
         "verify",
         help="audit a persisted index: checksums, structure, WAL",
     )
     p_verify.add_argument("index_dir", help="directory written by 'repro index'")
+    p_verify.add_argument("--json", action="store_true",
+                          help="emit the audit report as one JSON object")
 
     p_ckpt = sub.add_parser(
         "checkpoint",
@@ -98,6 +122,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p_ckpt.add_argument("index_dir", help="store directory to checkpoint")
 
     sub.add_parser("schemes", help="list registered scoring schemes")
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="export the process-wide metrics registry",
+    )
+    p_metrics.add_argument(
+        "--format", choices=("json", "prom"), default="json",
+        help="JSON snapshot or Prometheus text exposition format",
+    )
     return parser
 
 
@@ -194,28 +227,111 @@ def _limits_from_args(args: argparse.Namespace) -> QueryLimits | None:
 def _cmd_search(args: argparse.Namespace) -> int:
     index, titles = _load(args)
     scheme, result = _optimize(args, index)
+    tracer = None
+    if args.profile:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
     runtime = make_runtime(index, scheme, result.info,
-                           limits=_limits_from_args(args))
+                           limits=_limits_from_args(args), tracer=tracer)
     ranked = execute(result.plan, runtime, top_k=args.top_k)
-    if runtime.guard.tripped is not None:
-        print(f"note: partial results — {runtime.guard.tripped} limit hit",
+    runtime.metrics.rows_charged = runtime.guard.rows_charged
+    limit_hit = runtime.guard.tripped
+    if limit_hit is not None:
+        print(f"note: partial results — {limit_hit} limit hit",
               file=sys.stderr)
+    if tracer is not None and tracer.root is not None:
+        from repro.obs.analyze import annotate_estimates
+
+        annotate_estimates(tracer.root, index)
+
+    def title_of(doc: int) -> str:
+        return titles[doc] if doc < len(titles) else f"doc{doc}"
+
+    if args.json:
+        payload = {
+            "query": args.query,
+            "scheme": scheme.name,
+            "results": [
+                {"rank": rank, "doc_id": doc, "score": score,
+                 "title": title_of(doc)}
+                for rank, (doc, score) in enumerate(ranked, start=1)
+            ],
+            "applied_optimizations": list(result.applied),
+            "degraded": limit_hit is not None,
+            "limit_hit": limit_hit,
+            "metrics": runtime.metrics.as_dict(),
+            "trace": (
+                tracer.root.to_dict()
+                if tracer is not None and tracer.root is not None else None
+            ),
+            "wall_ms": (
+                tracer.total_ns / 1e6 if tracer is not None else None
+            ),
+        }
+        print(json.dumps(payload))
+        return 0
     if not ranked:
         print("no matches")
-        return 0
     for rank, (doc, score) in enumerate(ranked, start=1):
-        title = titles[doc] if doc < len(titles) else f"doc{doc}"
-        print(f"{rank:3}. {score:10.4f}  [{doc}] {title}")
+        print(f"{rank:3}. {score:10.4f}  [{doc}] {title_of(doc)}")
+    if tracer is not None and tracer.root is not None:
+        from repro.obs.analyze import render_analyze
+
+        print()
+        print(render_analyze(tracer.root, total_ns=tracer.total_ns))
     return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     index, _ = _load(args)
     scheme, result = _optimize(args, index)
+    analyze_root = None
+    total_ns = None
+    if args.analyze:
+        from repro.obs.analyze import annotate_estimates
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        runtime = make_runtime(index, scheme, result.info,
+                               limits=_limits_from_args(args), tracer=tracer)
+        execute(result.plan, runtime)
+        annotate_estimates(tracer.root, index)
+        analyze_root = tracer.root
+        total_ns = tracer.total_ns
+    if args.json:
+        payload = {
+            "query": args.query,
+            "scheme": scheme.name,
+            "applied_optimizations": list(result.applied),
+            "plan": explain_plan(result.plan),
+            "rewrite_log": (
+                [event.to_dict() for event in result.rewrites]
+                if args.trace_rules else None
+            ),
+            "trace": (
+                analyze_root.to_dict() if analyze_root is not None else None
+            ),
+            "wall_ms": total_ns / 1e6 if total_ns is not None else None,
+        }
+        print(json.dumps(payload))
+        return 0
     rewrites = ", ".join(result.applied) or "none"
     print(f"scheme: {scheme.name}")
     print(f"rewrites: {rewrites}")
-    print(explain_plan(result.plan))
+    print(explain_plan(result.plan, index=index))
+    if args.trace_rules:
+        from repro.obs.rewrite import render_rewrite_log
+
+        print()
+        print("rewrite log:")
+        print(render_rewrite_log(result.rewrites))
+    if analyze_root is not None:
+        from repro.obs.analyze import render_analyze
+
+        print()
+        print("analyze:")
+        print(render_analyze(analyze_root, total_ns=total_ns))
     return 0
 
 
@@ -225,6 +341,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     index_dir = pathlib.Path(args.index_dir)
     if IndexStore.is_store(index_dir):
         report = IndexStore.open(index_dir).verify()
+        if report["wal_torn_bytes"]:
+            _warn("torn WAL tail present (interrupted append); it will "
+                  "be truncated on the next writer open")
+        if args.json:
+            print(json.dumps({"ok": True, "format": "store", **report}))
+            return 0
         print(f"store OK: generation {report['generation']}, "
               f"{report['doc_count']} documents")
         for name, size in sorted(report["files"].items()):
@@ -232,13 +354,14 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(f"  WAL: {report['wal_records']} records "
               f"({report['wal_pending']} pending checkpoint, "
               f"{report['wal_torn_bytes']} torn bytes)")
-        if report["wal_torn_bytes"]:
-            _warn("torn WAL tail present (interrupted append); it will "
-                  "be truncated on the next writer open")
         return 0
     # Legacy v1 layout: no checksums to audit, but a full decode still
     # proves structural integrity.
     load_index(index_dir)
+    if args.json:
+        print(json.dumps({"ok": True, "format": "legacy-v1",
+                          "path": str(index_dir)}))
+        return 0
     print(f"legacy (v1) index OK under {index_dir} — no checksums; "
           f"re-save to upgrade to the crash-safe store format")
     return 0
@@ -268,6 +391,16 @@ def _cmd_schemes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import REGISTRY
+
+    if args.format == "prom":
+        sys.stdout.write(REGISTRY.to_prometheus_text())
+    else:
+        print(REGISTRY.to_json())
+    return 0
+
+
 _COMMANDS = {
     "index": _cmd_index,
     "search": _cmd_search,
@@ -275,6 +408,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "checkpoint": _cmd_checkpoint,
     "schemes": _cmd_schemes,
+    "metrics": _cmd_metrics,
 }
 
 

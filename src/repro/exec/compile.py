@@ -56,11 +56,28 @@ def compile_plan(node: PlanNode, runtime: Runtime) -> PhysicalOp:
     When the runtime carries a :class:`repro.exec.faults.FaultInjector`,
     every compiled operator is passed through it, planting any matching
     deterministic faults; without one, operators compile unwrapped.
+
+    When the runtime carries a :class:`repro.obs.trace.Tracer`, every
+    operator is additionally wrapped in a recording
+    :class:`repro.obs.trace.TracedOp`, and the tracer's enter/exit stack
+    mirrors this compilation recursion into a trace tree shaped like the
+    logical plan (fused operators trace as one node).  Without a tracer,
+    compilation produces the exact untraced tree.
     """
-    op = _compile_node(node, runtime)
+    tracer = runtime.tracer
+    if tracer is None:
+        op = _compile_node(node, runtime)
+        if runtime.faults is not None:
+            op = runtime.faults.wrap(op)
+        return op
+    trace_node = tracer.enter(node)
+    try:
+        op = _compile_node(node, runtime)
+    finally:
+        tracer.exit(trace_node)
     if runtime.faults is not None:
         op = runtime.faults.wrap(op)
-    return op
+    return tracer.wrap(op, trace_node)
 
 
 def compile_op(plan: PlanNode, runtime: Runtime) -> PhysicalOp:

@@ -27,6 +27,7 @@ from repro.sa.scheme import ScoringScheme
 
 if TYPE_CHECKING:
     from repro.exec.faults import FaultInjector
+    from repro.obs.trace import Tracer
 
 
 def make_runtime(
@@ -36,11 +37,14 @@ def make_runtime(
     ctx: ScoringContext | None = None,
     limits: QueryLimits | None = None,
     faults: "FaultInjector | None" = None,
+    tracer: "Tracer | None" = None,
 ) -> Runtime:
     """Assemble the shared execution state for one plan run.
 
     ``limits`` installs a resource guard over the run; ``faults``
-    attaches a deterministic fault injector (testing only).
+    attaches a deterministic fault injector (testing only); ``tracer``
+    attaches the per-operator execution tracer
+    (:mod:`repro.obs.trace`) behind EXPLAIN ANALYZE and profiling.
     """
     if ctx is None:
         ctx = IndexScoringContext(index)
@@ -51,6 +55,7 @@ def make_runtime(
         info=info,
         guard=QueryGuard(limits),
         faults=faults,
+        tracer=tracer,
     )
 
 
@@ -108,12 +113,18 @@ def execute(
     """
     validate_top_k(top_k)
     results: list[tuple[int, float]] = []
+    tracer = runtime.tracer
+    if tracer is not None:
+        tracer.begin()
     try:
         for pair in execute_streaming(plan, runtime):
             results.append(pair)
     except ResourceExhaustedError:
         if runtime.guard.on_limit != "partial":
             raise
+    finally:
+        if tracer is not None:
+            tracer.finish()
     results.sort(key=lambda r: (-r[1], r[0]))
     if top_k is not None:
         return results[:top_k]

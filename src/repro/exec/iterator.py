@@ -27,6 +27,7 @@ from repro.sa.scheme import ScoringScheme
 
 if TYPE_CHECKING:
     from repro.exec.faults import FaultInjector
+    from repro.obs.trace import Tracer
 
 #: A doc group: (doc_id, iterator of rows).
 DocGroup = tuple[int, Iterator[tuple]]
@@ -86,12 +87,25 @@ class ExecutionMetrics:
             self.positions_by_keyword.get(keyword, 0) + n
         )
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (the CLI's ``--json`` outputs embed it)."""
+        return {
+            "positions_scanned": self.positions_scanned,
+            "doc_entries_scanned": self.doc_entries_scanned,
+            "positions_by_keyword": dict(self.positions_by_keyword),
+            "rows_grouped": self.rows_grouped,
+            "rows_joined": self.rows_joined,
+            "rows_charged": self.rows_charged,
+            "limit_tripped": self.limit_tripped,
+        }
+
 
 @dataclass
 class Runtime:
     """Shared execution state: the index, the scoring context, the scheme,
     the query info, work counters, the resource guard, and (optionally)
-    a fault injector for robustness testing."""
+    a fault injector for robustness testing and an execution tracer for
+    per-operator profiling (:mod:`repro.obs.trace`)."""
 
     index: Index
     ctx: ScoringContext
@@ -100,6 +114,7 @@ class Runtime:
     metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
     guard: QueryGuard = field(default_factory=QueryGuard)
     faults: "FaultInjector | None" = None
+    tracer: "Tracer | None" = None
 
 
 class PhysicalOp:

@@ -103,6 +103,7 @@ class QueryGuard:
         "active",
         "rows_charged",
         "tripped",
+        "deadline_checks",
         "_clock",
         "_deadline",
         "_max_rows",
@@ -122,6 +123,9 @@ class QueryGuard:
         self.rows_charged = 0
         #: Name of the limit that tripped (``None`` while within budget).
         self.tripped: str | None = None
+        #: Wall-clock consultations (profiling: how often the governor
+        #: actually looked at the clock; see ``search --profile``).
+        self.deadline_checks = 0
         self._clock = clock
         self._max_rows = self.limits.max_rows
         self._doc_cap = self.limits.max_matches_per_doc
@@ -194,7 +198,10 @@ class QueryGuard:
 
     def check_deadline(self) -> None:
         """Consult the wall clock; trips when past the deadline."""
-        if self._deadline is not None and self._clock() > self._deadline:
+        if self._deadline is None:
+            return
+        self.deadline_checks += 1
+        if self._clock() > self._deadline:
             self._trip(
                 "deadline_ms",
                 QueryTimeoutError(

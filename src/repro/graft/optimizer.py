@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro.graft.canonical import QueryInfo, canonical_plan, make_query_info
 from repro.graft.plan import CombinePhi, Finalize, GroupScore, ScoreInit
 from repro.graft.rules import (
+    RULE_SUMMARIES,
     apply_alternate_elimination,
     apply_eager_aggregation,
     apply_eager_counting,
@@ -34,11 +35,12 @@ from repro.graft.rules import (
     apply_sort_elimination,
     countable_vars,
 )
-from repro.graft.validity import optimization_allowed
+from repro.graft.validity import optimization_allowed, requirement_text
 from repro.index.index import Index
 from repro.ma.nodes import PlanNode, Sort
 from repro.ma.translate import matching_subplan
 from repro.mcalc.ast import Query
+from repro.obs.rewrite import RewriteEvent
 from repro.sa.scheme import ScoringScheme
 
 
@@ -66,11 +68,20 @@ class OptimizerOptions:
 
 @dataclass
 class OptimizedResult:
-    """An optimized plan plus its provenance."""
+    """An optimized plan plus its provenance.
+
+    ``applied`` is the flat list of fired rule names (kept for
+    benchmarks and reports); ``rewrites`` is the structured log — one
+    :class:`repro.obs.rewrite.RewriteEvent` per rule the optimizer
+    *considered*, including rules the validity matrix or the options
+    gated off, with cost-model estimates bracketing each fired rule
+    when the optimizer holds an index.
+    """
 
     plan: PlanNode
     info: QueryInfo
     applied: list[str] = field(default_factory=list)
+    rewrites: list[RewriteEvent] = field(default_factory=list)
 
 
 class Optimizer:
@@ -93,54 +104,123 @@ class Optimizer:
 
     # -- pipeline ------------------------------------------------------------
 
+    def _estimated_cost(self, plan: PlanNode) -> float | None:
+        """Cost-model estimate for the rewrite log; None without an index
+        (or for plan shapes the model does not cover)."""
+        if self.index is None:
+            return None
+        try:
+            from repro.graft.cost import estimate
+
+            return estimate(plan, self.index).cost
+        except Exception:
+            return None
+
     def optimize(self, query: Query) -> OptimizedResult:
         """Produce an optimized, score-consistent plan for ``query``."""
         opts = self.options
         scheme = self.scheme
         info = make_query_info(query, scheme)
         applied: list[str] = []
+        rewrites: list[RewriteEvent] = []
+
+        def skip(name: str, verdict: str, *, allowed: bool) -> None:
+            rewrites.append(
+                RewriteEvent(rule=name, allowed=allowed, applied=False, verdict=verdict)
+            )
+
+        def gate(name: str, enabled: bool) -> bool:
+            """Record the event for a rule that will not run; True = run it."""
+            if not enabled:
+                skip(name, "disabled", allowed=self._allowed(name))
+                return False
+            if not self._allowed(name):
+                skip(name, requirement_text(name), allowed=False)
+                return False
+            return True
+
+        def fire(
+            name: str, before: PlanNode, after: PlanNode, note: str = ""
+        ) -> None:
+            summary = RULE_SUMMARIES[name](before, after)
+            if note:
+                summary = f"{summary}; {note}" if summary else note
+            rewrites.append(
+                RewriteEvent(
+                    rule=name,
+                    allowed=True,
+                    applied=True,
+                    verdict="allowed",
+                    summary=summary,
+                    cost_before=self._estimated_cost(before),
+                    cost_after=self._estimated_cost(after),
+                )
+            )
 
         matching = matching_subplan(query)
 
-        if opts.selection_pushing and self._allowed("selection-pushing"):
+        if gate("selection-pushing", opts.selection_pushing):
+            before = matching
             matching = apply_selection_pushing(matching)
             applied.append("selection-pushing")
+            fire("selection-pushing", before, matching)
 
-        if (
-            opts.join_reordering
-            and self.index is not None
-            and self._allowed("join-reordering")
-        ):
-            matching = apply_join_reordering(
-                matching, self.index, cost_based=opts.cost_based_join_order
-            )
-            applied.append(
-                "join-reordering(cost)" if opts.cost_based_join_order
-                else "join-reordering"
-            )
+        if gate("join-reordering", opts.join_reordering):
+            if self.index is None:
+                skip("join-reordering", "no index statistics", allowed=True)
+            else:
+                before = matching
+                matching = apply_join_reordering(
+                    matching, self.index, cost_based=opts.cost_based_join_order
+                )
+                applied.append(
+                    "join-reordering(cost)" if opts.cost_based_join_order
+                    else "join-reordering"
+                )
+                fire(
+                    "join-reordering",
+                    before,
+                    matching,
+                    "cost-based" if opts.cost_based_join_order else "rarest-first",
+                )
 
         counting_applied = False
-        if opts.eager_counting and countable_vars(info, scheme):
+        if not opts.eager_counting:
+            skip("eager-counting", "disabled", allowed=True)
+        elif not countable_vars(info, scheme):
             # Table 1 leaves eager counting unrestricted; the position
             # forgetting that precedes it is the per-column non-positional
             # check inside countable_vars.
+            skip(
+                "eager-counting",
+                "no countable variables (every column positional for this query)",
+                allowed=True,
+            )
+        else:
+            before = matching
             matching = apply_eager_counting(matching, info, scheme)
             applied.append("eager-counting")
             counting_applied = True
+            fire("eager-counting", before, matching)
 
-        if (
-            counting_applied
-            and opts.pre_counting
-            and self._allowed("pre-counting")
-        ):
-            matching = apply_pre_counting(matching, info, scheme)
-            applied.append("pre-counting")
+        if gate("pre-counting", opts.pre_counting):
+            if not counting_applied:
+                skip("pre-counting", "eager counting did not fire", allowed=True)
+            else:
+                before = matching
+                matching = apply_pre_counting(matching, info, scheme)
+                applied.append("pre-counting")
+                fire("pre-counting", before, matching)
 
-        if opts.forward_scan and self._allowed("forward-scan-join"):
+        if gate("forward-scan-join", opts.forward_scan):
             forward = apply_forward_scan_joins(matching)
             if forward is not matching or _has_forward(forward):
+                before = matching
                 matching = forward
                 applied.append("forward-scan-join")
+                fire("forward-scan-join", before, matching)
+            else:
+                skip("forward-scan-join", "matched no joins", allowed=True)
 
         use_eager_agg = (
             opts.eager_aggregation
@@ -152,28 +232,51 @@ class Optimizer:
             plan = apply_eager_aggregation(matching, info)
             applied.append("eager-aggregation")
             applied.append("sort-elimination")
-            return OptimizedResult(plan, info, applied)
+            fire("eager-aggregation", matching, plan)
+            fire("sort-elimination", matching, plan, "subsumed by eager aggregation")
+            skip(
+                "alternate-elimination",
+                "nothing to eliminate: eager aggregation already avoids "
+                "materializing alternates",
+                allowed=self._allowed("alternate-elimination"),
+            )
+            return OptimizedResult(plan, info, applied, rewrites)
+        if opts.eager_aggregation and self._allowed("eager-aggregation"):
+            skip(
+                "eager-aggregation",
+                "constant scheme: eager counting always performs better",
+                allowed=True,
+            )
+        else:
+            gate("eager-aggregation", opts.eager_aggregation)
 
         sort_eliminated = False
-        if opts.sort_elimination and self._allowed("sort-elimination"):
+        if gate("sort-elimination", opts.sort_elimination):
+            before = matching
             matching = apply_sort_elimination(matching)
             applied.append("sort-elimination")
             sort_eliminated = True
-        elif not _has_sort(matching):
+            fire("sort-elimination", before, matching)
+        if not sort_eliminated and not _has_sort(matching):
             # The canonical sort must survive for non-commutative schemes.
             matching = Sort(matching, query.free_vars)
 
         plan = self._attach_canonical_scoring(matching, info)
 
-        if (
-            opts.alternate_elimination
-            and self._allowed("alternate-elimination")
-            and sort_eliminated
-        ):
-            plan = apply_alternate_elimination(plan)
-            applied.append("alternate-elimination")
+        if gate("alternate-elimination", opts.alternate_elimination):
+            if not sort_eliminated:
+                skip(
+                    "alternate-elimination",
+                    "canonical sort retained (alternates meet in table order)",
+                    allowed=True,
+                )
+            else:
+                before = plan
+                plan = apply_alternate_elimination(plan)
+                applied.append("alternate-elimination")
+                fire("alternate-elimination", before, plan)
 
-        return OptimizedResult(plan, info, applied)
+        return OptimizedResult(plan, info, applied, rewrites)
 
     def canonical(self, query: Query) -> OptimizedResult:
         """The unoptimized canonical score-isolated plan."""

@@ -3,8 +3,23 @@
 Every rule takes a plan (plus query/scheme context where needed) and
 returns a rewritten plan; the optimizer consults the Table-1 validity
 matrix (:mod:`repro.graft.validity`) before invoking any rule.
+
+Each module also carries observability metadata — a ``RULE_NAME``
+matching its Table-1 row and a ``rule_summary(before, after)``
+describing what the rewrite did to a specific plan — collected here in
+:data:`RULE_SUMMARIES` for the optimizer's structured rewrite log
+(:mod:`repro.obs.rewrite`).
 """
 
+from repro.graft.rules import (
+    alt_elim,
+    counting,
+    eager_agg,
+    forward_scan,
+    join_reorder,
+    selection_push,
+    sort_elim,
+)
 from repro.graft.rules.alt_elim import apply_alternate_elimination
 from repro.graft.rules.counting import (
     apply_eager_counting,
@@ -17,6 +32,18 @@ from repro.graft.rules.join_reorder import apply_join_reordering
 from repro.graft.rules.selection_push import apply_selection_pushing
 from repro.graft.rules.sort_elim import apply_sort_elimination
 
+#: Rule name -> ``summary(before, after)`` for the optimizer rewrite log.
+RULE_SUMMARIES = {
+    selection_push.RULE_NAME: selection_push.rule_summary,
+    sort_elim.RULE_NAME: sort_elim.rule_summary,
+    join_reorder.RULE_NAME: join_reorder.rule_summary,
+    counting.RULE_NAME_EAGER: counting.eager_counting_summary,
+    counting.RULE_NAME_PRE: counting.pre_counting_summary,
+    eager_agg.RULE_NAME: eager_agg.rule_summary,
+    alt_elim.RULE_NAME: alt_elim.rule_summary,
+    forward_scan.RULE_NAME: forward_scan.rule_summary,
+}
+
 __all__ = [
     "apply_selection_pushing",
     "apply_sort_elimination",
@@ -27,4 +54,5 @@ __all__ = [
     "apply_eager_aggregation",
     "apply_forward_scan_joins",
     "apply_join_reordering",
+    "RULE_SUMMARIES",
 ]

@@ -48,3 +48,18 @@ def apply_alternate_elimination(plan: PlanNode) -> PlanNode:
         return node
 
     return map_plan(plan, rewrite)
+
+
+#: Rewrite-log identity of this module's rule (Table 1 row name).
+RULE_NAME = "alternate-elimination"
+
+
+def rule_summary(before, after) -> str:
+    from repro.graft.rules.base import count_nodes
+
+    deltas = count_nodes(after, AlternateElim)
+    replaced = count_nodes(before, GroupScore) - count_nodes(after, GroupScore)
+    if not deltas:
+        return "no alternate aggregations to eliminate"
+    return (f"replaced {replaced} group-by(s) with {deltas} "
+            f"first-match delta(s)")

@@ -26,3 +26,9 @@ def plans_equal(a: PlanNode, b: PlanNode) -> bool:
     from repro.graft.explain import explain
 
     return explain(a) == explain(b)
+
+
+def count_nodes(plan: PlanNode, *types: type) -> int:
+    """How many nodes of the given types the plan contains (rewrite-log
+    summaries report their rules' effect as before/after node counts)."""
+    return sum(1 for node in plan.walk() if isinstance(node, types))

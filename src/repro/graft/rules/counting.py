@@ -72,3 +72,25 @@ def apply_pre_counting(plan: PlanNode, info: QueryInfo, scheme: ScoringScheme) -
         return node
 
     return map_plan(plan, rewrite)
+
+
+#: Rewrite-log identities of this module's two chained rules.
+RULE_NAME_EAGER = "eager-counting"
+RULE_NAME_PRE = "pre-counting"
+
+
+def eager_counting_summary(before: PlanNode, after: PlanNode) -> str:
+    from repro.graft.rules.base import count_nodes
+
+    groups = count_nodes(after, GroupCount) - count_nodes(before, GroupCount)
+    return (f"forgot positions and counted rows under {groups} "
+            f"group-count(s)" if groups > 0
+            else "no countable free keywords")
+
+
+def pre_counting_summary(before: PlanNode, after: PlanNode) -> str:
+    from repro.graft.rules.base import count_nodes
+
+    swapped = count_nodes(after, PreCountAtom) - count_nodes(before, PreCountAtom)
+    return (f"swapped {swapped} position scan(s) for term-document scans"
+            if swapped > 0 else "no counted scans to swap")

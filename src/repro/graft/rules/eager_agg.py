@@ -143,3 +143,17 @@ def _ensure_aggregated(node: PlanNode) -> PlanNode:
     if raw:
         node = ScoreInit(node, raw, scale_by_count=True)
     return GroupScore(node, counts_incorporated=True)
+
+
+#: Rewrite-log identity of this module's rule (Table 1 row name).
+RULE_NAME = "eager-aggregation"
+
+
+def rule_summary(before: PlanNode, after: PlanNode) -> str:
+    from repro.graft.rules.base import count_nodes
+
+    pushed = count_nodes(after, GroupScore)
+    joins = count_nodes(after, Join, Union)
+    return (f"pushed {pushed} partial aggregation(s) below "
+            f"{joins} join/union operator(s)" if pushed
+            else "nothing to aggregate eagerly")

@@ -35,3 +35,16 @@ def apply_forward_scan_joins(plan: PlanNode) -> PlanNode:
         return node
 
     return map_plan(plan, rewrite)
+
+
+#: Rewrite-log identity of this module's rule (Table 1 row name).
+RULE_NAME = "forward-scan-join"
+
+
+def rule_summary(before: PlanNode, after: PlanNode) -> str:
+    forward = sum(
+        1 for n in after.walk()
+        if isinstance(n, Join) and n.algorithm == "forward"
+    )
+    return (f"converted {forward} join(s) to single-pass forward scans"
+            if forward else "no joins qualify for forward scanning")

@@ -83,3 +83,21 @@ def _flatten(node: PlanNode) -> list[PlanNode]:
     if isinstance(node, Join) and not node.predicates:
         return _flatten(node.left) + _flatten(node.right)
     return [node]
+
+
+#: Rewrite-log identity of this module's rule (Table 1 row name).
+RULE_NAME = "join-reordering"
+
+
+def _leaf_keywords(plan: PlanNode) -> list[str]:
+    return [
+        n.keyword for n in plan.walk()
+        if isinstance(n, (Atom, PreCountAtom))
+    ]
+
+
+def rule_summary(before: PlanNode, after: PlanNode) -> str:
+    was, now = _leaf_keywords(before), _leaf_keywords(after)
+    if was == now:
+        return "join order already optimal"
+    return f"reordered leaf scans: {', '.join(was)} -> {', '.join(now)}"

@@ -82,3 +82,23 @@ def _push(node: PlanNode, pred: Pred) -> PlanNode:
         f"cannot place predicate {pred}: variables {sorted(needed)} not "
         f"available below {node.label()}"
     )
+
+
+#: Rewrite-log identity of this module's rule (Table 1 row name).
+RULE_NAME = "selection-pushing"
+
+
+def rule_summary(before: PlanNode, after: PlanNode) -> str:
+    """One line for the optimizer's rewrite log: where selections went."""
+    from repro.graft.rules.base import count_nodes
+
+    dissolved = count_nodes(before, Select) - count_nodes(after, Select)
+    join_preds = sum(
+        len(n.predicates) for n in after.walk() if isinstance(n, Join)
+    )
+    parts = []
+    if dissolved:
+        parts.append(f"{dissolved} selection(s) pushed")
+    if join_preds:
+        parts.append(f"{join_preds} predicate(s) now evaluate inside joins")
+    return "; ".join(parts) or "no selections to push"

@@ -22,3 +22,15 @@ def apply_sort_elimination(plan: PlanNode) -> PlanNode:
         return node
 
     return map_plan(plan, rewrite)
+
+
+#: Rewrite-log identity of this module's rule (Table 1 row name).
+RULE_NAME = "sort-elimination"
+
+
+def rule_summary(before: PlanNode, after: PlanNode) -> str:
+    from repro.graft.rules.base import count_nodes
+
+    removed = count_nodes(before, Sort) - count_nodes(after, Sort)
+    return f"removed {removed} sort operator(s)" if removed \
+        else "no sort operators to remove"

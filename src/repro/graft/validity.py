@@ -117,6 +117,26 @@ def require_allowed(name: str, props: SchemeProperties) -> None:
         )
 
 
+def requirement_text(name: str) -> str:
+    """The Table-1 requirement for an optimization, as one phrase.
+
+    Used verbatim as the rewrite-log verdict when the validity gate
+    rejects a rule, so EXPLAIN output cites the same requirement the
+    paper's table does.
+    """
+    spec = _BY_NAME.get(name)
+    if spec is None:
+        raise OptimizationError(
+            f"unknown optimization {name!r}; known: {sorted(_BY_NAME)}"
+        )
+    parts = []
+    if spec.operator_requirement:
+        parts.append(f"requires {spec.operator_requirement}")
+    if spec.direction_requirement:
+        parts.append(f"direction {spec.direction_requirement}")
+    return "; ".join(parts) if parts else "unrestricted"
+
+
 def allowed_optimizations(props: SchemeProperties) -> list[str]:
     """All optimizations valid for a scheme — one column of Table 3."""
     return [spec.name for spec in OPTIMIZATIONS if spec.check(props)]

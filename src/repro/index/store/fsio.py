@@ -20,11 +20,17 @@ import pathlib
 import shutil
 
 from repro.index.store.faults import StoreFaultInjector
+from repro.obs.metrics import store_fsyncs
 
 
 def _hit(inj: StoreFaultInjector | None, point: str) -> None:
     if inj is not None:
         inj.hit(point)
+
+
+def _fsync_file(fd: int) -> None:
+    os.fsync(fd)
+    store_fsyncs().labels(kind="file").inc()
 
 
 def write_file(
@@ -40,7 +46,7 @@ def write_file(
         out.write(data)
         out.flush()
         _hit(inj, f"before:fsync:{rel}")
-        os.fsync(out.fileno())
+        _fsync_file(out.fileno())
     _hit(inj, f"after:write:{rel}")
 
 
@@ -64,12 +70,12 @@ def append_frame(
             if prefix is not None:
                 out.write(prefix)
                 out.flush()
-                os.fsync(out.fileno())
+                _fsync_file(out.fileno())
                 inj.crash(f"mid:append:{rel}")
         out.write(data)
         out.flush()
         _hit(inj, f"before:fsync:{rel}")
-        os.fsync(out.fileno())
+        _fsync_file(out.fileno())
     _hit(inj, f"after:append:{rel}")
 
 
@@ -85,7 +91,7 @@ def truncate_file(
     with open(path, "r+b") as out:
         out.truncate(length)
         out.flush()
-        os.fsync(out.fileno())
+        _fsync_file(out.fileno())
     _hit(inj, f"after:truncate:{rel}")
 
 
@@ -115,6 +121,7 @@ def fsync_dir(
         os.fsync(fd)
     finally:
         os.close(fd)
+    store_fsyncs().labels(kind="dir").inc()
     _hit(inj, f"after:fsyncdir:{rel}")
 
 

@@ -58,6 +58,19 @@ from repro.index.store.manifest import (
     encode_manifest,
     sha256_hex,
 )
+from repro.obs.metrics import (
+    checkpoint_seconds,
+    corruption_detected,
+    store_checkpoints,
+)
+
+
+def _corruption(*args, **kwargs) -> IndexCorruptionError:
+    """Count the detection, then build the error (every corruption the
+    store finds passes through here so the metrics registry sees it)."""
+    corruption_detected().child().inc()
+    return IndexCorruptionError(*args, **kwargs)
+
 
 GEN_PREFIX = "gen-"
 WAL_NAME = "wal.jsonl"
@@ -131,18 +144,18 @@ class IndexStore:
         file_path = self.generation_dir / name
         entry = manifest.files.get(name)
         if entry is None:
-            raise IndexCorruptionError(
+            raise _corruption(
                 "file is not listed in the manifest", path=str(file_path)
             )
         try:
             data = file_path.read_bytes()
         except FileNotFoundError:
-            raise IndexCorruptionError(
+            raise _corruption(
                 "generation file named by the manifest is missing",
                 path=str(file_path),
             ) from None
         if sha256_hex(data) != entry["sha256"]:
-            raise IndexCorruptionError(
+            raise _corruption(
                 "checksum mismatch (expected sha256 "
                 f"{entry['sha256'][:12]}..., file has "
                 f"{sha256_hex(data)[:12]}...)",
@@ -191,7 +204,7 @@ class IndexStore:
         expected = manifest.doc_count
         for record in live:
             if record.get("seq") != expected:
-                raise IndexCorruptionError(
+                raise _corruption(
                     f"WAL sequence gap: expected seq {expected}, found "
                     f"{record.get('seq')!r}",
                     path=str(self.wal_path),
@@ -221,6 +234,12 @@ class IndexStore:
         previous state stays loadable until the manifest rename, the new
         one after it.
         """
+        with checkpoint_seconds().child().time():
+            gen = self._checkpoint(files, doc_count)
+        store_checkpoints().child().inc()
+        return gen
+
+    def _checkpoint(self, files: dict[str, bytes], doc_count: int) -> str:
         inj = self.faults
         current = self.manifest.generation_number if self.manifest else 0
         gen = f"{GEN_PREFIX}{current + 1:06d}"
@@ -299,7 +318,7 @@ class IndexStore:
         blobs = self.read_all_verified()
         for name, data in blobs.items():
             if len(data) != manifest.files[name].get("size", len(data)):
-                raise IndexCorruptionError(
+                raise _corruption(
                     "size mismatch against manifest",
                     path=str(self.generation_dir / name),
                 )

@@ -45,6 +45,7 @@ import zlib
 from repro.errors import IndexCorruptionError
 from repro.index.store import fsio
 from repro.index.store.faults import StoreFaultInjector
+from repro.obs.metrics import corruption_detected, wal_appends
 
 _HEADER_LEN = 24
 
@@ -68,6 +69,7 @@ def scan_wal(data: bytes, source: str) -> tuple[list[dict], int]:
     """
 
     def bad(detail: str, pos: int) -> IndexCorruptionError:
+        corruption_detected().child().inc()
         return IndexCorruptionError(
             f"corrupt WAL record at byte {pos}: {detail}", path=source
         )
@@ -130,6 +132,7 @@ def append_record(
 ) -> None:
     """Durably append one framed record."""
     fsio.append_frame(path, encode_record(record), inj=inj, rel=rel)
+    wal_appends().child().inc()
 
 
 def repair_torn_tail(

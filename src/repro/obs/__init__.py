@@ -1,0 +1,84 @@
+"""Query observability: execution traces, optimizer traces, and metrics.
+
+Three integrated layers (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.trace` — per-operator runtime statistics assembled
+  into a trace tree mirroring the plan (``SearchOutcome.stats``,
+  ``repro explain --analyze``, ``repro search --profile``);
+* :mod:`repro.obs.rewrite` — the optimizer's structured rewrite log
+  (``SearchOutcome.rewrite_log``, ``repro explain --trace-rules``);
+* :mod:`repro.obs.metrics` — a dependency-free process-wide metrics
+  registry with JSON and Prometheus-text export (``repro metrics``).
+
+:mod:`repro.obs.analyze` renders the EXPLAIN ANALYZE view (actuals next
+to cost-model estimates, misestimates flagged) and
+:mod:`repro.obs.schema` validates emitted JSON against the checked-in
+observability contract.
+"""
+
+# Submodules are imported lazily: the optimizer imports
+# repro.obs.rewrite while repro.obs.trace imports the exec layer, and an
+# eager package import would close that loop into a cycle.
+_EXPORTS = {
+    "MISESTIMATE_RATIO": "analyze",
+    "annotate_estimates": "analyze",
+    "misestimate_ratio": "analyze",
+    "render_analyze": "analyze",
+    "trace_totals": "analyze",
+    "REGISTRY": "metrics",
+    "Counter": "metrics",
+    "Gauge": "metrics",
+    "Histogram": "metrics",
+    "MetricFamily": "metrics",
+    "MetricsRegistry": "metrics",
+    "record_execution_metrics": "metrics",
+    "RewriteEvent": "rewrite",
+    "render_rewrite_log": "rewrite",
+    "SchemaError": "schema",
+    "is_valid": "schema",
+    "validate": "schema",
+    "OpStats": "trace",
+    "TracedOp": "trace",
+    "TraceNode": "trace",
+    "Tracer": "trace",
+}
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(f"repro.obs.{module}"), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = [
+    "OpStats",
+    "TraceNode",
+    "TracedOp",
+    "Tracer",
+    "RewriteEvent",
+    "render_rewrite_log",
+    "render_analyze",
+    "annotate_estimates",
+    "misestimate_ratio",
+    "trace_totals",
+    "MISESTIMATE_RATIO",
+    "MetricsRegistry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "REGISTRY",
+    "record_execution_metrics",
+    "SchemaError",
+    "validate",
+    "is_valid",
+]

@@ -1,0 +1,441 @@
+"""A dependency-free process-wide metrics registry.
+
+A serving engine needs counters and latency histograms that outlive any
+single query: how many queries ran (and how many degraded), how long
+checkpoints take, how often the WAL fsyncs, whether corruption has ever
+been detected.  This module supplies the registry those families live in
+— plain Python, no client library — with two export formats:
+
+* :meth:`MetricsRegistry.snapshot` — a JSON-ready dict (the CLI's
+  ``repro metrics --format json`` and the ``--json`` outputs embed it);
+* :meth:`MetricsRegistry.to_prometheus_text` — the Prometheus text
+  exposition format (version 0.0.4), scrape-ready.
+
+Metric model
+------------
+A *family* has a name, a kind (``counter``/``gauge``/``histogram``), a
+help string, and a tuple of label names.  Each distinct label-value
+combination materializes one *child* (:class:`Counter`, :class:`Gauge`
+or :class:`Histogram`) on first use::
+
+    REGISTRY.counter("graft_queries_total", "Queries executed",
+                     labelnames=("scheme", "status"))
+    REGISTRY.get("graft_queries_total").labels(
+        scheme="sumbest", status="ok").inc()
+
+Families are idempotent: re-declaring one with the same kind and labels
+returns the existing family, so every instrumentation site can declare
+what it needs without import-order coupling.  Instrumented hot paths pay
+one dict lookup and one float add per event.
+
+``REGISTRY`` is the process-wide default.  Tests that need isolation
+construct their own :class:`MetricsRegistry` or call
+:meth:`MetricsRegistry.reset`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from typing import Iterator
+
+from repro.errors import GraftError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets (seconds): spans sub-millisecond operator
+#: timings up to multi-second checkpoint/compaction durations.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise GraftError(f"counters only go up; inc({amount}) rejected")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``counts[i]`` tallies observations ``<= buckets[i]``; the implicit
+    ``+Inf`` bucket is ``count``.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+
+    def time(self) -> "_HistogramTimer":
+        """Context manager observing the elapsed wall time in seconds."""
+        return _HistogramTimer(self)
+
+
+class _HistogramTimer:
+    __slots__ = ("_hist", "_start")
+
+    def __init__(self, hist: Histogram):
+        self._hist = hist
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._hist.observe(time.perf_counter() - self._start)
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named family: fixed labels, lazily materialized children."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        if not _NAME_RE.match(name):
+            raise GraftError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise GraftError(f"invalid label name {label!r} on {name}")
+        if kind not in _KINDS:
+            raise GraftError(
+                f"unknown metric kind {kind!r}; known: {sorted(_KINDS)}"
+            )
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._buckets = tuple(buckets)
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def labels(self, **labelvalues: str):
+        """The child for one label-value combination (created on first use)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise GraftError(
+                f"{self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[k]) for k in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            if self.kind == "histogram":
+                child = Histogram(self._buckets)
+            else:
+                child = _KINDS[self.kind]()
+            self._children[key] = child
+        return child
+
+    def child(self):
+        """The unlabeled child (families declared with no labels)."""
+        return self.labels()
+
+    def samples(self) -> Iterator[tuple[tuple[str, ...], object]]:
+        yield from sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """A named collection of metric families."""
+
+    def __init__(self):
+        self._families: dict[str, MetricFamily] = {}
+
+    # -- declaration -------------------------------------------------------
+
+    def _declare(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind or family.labelnames != tuple(labelnames):
+                raise GraftError(
+                    f"metric {name} already registered as {family.kind} "
+                    f"with labels {family.labelnames}; cannot re-register "
+                    f"as {kind} with labels {tuple(labelnames)}"
+                )
+            return family
+        family = MetricFamily(name, kind, help, tuple(labelnames), buckets)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> MetricFamily:
+        return self._declare(name, "counter", help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> MetricFamily:
+        return self._declare(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        return self._declare(name, "histogram", help, labelnames, buckets)
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, name: str) -> MetricFamily:
+        try:
+            return self._families[name]
+        except KeyError:
+            raise GraftError(f"no metric family named {name!r}") from None
+
+    def families(self) -> list[MetricFamily]:
+        return [self._families[k] for k in sorted(self._families)]
+
+    def reset(self) -> None:
+        """Drop every family (test isolation)."""
+        self._families.clear()
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-ready dump of every family and child."""
+        out: dict = {}
+        for family in self.families():
+            samples = []
+            for key, child in family.samples():
+                labels = dict(zip(family.labelnames, key))
+                if isinstance(child, Histogram):
+                    samples.append({
+                        "labels": labels,
+                        "count": child.count,
+                        "sum": child.sum,
+                        "buckets": {
+                            str(bound): n
+                            for bound, n in zip(child.buckets, child.counts)
+                        },
+                    })
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            out[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+        return out
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition format (0.0.4)."""
+        lines: list[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key, child in family.samples():
+                labels = dict(zip(family.labelnames, key))
+                if isinstance(child, Histogram):
+                    cumulative = 0
+                    for bound, n in zip(child.buckets, child.counts):
+                        cumulative = n
+                        bucket_labels = dict(labels, le=_format_value(bound))
+                        lines.append(
+                            f"{family.name}_bucket{_labelset(bucket_labels)} "
+                            f"{cumulative}"
+                        )
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_labelset(dict(labels, le='+Inf'))} {child.count}"
+                    )
+                    lines.append(
+                        f"{family.name}_sum{_labelset(labels)} "
+                        f"{_format_value(child.sum)}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_labelset(labels)} {child.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{family.name}{_labelset(labels)} "
+                        f"{_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _labelset(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+#: The process-wide default registry: engine, store, and CLI
+#: instrumentation all record here unless handed another registry.
+REGISTRY = MetricsRegistry()
+
+
+# -- standard families ------------------------------------------------------
+#
+# Declared lazily by the helpers below so importing this module stays
+# side-effect free; every instrumentation site goes through one of them.
+
+
+def query_counters(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_queries_total",
+        "Queries executed, by scoring scheme and outcome status",
+        labelnames=("scheme", "status"),
+    )
+
+
+def query_seconds(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.histogram(
+        "graft_query_seconds", "End-to-end query latency (seconds)"
+    )
+
+
+def record_execution_metrics(metrics, registry: MetricsRegistry = REGISTRY) -> None:
+    """Fold one query's :class:`repro.exec.iterator.ExecutionMetrics`
+    into the registry's cumulative work counters.
+
+    Benchmarks call this too, so ``BENCH_*.json`` trajectories come from
+    the same counter families the engine serves.
+    """
+    registry.counter(
+        "graft_positions_scanned_total",
+        "Term positions scanned by leaf operators",
+    ).child().inc(metrics.positions_scanned)
+    registry.counter(
+        "graft_doc_entries_scanned_total",
+        "Term-document entries scanned by pre-count leaves",
+    ).child().inc(metrics.doc_entries_scanned)
+    registry.counter(
+        "graft_rows_joined_total", "Join combinations emitted"
+    ).child().inc(metrics.rows_joined)
+    registry.counter(
+        "graft_rows_grouped_total", "Rows folded by grouping operators"
+    ).child().inc(metrics.rows_grouped)
+    registry.counter(
+        "graft_rows_charged_total",
+        "Rows charged against query resource budgets",
+    ).child().inc(metrics.rows_charged)
+    if metrics.limit_tripped is not None:
+        registry.counter(
+            "graft_limits_tripped_total",
+            "Resource-limit trips, by limit name",
+            labelnames=("limit",),
+        ).labels(limit=metrics.limit_tripped).inc()
+
+
+# -- store-level families --------------------------------------------------
+#
+# The durable store (repro.index.store) records its I/O through these
+# families; declared here so the metric names live in one place.
+
+def store_fsyncs(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_store_fsyncs_total",
+        "fsync calls issued by the durable store, by target kind",
+        labelnames=("kind",),
+    )
+
+
+def wal_appends(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_wal_appends_total",
+        "Records durably appended to the write-ahead log",
+    )
+
+
+def wal_replayed(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_wal_replayed_records_total",
+        "WAL records replayed into a collection at load/open time",
+    )
+
+
+def store_checkpoints(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_store_checkpoints_total",
+        "Store generations checkpointed",
+    )
+
+
+def checkpoint_seconds(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.histogram(
+        "graft_store_checkpoint_seconds",
+        "Wall time of atomic checkpoint installation (seconds)",
+    )
+
+
+def corruption_detected(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_store_corruption_detected_total",
+        "Checksum or structural corruption detections during store reads",
+    )

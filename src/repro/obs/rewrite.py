@@ -1,0 +1,71 @@
+"""Structured optimizer tracing: which rules fired, and why (not).
+
+The optimizer (:mod:`repro.graft.optimizer`) emits one
+:class:`RewriteEvent` per rule it *considers* — fired, rejected by the
+Table-1 validity matrix, disabled by options, or matched nothing — so a
+plan's provenance is machine-readable instead of a bare list of applied
+names.  Cost-model estimates (:mod:`repro.graft.cost`) bracket each
+event when an index is available, which is what lets a perf PR check
+"this rewrite was predicted to help and did".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RewriteEvent:
+    """One optimizer decision about one rewrite rule.
+
+    Attributes:
+        rule: Rule name as listed in Table 1 / ``applied_optimizations``.
+        allowed: Verdict of the validity gate for the active scheme.
+        applied: Whether the rule actually changed (or confirmed) the
+            plan; a rule can be allowed yet match nothing.
+        verdict: Human-readable gate explanation — the Table-1
+            requirement when rejected, ``"allowed"`` when passed,
+            ``"disabled"`` when the options toggled it off.
+        summary: What the rule did to the plan (rule-specific, from the
+            rule module's ``rule_summary``); empty when not applied.
+        cost_before: Estimated plan cost before the rule (None without
+            an index).
+        cost_after: Estimated plan cost after the rule (None without an
+            index; equals ``cost_before`` when nothing changed).
+    """
+
+    rule: str
+    allowed: bool
+    applied: bool
+    verdict: str = ""
+    summary: str = ""
+    cost_before: float | None = None
+    cost_after: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "allowed": self.allowed,
+            "applied": self.applied,
+            "verdict": self.verdict,
+            "summary": self.summary,
+            "cost_before": self.cost_before,
+            "cost_after": self.cost_after,
+        }
+
+
+def render_rewrite_log(events: list[RewriteEvent]) -> str:
+    """Align a rewrite log for terminal display, one rule per line."""
+    if not events:
+        return "(no rewrite rules considered)"
+    name_w = max(len(e.rule) for e in events)
+    lines = []
+    for e in events:
+        status = "fired" if e.applied else ("allowed" if e.allowed else "gated")
+        cost = ""
+        if e.cost_before is not None and e.cost_after is not None:
+            cost = f"  cost {e.cost_before:.0f} -> {e.cost_after:.0f}"
+        detail = e.summary if e.applied else e.verdict
+        detail = f"  ({detail})" if detail else ""
+        lines.append(f"{e.rule.ljust(name_w)}  [{status}]{cost}{detail}")
+    return "\n".join(lines)

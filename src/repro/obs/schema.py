@@ -1,0 +1,115 @@
+"""A minimal JSON-Schema-subset validator (dependency-free).
+
+The observability contract — the shape of ``search --profile --json``
+output — is pinned by a checked-in schema
+(``tests/obs/trace_schema.json``) that CI validates on every push.  The
+container has no ``jsonschema`` package, so this module implements the
+small subset the contract needs:
+
+``type`` (incl. lists), ``properties``, ``required``,
+``additionalProperties`` (boolean form), ``items``, ``enum``,
+``minimum``, and ``$ref`` into ``#/$defs/...`` (which is what makes the
+recursive trace-tree schema expressible).
+
+Validation errors carry a JSON-pointer-style path to the offending
+value, so a contract drift names the exact field that moved.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraftError
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(GraftError):
+    """A JSON document does not conform to its schema."""
+
+
+def _type_ok(value, name: str) -> bool:
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    expected = _TYPES.get(name)
+    if expected is None:
+        raise SchemaError(f"unknown schema type {name!r}")
+    if expected is bool:
+        return isinstance(value, bool)
+    if expected is dict or expected is list or expected is type(None):
+        return isinstance(value, expected)
+    # str: bool is not a str, no special-casing needed.
+    return isinstance(value, expected)
+
+
+def _resolve_ref(ref: str, root: dict) -> dict:
+    if not ref.startswith("#/"):
+        raise SchemaError(f"only intra-document $refs supported, got {ref!r}")
+    node = root
+    for part in ref[2:].split("/"):
+        if not isinstance(node, dict) or part not in node:
+            raise SchemaError(f"unresolvable $ref {ref!r}")
+        node = node[part]
+    return node
+
+
+def validate(instance, schema: dict, root: dict | None = None, path: str = "$") -> None:
+    """Raise :class:`SchemaError` when ``instance`` violates ``schema``."""
+    if root is None:
+        root = schema
+    if "$ref" in schema:
+        validate(instance, _resolve_ref(schema["$ref"], root), root, path)
+        return
+
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        if not any(_type_ok(instance, n) for n in names):
+            raise SchemaError(
+                f"{path}: expected type {declared}, "
+                f"got {type(instance).__name__}"
+            )
+
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaError(
+            f"{path}: {instance!r} not one of {schema['enum']!r}"
+        )
+
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool):
+        if instance < schema["minimum"]:
+            raise SchemaError(
+                f"{path}: {instance!r} below minimum {schema['minimum']}"
+            )
+
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                raise SchemaError(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        for name, value in instance.items():
+            sub = properties.get(name)
+            if sub is not None:
+                validate(value, sub, root, f"{path}.{name}")
+            elif schema.get("additionalProperties") is False:
+                raise SchemaError(f"{path}: unexpected property {name!r}")
+
+    if isinstance(instance, list):
+        items = schema.get("items")
+        if items is not None:
+            for i, value in enumerate(instance):
+                validate(value, items, root, f"{path}[{i}]")
+
+
+def is_valid(instance, schema: dict) -> bool:
+    try:
+        validate(instance, schema)
+    except SchemaError:
+        return False
+    return True

@@ -1,0 +1,77 @@
+"""The checked-in observability contract: ``repro search --profile
+--json`` output must validate against ``tests/obs/trace_schema.json``.
+
+CI runs this module explicitly; the schema file is the stable interface
+downstream dashboards parse, so changing the payload shape means
+changing the schema here in the same commit."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.obs.schema import SchemaError, validate
+
+SCHEMA_PATH = pathlib.Path(__file__).with_name("trace_schema.json")
+
+DOCS = {
+    "first": "alpha beta alpha gamma",
+    "second": "beta gamma delta",
+    "third": "alpha gamma epsilon beta alpha",
+    "fourth": "delta epsilon",
+    "fifth": "alpha beta beta",
+}
+
+
+@pytest.fixture(scope="module")
+def index_dir(tmp_path_factory):
+    base = tmp_path_factory.mktemp("cli_contract")
+    docs = base / "docs"
+    docs.mkdir()
+    for name, text in DOCS.items():
+        (docs / f"{name}.txt").write_text(text)
+    idx = base / "idx"
+    assert main(["index", str(docs), str(idx)]) == 0
+    return str(idx)
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return json.loads(SCHEMA_PATH.read_text())
+
+
+def profile_json(capsys, index_dir, query, *extra):
+    assert main(
+        ["search", index_dir, query, "--profile", "--json", *extra]
+    ) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+@pytest.mark.parametrize(
+    "query", ["alpha", "alpha beta", "alpha or delta", "alpha and not beta"]
+)
+def test_profile_output_matches_schema(index_dir, schema, capsys, query):
+    payload = profile_json(capsys, index_dir, query)
+    validate(payload, schema)  # raises SchemaError on contract drift
+
+
+def test_degraded_profile_output_matches_schema(index_dir, schema, capsys):
+    payload = profile_json(
+        capsys, index_dir, "alpha beta",
+        "--max-rows", "1", "--on-limit", "partial",
+    )
+    validate(payload, schema)
+    assert payload["limit_hit"] == "max_rows"
+
+
+def test_schema_rejects_shape_drift(index_dir, schema, capsys):
+    """The validator actually bites: a drifted payload must fail."""
+    payload = profile_json(capsys, index_dir, "alpha beta")
+    payload["unexpected_field"] = 1
+    with pytest.raises(SchemaError):
+        validate(payload, schema)
+    del payload["unexpected_field"]
+    del payload["trace"]["rows_out"]
+    with pytest.raises(SchemaError):
+        validate(payload, schema)

@@ -1,0 +1,152 @@
+"""Metrics registry: counter/histogram semantics, export formats, and the
+engine- and store-level recording hooks."""
+
+import json
+
+import pytest
+
+from repro.api import SearchEngine
+from repro.errors import GraftError
+from repro.exec.iterator import ExecutionMetrics
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    record_execution_metrics,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def test_counter_increments_and_rejects_negative(registry):
+    fam = registry.counter("t_total", "help")
+    fam.child().inc()
+    fam.child().inc(4)
+    assert fam.child().value == 5
+    with pytest.raises(GraftError):
+        fam.child().inc(-1)
+
+
+def test_labeled_children_are_independent(registry):
+    fam = registry.counter("t_total", "help", labelnames=("kind",))
+    fam.labels(kind="a").inc()
+    fam.labels(kind="b").inc(2)
+    assert fam.labels(kind="a").value == 1
+    assert fam.labels(kind="b").value == 2
+
+
+def test_redeclaration_idempotent_but_kind_mismatch_raises(registry):
+    registry.counter("t_total", "help")
+    registry.counter("t_total", "help")  # same declaration: fine
+    with pytest.raises(GraftError):
+        registry.histogram("t_total", "help")
+    with pytest.raises(GraftError):
+        registry.counter("t_total", "help", labelnames=("x",))
+
+
+def test_invalid_metric_name_rejected(registry):
+    with pytest.raises(GraftError):
+        registry.counter("0bad-name", "help")
+
+
+def test_histogram_buckets_cumulative(registry):
+    fam = registry.histogram("t_seconds", "help", buckets=(0.1, 1.0, 10.0))
+    h = fam.child()
+    for v in (0.05, 0.5, 5.0, 50.0):
+        h.observe(v)
+    sample = registry.snapshot()["t_seconds"]["samples"][0]
+    assert sample["count"] == 4
+    assert sample["buckets"]["0.1"] == 1
+    assert sample["buckets"]["1.0"] == 2
+    assert sample["buckets"]["10.0"] == 3  # cumulative; 50.0 only in +Inf
+    assert sample["sum"] == pytest.approx(55.55)
+
+
+def test_histogram_time_context_manager(registry):
+    fam = registry.histogram("t_seconds", "help")
+    with fam.child().time():
+        pass
+    assert registry.snapshot()["t_seconds"]["samples"][0]["count"] == 1
+
+
+def test_snapshot_roundtrips_through_json(registry):
+    registry.counter("t_total", "help", labelnames=("k",)).labels(k="x").inc()
+    registry.histogram("t_seconds", "help").child().observe(0.2)
+    decoded = json.loads(registry.to_json())
+    assert decoded["t_total"]["kind"] == "counter"
+    assert decoded["t_seconds"]["kind"] == "histogram"
+
+
+def test_prometheus_text_format(registry):
+    registry.counter(
+        "t_total", "things counted", labelnames=("kind",)
+    ).labels(kind="a").inc(3)
+    registry.histogram("t_seconds", "latency", buckets=(1.0,)).child().observe(0.5)
+    text = registry.to_prometheus_text()
+    assert "# HELP t_total things counted" in text
+    assert "# TYPE t_total counter" in text
+    assert 't_total{kind="a"} 3' in text
+    assert '# TYPE t_seconds histogram' in text
+    assert 't_seconds_bucket{le="1"} 1' in text
+    assert 't_seconds_bucket{le="+Inf"} 1' in text
+    assert "t_seconds_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_reset_clears_values_not_declarations(registry):
+    fam = registry.counter("t_total", "help")
+    fam.child().inc(7)
+    registry.reset()
+    assert registry.counter("t_total", "help").child().value == 0
+
+
+def test_record_execution_metrics_folds_counters(registry):
+    m = ExecutionMetrics(
+        positions_scanned=10, doc_entries_scanned=4, rows_joined=3,
+        rows_grouped=2, rows_charged=9, limit_tripped="max_rows",
+    )
+    record_execution_metrics(m, registry)
+    snap = registry.snapshot()
+    assert snap["graft_positions_scanned_total"]["samples"][0]["value"] == 10
+    assert snap["graft_limits_tripped_total"]["samples"][0]["labels"] == {
+        "limit": "max_rows"
+    }
+
+
+def test_search_records_process_metrics():
+    eng = SearchEngine()
+    eng.add_many(["alpha beta", "beta gamma", "alpha"])
+    before = _query_count("sumbest", "ok")
+    eng.search("alpha beta")
+    assert _query_count("sumbest", "ok") == before + 1
+
+
+def _query_count(scheme: str, status: str) -> float:
+    try:
+        fam = REGISTRY.get("graft_queries_total")
+    except GraftError:
+        return 0.0
+    for key, child in fam.samples():
+        if dict(zip(fam.labelnames, key)) == {"scheme": scheme, "status": status}:
+            return child.value
+    return 0.0
+
+
+def test_store_operations_record_metrics(tmp_path):
+    base_appends = _counter_value("graft_wal_appends_total")
+    base_ckpts = _counter_value("graft_store_checkpoints_total")
+    with SearchEngine.open(tmp_path / "store") as eng:
+        eng.add("alpha beta gamma")
+        eng.checkpoint()
+    assert _counter_value("graft_wal_appends_total") == base_appends + 1
+    assert _counter_value("graft_store_checkpoints_total") >= base_ckpts + 1
+
+
+def _counter_value(name: str) -> float:
+    try:
+        fam = REGISTRY.get(name)
+    except GraftError:
+        return 0.0
+    return sum(child.value for _, child in fam.samples())

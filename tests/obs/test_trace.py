@@ -1,0 +1,167 @@
+"""Trace-tree correctness: the recorded counters must agree with what
+execution actually produced, operator by operator."""
+
+import json
+
+import pytest
+
+from repro.api import SearchEngine
+from repro.exec.engine import execute, make_runtime
+from repro.exec.limits import QueryLimits
+from repro.graft.optimizer import Optimizer, OptimizerOptions
+from repro.obs.analyze import (
+    annotate_estimates,
+    misestimate_ratio,
+    render_analyze,
+    trace_totals,
+)
+from repro.obs.trace import Tracer
+from repro.sa.registry import get_scheme
+
+DOCS = [
+    "alpha beta alpha gamma",
+    "beta gamma delta",
+    "alpha gamma epsilon beta alpha",
+    "delta epsilon",
+    "alpha beta beta",
+]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    eng = SearchEngine()
+    eng.add_many(DOCS)
+    return eng
+
+
+def run_traced(engine, text, scheme_name="sumbest", options=None, limits=None):
+    scheme = get_scheme(scheme_name)
+    query = engine.parse(text)
+    result = Optimizer(scheme, engine.index, options).optimize(query)
+    tracer = Tracer()
+    runtime = make_runtime(
+        engine.index, scheme, result.info, limits=limits, tracer=tracer
+    )
+    pairs = execute(result.plan, runtime)
+    return pairs, tracer, result
+
+
+def test_trace_mirrors_plan_shape(engine):
+    _, tracer, result = run_traced(engine, "alpha beta")
+    plan_labels = [node.label() for node in result.plan.walk()]
+    trace_labels = [node.label for node in tracer.root.walk()]
+    assert trace_labels == plan_labels
+    assert all(node.op_name for node in tracer.root.walk())
+
+
+def test_root_rows_equal_results(engine):
+    for text in ("alpha", "alpha beta", "alpha or delta", "alpha and not beta"):
+        pairs, tracer, _ = run_traced(engine, text)
+        root = tracer.root
+        assert root.stats.rows_out == len(pairs)
+        assert root.stats.docs_out == len({doc for doc, _ in pairs})
+
+
+def test_untraced_and_traced_results_identical(engine):
+    out_plain = engine.search("alpha beta", scheme="sumbest")
+    out_traced = engine.search("alpha beta", scheme="sumbest", profile=True)
+    assert [(r.doc_id, r.score) for r in out_plain] == [
+        (r.doc_id, r.score) for r in out_traced
+    ]
+    assert out_plain.stats is None
+    assert out_traced.stats is not None
+    assert out_traced.wall_ms is not None and out_traced.wall_ms >= 0
+
+
+def test_parent_rows_in_consistency(engine):
+    """Every interior node's input equals what its children emitted."""
+    _, tracer, _ = run_traced(engine, "alpha or beta")
+    for node in tracer.root.walk():
+        if node.children:
+            assert node.rows_in == sum(c.stats.rows_out for c in node.children)
+
+
+def test_times_are_monotone_and_nonnegative(engine):
+    _, tracer, _ = run_traced(engine, "alpha beta gamma")
+    for node in tracer.root.walk():
+        assert node.stats.time_ns >= 0
+        assert node.self_time_ns >= 0
+    assert tracer.total_ns > 0
+
+
+def test_trace_totals_consistent_with_analyze(engine):
+    pairs, tracer, _ = run_traced(engine, "alpha beta")
+    annotate_estimates(tracer.root, engine.index)
+    totals = trace_totals(tracer.root)
+    assert totals["rows_out_root"] == len(pairs)
+    assert totals["operators"] == sum(1 for _ in tracer.root.walk())
+    assert not totals["tripped"]
+    text = render_analyze(tracer.root, total_ns=tracer.total_ns)
+    lines = text.splitlines()
+    # Width-stable layout: every operator line's estimate column aligns.
+    positions = {line.index("[est") for line in lines if "[est" in line}
+    assert len(positions) == 1
+    assert lines[-1].startswith("total: ")
+    assert f"rows={len(pairs)}" in lines[0]
+
+
+def test_estimates_annotated_and_ratio_defined(engine):
+    _, tracer, _ = run_traced(engine, "alpha beta")
+    annotate_estimates(tracer.root, engine.index)
+    annotated = [n for n in tracer.root.walk() if n.estimate is not None]
+    assert annotated, "cost model priced no node"
+    for node in annotated:
+        assert set(node.estimate) == {"docs", "rows", "cost"}
+        ratio = misestimate_ratio(node)
+        assert ratio is None or ratio >= 0
+
+
+def test_trace_serializes_to_json(engine):
+    _, tracer, _ = run_traced(engine, "alpha beta")
+    annotate_estimates(tracer.root, engine.index)
+    payload = tracer.root.to_dict()
+    decoded = json.loads(json.dumps(payload))
+    assert decoded["label"] == tracer.root.label
+    assert decoded["rows_out"] == tracer.root.stats.rows_out
+    assert isinstance(decoded["children"], list)
+
+
+def test_tripped_operator_flagged(engine):
+    limits = QueryLimits(max_rows=1, on_limit="partial")
+    _, tracer, _ = run_traced(engine, "alpha beta", limits=limits)
+    assert any(n.stats.tripped for n in tracer.root.walk())
+    totals = trace_totals(tracer.root)
+    assert totals["tripped"]
+
+
+def test_canonical_plan_traces_every_operator(engine):
+    """The unoptimized plan has the deepest tree; tracing must cover it."""
+    scheme = get_scheme("sumbest")
+    query = engine.parse("alpha beta")
+    result = Optimizer(scheme, engine.index).canonical(query)
+    tracer = Tracer()
+    runtime = make_runtime(engine.index, scheme, result.info, tracer=tracer)
+    pairs = execute(result.plan, runtime)
+    assert tracer.root.stats.rows_out == len(pairs)
+    assert [n.label for n in tracer.root.walk()] == [
+        n.label() for n in result.plan.walk()
+    ]
+
+
+def test_fused_scan_traces_as_single_node(engine):
+    """The eager-aggregation leaf fusion compiles three logical nodes into
+    one physical scan; the trace keeps the logical shape."""
+    scheme = get_scheme("sumbest")
+    query = engine.parse("alpha")
+    result = Optimizer(scheme, engine.index).optimize(query)
+    tracer = Tracer()
+    runtime = make_runtime(engine.index, scheme, result.info, tracer=tracer)
+    execute(result.plan, runtime)
+    fused = [
+        n for n in tracer.root.walk() if n.op_name == "ScoredPreCountScanOp"
+    ]
+    if fused:  # fusion applies when the plan bottoms out in GroupScore(ScoreInit(CA))
+        for node in fused:
+            assert not node.children or all(
+                c.stats.calls == 0 for c in node.children
+            )
