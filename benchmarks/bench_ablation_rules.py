@@ -12,7 +12,12 @@ from repro.bench.measure import reduction_percent
 from repro.bench.reporting import render_table
 from repro.graft.optimizer import OptimizerOptions
 
-from benchmarks.conftest import make_runner, median_seconds, write_artifact
+from benchmarks.conftest import (
+    make_runner,
+    median_seconds,
+    record_rows,
+    write_artifact,
+)
 
 #: (scheme, query) pairs covering the three optimizer paths: constant
 #: (delta + pre-count), eager-aggregation, and row-first canonical.
@@ -48,6 +53,7 @@ def test_ablation_measure(case, toggle, fx, benchmark):
         fx, fx.queries[query_name], scheme_name, _options(toggle)
     )
     benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    record_rows(benchmark, run)
     MEASURED[(case, toggle)] = median_seconds(benchmark)
 
 

@@ -23,7 +23,12 @@ from repro.graft.optimizer import OptimizerOptions
 from repro.index.builder import build_index
 from repro.mcalc.parser import parse_query
 
-from benchmarks.conftest import make_runner, median_seconds, write_artifact
+from benchmarks.conftest import (
+    make_runner,
+    median_seconds,
+    record_rows,
+    write_artifact,
+)
 
 SIZES = (500, 1000, 2000, 4000)
 MEASURED: dict[tuple[str, int], float] = {}
@@ -83,6 +88,7 @@ def test_scaling_measure(klass, num_docs, benchmark):
         options = PPRED_OPTIONS
     run = make_runner(fx, query, "anysum", options)
     benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    record_rows(benchmark, run)
     MEASURED[(klass, num_docs)] = median_seconds(benchmark)
 
 

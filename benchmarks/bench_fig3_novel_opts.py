@@ -15,7 +15,12 @@ from repro.bench.reporting import render_bars
 from repro.bench.workload import PAPER_QUERIES
 from repro.graft.optimizer import OptimizerOptions
 
-from benchmarks.conftest import make_runner, median_seconds, write_artifact
+from benchmarks.conftest import (
+    make_runner,
+    median_seconds,
+    record_rows,
+    write_artifact,
+)
 
 QUERIES = sorted(PAPER_QUERIES, key=lambda name: int(name[1:]))
 
@@ -42,6 +47,7 @@ MEASURED: dict[tuple[str, str], float] = {}
 def test_fig3_measure(query, variant, fx, benchmark):
     run = make_runner(fx, fx.queries[query], "anysum", VARIANTS[variant])
     benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    record_rows(benchmark, run)
     MEASURED[(query, variant)] = median_seconds(benchmark)
 
 

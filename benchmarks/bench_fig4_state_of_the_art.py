@@ -17,7 +17,12 @@ from repro.baselines import LuceneLikeEngine, TerrierLikeEngine
 from repro.bench.reporting import render_bars
 from repro.bench.workload import PAPER_QUERIES, RIGID_SUPPORTED
 
-from benchmarks.conftest import make_runner, median_seconds, write_artifact
+from benchmarks.conftest import (
+    make_runner,
+    median_seconds,
+    record_rows,
+    write_artifact,
+)
 
 QUERIES = sorted(PAPER_QUERIES, key=lambda name: int(name[1:]))
 MEASURED: dict[tuple[str, str], float] = {}
@@ -50,6 +55,7 @@ def test_fig4_measure(query, system, fx, benchmark):
         pytest.skip("Lucene and Terrier do not support the WINDOW predicate")
     run = _runner(fx, query, system)
     benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    record_rows(benchmark, run)
     MEASURED[(query, system)] = median_seconds(benchmark)
 
 

@@ -63,6 +63,7 @@ def test_precount_measure(variant, benchmark):
     query = parse_query(QUERY_TEXT, collection.analyzer)
     run = make_runner(env, query, "anysum", VARIANTS[variant])
     benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["rows"] = getattr(run, "rows", None)
     MEASURED[variant] = median_seconds(benchmark)
 
 
@@ -77,11 +78,12 @@ def test_precount_report(benchmark):
     query = parse_query(QUERY_TEXT, collection.analyzer)
     scheme = get_scheme("anysum")
     work = {}
+    result_rows = None
     registry = MetricsRegistry()  # fresh: only this benchmark's work
     for variant, options in VARIANTS.items():
         res = Optimizer(scheme, index, options).optimize(query)
         runtime = make_runtime(index, scheme, res.info)
-        execute(res.plan, runtime)
+        result_rows = len(execute(res.plan, runtime))
         record_execution_metrics(runtime.metrics, registry)
         registry.histogram(
             "bench_run_seconds", "Per-variant median runtime", labelnames=("variant",)
@@ -111,17 +113,22 @@ def test_precount_report(benchmark):
         ),
     )
     write_artifact("precount_speedup.txt", text)
-    write_bench_json("precount_speedup", {
-        "query": QUERY_TEXT,
-        "scheme": "anysum",
-        "median_ms": {v: MEASURED[v] * 1000 for v in VARIANTS},
-        "speedup": speedup,
-        "work": {
-            v: {"positions_scanned": work[v][0], "doc_entries_scanned": work[v][1]}
-            for v in VARIANTS
+    write_bench_json(
+        "precount_speedup",
+        {
+            "median_ms": {v: MEASURED[v] * 1000 for v in VARIANTS},
+            "speedup": speedup,
+            "work": {
+                v: {"positions_scanned": work[v][0],
+                    "doc_entries_scanned": work[v][1]}
+                for v in VARIANTS
+            },
+            "metrics": registry.snapshot(),
         },
-        "metrics": registry.snapshot(),
-    })
+        wall_ms=MEASURED["pre-count"] * 1000,
+        rows=result_rows,
+        params={"query": QUERY_TEXT, "scheme": "anysum"},
+    )
 
     # Shape: pre-counting must eliminate position scanning entirely and
     # deliver a clearly super-unit speedup on this all-frequent-keyword

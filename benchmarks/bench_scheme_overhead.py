@@ -15,7 +15,12 @@ import pytest
 from repro.bench.reporting import render_table
 from repro.sa.registry import available_schemes, get_scheme
 
-from benchmarks.conftest import make_runner, median_seconds, write_artifact
+from benchmarks.conftest import (
+    make_runner,
+    median_seconds,
+    record_rows,
+    write_artifact,
+)
 
 QUERY = "Q9"  # proximity + free keyword: exercises both plan halves
 MEASURED: dict[str, float] = {}
@@ -25,6 +30,7 @@ MEASURED: dict[str, float] = {}
 def test_scheme_overhead_measure(scheme_name, fx, benchmark):
     run = make_runner(fx, fx.queries[QUERY], scheme_name)
     benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    record_rows(benchmark, run)
     MEASURED[scheme_name] = median_seconds(benchmark)
 
 

@@ -14,7 +14,12 @@ from repro.exec.topk import rank_topk
 from repro.mcalc.parser import parse_query
 from repro.sa.registry import get_scheme
 
-from benchmarks.conftest import make_runner, median_seconds, write_artifact
+from benchmarks.conftest import (
+    make_runner,
+    median_seconds,
+    record_rows,
+    write_artifact,
+)
 
 QUERY_TEXT = "free software"
 K = 10
@@ -26,9 +31,12 @@ def test_rankjoin_measure(fx, benchmark):
     scheme = get_scheme("anysum")
 
     def run():
-        return rank_topk(query, scheme, fx.index, K)
+        ranked = rank_topk(query, scheme, fx.index, K)
+        run.rows = len(ranked)
+        return ranked
 
     benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    record_rows(benchmark, run)
     MEASURED["rank-join"] = median_seconds(benchmark)
 
 
@@ -36,6 +44,7 @@ def test_full_evaluation_measure(fx, benchmark):
     query = parse_query(QUERY_TEXT, fx.collection.analyzer)
     run = make_runner(fx, query, "anysum")
     benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    record_rows(benchmark, run)
     MEASURED["full"] = median_seconds(benchmark)
 
 

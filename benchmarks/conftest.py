@@ -7,15 +7,25 @@ Benchmarks regenerate every table and figure of the paper's evaluation
   repeat-9/average-of-5-medians methodology), and
 * writes the regenerated artifact as text to ``benchmarks/results/`` so
   the harness output can be laid next to the published table or plot.
+
+Every benchmark run shares one :data:`RUN_ID`.  At session end the
+``pytest_sessionfinish`` hook exports each module's timings as
+``BENCH_<module>.json`` in the stable history schema
+(``repro.bench.history.bench_record``: name, params, wall_ms, rows) and
+appends the same records to ``benchmarks/results/history.jsonl`` — so a
+benchmark's trajectory is joinable across runs and commits by
+(``run_id``, ``name``), and ``repro bench --check`` shares the format.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 import pytest
 
+from repro.bench.history import append_history, bench_record, new_run_id
 from repro.bench.workload import bench_fixture
 from repro.exec.engine import execute, make_runtime
 from repro.graft.optimizer import Optimizer, OptimizerOptions
@@ -23,10 +33,16 @@ from repro.sa.registry import get_scheme
 
 #: Benchmark corpus size (documents).  The paper used 5.2M Wikipedia
 #: documents on a JVM; this laptop-scale stand-in preserves the postings
-#: skew that drives the optimizations' relative payoffs.
-BENCH_DOCS = 4000
+#: skew that drives the optimizations' relative payoffs.  Override with
+#: ``REPRO_BENCH_DOCS`` for smoke runs (CI uses a small value).
+BENCH_DOCS = int(os.environ.get("REPRO_BENCH_DOCS", "4000"))
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+HISTORY_PATH = RESULTS_DIR / "history.jsonl"
+
+#: One id per benchmark session; every record this run writes carries it.
+RUN_ID = new_run_id()
 
 
 @pytest.fixture(scope="session")
@@ -38,15 +54,26 @@ def make_runner(fx, query, scheme_name, options: OptimizerOptions | None = None)
     """An argless callable executing the optimized plan for timing.
 
     Optimization happens once, outside the timed region, matching the
-    paper's measurement of execution (plans are listed, then run)."""
+    paper's measurement of execution (plans are listed, then run).  After
+    every call ``run.rows`` holds the result count — the
+    machine-independent signal the history schema records."""
     scheme = get_scheme(scheme_name)
     result = Optimizer(scheme, fx.index, options).optimize(query)
 
     def run():
         runtime = make_runtime(fx.index, scheme, result.info)
-        return execute(result.plan, runtime)
+        ranked = execute(result.plan, runtime)
+        run.rows = len(ranked)
+        return ranked
 
+    run.rows = None
     return run
+
+
+def record_rows(benchmark, runner) -> None:
+    """Stash a runner's result count on the benchmark so the session
+    exporter can join it into the stable record schema."""
+    benchmark.extra_info["rows"] = getattr(runner, "rows", None)
 
 
 def write_artifact(name: str, text: str) -> pathlib.Path:
@@ -61,16 +88,88 @@ def median_seconds(benchmark) -> float:
     return benchmark.stats.stats.median
 
 
-def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+def write_bench_json(
+    name: str,
+    payload: dict,
+    *,
+    wall_ms: float | None = None,
+    rows: int | None = None,
+    params: dict | None = None,
+) -> pathlib.Path:
     """Write a machine-readable benchmark artifact as ``BENCH_<name>.json``.
 
-    The convention: ``payload`` carries the benchmark's headline numbers
-    plus a metrics-registry snapshot
-    (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`), so perf
-    trajectories can be diffed across commits with one ``jq`` call.
+    The file is one stable-schema record
+    (:func:`repro.bench.history.bench_record`: schema/run_id/name/params/
+    wall_ms/rows) with the benchmark's free-form headline numbers — and
+    typically a metrics-registry snapshot
+    (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`) — nested under
+    ``data``.  The headline record (without ``data``) is also appended to
+    ``history.jsonl``, joinable by (run_id, name).
     """
+    record = bench_record(
+        name, run_id=RUN_ID, wall_ms=wall_ms, rows=rows, params=params
+    )
+    append_history(record, HISTORY_PATH)
+    record["data"] = payload
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     print(f"[bench json written to {path}]")
     return path
+
+
+def _benchmark_median_seconds(meta) -> float | None:
+    """Median seconds from a pytest-benchmark metadata object, tolerating
+    both attribute layouts (fixture vs session metadata)."""
+    stats = getattr(meta, "stats", None)
+    if stats is None:
+        return None
+    median = getattr(stats, "median", None)
+    if median is None:
+        inner = getattr(stats, "stats", None)
+        median = getattr(inner, "median", None)
+    return median
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Export every timed benchmark in the stable history schema.
+
+    One ``BENCH_<module>.json`` per benchmark module, containing one
+    record per test (name, params, wall_ms, rows) under this session's
+    :data:`RUN_ID`; the same records go to ``history.jsonl``.  This is
+    what makes "every benchmark writes its numbers machine-readably"
+    true without each module hand-rolling an export.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", ()):
+        return
+    by_module: dict[str, list[dict]] = {}
+    for meta in bench_session.benchmarks:
+        median = _benchmark_median_seconds(meta)
+        if median is None:
+            continue
+        fullname = getattr(meta, "fullname", "") or ""
+        module = pathlib.Path(fullname.split("::", 1)[0]).stem or "unknown"
+        extra = dict(getattr(meta, "extra_info", {}) or {})
+        rows = extra.pop("rows", None)
+        params = dict(getattr(meta, "params", None) or {})
+        if extra:
+            params["extra"] = extra
+        params["docs"] = BENCH_DOCS
+        by_module.setdefault(module, []).append(bench_record(
+            getattr(meta, "name", fullname) or fullname,
+            run_id=RUN_ID,
+            wall_ms=median * 1000.0,
+            rows=rows,
+            params=params,
+        ))
+    if not by_module:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for module, records in sorted(by_module.items()):
+        append_history(records, HISTORY_PATH)
+        path = RESULTS_DIR / f"BENCH_{module}.json"
+        path.write_text(json.dumps(
+            {"schema": 1, "run_id": RUN_ID, "records": records},
+            indent=2, sort_keys=True,
+        ) + "\n")

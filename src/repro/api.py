@@ -29,6 +29,8 @@ if TYPE_CHECKING:
 
     from repro.exec.faults import FaultInjector
     from repro.index.store import IndexStore, StoreFaultInjector, StoreLock
+    from repro.obs.audit import AuditConfig, AuditEvent, Auditor
+    from repro.obs.qlog import QueryLog
     from repro.obs.rewrite import RewriteEvent
     from repro.obs.trace import TraceNode
 from repro.graft.canonical import make_query_info
@@ -73,6 +75,12 @@ class SearchOutcome:
     (:class:`repro.obs.trace.TraceNode`), populated only for
     ``search(..., profile=True)``; ``wall_ms`` is the traced
     execution's wall-clock time.
+
+    ``audit`` is the shadow-execution score-consistency verdict
+    (:class:`repro.obs.audit.AuditEvent`) when this query was sampled by
+    an engine-level audit config — ``audit.ok`` False means the
+    optimized plan diverged from the canonical plan; None when auditing
+    is off or this query was not sampled.
     """
 
     results: list[SearchResult]
@@ -84,6 +92,7 @@ class SearchOutcome:
     rewrite_log: "list[RewriteEvent]" = field(default_factory=list)
     stats: "TraceNode | None" = None
     wall_ms: float | None = None
+    audit: "AuditEvent | None" = None
 
     def __iter__(self):
         return iter(self.results)
@@ -110,7 +119,22 @@ class SearchEngine:
         collection: DocumentCollection | None = None,
         analyzer: Analyzer | None = None,
         scoring_context: ScoringContext | None = None,
+        audit: "AuditConfig | None" = None,
+        qlog: "QueryLog | None" = None,
     ):
+        """Args (observability; both default off with a zero-cost path):
+            audit: Shadow-execution score-consistency auditing config
+                (:class:`repro.obs.audit.AuditConfig`).  Sampled queries
+                are re-executed on the canonical plan (and, for small
+                collections, the MCalc oracle) and diffed; divergences
+                surface on ``SearchOutcome.audit`` and, under
+                ``mode="strict"``, raise
+                :class:`repro.errors.ScoreConsistencyError`.
+            qlog: A structured query log
+                (:class:`repro.obs.qlog.QueryLog`); every search is
+                offered to it (sampling and the slow-query override are
+                the log's own policy).
+        """
         self.collection = (
             collection if collection is not None else DocumentCollection(analyzer)
         )
@@ -118,6 +142,12 @@ class SearchEngine:
         self._ctx_override = scoring_context
         self._store: "IndexStore | None" = None
         self._lock: "StoreLock | None" = None
+        self._qlog = qlog
+        self._auditor: "Auditor | None" = None
+        if audit is not None and audit.rate > 0:
+            from repro.obs.audit import Auditor
+
+            self._auditor = Auditor(audit)
 
     # -- corpus management ---------------------------------------------------
 
@@ -205,19 +235,25 @@ class SearchEngine:
                 None.
         """
         validate_top_k(top_k)
+        raw_query = query
         query = self._resolve_query(query)
         scheme = self._resolve_scheme(scheme)
         ctx = self.scoring_context()
+        query_text = self._query_text(raw_query, query)
 
         if use_rank_join and top_k is not None and rank_join_applicable(query, scheme):
             guard = QueryGuard(limits)
             started = time.perf_counter()
             pairs = rank_topk(query, scheme, self.index, top_k, ctx, guard=guard)
+            elapsed = time.perf_counter() - started
             metrics = ExecutionMetrics(rows_charged=guard.rows_charged)
             outcome = self._outcome(pairs, ["rank-join-topk"], metrics, "", guard)
-            self._record_query(
-                scheme.name, outcome, time.perf_counter() - started
+            self._maybe_audit(
+                query, query_text, scheme, ctx, outcome, top_k, faults
             )
+            self._record_query(query_text, scheme.name, outcome, elapsed, top_k)
+            if outcome.audit is not None:
+                self._auditor.raise_if_strict(outcome.audit)
             return outcome
 
         tracer = None
@@ -235,7 +271,10 @@ class SearchEngine:
         try:
             pairs = execute(result.plan, runtime, top_k=top_k)
         except GraftError:
-            self._record_query(scheme.name, None, time.perf_counter() - started)
+            self._record_query(
+                query_text, scheme.name, None,
+                time.perf_counter() - started, top_k,
+            )
             raise
         elapsed = time.perf_counter() - started
         runtime.metrics.rows_charged = runtime.guard.rows_charged
@@ -253,14 +292,75 @@ class SearchEngine:
             annotate_estimates(tracer.root, self.index)
             outcome.stats = tracer.root
             outcome.wall_ms = tracer.total_ns / 1e6
-        self._record_query(scheme.name, outcome, elapsed)
+        self._maybe_audit(query, query_text, scheme, ctx, outcome, top_k, faults)
+        self._record_query(query_text, scheme.name, outcome, elapsed, top_k)
+        if outcome.audit is not None:
+            self._auditor.raise_if_strict(outcome.audit)
         return outcome
 
-    @staticmethod
-    def _record_query(
-        scheme_name: str, outcome: SearchOutcome | None, seconds: float
+    def _query_text(self, raw: "str | Query", parsed: Query) -> str:
+        """Shorthand text for logging/auditing, without re-unparsing on
+        the fast path: only computed when an observer is attached."""
+        if isinstance(raw, str):
+            return raw
+        if self._qlog is None and self._auditor is None:
+            return ""
+        from repro.mcalc.unparse import unparse
+
+        return unparse(parsed)
+
+    def _maybe_audit(
+        self,
+        query: Query,
+        query_text: str,
+        scheme: ScoringScheme,
+        ctx: ScoringContext,
+        outcome: SearchOutcome,
+        top_k: int | None,
+        faults: "FaultInjector | None",
     ) -> None:
-        """Fold one search into the process-wide metrics registry.
+        """Shadow-execute the canonical plan on sampled queries.
+
+        Degraded (limit-tripped) outcomes are a correctly-ranked
+        *prefix* by design, and fault-injected runs are deliberately
+        wrong — neither is auditable against the canonical plan, so
+        they never consume a sampling slot.  The off path is a single
+        ``is None`` check.
+        """
+        if self._auditor is None:
+            return
+        if outcome.degraded or faults is not None:
+            return
+        if not self._auditor.should_audit():
+            return
+        from repro.obs.audit import shadow_audit
+
+        config = self._auditor.config
+        outcome.audit = shadow_audit(
+            self.index,
+            scheme,
+            query,
+            [(r.doc_id, r.score) for r in outcome.results],
+            ctx=ctx,
+            top_k=top_k,
+            tolerance=config.tolerance,
+            rewrite_log=outcome.rewrite_log,
+            applied=outcome.applied_optimizations,
+            query_text=query_text,
+            collection=self.collection,
+            oracle_max_docs=config.oracle_max_docs,
+        )
+
+    def _record_query(
+        self,
+        query_text: str,
+        scheme_name: str,
+        outcome: SearchOutcome | None,
+        seconds: float,
+        top_k: int | None = None,
+    ) -> None:
+        """Fold one search into the process-wide metrics registry and
+        the engine's structured query log (when attached).
 
         ``outcome`` is None for queries that raised; those count with
         ``status="error"`` and contribute no work counters.
@@ -282,6 +382,15 @@ class SearchEngine:
         query_seconds(REGISTRY).child().observe(seconds)
         if outcome is not None:
             record_execution_metrics(outcome.metrics, REGISTRY)
+        if self._qlog is not None:
+            self._qlog.log_query(
+                query_text,
+                scheme_name,
+                status,
+                seconds * 1000.0,
+                outcome=outcome,
+                top_k=top_k,
+            )
 
     def _outcome(
         self,

@@ -1,5 +1,17 @@
-"""Benchmark support: the paper's workload, methodology and reporting."""
+"""Benchmark support: the paper's workload, methodology, reporting, and
+the cross-run trajectory (history + regression gate)."""
 
+from repro.bench.history import (
+    Regression,
+    append_history,
+    bench_record,
+    compare_to_baseline,
+    latest_run,
+    load_baseline,
+    load_history,
+    new_run_id,
+    write_baseline,
+)
 from repro.bench.measure import paper_measure
 from repro.bench.workload import (
     PAPER_QUERIES,
@@ -14,4 +26,13 @@ __all__ = [
     "bench_fixture",
     "default_corpus_config",
     "paper_measure",
+    "Regression",
+    "append_history",
+    "bench_record",
+    "compare_to_baseline",
+    "latest_run",
+    "load_baseline",
+    "load_history",
+    "new_run_id",
+    "write_baseline",
 ]

@@ -1,0 +1,67 @@
+"""The ``repro bench`` workload: the paper's eight queries as a gate.
+
+The regression gate needs a fixed, fast, deterministic workload whose
+numbers are comparable across runs: the Section 8 evaluation queries
+over the seeded synthetic corpus, each optimized once and executed under
+the paper's repeat-and-keep-medians methodology.  Every query yields one
+history record (``workload_Q4`` ... ``workload_Q11``) whose ``rows`` is
+the exact result count — machine-independent, so a correctness-visible
+regression fails the gate even across hardware — and whose ``wall_ms``
+is the median execution time, compared against the baseline with a
+coarse ratio tolerance.
+"""
+
+from __future__ import annotations
+
+from repro.bench.history import bench_record, new_run_id
+from repro.bench.measure import paper_measure
+from repro.bench.workload import PAPER_QUERIES, bench_fixture
+from repro.exec.engine import execute, make_runtime
+from repro.graft.optimizer import Optimizer
+from repro.sa.registry import get_scheme
+
+#: Gate defaults: small corpus, few repeats — a smoke measurement, not a
+#: publication-grade one (the pytest-benchmark modules remain that).
+DEFAULT_DOCS = 600
+DEFAULT_REPEATS = 5
+DEFAULT_KEPT = 3
+DEFAULT_SCHEME = "sumbest"
+
+
+def run_workload(
+    num_docs: int = DEFAULT_DOCS,
+    scheme_name: str = DEFAULT_SCHEME,
+    repeats: int = DEFAULT_REPEATS,
+    kept: int = DEFAULT_KEPT,
+    run_id: str | None = None,
+) -> tuple[str, dict[str, dict]]:
+    """Measure the paper workload; returns (run_id, records by name)."""
+    run_id = run_id or new_run_id()
+    fx = bench_fixture(num_docs=num_docs)
+    scheme = get_scheme(scheme_name)
+    records: dict[str, dict] = {}
+    for qname, query in fx.queries.items():
+        result = Optimizer(scheme, fx.index).optimize(query)
+
+        rows_holder: list[int] = []
+
+        def run():
+            runtime = make_runtime(fx.index, scheme, result.info)
+            rows_holder.append(len(execute(result.plan, runtime)))
+
+        seconds = paper_measure(run, repeats=repeats, kept=kept)
+        name = f"workload_{qname}"
+        records[name] = bench_record(
+            name,
+            run_id=run_id,
+            wall_ms=seconds * 1000.0,
+            rows=rows_holder[-1],
+            params={
+                "docs": num_docs,
+                "scheme": scheme_name,
+                "query": PAPER_QUERIES[qname],
+                "repeats": repeats,
+                "kept": kept,
+            },
+        )
+    return run_id, records

@@ -9,6 +9,8 @@ Usage::
     python -m repro checkpoint INDEX_DIR             # compact the WAL
     python -m repro schemes                          # list scoring schemes
     python -m repro metrics [--format json|prom]     # metrics registry
+    python -m repro qlog tail|stats LOG_PATH         # read a query log
+    python -m repro bench [--check] [--write-baseline]  # regression gate
 
 ``index`` builds and persists the inverted index (plus documents and
 titles) as a crash-safe generational store (``docs/STORAGE.md``) from a
@@ -22,7 +24,12 @@ log); ``verify`` audits every checksum and structural invariant of a
 store; ``checkpoint`` compacts write-ahead-logged documents into a new
 atomic generation; ``metrics`` exports this process's metrics registry.
 ``search``/``explain``/``verify`` also accept legacy (v1, pre-store)
-index directories.
+index directories.  ``search --audit`` shadow-executes the canonical
+score-isolated plan and exits 3 on a score-consistency divergence;
+``qlog`` tails or aggregates a structured query log written by
+:class:`repro.obs.qlog.QueryLog`; ``bench`` runs the paper workload,
+appends to ``benchmarks/results/history.jsonl``, and with ``--check``
+exits 1 when the run regresses against the checked-in baseline.
 
 ``search``/``explain``/``verify`` take ``--json``: exactly one JSON
 object on stdout (schema for the search trace:
@@ -99,6 +106,11 @@ def _build_parser() -> argparse.ArgumentParser:
             p.add_argument("--profile", action="store_true",
                            help="trace execution and print EXPLAIN ANALYZE "
                                 "(per-operator actuals vs. estimates)")
+            p.add_argument("--audit", action="store_true",
+                           help="shadow-execute the unoptimized canonical "
+                                "plan and diff matches and scores "
+                                "(score-consistency audit; exit code 3 on "
+                                "divergence)")
         else:
             p.add_argument("--analyze", action="store_true",
                            help="execute the plan under the tracer and show "
@@ -131,6 +143,57 @@ def _build_parser() -> argparse.ArgumentParser:
         "--format", choices=("json", "prom"), default="json",
         help="JSON snapshot or Prometheus text exposition format",
     )
+
+    p_qlog = sub.add_parser(
+        "qlog",
+        help="read a structured query log (JSONL) back",
+    )
+    qsub = p_qlog.add_subparsers(dest="qlog_command", required=True)
+    p_tail = qsub.add_parser("tail", help="show the most recent records")
+    p_tail.add_argument("log_path", help="query log file (qlog.jsonl)")
+    p_tail.add_argument("-n", "--lines", type=int, default=10,
+                        help="number of records to show (default 10)")
+    p_tail.add_argument("--json", action="store_true",
+                        help="emit one JSON object with the records")
+    p_stats = qsub.add_parser(
+        "stats", help="aggregate a query log (counts, latencies, slow/audit)"
+    )
+    p_stats.add_argument("log_path", help="query log file (qlog.jsonl)")
+    p_stats.add_argument("--active-only", action="store_true",
+                         help="ignore rotated siblings (qlog.jsonl.N)")
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the aggregate as one JSON object")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the paper-workload benchmark, append to the history "
+             "trajectory, and optionally gate against a baseline",
+    )
+    p_bench.add_argument("--check", action="store_true",
+                         help="compare this run against the baseline and "
+                              "exit non-zero on any regression")
+    p_bench.add_argument("--baseline", default="benchmarks/baseline.json",
+                         help="checked-in baseline file "
+                              "(default benchmarks/baseline.json)")
+    p_bench.add_argument("--history",
+                         default="benchmarks/results/history.jsonl",
+                         help="append-only run trajectory "
+                              "(default benchmarks/results/history.jsonl)")
+    p_bench.add_argument("--docs", type=int, default=None,
+                         help="benchmark corpus size (default: the "
+                              "baseline's, else 600)")
+    p_bench.add_argument("--scheme", default=None,
+                         help="scoring scheme (default: the baseline's, "
+                              "else sumbest)")
+    p_bench.add_argument("--repeats", type=int, default=5,
+                         help="measurement repetitions per query (default 5)")
+    p_bench.add_argument("--max-slowdown", type=float, default=None,
+                         help="wall-time regression tolerance as a ratio "
+                              "(default 1.5; raise on noisy shared runners)")
+    p_bench.add_argument("--write-baseline", action="store_true",
+                         help="pin this run as the new baseline file")
+    p_bench.add_argument("--json", action="store_true",
+                         help="emit one JSON object (records, regressions)")
     return parser
 
 
@@ -245,6 +308,22 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
         annotate_estimates(tracer.root, index)
 
+    audit_event = None
+    if args.audit and limit_hit is None:
+        from repro.obs.audit import shadow_audit
+
+        query = parse_query(args.query, SimpleAnalyzer())
+        audit_event = shadow_audit(
+            index, scheme, query, ranked,
+            top_k=args.top_k,
+            rewrite_log=result.rewrites,
+            applied=result.applied,
+            query_text=args.query,
+        )
+    elif args.audit:
+        _warn("audit skipped: partial (limit-degraded) results cannot be "
+              "compared against the canonical plan")
+
     def title_of(doc: int) -> str:
         return titles[doc] if doc < len(titles) else f"doc{doc}"
 
@@ -268,8 +347,14 @@ def _cmd_search(args: argparse.Namespace) -> int:
             "wall_ms": (
                 tracer.total_ns / 1e6 if tracer is not None else None
             ),
+            "audit": (
+                audit_event.to_dict() if audit_event is not None else None
+            ),
         }
         print(json.dumps(payload))
+        if audit_event is not None and not audit_event.ok:
+            print(f"error: {audit_event.describe()}", file=sys.stderr)
+            return 3
         return 0
     if not ranked:
         print("no matches")
@@ -280,6 +365,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
         print()
         print(render_analyze(tracer.root, total_ns=tracer.total_ns))
+    if audit_event is not None:
+        print()
+        print(audit_event.describe())
+        if not audit_event.ok:
+            print(f"error: {audit_event.describe()}", file=sys.stderr)
+            return 3
     return 0
 
 
@@ -401,6 +492,104 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_qlog(args: argparse.Namespace) -> int:
+    from repro.obs.qlog import log_stats, render_record, tail_records
+
+    if args.qlog_command == "tail":
+        records = tail_records(args.log_path, n=args.lines)
+        if args.json:
+            print(json.dumps({"path": args.log_path, "records": records}))
+            return 0
+        if not records:
+            print("(empty query log)")
+        for record in records:
+            print(render_record(record))
+        return 0
+    stats = log_stats(args.log_path, include_rotated=not args.active_only)
+    if args.json:
+        print(json.dumps({"path": args.log_path, **stats}))
+        return 0
+    print(f"{stats['records']} records "
+          f"({stats['forced']} force-logged, {stats['slow']} slow, "
+          f"{stats['audit_failures']} audit failures)")
+    for status, n in stats["by_status"].items():
+        print(f"  status {status:10} {n}")
+    for scheme, n in stats["by_scheme"].items():
+        print(f"  scheme {scheme:10} {n}")
+    wall = stats["wall_ms"]
+    print(f"  wall ms: p50 {wall['p50']:.3f}  p95 {wall['p95']:.3f}  "
+          f"max {wall['max']:.3f}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.history import (
+        DEFAULT_MAX_SLOWDOWN,
+        append_history,
+        compare_to_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.bench.runner import DEFAULT_DOCS, DEFAULT_SCHEME, run_workload
+
+    baseline = None
+    if args.check:
+        baseline = load_baseline(args.baseline)
+    # Default corpus size and scheme from the baseline so rows are
+    # comparable; explicit flags override (and will flag row drift).
+    base_params = (baseline or {}).get("params", {})
+    docs = args.docs if args.docs is not None else \
+        base_params.get("docs", DEFAULT_DOCS)
+    scheme = args.scheme if args.scheme is not None else \
+        base_params.get("scheme", DEFAULT_SCHEME)
+
+    run_id, records = run_workload(
+        num_docs=docs, scheme_name=scheme, repeats=args.repeats
+    )
+    append_history(list(records.values()), args.history)
+
+    if args.write_baseline:
+        write_baseline(
+            args.baseline, records, params={"docs": docs, "scheme": scheme}
+        )
+
+    regressions = []
+    if baseline is not None:
+        tolerance = (
+            args.max_slowdown if args.max_slowdown is not None
+            else DEFAULT_MAX_SLOWDOWN
+        )
+        regressions = compare_to_baseline(
+            records, baseline, max_slowdown=tolerance
+        )
+
+    if args.json:
+        print(json.dumps({
+            "run_id": run_id,
+            "history": args.history,
+            "records": {name: rec for name, rec in sorted(records.items())},
+            "checked": args.check,
+            "regressions": [r.to_dict() for r in regressions],
+        }))
+        return 1 if regressions else 0
+
+    print(f"run {run_id} ({len(records)} benchmarks, {docs} docs, "
+          f"scheme {scheme}) -> {args.history}")
+    for name, rec in sorted(records.items()):
+        print(f"  {name:24} {rec['wall_ms']:9.3f} ms  {rec['rows']:6d} rows")
+    if args.write_baseline:
+        print(f"baseline pinned -> {args.baseline}")
+    if args.check:
+        if regressions:
+            print(f"{len(regressions)} regression(s) vs {args.baseline}:",
+                  file=sys.stderr)
+            for reg in regressions:
+                print(f"  REGRESSION: {reg.message}", file=sys.stderr)
+            return 1
+        print(f"gate OK vs {args.baseline}")
+    return 0
+
+
 _COMMANDS = {
     "index": _cmd_index,
     "search": _cmd_search,
@@ -409,6 +598,8 @@ _COMMANDS = {
     "checkpoint": _cmd_checkpoint,
     "schemes": _cmd_schemes,
     "metrics": _cmd_metrics,
+    "qlog": _cmd_qlog,
+    "bench": _cmd_bench,
 }
 
 

@@ -84,6 +84,20 @@ class QueryTimeoutError(ResourceExhaustedError):
     """A query exceeded its wall-clock deadline."""
 
 
+class ScoreConsistencyError(GraftError):
+    """A shadow-execution audit found an optimized plan whose results
+    diverge from the canonical score-isolated plan (Definition 1).
+
+    Raised only under ``audit_mode="strict"``; the structured
+    :class:`repro.obs.audit.AuditEvent` describing the divergence is
+    attached as ``event``.
+    """
+
+    def __init__(self, message: str, event=None):
+        super().__init__(message)
+        self.event = event
+
+
 class UnsupportedQueryError(GraftError):
     """A rigid baseline engine does not support this query's constructs
     (e.g. Lucene and Terrier "do not support the WINDOW predicate",

@@ -1,6 +1,6 @@
-"""Query observability: execution traces, optimizer traces, and metrics.
+"""Query observability: traces, optimizer logs, metrics, audits, qlog.
 
-Three integrated layers (see ``docs/OBSERVABILITY.md``):
+Five integrated layers (see ``docs/OBSERVABILITY.md``):
 
 * :mod:`repro.obs.trace` — per-operator runtime statistics assembled
   into a trace tree mirroring the plan (``SearchOutcome.stats``,
@@ -8,7 +8,12 @@ Three integrated layers (see ``docs/OBSERVABILITY.md``):
 * :mod:`repro.obs.rewrite` — the optimizer's structured rewrite log
   (``SearchOutcome.rewrite_log``, ``repro explain --trace-rules``);
 * :mod:`repro.obs.metrics` — a dependency-free process-wide metrics
-  registry with JSON and Prometheus-text export (``repro metrics``).
+  registry with JSON and Prometheus-text export (``repro metrics``);
+* :mod:`repro.obs.audit` — shadow-execution score-consistency auditing
+  against the canonical plan and the MCalc oracle
+  (``SearchOutcome.audit``, ``repro search --audit``);
+* :mod:`repro.obs.qlog` — a structured, size-rotated JSONL query log
+  with sampling and a slow-query override (``repro qlog tail|stats``).
 
 :mod:`repro.obs.analyze` renders the EXPLAIN ANALYZE view (actuals next
 to cost-model estimates, misestimates flagged) and
@@ -20,6 +25,15 @@ observability contract.
 # repro.obs.rewrite while repro.obs.trace imports the exec layer, and an
 # eager package import would close that loop into a cycle.
 _EXPORTS = {
+    "AuditConfig": "audit",
+    "AuditEvent": "audit",
+    "Auditor": "audit",
+    "diff_rankings": "audit",
+    "shadow_audit": "audit",
+    "QueryLog": "qlog",
+    "log_stats": "qlog",
+    "read_log": "qlog",
+    "tail_records": "qlog",
     "MISESTIMATE_RATIO": "analyze",
     "annotate_estimates": "analyze",
     "misestimate_ratio": "analyze",
@@ -60,6 +74,15 @@ def __dir__():
 
 
 __all__ = [
+    "AuditConfig",
+    "AuditEvent",
+    "Auditor",
+    "shadow_audit",
+    "diff_rankings",
+    "QueryLog",
+    "read_log",
+    "tail_records",
+    "log_stats",
     "OpStats",
     "TraceNode",
     "TracedOp",

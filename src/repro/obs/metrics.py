@@ -393,6 +393,28 @@ def record_execution_metrics(metrics, registry: MetricsRegistry = REGISTRY) -> N
         ).labels(limit=metrics.limit_tripped).inc()
 
 
+# -- audit families ---------------------------------------------------------
+#
+# The shadow-execution auditor (repro.obs.audit) records every audit
+# verdict here, so a dashboard can alert on the first divergence ever
+# seen in production.
+
+def audit_counters(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_audits_total",
+        "Shadow-execution score-consistency audits, by scheme and verdict",
+        labelnames=("scheme", "result"),
+    )
+
+
+def audit_divergences(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_audit_divergences_total",
+        "Score-consistency divergences attributed to a rewrite rule",
+        labelnames=("rule",),
+    )
+
+
 # -- store-level families --------------------------------------------------
 #
 # The durable store (repro.index.store) records its I/O through these

@@ -1,0 +1,318 @@
+"""Structured query logging: an append-only JSONL event log.
+
+A serving engine needs a durable record of what it was asked and how it
+answered — not a metrics aggregate, the individual queries: which ones
+were slow, which tripped a resource limit, which failed an audit.  This
+module supplies that log as newline-delimited JSON with three
+properties a production log needs:
+
+* **size-based rotation** that never truncates a record: every record is
+  appended as one complete line, and when the active file would exceed
+  ``max_bytes`` it is rotated *before* the write (``qlog.jsonl`` ->
+  ``qlog.jsonl.1`` -> ... up to ``max_rotations``, oldest dropped);
+* **per-event sampling** via a deterministic error accumulator
+  (``sample_rate=0.1`` keeps exactly every tenth record, no RNG);
+* a **slow-query override**: queries at or over ``slow_ms`` — and
+  degraded, errored, or audit-failing queries — are always logged with
+  their trace tree (when profiled) and ``limit_hit``, regardless of the
+  sample rate.  ``sample_rate=0`` therefore means "slow/failed queries
+  only", the usual production setting.
+
+The record shape is pinned by ``$defs/qlog_record`` in
+``tests/obs/trace_schema.json``; ``repro qlog tail|stats`` reads logs
+back from the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import GraftError
+
+if TYPE_CHECKING:
+    from repro.api import SearchOutcome
+
+#: Current record schema version (bumped on shape changes).
+QLOG_SCHEMA_VERSION = 1
+
+
+class QueryLog:
+    """An append-only, size-rotated JSONL query log.
+
+    Args:
+        path: The active log file (created on first record; parent
+            directories are created too).
+        max_bytes: Rotation threshold for the active file.
+        sample_rate: Fraction of ordinary (fast, successful) queries to
+            keep, in [0, 1]; slow/degraded/error/audit-failure records
+            bypass sampling entirely.
+        slow_ms: Wall-time threshold (milliseconds) that marks a query
+            slow; None disables the slow classification.
+        max_rotations: How many rotated files to keep
+            (``path.1`` .. ``path.N``); the oldest is dropped.
+    """
+
+    def __init__(
+        self,
+        path,
+        max_bytes: int = 10_000_000,
+        sample_rate: float = 1.0,
+        slow_ms: float | None = None,
+        max_rotations: int = 3,
+    ):
+        if not (0.0 <= sample_rate <= 1.0):
+            raise GraftError(
+                f"qlog sample_rate must be within [0, 1], got {sample_rate!r}"
+            )
+        if max_bytes < 1024:
+            raise GraftError(
+                f"qlog max_bytes must be at least 1024, got {max_bytes!r}"
+            )
+        if max_rotations < 1:
+            raise GraftError(
+                f"qlog max_rotations must be >= 1, got {max_rotations!r}"
+            )
+        self.path = pathlib.Path(path)
+        self.max_bytes = max_bytes
+        self.sample_rate = sample_rate
+        self.slow_ms = slow_ms
+        self.max_rotations = max_rotations
+        self._acc = 0.0
+
+    # -- writing -----------------------------------------------------------
+
+    def _sampled(self) -> bool:
+        self._acc += self.sample_rate
+        if self._acc >= 1.0 - 1e-12:
+            self._acc -= 1.0
+            return True
+        return False
+
+    def log_query(
+        self,
+        query: str,
+        scheme: str,
+        status: str,
+        wall_ms: float,
+        outcome: "SearchOutcome | None" = None,
+        top_k: int | None = None,
+    ) -> bool:
+        """Fold one search into the log; returns True when written.
+
+        ``status`` is ``"ok"``/``"degraded"``/``"error"`` (mirroring the
+        ``graft_queries_total`` metric).  ``outcome`` supplies the
+        provenance fields; None (the error path) logs the failure shell.
+        """
+        slow = self.slow_ms is not None and wall_ms >= self.slow_ms
+        audit_ok = None
+        limit_hit = None
+        applied: list[str] = []
+        results = 0
+        trace = None
+        if outcome is not None:
+            limit_hit = outcome.limit_hit
+            applied = list(outcome.applied_optimizations)
+            results = len(outcome.results)
+            if outcome.audit is not None:
+                audit_ok = outcome.audit.ok
+            if outcome.stats is not None:
+                trace = outcome.stats.to_dict()
+        forced = (
+            slow
+            or status != "ok"
+            or limit_hit is not None
+            or audit_ok is False
+        )
+        sampled = self._sampled()
+        if not forced and not sampled:
+            return False
+        record = {
+            "schema": QLOG_SCHEMA_VERSION,
+            "ts": time.time(),
+            "query": query,
+            "scheme": scheme,
+            "status": status,
+            "wall_ms": wall_ms,
+            "slow": slow,
+            "sampled": not forced,
+            "top_k": top_k,
+            "limit_hit": limit_hit,
+            "applied_optimizations": applied,
+            "results": results,
+            "audit_ok": audit_ok,
+            "trace": trace if (slow or status != "ok") else None,
+        }
+        self.append(record)
+        return True
+
+    def append(self, record: dict) -> None:
+        """Append one record as a single complete JSONL line, rotating
+        first when the active file would overflow ``max_bytes``."""
+        line = json.dumps(record, sort_keys=True) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        size = self.path.stat().st_size if self.path.exists() else 0
+        # Rotate *before* writing, never mid-record: a record is always
+        # contained whole in exactly one file.  An oversized single
+        # record still lands intact (in a file of its own).
+        if size > 0 and size + len(line.encode("utf-8")) > self.max_bytes:
+            self.rotate()
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+
+    def rotate(self) -> None:
+        """Shift ``path`` -> ``path.1`` -> ... -> ``path.N`` (drop oldest)."""
+        oldest = self._rotated(self.max_rotations)
+        if oldest.exists():
+            oldest.unlink()
+        for i in range(self.max_rotations - 1, 0, -1):
+            src = self._rotated(i)
+            if src.exists():
+                src.rename(self._rotated(i + 1))
+        if self.path.exists():
+            self.path.rename(self._rotated(1))
+
+    def _rotated(self, i: int) -> pathlib.Path:
+        return self.path.with_name(f"{self.path.name}.{i}")
+
+    def files(self) -> list[pathlib.Path]:
+        """All log files, oldest first (rotated siblings then active)."""
+        out = [
+            self._rotated(i)
+            for i in range(self.max_rotations, 0, -1)
+            if self._rotated(i).exists()
+        ]
+        if self.path.exists():
+            out.append(self.path)
+        return out
+
+
+# -- reading ---------------------------------------------------------------
+
+
+def iter_records(path) -> Iterator[dict]:
+    """Parse one JSONL file; raises :class:`GraftError` naming the first
+    malformed line (a rotation bug or torn write would surface here)."""
+    path = pathlib.Path(path)
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise GraftError(
+                    f"{path}:{lineno}: malformed query-log record: {exc}"
+                ) from None
+            if not isinstance(record, dict):
+                raise GraftError(
+                    f"{path}:{lineno}: query-log record is not an object"
+                )
+            yield record
+
+
+def read_log(path, include_rotated: bool = False) -> list[dict]:
+    """All records under ``path`` (optionally its rotated siblings too),
+    oldest first."""
+    path = pathlib.Path(path)
+    if not path.exists() and not include_rotated:
+        raise GraftError(f"no query log at {path}")
+    files: list[pathlib.Path] = []
+    if include_rotated:
+        rotated = sorted(
+            (
+                p for p in path.parent.glob(f"{path.name}.*")
+                if p.suffix.lstrip(".").isdigit()
+            ),
+            key=lambda p: int(p.suffix.lstrip(".")),
+            reverse=True,
+        )
+        files.extend(rotated)
+    if path.exists():
+        files.append(path)
+    if not files:
+        raise GraftError(f"no query log at {path}")
+    out: list[dict] = []
+    for file in files:
+        out.extend(iter_records(file))
+    return out
+
+
+def tail_records(path, n: int = 10) -> list[dict]:
+    """The last ``n`` records of the active log file."""
+    if n < 1:
+        raise GraftError(f"tail count must be >= 1, got {n!r}")
+    return read_log(path)[-n:]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile over pre-sorted data."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def log_stats(path, include_rotated: bool = True) -> dict:
+    """Aggregate a query log: counts by status/scheme, slow and audit
+    tallies, and wall-time percentiles (milliseconds)."""
+    records = read_log(path, include_rotated=include_rotated)
+    by_status: dict[str, int] = {}
+    by_scheme: dict[str, int] = {}
+    walls: list[float] = []
+    slow = 0
+    forced = 0
+    audit_failures = 0
+    for rec in records:
+        by_status[rec.get("status", "?")] = (
+            by_status.get(rec.get("status", "?"), 0) + 1
+        )
+        by_scheme[rec.get("scheme", "?")] = (
+            by_scheme.get(rec.get("scheme", "?"), 0) + 1
+        )
+        wall = rec.get("wall_ms")
+        if isinstance(wall, (int, float)):
+            walls.append(float(wall))
+        if rec.get("slow"):
+            slow += 1
+        if rec.get("sampled") is False:
+            forced += 1
+        if rec.get("audit_ok") is False:
+            audit_failures += 1
+    walls.sort()
+    return {
+        "records": len(records),
+        "by_status": dict(sorted(by_status.items())),
+        "by_scheme": dict(sorted(by_scheme.items())),
+        "slow": slow,
+        "forced": forced,
+        "audit_failures": audit_failures,
+        "wall_ms": {
+            "p50": _percentile(walls, 0.50),
+            "p95": _percentile(walls, 0.95),
+            "max": walls[-1] if walls else 0.0,
+        },
+    }
+
+
+def render_record(record: dict) -> str:
+    """One-line terminal rendering of a record (``repro qlog tail``)."""
+    flags = []
+    if record.get("slow"):
+        flags.append("slow")
+    if record.get("limit_hit"):
+        flags.append(f"limit:{record['limit_hit']}")
+    if record.get("audit_ok") is False:
+        flags.append("audit-fail")
+    flag_text = f"  [{','.join(flags)}]" if flags else ""
+    wall = record.get("wall_ms", 0.0)
+    return (
+        f"{record.get('status', '?'):8} {wall:9.3f}ms "
+        f"{record.get('scheme', '?'):16} "
+        f"{record.get('results', 0):5d} results  "
+        f"{record.get('query', '')!r}{flag_text}"
+    )

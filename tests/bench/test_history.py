@@ -1,0 +1,232 @@
+"""Benchmark history, baselines, and the ``repro bench`` regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.history import (
+    append_history,
+    bench_record,
+    compare_to_baseline,
+    latest_run,
+    load_baseline,
+    load_history,
+    new_run_id,
+    write_baseline,
+)
+from repro.cli import main
+from repro.errors import GraftError
+
+
+def record(name, wall_ms=10.0, rows=5, run_id="run-a"):
+    return bench_record(
+        name, run_id=run_id, wall_ms=wall_ms, rows=rows,
+        params={"docs": 100},
+    )
+
+
+# -- records and history ---------------------------------------------------
+
+
+def test_bench_record_stable_schema():
+    rec = record("workload_Q4")
+    assert rec["schema"] == 1
+    assert rec["name"] == "workload_Q4"
+    assert rec["run_id"] == "run-a"
+    assert rec["wall_ms"] == 10.0
+    assert rec["rows"] == 5
+    assert rec["params"] == {"docs": 100}
+    assert rec["ts"] > 0
+
+
+def test_bench_record_requires_name_and_run_id():
+    with pytest.raises(GraftError):
+        bench_record("", run_id="r")
+    with pytest.raises(GraftError):
+        bench_record("x", run_id="")
+
+
+def test_run_ids_are_unique():
+    assert new_run_id() != new_run_id()
+
+
+def test_append_and_load_history(tmp_path):
+    path = tmp_path / "nested" / "history.jsonl"
+    append_history(record("a"), path)  # single dict accepted
+    append_history([record("b"), record("c", run_id="run-b")], path)
+    history = load_history(path)
+    assert [r["name"] for r in history] == ["a", "b", "c"]
+    # One JSONL line per record, each parseable on its own.
+    lines = path.read_text().splitlines()
+    assert len(lines) == 3
+    for line in lines:
+        json.loads(line)
+
+
+def test_load_history_missing_file_is_empty(tmp_path):
+    assert load_history(tmp_path / "absent.jsonl") == []
+
+
+def test_load_history_names_malformed_line(tmp_path):
+    path = tmp_path / "history.jsonl"
+    path.write_text('{"ok": 1}\n{torn\n')
+    with pytest.raises(GraftError, match="history.jsonl:2"):
+        load_history(path)
+
+
+def test_latest_run_is_by_file_order(tmp_path):
+    path = tmp_path / "history.jsonl"
+    append_history([record("a", run_id="r1"), record("b", run_id="r1")], path)
+    append_history([record("a", run_id="r2", wall_ms=3.0)], path)
+    run_id, records = latest_run(load_history(path))
+    assert run_id == "r2"
+    assert set(records) == {"a"}
+    assert records["a"]["wall_ms"] == 3.0
+    assert latest_run([]) == (None, {})
+
+
+# -- baseline comparison ---------------------------------------------------
+
+
+@pytest.fixture()
+def baseline(tmp_path):
+    records = {"q1": record("q1", wall_ms=10.0, rows=5),
+               "q2": record("q2", wall_ms=20.0, rows=0)}
+    path = tmp_path / "baseline.json"
+    write_baseline(path, records, params={"docs": 100, "scheme": "sumbest"})
+    return load_baseline(path)
+
+
+def test_unchanged_run_passes(baseline):
+    current = {"q1": record("q1", wall_ms=10.0, rows=5),
+               "q2": record("q2", wall_ms=20.0, rows=0)}
+    assert compare_to_baseline(current, baseline) == []
+
+
+def test_within_tolerance_passes(baseline):
+    current = {"q1": record("q1", wall_ms=14.0, rows=5),
+               "q2": record("q2", wall_ms=25.0, rows=0)}
+    assert compare_to_baseline(current, baseline, max_slowdown=1.5) == []
+
+
+def test_synthetic_2x_slowdown_fails(baseline):
+    current = {"q1": record("q1", wall_ms=20.0, rows=5),
+               "q2": record("q2", wall_ms=20.0, rows=0)}
+    regressions = compare_to_baseline(current, baseline, max_slowdown=1.5)
+    assert [r.name for r in regressions] == ["q1"]
+    assert regressions[0].field == "wall_ms"
+    assert "1.50x" in regressions[0].message
+
+
+def test_row_drift_fails_even_when_faster(baseline):
+    current = {"q1": record("q1", wall_ms=1.0, rows=4),
+               "q2": record("q2", wall_ms=1.0, rows=0)}
+    regressions = compare_to_baseline(current, baseline)
+    assert [(r.name, r.field) for r in regressions] == [("q1", "rows")]
+
+
+def test_missing_benchmark_fails_extra_passes(baseline):
+    current = {"q1": record("q1", wall_ms=10.0, rows=5),
+               "brand_new": record("brand_new")}
+    regressions = compare_to_baseline(current, baseline)
+    assert [(r.name, r.field) for r in regressions] == [("q2", "missing")]
+
+
+def test_max_slowdown_below_one_rejected(baseline):
+    with pytest.raises(GraftError):
+        compare_to_baseline({}, baseline, max_slowdown=0.9)
+
+
+def test_load_baseline_errors(tmp_path):
+    with pytest.raises(GraftError):
+        load_baseline(tmp_path / "absent.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{torn")
+    with pytest.raises(GraftError):
+        load_baseline(bad)
+    empty = tmp_path / "empty.json"
+    empty.write_text("{}")
+    with pytest.raises(GraftError, match="benchmarks"):
+        load_baseline(empty)
+
+
+# -- the CLI gate ----------------------------------------------------------
+
+
+def bench_cli(tmp_path, *extra):
+    return main([
+        "bench",
+        "--baseline", str(tmp_path / "baseline.json"),
+        "--history", str(tmp_path / "history.jsonl"),
+        "--docs", "120", "--repeats", "3",
+        *extra,
+    ])
+
+
+def test_cli_run_appends_history_and_pins_baseline(tmp_path, capsys):
+    assert bench_cli(tmp_path, "--write-baseline") == 0
+    out = capsys.readouterr().out
+    assert "baseline pinned" in out
+    history = load_history(tmp_path / "history.jsonl")
+    run_id, records = latest_run(history)
+    assert run_id is not None
+    assert len(records) == 8  # Q4..Q11
+    assert all(name.startswith("workload_Q") for name in records)
+    baseline = load_baseline(tmp_path / "baseline.json")
+    assert baseline["params"] == {"docs": 120, "scheme": "sumbest"}
+    # Each run appends exactly one batch: a second run doubles the file.
+    assert bench_cli(tmp_path) == 0
+    capsys.readouterr()
+    assert len(load_history(tmp_path / "history.jsonl")) == 16
+
+
+def test_cli_check_passes_on_unchanged_run(tmp_path, capsys):
+    assert bench_cli(tmp_path, "--write-baseline") == 0
+    capsys.readouterr()
+    # Generous tolerance: wall noise must not flake this test; rows are
+    # deterministic and exact.
+    assert bench_cli(tmp_path, "--check", "--max-slowdown", "50") == 0
+    assert "gate OK" in capsys.readouterr().out
+
+
+def test_cli_check_fails_on_synthetic_slowdown(tmp_path, capsys):
+    assert bench_cli(tmp_path, "--write-baseline") == 0
+    capsys.readouterr()
+    path = tmp_path / "baseline.json"
+    baseline = json.loads(path.read_text())
+    for rec in baseline["benchmarks"].values():
+        if rec["wall_ms"]:
+            rec["wall_ms"] /= 1000.0  # pretend the past was 1000x faster
+    path.write_text(json.dumps(baseline))
+    assert bench_cli(tmp_path, "--check", "--max-slowdown", "2") == 1
+    err = capsys.readouterr().err
+    assert "REGRESSION" in err and "wall_ms" not in err  # message is prose
+
+
+def test_cli_check_fails_on_row_drift(tmp_path, capsys):
+    assert bench_cli(tmp_path, "--write-baseline") == 0
+    capsys.readouterr()
+    path = tmp_path / "baseline.json"
+    baseline = json.loads(path.read_text())
+    name = sorted(baseline["benchmarks"])[0]
+    baseline["benchmarks"][name]["rows"] += 1
+    path.write_text(json.dumps(baseline))
+    assert bench_cli(tmp_path, "--check", "--max-slowdown", "50") == 1
+    assert "result/work count changed" in capsys.readouterr().err
+
+
+def test_cli_check_json_payload(tmp_path, capsys):
+    assert bench_cli(tmp_path, "--write-baseline") == 0
+    capsys.readouterr()
+    assert bench_cli(
+        tmp_path, "--check", "--max-slowdown", "50", "--json"
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["checked"] is True
+    assert payload["regressions"] == []
+    assert len(payload["records"]) == 8
+    for rec in payload["records"].values():
+        assert rec["schema"] == 1
+        assert rec["run_id"] == payload["run_id"]

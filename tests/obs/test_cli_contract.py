@@ -65,6 +65,32 @@ def test_degraded_profile_output_matches_schema(index_dir, schema, capsys):
     assert payload["limit_hit"] == "max_rows"
 
 
+def test_audit_output_matches_schema(index_dir, schema, capsys):
+    payload = profile_json(capsys, index_dir, "alpha beta", "--audit")
+    validate(payload, schema)
+    assert payload["audit"] is not None
+    assert payload["audit"]["ok"] is True
+    assert payload["audit"]["reference"] == "canonical"
+    assert payload["audit"]["rules"]
+
+
+def test_audit_field_null_without_flag(index_dir, schema, capsys):
+    payload = profile_json(capsys, index_dir, "alpha beta")
+    validate(payload, schema)
+    assert payload["audit"] is None
+
+
+def test_schema_rejects_audit_drift(index_dir, schema, capsys):
+    payload = profile_json(capsys, index_dir, "alpha beta", "--audit")
+    payload["audit"]["verdict"] = "fine"  # not part of the contract
+    with pytest.raises(SchemaError):
+        validate(payload, schema)
+    del payload["audit"]["verdict"]
+    payload["audit"]["divergence"] = "ranking_anomaly"  # unknown kind
+    with pytest.raises(SchemaError):
+        validate(payload, schema)
+
+
 def test_schema_rejects_shape_drift(index_dir, schema, capsys):
     """The validator actually bites: a drifted payload must fail."""
     payload = profile_json(capsys, index_dir, "alpha beta")

@@ -61,6 +61,33 @@ def test_search_profile_json_has_trace(index_dir, capsys):
     assert payload["metrics"]["rows_charged"] >= 0
 
 
+def test_search_audit_json(index_dir, capsys):
+    payload, _ = _run_json(
+        capsys, ["search", index_dir, "alpha beta", "--json", "--audit"]
+    )
+    assert payload["audit"] is not None
+    assert payload["audit"]["ok"] is True
+    assert payload["audit"]["query"] == "alpha beta"
+    assert payload["audit"]["checked"] == len(payload["results"])
+
+
+def test_search_audit_text_mode(index_dir, capsys):
+    assert main(["search", index_dir, "alpha beta", "--audit"]) == 0
+    out = capsys.readouterr().out
+    assert "audit ok" in out
+
+
+def test_search_audit_skipped_on_degraded(index_dir, capsys):
+    payload, err = _run_json(
+        capsys,
+        ["search", index_dir, "alpha beta", "--json", "--audit",
+         "--max-rows", "1", "--on-limit", "partial"],
+    )
+    assert payload["degraded"] is True
+    assert payload["audit"] is None
+    assert "audit skipped" in err
+
+
 def test_search_json_limit_warning_on_stderr(index_dir, capsys):
     payload, err = _run_json(
         capsys,

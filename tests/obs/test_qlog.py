@@ -1,0 +1,231 @@
+"""Structured query log: rotation, sampling, readers, CLI, schema."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.api import SearchEngine
+from repro.cli import main
+from repro.errors import GraftError
+from repro.obs.audit import AuditConfig
+from repro.obs.qlog import (
+    QueryLog,
+    log_stats,
+    read_log,
+    tail_records,
+)
+from repro.obs.schema import validate
+
+from tests.conftest import make_tiny_collection
+
+SCHEMA_PATH = pathlib.Path(__file__).with_name("trace_schema.json")
+
+
+def make_record(i: int, **overrides) -> dict:
+    record = {
+        "schema": 1, "ts": float(i), "query": f"query {i}",
+        "scheme": "sumbest", "status": "ok", "wall_ms": 1.0,
+        "slow": False, "sampled": True, "top_k": None, "limit_hit": None,
+        "applied_optimizations": [], "results": 0, "audit_ok": None,
+        "trace": None,
+    }
+    record.update(overrides)
+    return record
+
+
+# -- construction ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("rate", [-0.5, 1.5])
+def test_rejects_bad_sample_rate(tmp_path, rate):
+    with pytest.raises(GraftError):
+        QueryLog(tmp_path / "q.jsonl", sample_rate=rate)
+
+
+def test_rejects_tiny_max_bytes(tmp_path):
+    with pytest.raises(GraftError):
+        QueryLog(tmp_path / "q.jsonl", max_bytes=10)
+
+
+# -- rotation --------------------------------------------------------------
+
+
+def test_rotation_never_truncates_a_record(tmp_path):
+    """Every line in every file (active + rotated) parses whole: rotation
+    happens before the write, so no record is ever split across files."""
+    ql = QueryLog(tmp_path / "q.jsonl", max_bytes=1024, max_rotations=3)
+    for i in range(60):
+        ql.append(make_record(i, query=f"query {i} " + "x" * 100))
+    files = ql.files()
+    assert len(files) == 4  # 3 rotated + active
+    seen = []
+    for file in files:
+        for line in file.read_text().splitlines():
+            record = json.loads(line)  # raises if a record was torn
+            seen.append(record["ts"])
+        assert file.stat().st_size <= 1024 + 300  # one oversized line max
+    # Records survive in order within the retained window, no duplicates.
+    assert seen == sorted(seen)
+    assert len(seen) == len(set(seen))
+    assert seen[-1] == 59.0
+
+
+def test_rotation_drops_oldest_beyond_max(tmp_path):
+    ql = QueryLog(tmp_path / "q.jsonl", max_bytes=1024, max_rotations=2)
+    for i in range(100):
+        ql.append(make_record(i, query="y" * 150))
+    assert len(ql.files()) == 3  # .2, .1, active — .3+ never exists
+    assert not (tmp_path / "q.jsonl.3").exists()
+
+
+def test_oversized_single_record_lands_whole(tmp_path):
+    ql = QueryLog(tmp_path / "q.jsonl", max_bytes=1024)
+    ql.append(make_record(0, query="z" * 5000))
+    [record] = read_log(tmp_path / "q.jsonl")
+    assert record["query"] == "z" * 5000
+
+
+# -- sampling and the slow-query override ----------------------------------
+
+
+def test_sample_rate_zero_still_logs_slow_queries(tmp_path):
+    ql = QueryLog(tmp_path / "q.jsonl", sample_rate=0.0, slow_ms=100.0)
+    assert not ql.log_query("fast", "sumbest", "ok", 5.0)
+    assert ql.log_query("slow", "sumbest", "ok", 250.0)
+    records = read_log(tmp_path / "q.jsonl")
+    assert [r["query"] for r in records] == ["slow"]
+    assert records[0]["slow"] is True
+    assert records[0]["sampled"] is False  # forced, not sampled
+
+
+def test_sample_rate_zero_still_logs_failures(tmp_path):
+    ql = QueryLog(tmp_path / "q.jsonl", sample_rate=0.0)
+    assert ql.log_query("boom", "sumbest", "error", 1.0)
+    assert ql.log_query("degraded", "sumbest", "degraded", 1.0)
+    assert not ql.log_query("fine", "sumbest", "ok", 1.0)
+    assert [r["status"] for r in read_log(tmp_path / "q.jsonl")] == [
+        "error", "degraded",
+    ]
+
+
+def test_half_rate_keeps_exactly_every_other(tmp_path):
+    ql = QueryLog(tmp_path / "q.jsonl", sample_rate=0.5)
+    written = [
+        ql.log_query(f"q{i}", "sumbest", "ok", 1.0) for i in range(6)
+    ]
+    assert written == [False, True, False, True, False, True]
+
+
+def test_trace_embedded_only_for_slow_or_failed(tmp_path):
+    ql = QueryLog(tmp_path / "q.jsonl", slow_ms=100.0)
+    eng = SearchEngine(make_tiny_collection(), qlog=ql)
+    eng.search("quick fox", profile=True)  # fast, ok -> no trace
+    records = read_log(tmp_path / "q.jsonl")
+    assert records[0]["trace"] is None
+    slow_ql = QueryLog(tmp_path / "q2.jsonl", slow_ms=0.0)
+    eng2 = SearchEngine(make_tiny_collection(), qlog=slow_ql)
+    eng2.search("quick fox", profile=True)  # everything is "slow"
+    [slow_rec] = read_log(tmp_path / "q2.jsonl")
+    assert slow_rec["slow"] is True
+    assert slow_rec["trace"] is not None
+    assert slow_rec["trace"]["op"]
+
+
+# -- engine integration and schema -----------------------------------------
+
+
+def test_engine_records_validate_against_schema(tmp_path):
+    schema = json.loads(SCHEMA_PATH.read_text())
+    ql = QueryLog(tmp_path / "q.jsonl", slow_ms=0.0)
+    eng = SearchEngine(
+        make_tiny_collection(),
+        audit=AuditConfig(rate=1.0),
+        qlog=ql,
+    )
+    from repro.exec.limits import QueryLimits
+
+    eng.search("quick fox", profile=True)
+    eng.search("quick (fox | dog)", top_k=3)
+    with pytest.raises(GraftError):
+        eng.search("quick (fox | dog)", limits=QueryLimits(max_rows=1))
+    records = read_log(tmp_path / "q.jsonl")
+    assert len(records) == 3
+    for record in records:
+        validate(record, schema["$defs"]["qlog_record"], root=schema)
+    assert records[0]["audit_ok"] is True
+    assert records[1]["top_k"] == 3
+    assert records[2]["status"] == "error"
+    assert records[2]["results"] == 0
+
+
+# -- readers ---------------------------------------------------------------
+
+
+def test_read_log_missing_file_raises(tmp_path):
+    with pytest.raises(GraftError):
+        read_log(tmp_path / "absent.jsonl")
+
+
+def test_malformed_line_is_named(tmp_path):
+    path = tmp_path / "q.jsonl"
+    path.write_text(json.dumps(make_record(0)) + "\n{torn")
+    with pytest.raises(GraftError, match="q.jsonl:2"):
+        read_log(path)
+
+
+def test_tail_returns_last_n(tmp_path):
+    ql = QueryLog(tmp_path / "q.jsonl")
+    for i in range(10):
+        ql.append(make_record(i))
+    tail = tail_records(tmp_path / "q.jsonl", n=3)
+    assert [r["ts"] for r in tail] == [7.0, 8.0, 9.0]
+
+
+def test_stats_aggregates_across_rotated_files(tmp_path):
+    ql = QueryLog(tmp_path / "q.jsonl", max_bytes=2048, max_rotations=5)
+    for i in range(30):
+        ql.append(make_record(
+            i,
+            status="error" if i % 10 == 0 else "ok",
+            scheme="anysum" if i % 2 else "sumbest",
+            wall_ms=float(i),
+        ))
+    assert len(ql.files()) > 1  # rotation actually happened
+    stats = log_stats(tmp_path / "q.jsonl")
+    assert stats["records"] == 30
+    assert stats["by_status"]["error"] == 3
+    assert stats["by_scheme"] == {"anysum": 15, "sumbest": 15}
+    assert stats["wall_ms"]["max"] == 29.0
+    active_only = log_stats(tmp_path / "q.jsonl", include_rotated=False)
+    assert active_only["records"] < 30
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def test_cli_tail_and_stats(tmp_path, capsys):
+    ql = QueryLog(tmp_path / "q.jsonl", slow_ms=100.0)
+    ql.log_query("fast one", "sumbest", "ok", 2.0)
+    ql.log_query("slow one", "anysum", "ok", 300.0)
+    path = str(tmp_path / "q.jsonl")
+
+    assert main(["qlog", "tail", path, "-n", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "slow one" in out and "fast one" not in out
+    assert "[slow]" in out
+
+    assert main(["qlog", "stats", path]) == 0
+    out = capsys.readouterr().out
+    assert "2 records" in out
+
+    assert main(["qlog", "tail", path, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["records"]) == 2
+
+    assert main(["qlog", "stats", path, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["records"] == 2
+    assert payload["slow"] == 1

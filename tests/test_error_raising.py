@@ -115,6 +115,30 @@ def raise_query_timeout_error(engine):
     )
 
 
+def raise_score_consistency_error(engine):
+    import repro.api
+    from repro.graft.optimizer import Optimizer, OptimizerOptions
+    from repro.obs.audit import AuditConfig
+
+    class GateDroppingOptimizer(Optimizer):
+        def _allowed(self, name: str) -> bool:
+            return True
+
+    original = repro.api.Optimizer
+    repro.api.Optimizer = GateDroppingOptimizer
+    try:
+        broken = SearchEngine(
+            engine.collection, audit=AuditConfig(rate=1.0, mode="strict")
+        )
+        broken.search(
+            "quick (dog | boom)",
+            scheme="sumbest",
+            options=OptimizerOptions(eager_aggregation=False),
+        )
+    finally:
+        repro.api.Optimizer = original
+
+
 #: error class -> callable(engine, tmp_path) raising it through the API.
 SCENARIOS = {
     errors.GraftError: raise_graft_error,
@@ -132,6 +156,7 @@ SCENARIOS = {
     errors.StoreLockedError: raise_store_locked_error,
     errors.ResourceExhaustedError: raise_resource_exhausted_error,
     errors.QueryTimeoutError: raise_query_timeout_error,
+    errors.ScoreConsistencyError: raise_score_consistency_error,
 }
 
 #: Scenarios that persist state and therefore need a scratch directory.
