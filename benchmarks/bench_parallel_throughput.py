@@ -1,0 +1,161 @@
+"""Sharded-execution throughput and the two-tier query cache's payoff.
+
+Two claims are measured over the paper's eight evaluation queries:
+
+* **Sharded throughput** — one pass over the whole workload executed
+  serially and through :func:`repro.exec.parallel.execute_sharded` at
+  2 and 4 shards.  The result *rows* must be identical at every shard
+  count (the score-consistent merge is exact, not approximate), so the
+  exported records double as a correctness gate.  Wall-clock speedup is
+  reported next to ``os.cpu_count()``: thread parallelism is bounded by
+  cores and, for pure-Python operators, by the GIL — on a single-core
+  runner the expected speedup is ~1.0x and the honest number is recorded
+  rather than gamed (docs/PERFORMANCE.md).
+
+* **Plan-cache repeat** — the same workload through a
+  :class:`repro.api.SearchEngine` twice, cold then warm.  The warm pass
+  must hit the plan cache on every query (hits are asserted via the
+  engine's cache stats, which back the
+  ``graft_plan_cache_hits_total`` metric) and skips
+  parse→canonicalize→optimize entirely.
+"""
+
+import os
+
+import pytest
+
+from repro.api import SearchEngine
+from repro.bench.reporting import render_table
+from repro.bench.workload import PAPER_QUERIES
+from repro.exec.cache import CacheConfig
+from repro.exec.engine import execute, make_runtime
+from repro.exec.parallel import execute_sharded
+from repro.graft.optimizer import Optimizer
+from repro.index.shard import ShardedIndex
+from repro.sa.context import IndexScoringContext
+from repro.sa.registry import get_scheme
+
+from benchmarks.conftest import median_seconds, write_artifact, write_bench_json
+
+SCHEME = "sumbest"
+
+SHARD_COUNTS = (1, 2, 4)
+
+MEASURED: dict[int, float] = {}
+ROWS: dict[int, int] = {}
+CACHE: dict[str, float | dict] = {}
+
+
+def _optimized(fx):
+    scheme = get_scheme(SCHEME)
+    return scheme, [
+        Optimizer(scheme, fx.index).optimize(query)
+        for query in fx.queries.values()
+    ]
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_parallel_measure(shards, benchmark, fx):
+    scheme, optimized = _optimized(fx)
+    ctx = IndexScoringContext(fx.index)
+    sharded = ShardedIndex(fx.index, shards) if shards > 1 else None
+
+    def run():
+        total = 0
+        for result in optimized:
+            if sharded is None:
+                runtime = make_runtime(fx.index, scheme, result.info, ctx)
+                total += len(execute(result.plan, runtime))
+            else:
+                total += len(execute_sharded(
+                    sharded, result.plan, scheme, result.info, ctx
+                ).results)
+        run.rows = total
+
+    run.rows = None
+    benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["rows"] = run.rows
+    MEASURED[shards] = median_seconds(benchmark)
+    ROWS[shards] = run.rows
+
+
+def test_plan_cache_repeat(benchmark, fx):
+    engine = SearchEngine(fx.collection, cache=CacheConfig())
+    engine._index = fx.index  # reuse the session fixture's index
+
+    def run():
+        total = 0
+        for text in PAPER_QUERIES.values():
+            total += len(engine.search(text, scheme=SCHEME))
+        run.rows = total
+
+    run.rows = None
+    run()  # cold pass: every query is a plan-cache miss
+    cold = dict(engine.cache_stats()["plan"])
+    benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["rows"] = run.rows
+    warm = dict(engine.cache_stats()["plan"])
+    CACHE["warm_seconds"] = median_seconds(benchmark)
+    CACHE["rows"] = run.rows
+    CACHE["stats"] = warm
+    # Every query text repeats, so the timed passes must be all hits:
+    # misses stop after the cold pass, hits keep climbing.
+    assert warm["misses"] == cold["misses"] == len(PAPER_QUERIES)
+    assert warm["hits"] > cold["hits"] >= 0
+
+
+def test_parallel_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if set(MEASURED) != set(SHARD_COUNTS) or "warm_seconds" not in CACHE:
+        pytest.skip("measurements missing (run the whole module)")
+
+    # The merge is exact: every shard count must agree on total rows.
+    assert len(set(ROWS.values())) == 1, ROWS
+
+    serial = MEASURED[1]
+    table_rows = [
+        [
+            f"{n} shard{'s' if n > 1 else ''}",
+            f"{MEASURED[n] * 1000:.3f} ms",
+            f"{len(PAPER_QUERIES) / MEASURED[n]:.1f} q/s",
+            f"{serial / MEASURED[n]:.2f}x",
+        ]
+        for n in SHARD_COUNTS
+    ]
+    table_rows.append([
+        "plan-cache warm",
+        f"{CACHE['warm_seconds'] * 1000:.3f} ms",
+        f"{len(PAPER_QUERIES) / CACHE['warm_seconds']:.1f} q/s",
+        f"{serial / CACHE['warm_seconds']:.2f}x",
+    ])
+    text = render_table(
+        ["configuration", "median pass", "throughput", "vs serial"],
+        table_rows,
+        title=(
+            f"Paper workload throughput, sharded execution + plan cache "
+            f"({os.cpu_count()} cores)"
+        ),
+    )
+    write_artifact("parallel_throughput.txt", text)
+    write_bench_json(
+        "parallel_throughput",
+        {
+            "median_ms": {f"s{n}": MEASURED[n] * 1000 for n in SHARD_COUNTS},
+            "qps": {
+                f"s{n}": len(PAPER_QUERIES) / MEASURED[n]
+                for n in SHARD_COUNTS
+            },
+            "speedup_vs_serial": {
+                f"s{n}": serial / MEASURED[n] for n in SHARD_COUNTS
+            },
+            "plan_cache": {
+                "warm_ms": CACHE["warm_seconds"] * 1000,
+                "speedup_vs_serial": serial / CACHE["warm_seconds"],
+                "stats": CACHE["stats"],
+            },
+            "cores": os.cpu_count(),
+        },
+        wall_ms=MEASURED[max(SHARD_COUNTS)] * 1000,
+        rows=ROWS[1],
+        params={"scheme": SCHEME, "shard_counts": list(SHARD_COUNTS)},
+    )

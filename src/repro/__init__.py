@@ -32,7 +32,7 @@ from repro.errors import (
     QueryTimeoutError,
     ResourceExhaustedError,
 )
-from repro.exec import FaultInjector, FaultSpec, QueryLimits
+from repro.exec import CacheConfig, FaultInjector, FaultSpec, QueryLimits
 from repro.graft import Optimizer, OptimizerOptions
 from repro.index import build_index
 from repro.mcalc import parse_query
@@ -64,6 +64,7 @@ __all__ = [
     "ResourceExhaustedError",
     "QueryTimeoutError",
     "QueryLimits",
+    "CacheConfig",
     "FaultInjector",
     "FaultSpec",
     "__version__",

@@ -12,6 +12,8 @@ Example:
 
 from __future__ import annotations
 
+import dataclasses
+import os
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
@@ -19,6 +21,7 @@ from typing import TYPE_CHECKING, Iterable
 from repro.corpus.analyzer import Analyzer
 from repro.corpus.collection import DocumentCollection
 from repro.errors import GraftError, IndexError_, ResourceExhaustedError
+from repro.exec.cache import CacheConfig, LRUCache
 from repro.exec.engine import execute, make_runtime, validate_top_k
 from repro.exec.iterator import ExecutionMetrics, pull_doc
 from repro.exec.limits import QueryGuard, QueryLimits
@@ -28,6 +31,7 @@ if TYPE_CHECKING:
     import pathlib
 
     from repro.exec.faults import FaultInjector
+    from repro.index.shard import ShardedIndex
     from repro.index.store import IndexStore, StoreFaultInjector, StoreLock
     from repro.obs.audit import AuditConfig, AuditEvent, Auditor
     from repro.obs.qlog import QueryLog
@@ -81,6 +85,13 @@ class SearchOutcome:
     an engine-level audit config — ``audit.ok`` False means the
     optimized plan diverged from the canonical plan; None when auditing
     is off or this query was not sampled.
+
+    ``shard_count``/``shards_pruned`` describe parallel execution: how
+    many index shards the engine was configured with and how many of
+    them partition pruning skipped (1 and 0 for serial execution).
+    ``plan_cached`` is True when parse+optimize was skipped via the plan
+    cache; ``result_cached`` is True when the whole outcome was answered
+    from the result cache (no execution happened at all).
     """
 
     results: list[SearchResult]
@@ -93,6 +104,10 @@ class SearchOutcome:
     stats: "TraceNode | None" = None
     wall_ms: float | None = None
     audit: "AuditEvent | None" = None
+    shard_count: int = 1
+    shards_pruned: int = 0
+    plan_cached: bool = False
+    result_cached: bool = False
 
     def __iter__(self):
         return iter(self.results)
@@ -121,6 +136,8 @@ class SearchEngine:
         scoring_context: ScoringContext | None = None,
         audit: "AuditConfig | None" = None,
         qlog: "QueryLog | None" = None,
+        shards: int | None = None,
+        cache: CacheConfig | None = None,
     ):
         """Args (observability; both default off with a zero-cost path):
             audit: Shadow-execution score-consistency auditing config
@@ -134,6 +151,16 @@ class SearchEngine:
                 (:class:`repro.obs.qlog.QueryLog`); every search is
                 offered to it (sampling and the slow-query override are
                 the log's own policy).
+            shards: Partition the index into this many contiguous
+                doc-id ranges and execute plans shard-parallel with a
+                score-consistent top-k merge (docs/PERFORMANCE.md).
+                ``None`` reads the ``REPRO_SHARDS`` environment variable
+                (default 1 = serial).  Fault-injected searches always
+                run serially (deterministic fault counters).
+            cache: Two-tier query cache capacities
+                (:class:`repro.exec.cache.CacheConfig`).  ``None``
+                enables the default plan cache with the result cache
+                off; pass :meth:`CacheConfig.off` to disable both.
         """
         self.collection = (
             collection if collection is not None else DocumentCollection(analyzer)
@@ -148,6 +175,14 @@ class SearchEngine:
             from repro.obs.audit import Auditor
 
             self._auditor = Auditor(audit)
+        self._shards = _resolve_shards(shards)
+        self._sharded: "ShardedIndex | None" = None
+        self.cache_config = cache if cache is not None else CacheConfig()
+        self._plan_cache = LRUCache(self.cache_config.plan_capacity)
+        self._result_cache = LRUCache(self.cache_config.result_capacity)
+        #: Monotone index version: bumped by every mutation, part of
+        #: every cache key, so stale entries are unreachable by design.
+        self._generation = 0
 
     # -- corpus management ---------------------------------------------------
 
@@ -161,6 +196,8 @@ class SearchEngine:
         """
         doc = self.collection.add_text(text, title)
         self._index = None
+        self._sharded = None
+        self._generation += 1
         if self._store is not None:
             from repro.corpus.io import document_record
 
@@ -183,6 +220,47 @@ class SearchEngine:
         if self._index is None:
             self._index = build_index(self.collection)
         return self._index
+
+    @property
+    def shards(self) -> int:
+        """Shard count used for plan execution (1 = serial)."""
+        return self._shards
+
+    @shards.setter
+    def shards(self, value: int) -> None:
+        self._shards = _resolve_shards(value)
+        self._sharded = None
+
+    def _sharded_index(self) -> "ShardedIndex":
+        """The sharded view of the current index (rebuilt after
+        mutations — `base is` comparison catches lazy index rebuilds)."""
+        index = self.index
+        if (
+            self._sharded is None
+            or self._sharded.base is not index
+            or self._sharded.num_shards != self._shards
+        ):
+            from repro.index.shard import ShardedIndex
+
+            self._sharded = ShardedIndex(index, self._shards)
+        return self._sharded
+
+    def cache_stats(self) -> dict:
+        """Hit/miss/size counters of both cache tiers (JSON-ready)."""
+        return {
+            "plan": {
+                "capacity": self._plan_cache.capacity,
+                "size": len(self._plan_cache),
+                "hits": self._plan_cache.hits,
+                "misses": self._plan_cache.misses,
+            },
+            "result": {
+                "capacity": self._result_cache.capacity,
+                "size": len(self._result_cache),
+                "hits": self._result_cache.hits,
+                "misses": self._result_cache.misses,
+            },
+        }
 
     def scoring_context(self) -> ScoringContext:
         if self._ctx_override is not None:
@@ -236,8 +314,62 @@ class SearchEngine:
         """
         validate_top_k(top_k)
         raw_query = query
-        query = self._resolve_query(query)
+        scheme_by_name = isinstance(scheme, str)
         scheme = self._resolve_scheme(scheme)
+
+        # Cache keys exist only for (text, registry-scheme) searches —
+        # pre-built Query objects and ad-hoc scheme instances have no
+        # stable identity to key on.  The index generation is part of
+        # every key: mutations invalidate by making old keys unreachable.
+        plan_key = None
+        if scheme_by_name and isinstance(raw_query, str) and self._plan_cache.capacity:
+            plan_key = (
+                raw_query,
+                scheme.name,
+                _options_key(options),
+                bool(optimize),
+                self._generation,
+            )
+
+        plain = (
+            not use_rank_join
+            and limits is None
+            and faults is None
+            and not profile
+            and self._auditor is None
+        )
+        result_key = None
+        if plan_key is not None and self._result_cache.capacity and plain:
+            result_key = plan_key + (top_k,)
+            hit = self._result_cache.get(result_key)
+            from repro.obs.metrics import (
+                REGISTRY,
+                result_cache_hits,
+                result_cache_misses,
+            )
+
+            if hit is not None:
+                result_cache_hits(REGISTRY).child().inc()
+                started = time.perf_counter()
+                outcome = self._cached_outcome(hit)
+                self._record_query(
+                    raw_query, scheme.name, outcome,
+                    time.perf_counter() - started, top_k,
+                )
+                return outcome
+            result_cache_misses(REGISTRY).child().inc()
+
+        cached_plan = (
+            self._plan_cache.get(plan_key) if plan_key is not None else None
+        )
+        if cached_plan is not None:
+            from repro.obs.metrics import REGISTRY, plan_cache_hits
+
+            plan_cache_hits(REGISTRY).child().inc()
+            query, result = cached_plan
+        else:
+            query = self._resolve_query(raw_query)
+            result = None
         ctx = self.scoring_context()
         query_text = self._query_text(raw_query, query)
 
@@ -247,7 +379,9 @@ class SearchEngine:
             pairs = rank_topk(query, scheme, self.index, top_k, ctx, guard=guard)
             elapsed = time.perf_counter() - started
             metrics = ExecutionMetrics(rows_charged=guard.rows_charged)
-            outcome = self._outcome(pairs, ["rank-join-topk"], metrics, "", guard)
+            outcome = self._outcome(
+                pairs, ["rank-join-topk"], metrics, "", guard.tripped
+            )
             self._maybe_audit(
                 query, query_text, scheme, ctx, outcome, top_k, faults
             )
@@ -256,47 +390,114 @@ class SearchEngine:
                 self._auditor.raise_if_strict(outcome.audit)
             return outcome
 
-        tracer = None
-        if profile:
-            from repro.obs.trace import Tracer
-
-            tracer = Tracer()
-        optimizer = Optimizer(scheme, self.index, options)
-        result = optimizer.optimize(query) if optimize else optimizer.canonical(query)
-        runtime = make_runtime(
-            self.index, scheme, result.info, ctx,
-            limits=limits, faults=faults, tracer=tracer,
-        )
-        started = time.perf_counter()
-        try:
-            pairs = execute(result.plan, runtime, top_k=top_k)
-        except GraftError:
-            self._record_query(
-                query_text, scheme.name, None,
-                time.perf_counter() - started, top_k,
+        if result is None:
+            optimizer = Optimizer(scheme, self.index, options)
+            result = (
+                optimizer.optimize(query) if optimize
+                else optimizer.canonical(query)
             )
-            raise
-        elapsed = time.perf_counter() - started
-        runtime.metrics.rows_charged = runtime.guard.rows_charged
-        outcome = self._outcome(
-            pairs,
-            list(result.applied),
-            runtime.metrics,
-            explain_plan(result.plan),
-            runtime.guard,
-        )
-        outcome.rewrite_log = list(result.rewrites)
-        if tracer is not None and tracer.root is not None:
-            from repro.obs.analyze import annotate_estimates
+            if plan_key is not None:
+                from repro.obs.metrics import REGISTRY, plan_cache_misses
 
-            annotate_estimates(tracer.root, self.index)
-            outcome.stats = tracer.root
-            outcome.wall_ms = tracer.total_ns / 1e6
+                plan_cache_misses(REGISTRY).child().inc()
+                self._plan_cache.put(plan_key, (query, result))
+
+        # Fault injection pins execution to the serial path: its
+        # fail-at-Nth-call counters are only deterministic when exactly
+        # one plan executes.
+        parallel = self._shards > 1 and faults is None
+        started = time.perf_counter()
+        if parallel:
+            from repro.exec.parallel import execute_sharded
+
+            try:
+                par = execute_sharded(
+                    self._sharded_index(), result.plan, scheme, result.info,
+                    ctx, top_k=top_k, limits=limits, profile=profile,
+                )
+            except GraftError:
+                self._record_query(
+                    query_text, scheme.name, None,
+                    time.perf_counter() - started, top_k,
+                )
+                raise
+            elapsed = time.perf_counter() - started
+            outcome = self._outcome(
+                par.results,
+                list(result.applied),
+                par.metrics,
+                explain_plan(result.plan),
+                par.tripped,
+            )
+            outcome.shard_count = par.shard_count
+            outcome.shards_pruned = par.shards_pruned
+            if profile and par.trace_root is not None:
+                from repro.obs.analyze import annotate_estimates
+
+                annotate_estimates(par.trace_root, self.index)
+                outcome.stats = par.trace_root
+                outcome.wall_ms = elapsed * 1000.0
+        else:
+            tracer = None
+            if profile:
+                from repro.obs.trace import Tracer
+
+                tracer = Tracer()
+            runtime = make_runtime(
+                self.index, scheme, result.info, ctx,
+                limits=limits, faults=faults, tracer=tracer,
+            )
+            try:
+                pairs = execute(result.plan, runtime, top_k=top_k)
+            except GraftError:
+                self._record_query(
+                    query_text, scheme.name, None,
+                    time.perf_counter() - started, top_k,
+                )
+                raise
+            elapsed = time.perf_counter() - started
+            runtime.metrics.rows_charged = runtime.guard.rows_charged
+            outcome = self._outcome(
+                pairs,
+                list(result.applied),
+                runtime.metrics,
+                explain_plan(result.plan),
+                runtime.guard.tripped,
+            )
+            if tracer is not None and tracer.root is not None:
+                from repro.obs.analyze import annotate_estimates
+
+                annotate_estimates(tracer.root, self.index)
+                outcome.stats = tracer.root
+                outcome.wall_ms = tracer.total_ns / 1e6
+        outcome.rewrite_log = list(result.rewrites)
+        outcome.plan_cached = cached_plan is not None
         self._maybe_audit(query, query_text, scheme, ctx, outcome, top_k, faults)
         self._record_query(query_text, scheme.name, outcome, elapsed, top_k)
         if outcome.audit is not None:
             self._auditor.raise_if_strict(outcome.audit)
+        if result_key is not None and not outcome.degraded:
+            self._result_cache.put(result_key, outcome)
         return outcome
+
+    def _cached_outcome(self, cached: SearchOutcome) -> SearchOutcome:
+        """A fresh outcome from a result-cache entry.
+
+        Results and provenance are copied from the cached outcome;
+        work counters are empty because no execution happened —
+        ``result_cached`` tells observers why.
+        """
+        return SearchOutcome(
+            results=list(cached.results),
+            applied_optimizations=list(cached.applied_optimizations),
+            metrics=ExecutionMetrics(),
+            plan_text=cached.plan_text,
+            rewrite_log=list(cached.rewrite_log),
+            shard_count=cached.shard_count,
+            shards_pruned=cached.shards_pruned,
+            plan_cached=True,
+            result_cached=True,
+        )
 
     def _query_text(self, raw: "str | Query", parsed: Query) -> str:
         """Shorthand text for logging/auditing, without re-unparsing on
@@ -398,19 +599,19 @@ class SearchEngine:
         applied: list[str],
         metrics: ExecutionMetrics,
         plan_text: str,
-        guard: QueryGuard,
+        tripped: str | None,
     ) -> SearchOutcome:
-        degraded = guard.tripped is not None
+        degraded = tripped is not None
         if degraded:
-            metrics.limit_tripped = guard.tripped
-            applied.append(f"limit:{guard.tripped}")
+            metrics.limit_tripped = tripped
+            applied.append(f"limit:{tripped}")
         return SearchOutcome(
             results=self._wrap(pairs),
             applied_optimizations=applied,
             metrics=metrics,
             plan_text=plan_text,
             degraded=degraded,
-            limit_hit=guard.tripped,
+            limit_hit=tripped,
         )
 
     def match_table(
@@ -708,10 +909,12 @@ class SearchEngine:
             )
         from repro.index.store import engine_payload
 
-        return self._store.checkpoint(
+        generation = self._store.checkpoint(
             engine_payload(self.index, self.collection),
             doc_count=len(self.collection),
         )
+        self._generation += 1
+        return generation
 
     def close(self) -> None:
         """Detach from the store and release the writer lock.
@@ -805,3 +1008,27 @@ class SearchEngine:
             title = self.collection[doc_id].title if doc_id < len(self.collection) else ""
             out.append(SearchResult(doc_id, score, title))
         return out
+
+
+def _resolve_shards(shards: int | None) -> int:
+    """Validate an explicit shard count, or read ``REPRO_SHARDS``."""
+    if shards is None:
+        raw = os.environ.get("REPRO_SHARDS", "").strip()
+        if not raw:
+            return 1
+        try:
+            shards = int(raw)
+        except ValueError:
+            raise GraftError(
+                f"REPRO_SHARDS must be a positive integer, got {raw!r}"
+            ) from None
+    if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+        raise GraftError(f"shards must be a positive integer, got {shards!r}")
+    return shards
+
+
+def _options_key(options: OptimizerOptions | None) -> tuple | None:
+    """Hashable cache-key component for the optimizer toggles."""
+    if options is None:
+        return None
+    return dataclasses.astuple(options)

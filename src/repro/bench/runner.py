@@ -65,3 +65,119 @@ def run_workload(
             },
         )
     return run_id, records
+
+
+#: Shard counts of the parallel-throughput sweep (1 = the serial anchor).
+PARALLEL_SHARD_COUNTS = (1, 2, 4)
+
+
+def run_parallel_throughput(
+    num_docs: int = DEFAULT_DOCS,
+    scheme_name: str = DEFAULT_SCHEME,
+    shard_counts: tuple[int, ...] = PARALLEL_SHARD_COUNTS,
+    repeats: int = DEFAULT_REPEATS,
+    kept: int = DEFAULT_KEPT,
+    run_id: str | None = None,
+    use_cache: bool = True,
+) -> tuple[str, dict[str, dict]]:
+    """Queries/sec over the whole paper workload at several shard counts.
+
+    One record per shard count (``parallel_qps_s1`` ...): ``wall_ms`` is
+    the median time for one pass over all eight queries, ``rows`` the
+    total result count — which sharding must not change, so the gate's
+    exact-``rows`` comparison doubles as a cheap merge-correctness check.
+    ``params`` records the achieved queries/sec and the machine's core
+    count: thread-parallel speedup is bounded by cores (and by the GIL
+    for pure-Python operators), so wall-clock claims only make sense
+    next to that bound (docs/PERFORMANCE.md).
+
+    A final ``plan_cache_repeat`` record measures the same pass through a
+    :class:`repro.api.SearchEngine` with the plan cache warm (or cold,
+    with ``use_cache=False``), quantifying what skipping
+    parse→canonicalize→optimize is worth on repeated query text.
+    """
+    import os
+
+    from repro.api import SearchEngine
+    from repro.exec.cache import CacheConfig
+    from repro.exec.parallel import execute_sharded
+    from repro.index.shard import ShardedIndex
+    from repro.sa.context import IndexScoringContext
+
+    run_id = run_id or new_run_id()
+    fx = bench_fixture(num_docs=num_docs)
+    scheme = get_scheme(scheme_name)
+    ctx = IndexScoringContext(fx.index)
+    optimized = [
+        (qname, Optimizer(scheme, fx.index).optimize(query))
+        for qname, query in fx.queries.items()
+    ]
+    records: dict[str, dict] = {}
+    base_params = {
+        "docs": num_docs,
+        "scheme": scheme_name,
+        "queries": len(optimized),
+        "repeats": repeats,
+        "kept": kept,
+        "cores": os.cpu_count(),
+    }
+
+    for count in shard_counts:
+        sharded = ShardedIndex(fx.index, count) if count > 1 else None
+        rows_holder: list[int] = []
+
+        def run():
+            total = 0
+            for _, result in optimized:
+                if sharded is None:
+                    runtime = make_runtime(fx.index, scheme, result.info, ctx)
+                    total += len(execute(result.plan, runtime))
+                else:
+                    total += len(
+                        execute_sharded(
+                            sharded, result.plan, scheme, result.info, ctx
+                        ).results
+                    )
+            rows_holder.append(total)
+
+        seconds = paper_measure(run, repeats=repeats, kept=kept)
+        name = f"parallel_qps_s{count}"
+        records[name] = bench_record(
+            name,
+            run_id=run_id,
+            wall_ms=seconds * 1000.0,
+            rows=rows_holder[-1],
+            params={
+                **base_params,
+                "shards": count,
+                "qps": round(len(optimized) / seconds, 2),
+            },
+        )
+
+    engine = SearchEngine(
+        fx.collection,
+        cache=CacheConfig() if use_cache else CacheConfig.off(),
+    )
+    engine._index = fx.index  # reuse the prebuilt fixture index
+    cache_rows: list[int] = []
+
+    def run_engine():
+        total = 0
+        for _, text in PAPER_QUERIES.items():
+            total += len(engine.search(text, scheme=scheme_name))
+        cache_rows.append(total)
+
+    run_engine()  # warm pass: populates (or bypasses) the plan cache
+    seconds = paper_measure(run_engine, repeats=repeats, kept=kept)
+    records["plan_cache_repeat"] = bench_record(
+        "plan_cache_repeat",
+        run_id=run_id,
+        wall_ms=seconds * 1000.0,
+        rows=cache_rows[-1],
+        params={
+            **base_params,
+            "cache": use_cache,
+            "plan_cache": engine.cache_stats()["plan"],
+        },
+    )
+    return run_id, records

@@ -103,6 +103,11 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", action="store_true",
                        help="emit one JSON object on stdout instead of text")
         if name == "search":
+            p.add_argument("--shards", type=int, default=None,
+                           help="execute the plan across N contiguous "
+                                "doc-id shards with a score-consistent "
+                                "top-k merge (default: REPRO_SHARDS or "
+                                "1 = serial)")
             p.add_argument("--profile", action="store_true",
                            help="trace execution and print EXPLAIN ANALYZE "
                                 "(per-operator actuals vs. estimates)")
@@ -187,6 +192,13 @@ def _build_parser() -> argparse.ArgumentParser:
                               "else sumbest)")
     p_bench.add_argument("--repeats", type=int, default=5,
                          help="measurement repetitions per query (default 5)")
+    p_bench.add_argument("--no-cache", action="store_true",
+                         help="run the repeated-query leg with the "
+                              "engine's plan cache disabled (measures "
+                              "what caching is worth)")
+    p_bench.add_argument("--no-parallel", action="store_true",
+                         help="skip the sharded-throughput sweep (only "
+                              "the per-query workload records)")
     p_bench.add_argument("--max-slowdown", type=float, default=None,
                          help="wall-time regression tolerance as a ratio "
                               "(default 1.5; raise on noisy shared runners)")
@@ -288,25 +300,58 @@ def _limits_from_args(args: argparse.Namespace) -> QueryLimits | None:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.api import _resolve_shards
+
     index, titles = _load(args)
     scheme, result = _optimize(args, index)
-    tracer = None
-    if args.profile:
-        from repro.obs.trace import Tracer
+    shards = _resolve_shards(args.shards)
+    limits = _limits_from_args(args)
+    trace_root = None
+    total_ns = None
+    shard_note = None
+    if shards > 1:
+        import time
 
-        tracer = Tracer()
-    runtime = make_runtime(index, scheme, result.info,
-                           limits=_limits_from_args(args), tracer=tracer)
-    ranked = execute(result.plan, runtime, top_k=args.top_k)
-    runtime.metrics.rows_charged = runtime.guard.rows_charged
-    limit_hit = runtime.guard.tripped
+        from repro.exec.parallel import execute_sharded
+        from repro.index.shard import ShardedIndex
+        from repro.sa.context import IndexScoringContext
+
+        started = time.perf_counter_ns()
+        par = execute_sharded(
+            ShardedIndex(index, shards), result.plan, scheme, result.info,
+            IndexScoringContext(index), top_k=args.top_k, limits=limits,
+            profile=args.profile,
+        )
+        if args.profile:  # the contract: no --profile, no wall time
+            total_ns = time.perf_counter_ns() - started
+        ranked = par.results
+        metrics = par.metrics
+        limit_hit = par.tripped
+        trace_root = par.trace_root
+        shard_note = {"shards": par.shard_count,
+                      "shards_pruned": par.shards_pruned}
+    else:
+        tracer = None
+        if args.profile:
+            from repro.obs.trace import Tracer
+
+            tracer = Tracer()
+        runtime = make_runtime(index, scheme, result.info,
+                               limits=limits, tracer=tracer)
+        ranked = execute(result.plan, runtime, top_k=args.top_k)
+        runtime.metrics.rows_charged = runtime.guard.rows_charged
+        metrics = runtime.metrics
+        limit_hit = runtime.guard.tripped
+        if tracer is not None:
+            trace_root = tracer.root
+            total_ns = tracer.total_ns
     if limit_hit is not None:
         print(f"note: partial results — {limit_hit} limit hit",
               file=sys.stderr)
-    if tracer is not None and tracer.root is not None:
+    if trace_root is not None:
         from repro.obs.analyze import annotate_estimates
 
-        annotate_estimates(tracer.root, index)
+        annotate_estimates(trace_root, index)
 
     audit_event = None
     if args.audit and limit_hit is None:
@@ -339,18 +384,19 @@ def _cmd_search(args: argparse.Namespace) -> int:
             "applied_optimizations": list(result.applied),
             "degraded": limit_hit is not None,
             "limit_hit": limit_hit,
-            "metrics": runtime.metrics.as_dict(),
+            "metrics": metrics.as_dict(),
             "trace": (
-                tracer.root.to_dict()
-                if tracer is not None and tracer.root is not None else None
+                trace_root.to_dict() if trace_root is not None else None
             ),
             "wall_ms": (
-                tracer.total_ns / 1e6 if tracer is not None else None
+                total_ns / 1e6 if total_ns is not None else None
             ),
             "audit": (
                 audit_event.to_dict() if audit_event is not None else None
             ),
         }
+        if shard_note is not None:
+            payload.update(shard_note)
         print(json.dumps(payload))
         if audit_event is not None and not audit_event.ok:
             print(f"error: {audit_event.describe()}", file=sys.stderr)
@@ -360,11 +406,14 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print("no matches")
     for rank, (doc, score) in enumerate(ranked, start=1):
         print(f"{rank:3}. {score:10.4f}  [{doc}] {title_of(doc)}")
-    if tracer is not None and tracer.root is not None:
+    if shard_note is not None:
+        print(f"({shard_note['shards']} shards, "
+              f"{shard_note['shards_pruned']} pruned)", file=sys.stderr)
+    if trace_root is not None:
         from repro.obs.analyze import render_analyze
 
         print()
-        print(render_analyze(tracer.root, total_ns=tracer.total_ns))
+        print(render_analyze(trace_root, total_ns=total_ns))
     if audit_event is not None:
         print()
         print(audit_event.describe())
@@ -530,7 +579,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         load_baseline,
         write_baseline,
     )
-    from repro.bench.runner import DEFAULT_DOCS, DEFAULT_SCHEME, run_workload
+    from repro.bench.runner import (
+        DEFAULT_DOCS,
+        DEFAULT_SCHEME,
+        run_parallel_throughput,
+        run_workload,
+    )
 
     baseline = None
     if args.check:
@@ -546,6 +600,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     run_id, records = run_workload(
         num_docs=docs, scheme_name=scheme, repeats=args.repeats
     )
+    if not args.no_parallel:
+        _, parallel_records = run_parallel_throughput(
+            num_docs=docs, scheme_name=scheme, repeats=args.repeats,
+            run_id=run_id, use_cache=not args.no_cache,
+        )
+        records.update(parallel_records)
     append_history(list(records.values()), args.history)
 
     if args.write_baseline:

@@ -14,18 +14,23 @@ deadlines, row budgets and per-document match caps, and
 that proves the engine's error paths.
 """
 
+from repro.exec.cache import CacheConfig
 from repro.exec.engine import execute, execute_streaming
 from repro.exec.faults import FaultInjector, FaultSpec, InjectedFault
 from repro.exec.iterator import ExecutionMetrics, Runtime
 from repro.exec.limits import QueryGuard, QueryLimits
+from repro.exec.parallel import ParallelResult, execute_sharded
 
 __all__ = [
     "execute",
     "execute_streaming",
+    "execute_sharded",
+    "ParallelResult",
     "Runtime",
     "ExecutionMetrics",
     "QueryGuard",
     "QueryLimits",
+    "CacheConfig",
     "FaultInjector",
     "FaultSpec",
     "InjectedFault",

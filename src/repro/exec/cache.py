@@ -1,0 +1,99 @@
+"""The engine's two-tier query cache: plans, then whole results.
+
+Tier 1 — the **plan cache** — memoizes the front half of a search
+(parse → canonicalize → optimize), keyed by the exact query text, the
+scheme name, the optimizer option toggles, and the index *generation*.
+The generation matters even though a plan is "just" algebra: the
+optimizer consults index statistics (join ordering is rarest-first, the
+cost model prices leaves by document frequency), so a plan optimized
+against generation N may be the wrong plan — though never a
+score-inconsistent one — for generation N+1.  Keying on the generation
+turns invalidation into a non-event: mutate the index and old entries
+simply stop being reachable.
+
+Tier 2 — the optional **result cache** — memoizes the entire ranked
+outcome under the same key plus ``top_k``.  It is off by default
+(capacity 0) because serving layers usually own result caching; when
+on, the engine only consults it for plain searches (no limits, no
+fault injection, no profiling, no auditing) so every observability and
+robustness path still executes for real.
+
+Both tiers are strict-LRU over an ``OrderedDict`` and count hits and
+misses into :mod:`repro.obs.metrics`
+(``graft_plan_cache_{hits,misses}_total``,
+``graft_result_cache_{hits,misses}_total``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.errors import GraftError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Capacities of the two cache tiers (entries, not bytes).
+
+    ``plan_capacity=0`` disables plan caching; ``result_capacity=0``
+    (the default) disables result caching.
+    """
+
+    plan_capacity: int = 256
+    result_capacity: int = 0
+
+    def __post_init__(self):
+        for name in ("plan_capacity", "result_capacity"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise GraftError(
+                    f"{name} must be a non-negative integer, got {value!r}"
+                )
+
+    @classmethod
+    def off(cls) -> "CacheConfig":
+        """Both tiers disabled (the CLI's ``--no-cache``)."""
+        return cls(plan_capacity=0, result_capacity=0)
+
+
+class LRUCache:
+    """A minimal strict-LRU map: get refreshes recency, put evicts the
+    least recently used entry once past capacity."""
+
+    __slots__ = ("capacity", "_data", "hits", "misses")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Any | None:
+        if self.capacity == 0:
+            return None
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data

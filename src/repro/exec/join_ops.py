@@ -47,13 +47,15 @@ class _CompiledPred:
         self.structural = self.impl.structural
 
     def holds(self, row: tuple, sentence_starts: tuple[int, ...] = ()) -> bool:
-        positions = [row[i] for i in self.indices]
-        for p in positions:
-            if p == ANY_POSITION:
-                raise ExecutionError(
-                    "full-text predicate applied to a pre-counted column; "
-                    "the optimizer must not forget positions a predicate needs"
-                )
+        # Hot path: one comprehension + one tuple() per candidate row
+        # (a generator expression here is measurably slower — CPython
+        # specializes list comprehensions; see bench_pred_holds.py).
+        positions = tuple([row[i] for i in self.indices])
+        if ANY_POSITION in positions:
+            raise ExecutionError(
+                "full-text predicate applied to a pre-counted column; "
+                "the optimizer must not forget positions a predicate needs"
+            )
         return self.impl.holds(positions, self.constants, sentence_starts)
 
 

@@ -1,0 +1,437 @@
+"""Parallel sharded plan execution with a score-consistent top-k merge.
+
+The driver takes one *logical* plan (optimized once, against the global
+index, so every shard runs the exact plan serial execution would run),
+compiles one *physical* plan per live shard — each scanning only its
+shard's slice of the postings lists while scoring through the global
+:class:`repro.sa.context.ScoringContext` — runs the shards on a
+``ThreadPoolExecutor``, and heap-merges the per-shard ranked outputs.
+
+Why the merge is exact (not approximate, unlike quantized WAND-style
+distribution): shard doc ranges are disjoint and tile the collection,
+and every per-document score is computed from *global* statistics
+(see :mod:`repro.index.shard`), so the multiset of (doc, score) pairs
+produced across shards equals the serial run's output exactly.  Each
+shard returns its rows already ranked by ``(-score, doc_id)`` — the
+engine's total order — and with per-shard ``top_k`` truncation the
+global top k is always contained in the union of the per-shard top k's.
+A k-way heap merge over the same key therefore reproduces the serial
+ranking bit for bit.
+
+Resource governance composes with sharding:
+
+* ``deadline_ms`` is **shared**: one absolute deadline is computed when
+  the query starts and installed into every shard's guard, so the whole
+  query — not each shard — gets the wall-clock budget.
+* ``max_rows`` is **split** across live shards (remainder to the first
+  shards), keeping the total work bound within one shard-count of the
+  serial bound.
+* ``max_matches_per_doc`` is per-document and documents never span
+  shards, so it passes through unchanged.
+
+Failure semantics mirror the serial engine: with ``on_limit="partial"``
+each tripped shard contributes the correctly-ranked prefix it scored
+and the merged outcome is flagged degraded; with ``on_limit="error"``
+(and for non-resource errors such as operator faults) the first failure
+cancels the remaining shards via a shared cancellation token checked at
+guard tick sites, and the original error propagates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.errors import ResourceExhaustedError
+from repro.exec.engine import execute
+from repro.exec.iterator import ExecutionMetrics, Runtime
+from repro.exec.limits import QueryGuard, QueryLimits
+from repro.graft.canonical import QueryInfo
+from repro.index.shard import ShardedIndex, ShardView
+from repro.ma.nodes import AntiJoin, Atom, PlanNode, PreCountAtom, Union
+from repro.sa.context import ScoringContext
+from repro.sa.scheme import ScoringScheme
+
+if TYPE_CHECKING:
+    from repro.obs.trace import TraceNode
+
+#: Guard-trip name used when a sibling shard's failure cancels this one.
+CANCELLED = "cancelled"
+
+
+class ShardCancelledError(ResourceExhaustedError):
+    """This shard was stopped because a sibling shard failed first."""
+
+
+def required_keywords(plan: PlanNode) -> frozenset[str]:
+    """Keywords every match of ``plan`` must contain.
+
+    Drives partition pruning: a shard where any required keyword has no
+    postings provably produces no output.  The recursion is conservative
+    (never claims a keyword is required unless it is):
+
+    * leaves require their own keyword;
+    * a ``Union`` match may come from either branch, so only keywords
+      required by *both* branches are required;
+    * an ``AntiJoin`` emits left rows only — the right branch filters
+      but never produces, so only the left side's requirements count;
+    * every other operator's output documents are a subset of (for
+      unary operators) or the intersection of (``Join``) its children's,
+      so the union of the children's requirements is required.
+    """
+    if isinstance(plan, (Atom, PreCountAtom)):
+        return frozenset((plan.keyword,))
+    if isinstance(plan, Union):
+        return required_keywords(plan.left) & required_keywords(plan.right)
+    if isinstance(plan, AntiJoin):
+        return required_keywords(plan.left)
+    out: frozenset[str] = frozenset()
+    for child in plan.children():
+        out |= required_keywords(child)
+    return out
+
+
+class ShardGuard(QueryGuard):
+    """A :class:`QueryGuard` for one shard of a parallel query.
+
+    Differences from the serial guard:
+
+    * the deadline is an **absolute** instant shared by all shards
+      (``start()`` installs it instead of re-arming relative to now);
+    * a shared cancellation token is checked at every deadline-check
+      site, so a failing sibling stops this shard within one
+      ``DEADLINE_CHECK_INTERVAL`` of charged rows;
+    * the guard is always active — cancellation must be observed even
+      for queries with no configured limits.
+    """
+
+    __slots__ = ("_deadline_at", "_cancel")
+
+    def __init__(
+        self,
+        limits: QueryLimits | None = None,
+        deadline_at: float | None = None,
+        cancel: threading.Event | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        super().__init__(limits, clock)
+        self._deadline_at = deadline_at
+        self._cancel = cancel
+        self.active = True
+        if deadline_at is not None:
+            self._deadline = deadline_at
+        elif cancel is not None and self._deadline is None:
+            # No deadline configured: install an unreachable one so the
+            # periodic check sites still fire and observe cancellation.
+            self._deadline = float("inf")
+
+    def start(self) -> None:
+        if self._deadline_at is not None:
+            self._deadline = self._deadline_at
+
+    def check_deadline(self) -> None:
+        if self._cancel is not None and self._cancel.is_set():
+            self._trip(
+                CANCELLED,
+                ShardCancelledError(
+                    "shard cancelled after a sibling shard failed",
+                    limit=CANCELLED,
+                ),
+            )
+        super().check_deadline()
+
+
+#: Builds one shard's guard; overridable for deterministic tests (e.g.
+#: a fake clock that expires mid-query in exactly one shard).
+GuardFactory = Callable[
+    [int, QueryLimits | None, "float | None", threading.Event], QueryGuard
+]
+
+
+def _default_guard_factory(
+    shard_index: int,
+    limits: QueryLimits | None,
+    deadline_at: float | None,
+    cancel: threading.Event,
+) -> QueryGuard:
+    return ShardGuard(limits, deadline_at=deadline_at, cancel=cancel)
+
+
+def split_limits(
+    limits: QueryLimits | None, num_shards: int
+) -> list[QueryLimits | None]:
+    """Split a query budget across ``num_shards`` shard guards.
+
+    ``max_rows`` is divided evenly (remainder spread over the first
+    shards, never below one row); the deadline and the per-document cap
+    pass through — the deadline becomes a shared absolute instant in
+    :func:`execute_sharded` and documents never span shards.
+    """
+    if limits is None or limits.max_rows is None:
+        return [limits] * num_shards
+    base, rem = divmod(limits.max_rows, num_shards)
+    return [
+        replace(limits, max_rows=max(1, base + (1 if i < rem else 0)))
+        for i in range(num_shards)
+    ]
+
+
+_RANK_KEY = lambda pair: (-pair[1], pair[0])  # noqa: E731
+
+
+def merge_ranked(
+    parts: Iterable[list[tuple[int, float]]], top_k: int | None = None
+) -> list[tuple[int, float]]:
+    """K-way merge of per-shard rankings into the engine's total order.
+
+    Every input list is already sorted by ``(-score, doc_id)`` (the
+    order :func:`repro.exec.engine.execute` returns), so a heap merge
+    is O(N log S) and — because shard doc sets are disjoint — exactly
+    equals sorting the concatenation.
+    """
+    merged = list(heapq.merge(*parts, key=_RANK_KEY))
+    if top_k is not None:
+        return merged[:top_k]
+    return merged
+
+
+@dataclass
+class ShardRun:
+    """What one shard's execution produced (for observability)."""
+
+    shard_id: int
+    lo: int
+    hi: int
+    rows: list[tuple[int, float]]
+    wall_ms: float
+    tripped: str | None
+    trace: "TraceNode | None" = None
+
+
+@dataclass
+class ParallelResult:
+    """Merged outcome of a sharded execution."""
+
+    results: list[tuple[int, float]]
+    metrics: ExecutionMetrics
+    #: First tripped limit name across shards (shard order), or None.
+    tripped: str | None
+    shard_count: int
+    shards_pruned: int
+    shard_runs: list[ShardRun] = field(default_factory=list)
+    #: Synthetic root holding one per-shard trace subtree (profiling).
+    trace_root: "TraceNode | None" = None
+
+
+def _merge_metrics(
+    into: ExecutionMetrics, runtimes: list[Runtime]
+) -> ExecutionMetrics:
+    for rt in runtimes:
+        m = rt.metrics
+        into.positions_scanned += m.positions_scanned
+        into.doc_entries_scanned += m.doc_entries_scanned
+        into.rows_grouped += m.rows_grouped
+        into.rows_joined += m.rows_joined
+        for kw, n in m.positions_by_keyword.items():
+            into.positions_by_keyword[kw] = (
+                into.positions_by_keyword.get(kw, 0) + n
+            )
+        into.rows_charged += rt.guard.rows_charged
+    return into
+
+
+def execute_sharded(
+    sharded: ShardedIndex,
+    plan: PlanNode,
+    scheme: ScoringScheme,
+    info: QueryInfo,
+    ctx: ScoringContext,
+    top_k: int | None = None,
+    limits: QueryLimits | None = None,
+    profile: bool = False,
+    max_workers: int | None = None,
+    guard_factory: GuardFactory | None = None,
+) -> ParallelResult:
+    """Run one optimized plan across all shards and merge the rankings.
+
+    ``ctx`` must be the *global* scoring context — passing a shard-local
+    context would change idf-style weights and break the exact-merge
+    guarantee (this is enforced by convention, not code: contexts do not
+    know their index's extent).
+
+    ``guard_factory`` is a test seam: it builds each shard's guard and
+    defaults to :class:`ShardGuard` wired to the shared deadline and
+    cancellation token.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    required = required_keywords(plan)
+    live = sharded.live_shards(required)
+    pruned = sharded.num_shards - len(live)
+    if not live:
+        # Every shard was pruned: the result is provably empty, but the
+        # observability contract still holds — profiling callers get the
+        # (childless) merge root and the pruned count reaches the registry.
+        _record_shard_metrics([], pruned)
+        return ParallelResult(
+            results=[],
+            metrics=ExecutionMetrics(),
+            tripped=None,
+            shard_count=sharded.num_shards,
+            shards_pruned=pruned,
+            trace_root=(
+                _build_trace_root(0, sharded.num_shards, [], [])
+                if profile else None
+            ),
+        )
+
+    deadline_at: float | None = None
+    if limits is not None and limits.deadline_ms is not None:
+        deadline_at = time.monotonic() + limits.deadline_ms / 1000.0
+    cancel = threading.Event()
+    factory = guard_factory if guard_factory is not None else _default_guard_factory
+    shard_limits = split_limits(limits, len(live))
+
+    runtimes: list[Runtime] = []
+    tracers = []
+    for i, shard in enumerate(live):
+        tracer = None
+        if profile:
+            from repro.obs.trace import Tracer
+
+            tracer = Tracer()
+        tracers.append(tracer)
+        runtimes.append(
+            Runtime(
+                index=shard,  # type: ignore[arg-type]  # Index-shaped view
+                ctx=ctx,
+                scheme=scheme,
+                info=info,
+                guard=factory(i, shard_limits[i], deadline_at, cancel),
+                tracer=tracer,
+            )
+        )
+
+    def run_shard(i: int) -> ShardRun:
+        shard = live[i]
+        started = time.perf_counter()
+        try:
+            rows = execute(plan, runtimes[i], top_k=top_k)
+        except BaseException:
+            cancel.set()
+            raise
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        tracer = tracers[i]
+        return ShardRun(
+            shard_id=shard.shard_id,
+            lo=shard.lo,
+            hi=shard.hi,
+            rows=rows,
+            wall_ms=wall_ms,
+            tripped=runtimes[i].guard.tripped,
+            trace=tracer.root if tracer is not None else None,
+        )
+
+    workers = len(live) if max_workers is None else max(1, min(max_workers, len(live)))
+    runs: list[ShardRun | None] = [None] * len(live)
+    errors: list[tuple[int, BaseException]] = []
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="graft-shard"
+    ) as pool:
+        futures = [pool.submit(run_shard, i) for i in range(len(live))]
+        for i, fut in enumerate(futures):
+            try:
+                runs[i] = fut.result()
+            except BaseException as exc:  # re-raised below, in shard order
+                errors.append((i, exc))
+    if errors:
+        # Prefer the originating failure over secondary cancellations so
+        # the caller sees the same exception serial execution would raise.
+        for _, exc in errors:
+            if not isinstance(exc, ShardCancelledError):
+                raise exc
+        raise errors[0][1]
+
+    completed = [run for run in runs if run is not None]
+    merged = merge_ranked([run.rows for run in completed], top_k=top_k)
+    tripped = next(
+        (run.tripped for run in completed if run.tripped is not None), None
+    )
+    metrics = _merge_metrics(ExecutionMetrics(), runtimes)
+
+    trace_root = None
+    if profile:
+        trace_root = _build_trace_root(
+            len(live), sharded.num_shards, merged, completed
+        )
+
+    _record_shard_metrics(completed, pruned)
+    return ParallelResult(
+        results=merged,
+        metrics=metrics,
+        tripped=tripped,
+        shard_count=sharded.num_shards,
+        shards_pruned=pruned,
+        shard_runs=completed,
+        trace_root=trace_root,
+    )
+
+
+def _build_trace_root(
+    live_count: int,
+    num_shards: int,
+    merged: list,
+    completed: list[ShardRun],
+) -> "TraceNode":
+    """The synthetic profiling root: one ``ShardExec`` child per shard run."""
+    from repro.obs.trace import OpStats, TraceNode
+
+    trace_root = TraceNode(
+        label=f"parallel-merge[{live_count}/{num_shards} shards]",
+        op_name="ParallelMerge",
+    )
+    trace_root.stats = OpStats(
+        calls=1,
+        docs_out=len(merged),
+        rows_out=len(merged),
+        time_ns=int(
+            max((run.wall_ms for run in completed), default=0.0) * 1e6
+        ),
+    )
+    for run in completed:
+        if run.trace is None:
+            continue
+        shard_node = TraceNode(
+            label=f"shard[{run.shard_id}: {run.lo}..{run.hi})",
+            op_name="ShardExec",
+            children=[run.trace],
+        )
+        shard_node.stats = OpStats(
+            calls=1,
+            docs_out=run.trace.stats.docs_out,
+            rows_out=run.trace.stats.rows_out,
+            time_ns=int(run.wall_ms * 1e6),
+            tripped=run.tripped is not None,
+        )
+        trace_root.children.append(shard_node)
+    return trace_root
+
+
+def _record_shard_metrics(runs: list[ShardRun], pruned: int) -> None:
+    """Fold per-shard wall times into the process-wide registry."""
+    from repro.obs.metrics import (
+        REGISTRY,
+        shard_seconds,
+        shards_executed,
+        shards_pruned,
+    )
+
+    shards_executed(REGISTRY).child().inc(len(runs))
+    if pruned:
+        shards_pruned(REGISTRY).child().inc(pruned)
+    hist = shard_seconds(REGISTRY).child()
+    for run in runs:
+        hist.observe(run.wall_ms / 1000.0)

@@ -67,11 +67,18 @@ class PositionPostings:
         """Total occurrences of the term across the collection."""
         return self._total_positions
 
-    def entry_index_at_or_after(self, doc_id: int) -> int:
+    def entry_index_at_or_after(self, doc_id: int, lo: int = 0) -> int:
         """Index of the first postings entry with doc >= ``doc_id``.
 
-        This is the skip-pointer seek used by zig-zag joins.
+        This is the skip-pointer seek used by zig-zag joins.  ``lo`` bounds
+        the search to ``doc_ids[lo:]`` — cursors pass their current entry
+        index so each seek is O(log tail), never re-searching entries the
+        scan has already consumed.
         """
+        if lo:
+            return int(
+                np.searchsorted(self.doc_ids[lo:], doc_id, side="left")
+            ) + lo
         return int(np.searchsorted(self.doc_ids, doc_id, side="left"))
 
     def positions_in(self, doc_id: int) -> tuple[int, ...]:

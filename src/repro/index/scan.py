@@ -33,7 +33,7 @@ class PositionScan:
         """Skip forward so the next entry has doc >= ``doc_id``."""
         if self._i < len(self.postings.doc_ids):
             # Only binary-search the remaining tail; seeks never go back.
-            j = self.postings.entry_index_at_or_after(doc_id)
+            j = self.postings.entry_index_at_or_after(doc_id, lo=self._i)
             if j > self._i:
                 self._i = j
 
@@ -79,7 +79,7 @@ class DocumentScan:
 
     def seek(self, doc_id: int) -> None:
         if self._i < len(self.postings.doc_ids):
-            j = self.postings.entry_index_at_or_after(doc_id)
+            j = self.postings.entry_index_at_or_after(doc_id, lo=self._i)
             if j > self._i:
                 self._i = j
 

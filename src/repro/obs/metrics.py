@@ -415,6 +415,59 @@ def audit_divergences(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
     )
 
 
+# -- parallel-execution families --------------------------------------------
+#
+# The sharded driver (repro.exec.parallel) and the engine's two-tier
+# query cache (repro.exec.cache) record here.
+
+def shards_executed(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_shards_executed_total",
+        "Index shards executed by the parallel driver",
+    )
+
+
+def shards_pruned(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_shards_pruned_total",
+        "Index shards skipped by required-keyword partition pruning",
+    )
+
+
+def shard_seconds(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.histogram(
+        "graft_shard_seconds", "Per-shard plan execution wall time (seconds)"
+    )
+
+
+def plan_cache_hits(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_plan_cache_hits_total",
+        "Searches that skipped parse+optimize via the plan cache",
+    )
+
+
+def plan_cache_misses(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_plan_cache_misses_total",
+        "Cacheable searches that had to parse and optimize",
+    )
+
+
+def result_cache_hits(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_result_cache_hits_total",
+        "Searches answered entirely from the result cache",
+    )
+
+
+def result_cache_misses(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_result_cache_misses_total",
+        "Result-cacheable searches that had to execute",
+    )
+
+
 # -- store-level families --------------------------------------------------
 #
 # The durable store (repro.index.store) records its I/O through these

@@ -172,14 +172,44 @@ def test_cli_run_appends_history_and_pins_baseline(tmp_path, capsys):
     history = load_history(tmp_path / "history.jsonl")
     run_id, records = latest_run(history)
     assert run_id is not None
-    assert len(records) == 8  # Q4..Q11
-    assert all(name.startswith("workload_Q") for name in records)
+    # Q4..Q11 plus the sharded-throughput sweep and the plan-cache leg.
+    assert len(records) == 12
+    workload = [n for n in records if n.startswith("workload_Q")]
+    assert len(workload) == 8
+    assert {n for n in records if not n.startswith("workload_Q")} == {
+        "parallel_qps_s1", "parallel_qps_s2", "parallel_qps_s4",
+        "plan_cache_repeat",
+    }
+    # The merge is exact: rows are shard-invariant across the sweep.
+    assert len({
+        records[n]["rows"]
+        for n in ("parallel_qps_s1", "parallel_qps_s2", "parallel_qps_s4")
+    }) == 1
+    assert records["plan_cache_repeat"]["params"]["plan_cache"]["hits"] > 0
     baseline = load_baseline(tmp_path / "baseline.json")
     assert baseline["params"] == {"docs": 120, "scheme": "sumbest"}
     # Each run appends exactly one batch: a second run doubles the file.
     assert bench_cli(tmp_path) == 0
     capsys.readouterr()
-    assert len(load_history(tmp_path / "history.jsonl")) == 16
+    assert len(load_history(tmp_path / "history.jsonl")) == 24
+
+
+def test_cli_no_parallel_skips_the_sweep(tmp_path, capsys):
+    assert bench_cli(tmp_path, "--no-parallel") == 0
+    capsys.readouterr()
+    _, records = latest_run(load_history(tmp_path / "history.jsonl"))
+    assert len(records) == 8
+    assert all(name.startswith("workload_Q") for name in records)
+
+
+def test_cli_no_cache_runs_the_cache_leg_cold(tmp_path, capsys):
+    assert bench_cli(tmp_path, "--no-cache") == 0
+    capsys.readouterr()
+    _, records = latest_run(load_history(tmp_path / "history.jsonl"))
+    leg = records["plan_cache_repeat"]
+    assert leg["params"]["cache"] is False
+    assert leg["params"]["plan_cache"]["hits"] == 0
+    assert leg["params"]["plan_cache"]["capacity"] == 0
 
 
 def test_cli_check_passes_on_unchanged_run(tmp_path, capsys):
@@ -226,7 +256,7 @@ def test_cli_check_json_payload(tmp_path, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["checked"] is True
     assert payload["regressions"] == []
-    assert len(payload["records"]) == 8
+    assert len(payload["records"]) == 12
     for rec in payload["records"].values():
         assert rec["schema"] == 1
         assert rec["run_id"] == payload["run_id"]

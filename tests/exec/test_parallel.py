@@ -1,0 +1,332 @@
+"""Parallel sharded execution: exact equivalence with serial execution.
+
+The headline property (the paper's score-consistency contract extended
+to physical distribution): for every shard count, every scheme, and
+every query, ``execute_sharded`` returns byte-for-byte the ranking the
+serial engine returns — same documents, same scores, same order.  It is
+checked exhaustively over the tiny suite and generatively over random
+corpora with hypothesis.
+
+Resource-governance composition is tested through the ``guard_factory``
+seam: a fake clock expires the deadline inside exactly one shard, and
+the merged outcome must degrade exactly like a serial partial result
+(``on_limit="partial"``) or raise the serial exception
+(``on_limit="error"``)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.collection import DocumentCollection
+from repro.errors import QueryTimeoutError
+from repro.exec.engine import execute, make_runtime
+from repro.exec.limits import QueryGuard, QueryLimits
+from repro.exec.parallel import (
+    ShardGuard,
+    execute_sharded,
+    merge_ranked,
+    required_keywords,
+    split_limits,
+)
+from repro.graft.optimizer import Optimizer
+from repro.index.builder import build_index
+from repro.index.shard import ShardedIndex
+from repro.mcalc.parser import parse_query
+from repro.sa.context import IndexScoringContext
+from repro.sa.registry import get_scheme
+
+from tests.conftest import SCHEME_NAMES, TINY_QUERIES
+
+SHARD_COUNTS = (1, 2, 3, 7)
+
+
+def _serial(index, ctx, scheme, result, top_k=None, limits=None):
+    runtime = make_runtime(index, scheme, result.info, ctx, limits=limits)
+    return execute(result.plan, runtime, top_k=top_k)
+
+
+def _sharded(index, ctx, scheme, result, shards, **kw):
+    sharded = ShardedIndex(index, shards)
+    return execute_sharded(
+        sharded, result.plan, scheme, result.info, ctx, **kw
+    )
+
+
+# -- exact serial equivalence ---------------------------------------------
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("text", TINY_QUERIES)
+def test_sharded_equals_serial_all_schemes(
+    tiny_collection, tiny_index, tiny_ctx, shards, text
+):
+    query = parse_query(text, tiny_collection.analyzer)
+    for scheme_name in SCHEME_NAMES:
+        scheme = get_scheme(scheme_name)
+        result = Optimizer(scheme, tiny_index).optimize(query)
+        serial = _serial(tiny_index, tiny_ctx, scheme, result)
+        par = _sharded(tiny_index, tiny_ctx, scheme, result, shards)
+        assert par.results == serial, (scheme_name, text, shards)
+        assert par.tripped is None
+        assert par.shard_count == shards
+
+
+@pytest.mark.parametrize("shards", (2, 3))
+@pytest.mark.parametrize("top_k", (1, 2, 5))
+def test_top_k_truncation_matches_serial(
+    tiny_collection, tiny_index, tiny_ctx, shards, top_k
+):
+    query = parse_query("quick (fox | dog)", tiny_collection.analyzer)
+    scheme = get_scheme("sumbest")
+    result = Optimizer(scheme, tiny_index).optimize(query)
+    serial = _serial(tiny_index, tiny_ctx, scheme, result, top_k=top_k)
+    par = _sharded(
+        tiny_index, tiny_ctx, scheme, result, shards, top_k=top_k
+    )
+    assert par.results == serial
+
+
+_VOCAB = ("quick", "fox", "dog", "lazy", "brown", "jumps", "walk")
+
+_PROPERTY_QUERIES = (
+    "quick fox",
+    '"quick fox"',
+    "quick (fox | dog)",
+    "fox -lazy",
+    "(quick fox)ORDER",
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    docs=st.lists(
+        st.lists(st.sampled_from(_VOCAB), min_size=2, max_size=10),
+        min_size=3,
+        max_size=12,
+    ),
+    text=st.sampled_from(_PROPERTY_QUERIES),
+    scheme_name=st.sampled_from(SCHEME_NAMES),
+    shards=st.sampled_from(SHARD_COUNTS),
+)
+def test_sharded_equals_serial_property(docs, text, scheme_name, shards):
+    collection = DocumentCollection()
+    for words in docs:
+        collection.add_text(" ".join(words))
+    index = build_index(collection)
+    ctx = IndexScoringContext(index)
+    scheme = get_scheme(scheme_name)
+    query = parse_query(text, collection.analyzer)
+    result = Optimizer(scheme, index).optimize(query)
+    serial = _serial(index, ctx, scheme, result)
+    par = _sharded(index, ctx, scheme, result, shards)
+    assert par.results == serial
+    assert par.shards_pruned + len(par.shard_runs) == shards
+
+
+# -- partition pruning ----------------------------------------------------
+
+
+def test_required_keywords(tiny_collection, tiny_index):
+    scheme = get_scheme("sumbest")
+
+    def required(text):
+        query = parse_query(text, tiny_collection.analyzer)
+        return required_keywords(
+            Optimizer(scheme, tiny_index).optimize(query).plan
+        )
+
+    assert required("quick fox") == {"quick", "fox"}
+    assert required('"quick fox"') == {"quick", "fox"}
+    # A union match may come from either branch: only keywords required
+    # by both branches survive.
+    assert required("quick (fox | dog)") == {"quick"}
+    # Negation filters but never produces: left side only.
+    assert required("fox -terrier") == {"fox"}
+    assert required("(quick fox)ORDER") == {"quick", "fox"}
+
+
+def test_pruned_shards_are_skipped_but_results_exact(
+    tiny_collection, tiny_index, tiny_ctx
+):
+    # 'terrier' occurs only in doc 3: with one doc per shard, every other
+    # shard is provably empty and must be pruned.
+    query = parse_query("fox terrier", tiny_collection.analyzer)
+    scheme = get_scheme("anysum")
+    result = Optimizer(scheme, tiny_index).optimize(query)
+    serial = _serial(tiny_index, tiny_ctx, scheme, result)
+    par = _sharded(
+        tiny_index, tiny_ctx, scheme, result, tiny_index.num_docs
+    )
+    assert par.results == serial
+    assert par.shards_pruned == tiny_index.num_docs - 1
+    assert len(par.shard_runs) == 1
+
+
+def test_all_shards_pruned_returns_empty(
+    tiny_collection, tiny_index, tiny_ctx
+):
+    query = parse_query("quick zebra", tiny_collection.analyzer)
+    scheme = get_scheme("sumbest")
+    result = Optimizer(scheme, tiny_index).optimize(query)
+    par = _sharded(tiny_index, tiny_ctx, scheme, result, 3)
+    assert par.results == []
+    assert par.shards_pruned == 3
+    assert par.shard_runs == []
+
+
+def test_all_shards_pruned_still_traces_under_profile(
+    tiny_collection, tiny_index, tiny_ctx
+):
+    # The observability contract promises a trace whenever profiling is
+    # on — even when pruning proves the answer empty without running a
+    # single shard.
+    query = parse_query("quick zebra", tiny_collection.analyzer)
+    scheme = get_scheme("sumbest")
+    result = Optimizer(scheme, tiny_index).optimize(query)
+    par = _sharded(tiny_index, tiny_ctx, scheme, result, 3, profile=True)
+    assert par.results == []
+    assert par.trace_root is not None
+    assert par.trace_root.op_name == "ParallelMerge"
+    assert "0/3 shards" in par.trace_root.label
+    assert par.trace_root.children == []
+    assert par.trace_root.stats.rows_out == 0
+
+
+# -- budget splitting and merging -----------------------------------------
+
+
+def test_split_limits():
+    assert split_limits(None, 4) == [None] * 4
+    limits = QueryLimits(deadline_ms=50.0)
+    assert split_limits(limits, 3) == [limits] * 3  # nothing to split
+    limits = QueryLimits(max_rows=10, max_matches_per_doc=7)
+    parts = split_limits(limits, 3)
+    assert [p.max_rows for p in parts] == [4, 3, 3]
+    assert all(p.max_matches_per_doc == 7 for p in parts)
+    # Never split below one row.
+    parts = split_limits(QueryLimits(max_rows=2), 5)
+    assert [p.max_rows for p in parts] == [1, 1, 1, 1, 1]
+
+
+def test_merge_ranked_is_exact_sort():
+    a = [(0, 3.0), (2, 1.0)]
+    b = [(1, 3.0), (3, 1.0), (4, 0.5)]
+    c = []
+    merged = merge_ranked([a, b, c])
+    assert merged == [(0, 3.0), (1, 3.0), (2, 1.0), (3, 1.0), (4, 0.5)]
+    assert merge_ranked([a, b], top_k=2) == [(0, 3.0), (1, 3.0)]
+
+
+# -- resource governance across shards ------------------------------------
+
+
+class _ExpiredClockGuard(ShardGuard):
+    """A shard guard whose clock is always past the deadline and whose
+    check interval is one row, so the first charge site trips."""
+
+    DEADLINE_CHECK_INTERVAL = 1
+
+    def __init__(self, limits, deadline_at, cancel):
+        super().__init__(
+            limits,
+            deadline_at=deadline_at,
+            cancel=cancel,
+            clock=lambda: float("inf"),
+        )
+
+
+def _one_slow_shard_factory(slow_shard: int):
+    def factory(shard_index, limits, deadline_at, cancel):
+        if shard_index == slow_shard:
+            return _ExpiredClockGuard(limits, deadline_at, cancel)
+        return ShardGuard(limits, deadline_at=deadline_at, cancel=cancel)
+
+    return factory
+
+
+def test_mid_query_deadline_degrades_to_partial(
+    tiny_collection, tiny_index, tiny_ctx
+):
+    query = parse_query("quick (fox | dog)", tiny_collection.analyzer)
+    scheme = get_scheme("sumbest")
+    result = Optimizer(scheme, tiny_index).optimize(query)
+    serial = dict(_serial(tiny_index, tiny_ctx, scheme, result))
+    limits = QueryLimits(deadline_ms=60_000.0, on_limit="partial")
+    par = _sharded(
+        tiny_index, tiny_ctx, scheme, result, 3,
+        limits=limits,
+        guard_factory=_one_slow_shard_factory(0),
+    )
+    assert par.tripped == "deadline_ms"
+    expired = [r for r in par.shard_runs if r.shard_id == 0]
+    healthy = [r for r in par.shard_runs if r.shard_id != 0]
+    assert expired and expired[0].tripped == "deadline_ms"
+    assert all(r.tripped is None for r in healthy)
+    # Partial results are a subset of the serial ranking with identical
+    # scores, and the healthy shards' documents are all present.
+    for doc, score in par.results:
+        assert serial[doc] == score
+    healthy_docs = {
+        doc for r in healthy for doc, _ in r.rows
+    }
+    assert healthy_docs <= {doc for doc, _ in par.results}
+
+
+def test_mid_query_deadline_raises_on_error_mode(
+    tiny_collection, tiny_index, tiny_ctx
+):
+    query = parse_query("quick (fox | dog)", tiny_collection.analyzer)
+    scheme = get_scheme("sumbest")
+    result = Optimizer(scheme, tiny_index).optimize(query)
+    limits = QueryLimits(deadline_ms=60_000.0, on_limit="error")
+    with pytest.raises(QueryTimeoutError):
+        _sharded(
+            tiny_index, tiny_ctx, scheme, result, 3,
+            limits=limits,
+            guard_factory=_one_slow_shard_factory(1),
+        )
+
+
+def test_max_rows_budget_splits_across_shards(
+    tiny_collection, tiny_index, tiny_ctx
+):
+    query = parse_query("quick fox", tiny_collection.analyzer)
+    scheme = get_scheme("sumbest")
+    result = Optimizer(scheme, tiny_index).optimize(query)
+    limits = QueryLimits(max_rows=3, on_limit="partial")
+    par = _sharded(
+        tiny_index, tiny_ctx, scheme, result, 2, limits=limits
+    )
+    assert par.tripped == "max_rows"
+    serial = dict(_serial(tiny_index, tiny_ctx, scheme, result))
+    for doc, score in par.results:
+        assert serial[doc] == score
+
+
+def test_default_guards_are_shard_guards(
+    tiny_collection, tiny_index, tiny_ctx
+):
+    # The default factory must produce always-active guards so a sibling
+    # failure can cancel a shard even on an unlimited query.
+    guards = []
+
+    def spy(shard_index, limits, deadline_at, cancel):
+        from repro.exec.parallel import _default_guard_factory
+
+        guard = _default_guard_factory(
+            shard_index, limits, deadline_at, cancel
+        )
+        guards.append(guard)
+        return guard
+
+    query = parse_query("quick fox", tiny_collection.analyzer)
+    scheme = get_scheme("sumbest")
+    result = Optimizer(scheme, tiny_index).optimize(query)
+    par = _sharded(
+        tiny_index, tiny_ctx, scheme, result, 2, guard_factory=spy
+    )
+    assert par.results
+    assert guards and all(isinstance(g, QueryGuard) for g in guards)
+    assert all(g.active for g in guards)

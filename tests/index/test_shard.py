@@ -1,0 +1,142 @@
+"""ShardView/ShardedIndex invariants: the slice is physical, the
+statistics are global.
+
+The exact-merge guarantee of parallel execution rests on two properties
+checked here directly: shard ranges tile the collection disjointly, and
+every statistic a scoring scheme can consult answers from the *base*
+index (a shard-local df would change idf-style weights and break
+score consistency)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraftError
+from repro.index.shard import ShardedIndex, ShardView
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 3, 5, 7, 100])
+def test_shards_tile_the_collection(tiny_index, num_shards):
+    sharded = ShardedIndex(tiny_index, num_shards)
+    assert len(sharded.shards) == num_shards
+    assert sharded.shards[0].lo == 0
+    assert sharded.shards[-1].hi == tiny_index.num_docs
+    for prev, cur in zip(sharded.shards, sharded.shards[1:]):
+        assert prev.hi == cur.lo  # contiguous, disjoint
+    sizes = [s.hi - s.lo for s in sharded.shards]
+    assert max(sizes) - min(sizes) <= 1  # even split
+
+
+@pytest.mark.parametrize("bad", [0, -1, 2.0, True, "3"])
+def test_bad_shard_count_rejected(tiny_index, bad):
+    with pytest.raises(GraftError, match="num_shards"):
+        ShardedIndex(tiny_index, bad)
+
+
+def test_postings_slices_partition_the_base_list(tiny_index):
+    sharded = ShardedIndex(tiny_index, 3)
+    for term in ("quick", "fox", "dog"):
+        base = tiny_index.postings(term)
+        pieces = [s.postings(term) for s in sharded.shards]
+        rejoined = np.concatenate(
+            [p.doc_ids for p in pieces if len(p.doc_ids)]
+        )
+        assert rejoined.tolist() == base.doc_ids.tolist()
+        for shard, piece in zip(sharded.shards, pieces):
+            assert all(
+                shard.lo <= d < shard.hi for d in piece.doc_ids.tolist()
+            )
+
+
+def test_doc_terms_slices_match_base_counts(tiny_index):
+    sharded = ShardedIndex(tiny_index, 2)
+    base = tiny_index.doc_terms.get("dog")
+    assert base is not None
+    got = {}
+    for shard in sharded.shards:
+        piece = shard.doc_terms.get("dog")
+        for doc, count in zip(piece.doc_ids.tolist(), piece.counts.tolist()):
+            got[doc] = count
+    want = dict(zip(base.doc_ids.tolist(), base.counts.tolist()))
+    assert got == want
+
+
+def test_unknown_term_yields_empty_not_error(tiny_index):
+    shard = ShardedIndex(tiny_index, 2).shards[0]
+    assert len(shard.postings("zzz-absent").doc_ids) == 0
+    assert shard.contains_term("zzz-absent") is False
+
+
+def test_statistics_are_global_not_sliced(tiny_index):
+    sharded = ShardedIndex(tiny_index, 3)
+    for shard in sharded.shards:
+        assert shard.stats is tiny_index.stats
+        assert shard.num_docs == tiny_index.num_docs
+        assert shard.vocabulary_size() == tiny_index.vocabulary_size()
+        for term in ("quick", "fox", "dog"):
+            assert (
+                shard.document_frequency(term)
+                == tiny_index.document_frequency(term)
+            )
+            assert (
+                shard.total_positions(term)
+                == tiny_index.total_positions(term)
+            )
+    # The slice itself is strictly smaller than the global df for a
+    # spread-out term — i.e. the global numbers are not an accident.
+    df = tiny_index.document_frequency("dog")
+    assert any(
+        len(s.postings("dog").doc_ids) < df for s in sharded.shards
+    )
+
+
+def test_term_frequency_and_sentences_delegate(tiny_index):
+    sharded = ShardedIndex(tiny_index, 2)
+    shard = sharded.shard_of(0)
+    assert shard.term_frequency(0, "quick") == tiny_index.term_frequency(
+        0, "quick"
+    )
+    assert shard.sentence_starts_of(0) == tiny_index.sentence_starts_of(0)
+
+
+def test_shard_of(tiny_index):
+    sharded = ShardedIndex(tiny_index, 3)
+    for doc in range(tiny_index.num_docs):
+        shard = sharded.shard_of(doc)
+        assert shard.lo <= doc < shard.hi
+    with pytest.raises(GraftError, match="outside"):
+        sharded.shard_of(tiny_index.num_docs)
+
+
+def test_contains_term_matches_materialized_slice(tiny_index):
+    sharded = ShardedIndex(tiny_index, 4)
+    for term in ("quick", "fox", "terrier", "filler"):
+        for shard in sharded.shards:
+            materialized = len(shard.postings(term).doc_ids) > 0
+            assert shard.contains_term(term) == materialized
+
+
+def test_live_shards_prunes_only_provably_empty(tiny_index):
+    sharded = ShardedIndex(tiny_index, tiny_index.num_docs)  # 1 doc/shard
+    # No requirements: nothing can be pruned.
+    assert sharded.live_shards(frozenset()) == sharded.shards
+    # 'terrier' occurs only in doc 3.
+    live = sharded.live_shards(frozenset({"terrier"}))
+    assert [s.shard_id for s in live] == [3]
+    # Conjunctive requirements intersect shard sets.
+    both = sharded.live_shards(frozenset({"quick", "fox"}))
+    assert all(
+        s.contains_term("quick") and s.contains_term("fox") for s in both
+    )
+    assert sharded.live_shards(frozenset({"zzz-absent"})) == []
+
+
+def test_empty_index_shards(tiny_collection):
+    from repro.corpus.collection import DocumentCollection
+    from repro.index.builder import build_index
+
+    empty = build_index(DocumentCollection())
+    sharded = ShardedIndex(empty, 3)
+    assert all(s.lo == s.hi == 0 for s in sharded.shards)
+    assert sharded.live_shards(frozenset({"quick"})) == []

@@ -1,0 +1,60 @@
+"""The score-consistency gate, pointed at the *parallel* execution path.
+
+Same strict auditor as ``test_audit_gate.py`` — every scheme, every
+tiny-suite query, zero tolerated divergences against the canonical plan
+and the MCalc oracle — but the engine executes through
+:func:`repro.exec.parallel.execute_sharded` (3 shards).  The auditor's
+reference runs serially, so any shard-slicing or merge defect that
+perturbs a single score or rank fails this gate, not just an equality
+test we wrote ourselves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import SearchEngine
+from repro.obs.audit import AuditConfig
+from repro.sa.registry import available_schemes
+
+from tests.conftest import TINY_QUERIES, make_tiny_collection
+
+STRICT = AuditConfig(rate=1.0, mode="strict", oracle_max_docs=100)
+
+
+@pytest.fixture(scope="module")
+def sharded_engine():
+    return SearchEngine(make_tiny_collection(), audit=STRICT, shards=3)
+
+
+@pytest.mark.parametrize("scheme_name", sorted(available_schemes()))
+@pytest.mark.parametrize("text", TINY_QUERIES)
+def test_parallel_plans_are_score_consistent(
+    sharded_engine, scheme_name, text
+):
+    outcome = sharded_engine.search(text, scheme=scheme_name)
+    assert outcome.shard_count == 3
+    assert outcome.audit is not None
+    assert outcome.audit.ok
+    assert outcome.audit.reference == "canonical+oracle"
+    assert outcome.audit.checked >= len(outcome.results)
+
+
+@pytest.mark.parametrize("scheme_name", sorted(available_schemes()))
+def test_parallel_top_k_truncation_is_score_consistent(
+    sharded_engine, scheme_name
+):
+    outcome = sharded_engine.search(
+        "quick (fox | dog)", scheme=scheme_name, top_k=2
+    )
+    assert outcome.shard_count == 3
+    assert outcome.audit is not None and outcome.audit.ok
+
+
+def test_shards_env_var_drives_engine(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARDS", "2")
+    engine = SearchEngine(make_tiny_collection(), audit=STRICT)
+    outcome = engine.search("quick fox")
+    assert engine.shards == 2
+    assert outcome.shard_count == 2
+    assert outcome.audit is not None and outcome.audit.ok
