@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import statistics
 
 import pytest
 
@@ -124,10 +125,15 @@ def _benchmark_median_seconds(meta) -> float | None:
     stats = getattr(meta, "stats", None)
     if stats is None:
         return None
-    median = getattr(stats, "median", None)
-    if median is None:
-        inner = getattr(stats, "stats", None)
-        median = getattr(inner, "median", None)
+    # A benchmark that failed mid-round leaves empty stats; exporting
+    # must not take the rest of the session's records down with it.
+    try:
+        median = getattr(stats, "median", None)
+        if median is None:
+            inner = getattr(stats, "stats", None)
+            median = getattr(inner, "median", None)
+    except statistics.StatisticsError:
+        return None
     return median
 
 

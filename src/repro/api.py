@@ -20,7 +20,12 @@ from typing import TYPE_CHECKING, Iterable
 
 from repro.corpus.analyzer import Analyzer
 from repro.corpus.collection import DocumentCollection
-from repro.errors import GraftError, IndexError_, ResourceExhaustedError
+from repro.errors import (
+    ConfigError,
+    GraftError,
+    IndexError_,
+    ResourceExhaustedError,
+)
 from repro.exec.cache import CacheConfig, LRUCache
 from repro.exec.engine import execute, make_runtime, validate_top_k
 from repro.exec.iterator import ExecutionMetrics, pull_doc
@@ -169,6 +174,9 @@ class SearchEngine:
         self._ctx_override = scoring_context
         self._store: "IndexStore | None" = None
         self._lock: "StoreLock | None" = None
+        #: Store generation this engine's state was loaded from (None
+        #: for purely in-memory engines); updated by checkpoint().
+        self._loaded_generation: str | None = None
         self._qlog = qlog
         self._auditor: "Auditor | None" = None
         if audit is not None and audit.rate > 0:
@@ -894,6 +902,7 @@ class SearchEngine:
             raise
         engine._store = store
         engine._lock = lock
+        engine._loaded_generation = store.manifest.generation
         return engine
 
     def checkpoint(self) -> str:
@@ -914,6 +923,7 @@ class SearchEngine:
             doc_count=len(self.collection),
         )
         self._generation += 1
+        self._loaded_generation = generation
         return generation
 
     def close(self) -> None:
@@ -937,6 +947,32 @@ class SearchEngine:
     def store_path(self) -> "pathlib.Path | None":
         """The attached store directory, or None for in-memory engines."""
         return self._store.path if self._store is not None else None
+
+    @property
+    def loaded_generation(self) -> str | None:
+        """The store generation this engine's state came from.
+
+        ``None`` for purely in-memory engines.  A reader comparing this
+        against :meth:`current_generation` of the same directory can
+        tell whether a writer has checkpointed past it — the reopen
+        trigger of the query service's hot swap (:mod:`repro.serve`).
+        """
+        return self._loaded_generation
+
+    @staticmethod
+    def current_generation(directory) -> str | None:
+        """The generation the store's manifest currently names.
+
+        A cheap manifest read (one small file, self-checksummed), cheap
+        enough to poll; returns ``None`` when ``directory`` is not a
+        store.  Readers use it to decide whether :meth:`load` would see
+        anything newer than what they already hold.
+        """
+        from repro.index.store import IndexStore
+
+        if not IndexStore.is_store(directory):
+            return None
+        return IndexStore.open(directory).manifest.generation
 
     @classmethod
     def _load_from_store(
@@ -970,6 +1006,7 @@ class SearchEngine:
         engine = cls(collection)
         # WAL'd documents postdate the checkpointed index; rebuild lazily.
         engine._index = index if not replayed else None
+        engine._loaded_generation = store.manifest.generation
         return engine
 
     @classmethod
@@ -1011,19 +1048,29 @@ class SearchEngine:
 
 
 def _resolve_shards(shards: int | None) -> int:
-    """Validate an explicit shard count, or read ``REPRO_SHARDS``."""
+    """Validate an explicit shard count, or read ``REPRO_SHARDS``.
+
+    Misconfiguration raises a typed :class:`repro.errors.ConfigError` at
+    engine construction — a non-integer or negative environment value
+    must never surface as an unhandled ``ValueError`` from deep inside
+    ``_sharded_index`` on the first query.
+    """
+    option = "shards"
     if shards is None:
         raw = os.environ.get("REPRO_SHARDS", "").strip()
         if not raw:
             return 1
+        option = "REPRO_SHARDS"
         try:
             shards = int(raw)
         except ValueError:
-            raise GraftError(
-                f"REPRO_SHARDS must be a positive integer, got {raw!r}"
+            raise ConfigError(
+                f"must be a positive integer, got {raw!r}", option=option
             ) from None
     if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
-        raise GraftError(f"shards must be a positive integer, got {shards!r}")
+        raise ConfigError(
+            f"must be a positive integer, got {shards!r}", option=option
+        )
     return shards
 
 

@@ -181,3 +181,93 @@ def run_parallel_throughput(
         },
     )
     return run_id, records
+
+
+#: Service-load defaults: enough requests that every paper query runs
+#: several times per worker, small enough to stay a smoke measurement.
+SERVICE_REQUESTS = 64
+SERVICE_CONCURRENCY = 8
+
+
+def run_service_load(
+    num_docs: int = DEFAULT_DOCS,
+    scheme_name: str = DEFAULT_SCHEME,
+    requests: int = SERVICE_REQUESTS,
+    concurrency: int = SERVICE_CONCURRENCY,
+    run_id: str | None = None,
+) -> tuple[str, dict[str, dict]]:
+    """End-to-end service throughput: sockets, admission, the works.
+
+    Boots the full :mod:`repro.serve` stack (HTTP framing, admission
+    control, reader generation) on an ephemeral port over a store built
+    from the bench fixture, then drives it with the stdlib load
+    generator — ``requests`` searches round-robin over the eight paper
+    queries at the given concurrency.  One record, ``service_load``:
+    ``rows`` is the exact total result count (deterministic — the gate's
+    exact-rows comparison catches a service-layer correctness break),
+    ``wall_ms`` the loadgen wall time, and ``params`` carry qps and the
+    p50/p99 of accepted requests.  Limits are sized generously so the
+    steady-state run sheds nothing; overload behavior is tested, not
+    benchmarked.
+    """
+    import asyncio
+    import shutil
+    import tempfile
+
+    from repro.api import SearchEngine
+    from repro.serve import HttpServer, QueryService, ServiceConfig
+    from repro.serve.loadgen import run_loadgen
+
+    run_id = run_id or new_run_id()
+    fx = bench_fixture(num_docs=num_docs)
+    tmp = tempfile.mkdtemp(prefix="graft-bench-serve-")
+    try:
+        store = f"{tmp}/store"
+        engine = SearchEngine(fx.collection)
+        engine._index = fx.index
+        engine.save(store)
+
+        async def drive():
+            config = ServiceConfig(
+                max_inflight=concurrency,
+                max_queue=requests,  # never shed: measure, don't refuse
+                deadline_ms=60_000.0,
+            )
+            service = QueryService(store, config)
+            server = HttpServer(service, registry=service.registry)
+            host, port = await server.start()
+            try:
+                return await run_loadgen(
+                    host, port,
+                    requests=requests,
+                    concurrency=concurrency,
+                    scheme=scheme_name,
+                )
+            finally:
+                await server.stop()
+
+        report = asyncio.run(drive())
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    if report.errors or report.shed or report.timeouts:
+        raise RuntimeError(
+            f"service load run was not clean: {report.summary()}"
+        )
+    records = {
+        "service_load": bench_record(
+            "service_load",
+            run_id=run_id,
+            wall_ms=report.wall_s * 1000.0,
+            rows=report.rows,
+            params={
+                "docs": num_docs,
+                "scheme": scheme_name,
+                "requests": requests,
+                "concurrency": concurrency,
+                "qps": round(report.qps, 2),
+                "p50_ms": round(report.p50_ms, 3),
+                "p99_ms": round(report.p99_ms, 3),
+            },
+        )
+    }
+    return run_id, records

@@ -11,6 +11,8 @@ Usage::
     python -m repro metrics [--format json|prom]     # metrics registry
     python -m repro qlog tail|stats LOG_PATH         # read a query log
     python -m repro bench [--check] [--write-baseline]  # regression gate
+    python -m repro serve INDEX_DIR [--port N]       # async query service
+    python -m repro loadgen URL [options]            # drive a service
 
 ``index`` builds and persists the inverted index (plus documents and
 titles) as a crash-safe generational store (``docs/STORAGE.md``) from a
@@ -199,6 +201,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--no-parallel", action="store_true",
                          help="skip the sharded-throughput sweep (only "
                               "the per-query workload records)")
+    p_bench.add_argument("--no-service", action="store_true",
+                         help="skip the end-to-end service-load leg "
+                              "(HTTP service + load generator)")
     p_bench.add_argument("--max-slowdown", type=float, default=None,
                          help="wall-time regression tolerance as a ratio "
                               "(default 1.5; raise on noisy shared runners)")
@@ -206,6 +211,58 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="pin this run as the new baseline file")
     p_bench.add_argument("--json", action="store_true",
                          help="emit one JSON object (records, regressions)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a store over HTTP: /search /explain /healthz /readyz "
+             "/metrics, with admission control, load shedding, and live "
+             "generation hot-swap (docs/SERVICE.md)",
+    )
+    p_serve.add_argument("index_dir", help="store directory to serve "
+                                           "(created if missing)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="listen port (0 = ephemeral; default 8321)")
+    p_serve.add_argument("--max-inflight", type=int, default=8,
+                         help="concurrent search executions (default 8)")
+    p_serve.add_argument("--max-queue", type=int, default=16,
+                         help="waiting requests before load shedding "
+                              "(default 16)")
+    p_serve.add_argument("--deadline-ms", type=float, default=1000.0,
+                         help="default per-request budget, queue wait "
+                              "included (default 1000)")
+    p_serve.add_argument("--shards", type=int, default=None,
+                         help="shard count for reader engines "
+                              "(default REPRO_SHARDS or serial)")
+    p_serve.add_argument("--checkpoint-every", type=int, default=0,
+                         help="auto checkpoint+swap after N added "
+                              "documents (0 = only via POST "
+                              "/admin/checkpoint)")
+    p_serve.add_argument("--drain-timeout-s", type=float, default=5.0,
+                         help="graceful-shutdown budget on SIGTERM "
+                              "(default 5)")
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a running query service and report qps/p50/p99, "
+             "shed and timeout counts, and generations observed",
+    )
+    p_loadgen.add_argument("url", help="service base URL, e.g. "
+                                       "http://127.0.0.1:8321")
+    p_loadgen.add_argument("-n", "--requests", type=int, default=200)
+    p_loadgen.add_argument("-c", "--concurrency", type=int, default=8)
+    p_loadgen.add_argument("--scheme", default="sumbest")
+    p_loadgen.add_argument("--top-k", type=int, default=10)
+    p_loadgen.add_argument("--deadline-ms", type=float, default=None,
+                           help="per-request deadline to request")
+    p_loadgen.add_argument("--swap-at", type=int, default=None,
+                           help="POST /admin/checkpoint after this many "
+                                "responses (mid-run hot swap)")
+    p_loadgen.add_argument("--respect-retry-after", action="store_true",
+                           help="on 503, honor the Retry-After hint and "
+                                "retry instead of moving on")
+    p_loadgen.add_argument("--json", action="store_true",
+                           help="emit the report as one JSON object")
     return parser
 
 
@@ -583,6 +640,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         DEFAULT_DOCS,
         DEFAULT_SCHEME,
         run_parallel_throughput,
+        run_service_load,
         run_workload,
     )
 
@@ -606,6 +664,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             run_id=run_id, use_cache=not args.no_cache,
         )
         records.update(parallel_records)
+    if not args.no_service:
+        _, service_records = run_service_load(
+            num_docs=docs, scheme_name=scheme, run_id=run_id
+        )
+        records.update(service_records)
     append_history(list(records.values()), args.history)
 
     if args.write_baseline:
@@ -650,6 +713,68 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServiceConfig, run_server
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        deadline_ms=args.deadline_ms,
+        shards=args.shards,
+        checkpoint_every=args.checkpoint_every,
+        drain_timeout_s=args.drain_timeout_s,
+    )
+    asyncio.run(run_server(args.index_dir, config))
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    from urllib.parse import urlsplit
+
+    from repro.serve import run_loadgen
+
+    split = urlsplit(
+        args.url if "//" in args.url else f"http://{args.url}"
+    )
+    if split.hostname is None or split.port is None:
+        print(f"error: cannot parse host:port from {args.url!r}",
+              file=sys.stderr)
+        return 2
+    report = asyncio.run(
+        run_loadgen(
+            split.hostname,
+            split.port,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            scheme=args.scheme,
+            top_k=args.top_k,
+            deadline_ms=args.deadline_ms,
+            swap_at=args.swap_at,
+            respect_retry_after=args.respect_retry_after,
+        )
+    )
+    summary = report.summary()
+    if args.json:
+        print(json.dumps(summary))
+        return 0 if report.errors == 0 else 1
+    print(f"{summary['requests']} requests in {summary['wall_s']:.3f}s "
+          f"({summary['qps']:.1f} qps, concurrency {args.concurrency})")
+    print(f"  ok {summary['ok']}  shed {summary['shed']}  "
+          f"timeouts {summary['timeouts']}  errors {summary['errors']}  "
+          f"degraded {summary['degraded']}")
+    print(f"  latency ms (accepted): p50 {summary['p50_ms']:.3f}  "
+          f"p99 {summary['p99_ms']:.3f}")
+    print(f"  generations observed: "
+          f"{', '.join(summary['generations']) or '(none)'}  "
+          f"epochs: {summary['epochs']}")
+    return 0 if report.errors == 0 else 1
+
+
 _COMMANDS = {
     "index": _cmd_index,
     "search": _cmd_search,
@@ -660,6 +785,8 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "qlog": _cmd_qlog,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -11,6 +11,24 @@ class GraftError(Exception):
     """Base class for all errors raised by this library."""
 
 
+class ConfigError(GraftError):
+    """A configuration value is malformed or out of range.
+
+    Raised when engine or service configuration — constructor arguments,
+    environment variables such as ``REPRO_SHARDS``, or
+    :class:`repro.serve.ServiceConfig` fields — fails validation, so a
+    bad deployment setting surfaces as one clear typed error at
+    construction time instead of an unhandled ``ValueError`` deep inside
+    query execution.  ``option`` names the offending setting.
+    """
+
+    def __init__(self, message: str, option: str | None = None):
+        if option is not None:
+            message = f"{option}: {message}"
+        super().__init__(message)
+        self.option = option
+
+
 class QuerySyntaxError(GraftError):
     """The shorthand query text could not be parsed."""
 

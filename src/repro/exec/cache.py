@@ -22,10 +22,20 @@ Both tiers are strict-LRU over an ``OrderedDict`` and count hits and
 misses into :mod:`repro.obs.metrics`
 (``graft_plan_cache_{hits,misses}_total``,
 ``graft_result_cache_{hits,misses}_total``).
+
+The cache is **thread-safe**: the async query service
+(:mod:`repro.serve`) runs searches on a thread pool, so concurrent
+readers share one engine — and one cache — across threads, while a
+generation bump (checkpoint, document add) rewrites every key they are
+about to compute.  An ``OrderedDict`` mutated from two threads can
+corrupt its internal linkage (``move_to_end`` during ``popitem``), so
+every operation holds one short lock; the critical sections are a few
+dict operations, far below the cost of the plan work being memoized.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable
@@ -59,41 +69,47 @@ class CacheConfig:
 
 
 class LRUCache:
-    """A minimal strict-LRU map: get refreshes recency, put evicts the
-    least recently used entry once past capacity."""
+    """A minimal thread-safe strict-LRU map: get refreshes recency, put
+    evicts the least recently used entry once past capacity."""
 
-    __slots__ = ("capacity", "_data", "hits", "misses")
+    __slots__ = ("capacity", "_data", "_lock", "hits", "misses")
 
     def __init__(self, capacity: int):
         self.capacity = capacity
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: Hashable) -> Any | None:
         if self.capacity == 0:
             return None
-        value = self._data.get(key)
-        if value is None:
-            self.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         if self.capacity == 0:
             return
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data

@@ -23,11 +23,13 @@ from repro.index.store.store import (
     WAL_NAME,
     IndexStore,
     engine_payload,
+    pinned_generations,
 )
 
 __all__ = [
     "IndexStore",
     "engine_payload",
+    "pinned_generations",
     "Manifest",
     "StoreLock",
     "StoreFaultInjector",

@@ -8,6 +8,24 @@ NTFS) containing ``pid@host``.  A lockfile whose pid is no longer alive
 on the same host is stale (the previous writer crashed — the very event
 this store is designed around) and is broken automatically.
 
+Breaking a stale lock is itself a race: two openers that both observe
+the dead pid and both ``unlink`` + ``create`` can interleave so that the
+second opener's unlink removes the *first opener's fresh lock*, leaving
+two live writers each convinced they hold it.  The break therefore goes
+through an atomic ``rename`` of the stale lockfile to a per-breaker
+claim name: exactly one racer wins the rename (the loser's rename
+raises ``FileNotFoundError`` and it simply retries the normal create),
+the winner re-verifies the claimed file still names the dead holder
+before discarding it, and nobody ever unlinks a path another writer may
+have re-created.
+
+Acquisition also supports **bounded retry with backoff** for callers
+(like the query service's writer supervisor) that race a just-released
+or just-broken lock: ``acquire(retries=N)`` sleeps a jittered,
+linearly growing backoff between attempts instead of failing on the
+first collision.  The default remains fail-fast (``retries=0``) so
+interactive misuse still reports immediately.
+
 Readers never take the lock: a reader resolves one manifest and only
 touches files that manifest references, which a concurrent writer never
 mutates in place.
@@ -18,6 +36,8 @@ from __future__ import annotations
 import os
 import pathlib
 import socket
+import time
+from typing import Callable
 
 from repro.errors import StoreLockedError
 
@@ -35,36 +55,98 @@ class StoreLock:
     def held(self) -> bool:
         return self._held
 
-    def acquire(self) -> "StoreLock":
+    def acquire(
+        self,
+        retries: int = 0,
+        backoff_s: float = 0.02,
+        jitter_s: float = 0.02,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> "StoreLock":
+        """Take the lock, breaking a stale one; raises when truly held.
+
+        Args:
+            retries: Extra acquisition rounds after the first; each
+                round re-attempts the create (and the stale break).
+            backoff_s: Base sleep between rounds, grown linearly.
+            jitter_s: Uniform random extra sleep per round, so two
+                retrying openers do not stay phase-locked.
+            sleep: Injectable for deterministic tests.
+        """
         holder = f"{os.getpid()}@{socket.gethostname()}"
-        for attempt in range(2):
+        last_error: StoreLockedError | None = None
+        for attempt in range(retries + 1):
+            if attempt:
+                sleep(backoff_s * attempt + jitter_s * _jitter())
             try:
-                fd = os.open(
-                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
-                )
+                self._create(holder)
+                return self
             except FileExistsError:
-                current = self._read_holder()
-                if attempt == 0 and self._is_stale(current):
-                    try:
-                        self.path.unlink()
-                    except FileNotFoundError:
-                        pass
-                    continue
-                raise StoreLockedError(
-                    f"store {self.path.parent} is locked by another writer "
-                    f"({current or 'unknown holder'}); close that engine or "
-                    f"remove a stale {LOCK_NAME} file",
-                    path=str(self.path),
-                    holder=current,
-                )
-            try:
-                os.write(fd, holder.encode("ascii"))
-                os.fsync(fd)
-            finally:
-                os.close(fd)
-            self._held = True
-            return self
-        raise AssertionError("unreachable")
+                pass
+            current = self._read_holder()
+            if self._is_stale(current) and self._break_stale(current):
+                # The stale file is gone and only we removed it; take
+                # the normal create path (another racer may still beat
+                # us to it, which the retry loop absorbs).
+                try:
+                    self._create(holder)
+                    return self
+                except FileExistsError:
+                    current = self._read_holder()
+            last_error = StoreLockedError(
+                f"store {self.path.parent} is locked by another writer "
+                f"({current or 'unknown holder'}); close that engine or "
+                f"remove a stale {LOCK_NAME} file",
+                path=str(self.path),
+                holder=current,
+            )
+        assert last_error is not None
+        raise last_error
+
+    def _create(self, holder: str) -> None:
+        """Atomically create the lockfile naming us as holder."""
+        fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        try:
+            os.write(fd, holder.encode("ascii"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        self._held = True
+
+    def _break_stale(self, expected_holder: str | None) -> bool:
+        """Atomically claim and discard a stale lockfile.
+
+        Returns True when *this* process removed the stale lock.  The
+        rename is the arbitration point: among N simultaneous breakers
+        exactly one succeeds, and a lockfile freshly created by a racer
+        is never unlinked blindly — if the claimed file's content no
+        longer matches the holder we judged dead (a racer broke and
+        re-created it between our read and our rename), we restore it
+        via an atomic ``link`` and report failure.
+        """
+        claim = self.path.with_name(
+            f"{LOCK_NAME}.break.{os.getpid()}.{time.monotonic_ns()}"
+        )
+        try:
+            os.rename(self.path, claim)
+        except OSError:
+            return False  # someone else already claimed or removed it
+        try:
+            claimed_holder = claim.read_text(errors="replace").strip() or None
+        except OSError:
+            claimed_holder = None
+        if claimed_holder == expected_holder or self._is_stale(claimed_holder):
+            claim.unlink(missing_ok=True)
+            return True
+        # Pathological: we renamed away a *live* lock created between our
+        # staleness check and the rename.  Put it back atomically; if a
+        # new lockfile already exists the restore loses and the claimed
+        # file is surfaced for manual cleanup via the raised error path.
+        try:
+            os.link(claim, self.path)
+            claim.unlink(missing_ok=True)
+        except OSError:
+            pass
+        return False
 
     def release(self) -> None:
         if not self._held:
@@ -105,3 +187,9 @@ class StoreLock:
 
     def __exit__(self, *exc_info) -> None:
         self.release()
+
+
+def _jitter() -> float:
+    """Uniform [0, 1) from the clock's sub-millisecond noise — enough to
+    de-phase two retrying openers without importing ``random``."""
+    return (time.monotonic_ns() % 1_000_000) / 1_000_000.0

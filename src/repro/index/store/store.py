@@ -35,6 +35,7 @@ mismatch, missing file, or structural inconsistency raises
 from __future__ import annotations
 
 import pathlib
+import threading
 
 from repro.errors import IndexCorruptionError, IndexError_
 from repro.index.index import Index
@@ -74,6 +75,31 @@ def _corruption(*args, **kwargs) -> IndexCorruptionError:
 
 GEN_PREFIX = "gen-"
 WAL_NAME = "wal.jsonl"
+
+# -- generation pins --------------------------------------------------------
+#
+# The async query service keeps readers on an immutable generation while
+# a writer checkpoints the next one; GC must not delete a generation a
+# live reader still references.  Pins are refcounts keyed by (resolved
+# store path, generation name) in a process-wide registry, so the
+# reader-side and writer-side IndexStore instances — distinct objects on
+# the same directory — see one another's pins.  A crashed process takes
+# its pins with it, which is safe: GC re-runs on every open and the
+# pinned generation was only protection for *in-process* readers.
+
+_PINS: dict[tuple[str, str], int] = {}
+_PINS_LOCK = threading.Lock()
+
+
+def _pin_key(path: pathlib.Path, generation: str) -> tuple[str, str]:
+    return (str(path.resolve()), generation)
+
+
+def pinned_generations(path: pathlib.Path) -> set[str]:
+    """Generation names currently pinned under ``path`` (refcount > 0)."""
+    resolved = str(path.resolve())
+    with _PINS_LOCK:
+        return {gen for (p, gen), n in _PINS.items() if p == resolved and n > 0}
 
 META_FILE = "meta.json"
 ARRAYS_FILE = "postings.npz"
@@ -290,10 +316,43 @@ class IndexStore:
         self.gc()
         return gen
 
+    # -- generation pinning ------------------------------------------------
+
+    def pin_generation(self, generation: str | None = None) -> str:
+        """Pin a generation against GC; returns the pinned name.
+
+        Defaults to the manifest's current generation.  Pins nest
+        (refcounted) and are process-wide, so a reader pinning through
+        one :class:`IndexStore` instance protects the generation from a
+        writer GC'ing through another instance on the same directory.
+        """
+        if generation is None:
+            generation = self._require_manifest().generation
+        with _PINS_LOCK:
+            key = _pin_key(self.path, generation)
+            _PINS[key] = _PINS.get(key, 0) + 1
+        return generation
+
+    def release_generation(self, generation: str) -> None:
+        """Drop one pin on ``generation`` (no-op when not pinned)."""
+        with _PINS_LOCK:
+            key = _pin_key(self.path, generation)
+            count = _PINS.get(key, 0)
+            if count <= 1:
+                _PINS.pop(key, None)
+            else:
+                _PINS[key] = count - 1
+
     def gc(self) -> list[str]:
-        """Remove generations and temp files the manifest doesn't name."""
+        """Remove generations and temp files the manifest doesn't name.
+
+        Pinned generations (live in-process readers) are kept even when
+        the manifest has moved past them; they are collected by the next
+        GC after the last pin is released.
+        """
         manifest = self._require_manifest()
         keep = {manifest.generation, manifest.wal, MANIFEST_NAME, LOCK_NAME}
+        keep |= pinned_generations(self.path)
         removed = []
         for entry in sorted(self.path.iterdir()):
             name = entry.name

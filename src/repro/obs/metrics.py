@@ -468,6 +468,99 @@ def result_cache_misses(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
     )
 
 
+# -- service families -------------------------------------------------------
+#
+# The async query service (repro.serve) records its request lifecycle
+# here: admission, shedding, per-route latency, generation swaps, and
+# circuit-breaker transitions.  /metrics serves this registry.
+
+#: Request-latency buckets (seconds): a serving deadline is typically
+#: tens to hundreds of milliseconds, so the resolution concentrates there.
+SERVICE_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+def http_requests(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_http_requests_total",
+        "HTTP requests served, by route and status code",
+        labelnames=("route", "status"),
+    )
+
+
+def http_request_seconds(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.histogram(
+        "graft_http_request_seconds",
+        "End-to-end HTTP request latency by route (seconds), including "
+        "admission-queue wait",
+        labelnames=("route",),
+        buckets=SERVICE_LATENCY_BUCKETS,
+    )
+
+
+def inflight_requests(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.gauge(
+        "graft_service_inflight_requests",
+        "Admitted requests currently executing",
+    )
+
+
+def queued_requests(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.gauge(
+        "graft_service_queued_requests",
+        "Admitted-but-waiting requests (admission queue depth)",
+    )
+
+
+def requests_shed(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_requests_shed_total",
+        "Requests rejected by load shedding (503 + Retry-After)",
+    )
+
+
+def admission_timeouts(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_admission_timeouts_total",
+        "Requests whose deadline expired waiting in the admission queue",
+    )
+
+
+def generation_swaps(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_generation_swaps_total",
+        "Reader hot-swaps to a newly checkpointed store generation",
+    )
+
+
+def swap_seconds(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.histogram(
+        "graft_generation_swap_seconds",
+        "Wall time to load, pin and swap in a new reader generation "
+        "(seconds); readers keep serving the old one throughout",
+    )
+
+
+def breaker_transitions(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_breaker_transitions_total",
+        "Circuit-breaker state transitions, by state entered",
+        labelnames=("state",),
+    )
+
+
+def degraded_serial_requests(
+    registry: MetricsRegistry = REGISTRY,
+) -> MetricFamily:
+    return registry.counter(
+        "graft_degraded_serial_requests_total",
+        "Searches served on the fail-fast degraded serial path while the "
+        "circuit breaker was open",
+    )
+
+
 # -- store-level families --------------------------------------------------
 #
 # The durable store (repro.index.store) records its I/O through these

@@ -1,0 +1,44 @@
+"""The resilient async query service (docs/SERVICE.md).
+
+A dependency-free asyncio HTTP service over a durable index store:
+immutable reader generations hot-swapped behind live traffic, a single
+WAL-appending writer, bounded admission with load shedding, and a
+circuit breaker that degrades to a known-good serial path on integrity
+failures.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionTimeout,
+    CircuitBreaker,
+    ServiceConfig,
+    ShedRequest,
+)
+from repro.serve.http import HttpError, Request, read_request, response_bytes
+from repro.serve.loadgen import (
+    DEFAULT_QUERIES,
+    LoadgenReport,
+    run_loadgen,
+)
+from repro.serve.server import HttpServer, run_server
+from repro.serve.service import GenerationHandle, QueryService, WriterDead
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionTimeout",
+    "CircuitBreaker",
+    "DEFAULT_QUERIES",
+    "GenerationHandle",
+    "HttpError",
+    "HttpServer",
+    "LoadgenReport",
+    "QueryService",
+    "Request",
+    "ServiceConfig",
+    "ShedRequest",
+    "WriterDead",
+    "read_request",
+    "response_bytes",
+    "run_loadgen",
+    "run_server",
+]

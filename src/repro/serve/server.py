@@ -1,0 +1,315 @@
+"""The asyncio HTTP surface over :class:`repro.serve.service.QueryService`.
+
+One coroutine per connection, keep-alive, no external dependencies —
+``asyncio.start_server`` plus the framing in :mod:`repro.serve.http`.
+
+Endpoints:
+
+========================  =====================================================
+``GET /search``           ``?q=``, ``scheme=``, ``top_k=``, ``deadline_ms=``,
+                          ``partial=`` — admitted, deadline-governed search.
+``GET /explain``          ``?q=``, ``scheme=`` — the optimized plan text.
+``GET /healthz``          Liveness: 200 as long as the process serves.
+``GET /readyz``           Readiness: 200 only when a reader generation is
+                          loaded and the server is not draining.
+``GET /metrics``          Prometheus text (or JSON with ``?format=json``).
+``GET /status``           Service introspection (generation, epoch, breaker,
+                          admission counters, writer health).
+``POST /add``             JSON ``{"text": ..., "title": ...}`` — WAL-append
+                          one document through the writer.
+``POST /admin/checkpoint``  Checkpoint the WAL and hot-swap readers.
+``POST /admin/revive``    Reopen the store after a writer crash.
+========================  =====================================================
+
+Shutdown is a drain, not a guillotine: on SIGTERM (or :meth:`stop`) the
+server first flips ``/readyz`` to 503 so load balancers stop routing
+here, stops accepting connections, waits up to ``drain_timeout_s`` for
+inflight requests, then closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+
+from repro.obs.metrics import (
+    REGISTRY,
+    http_request_seconds,
+    http_requests,
+)
+from repro.serve.http import (
+    HttpError,
+    Request,
+    read_request,
+    response_bytes,
+)
+from repro.serve.service import QueryService
+
+
+def _json_body(payload: dict) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+class HttpServer:
+    """Bind, route, drain.  One instance per :class:`QueryService`."""
+
+    def __init__(self, service: QueryService, *, registry=REGISTRY):
+        self.service = service
+        self.registry = registry
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._draining = asyncio.Event()
+        self.host: str | None = None
+        self.port: int | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Start the service core and listen; returns (host, port)."""
+        if not self.service.started:
+            await self.service.start()
+        config = self.service.config
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=config.host, port=config.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT trigger a graceful drain (CLI entry point)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(self.stop())
+            )
+
+    async def serve_forever(self) -> None:
+        """Block until a drain is triggered and completes."""
+        await self._draining.wait()
+
+    async def stop(self) -> None:
+        """Graceful drain: unready, stop accepting, wait, close.
+
+        Idempotent — a second SIGTERM while draining is a no-op rather
+        than an abort; hard-kill impatience belongs to the supervisor.
+        """
+        if self._draining.is_set():
+            return
+        self.service.draining = True  # /readyz goes 503 first
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self.service.config.drain_timeout_s
+        while self._connections and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        for task in list(self._connections):
+            task.cancel()
+        await self.service.stop()
+        self._draining.set()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    writer.write(
+                        self._error_bytes(exc, route="(parse)", keep=False)
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                keep = request.keep_alive and not self.service.draining
+                payload = await self._dispatch_counted(request)
+                writer.write(
+                    response_bytes(
+                        payload[0],
+                        payload[1],
+                        extra_headers=payload[2],
+                        keep_alive=keep,
+                    )
+                )
+                await writer.drain()
+                if not keep:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    def _error_bytes(
+        self, exc: HttpError, *, route: str, keep: bool
+    ) -> bytes:
+        headers = {}
+        retry = getattr(exc, "retry_after_s", None)
+        if retry is not None:
+            headers["Retry-After"] = f"{retry:.3f}"
+        http_requests(self.registry).labels(
+            route=route, status=str(exc.status)
+        ).inc()
+        return response_bytes(
+            exc.status,
+            _json_body({"error": str(exc), "status": exc.status}),
+            extra_headers=headers,
+            keep_alive=keep,
+        )
+
+    async def _dispatch_counted(
+        self, request: Request
+    ) -> tuple[int, bytes, dict[str, str]]:
+        route = request.path
+        started = time.monotonic()
+        try:
+            status, body, headers = await self._dispatch(request)
+        except HttpError as exc:
+            status = exc.status
+            headers = {}
+            retry = getattr(exc, "retry_after_s", None)
+            if retry is not None:
+                headers["Retry-After"] = f"{retry:.3f}"
+            body = _json_body({"error": str(exc), "status": status})
+        except Exception as exc:  # noqa: BLE001 — the connection must live
+            status = 500
+            headers = {}
+            body = _json_body(
+                {"error": f"{type(exc).__name__}: {exc}", "status": 500}
+            )
+        http_requests(self.registry).labels(
+            route=route, status=str(status)
+        ).inc()
+        http_request_seconds(self.registry).labels(route=route).observe(
+            time.monotonic() - started
+        )
+        return status, body, headers
+
+    # -- routing -----------------------------------------------------------
+
+    async def _dispatch(
+        self, request: Request
+    ) -> tuple[int, bytes, dict[str, str]]:
+        route = (request.method, request.path)
+        if route == ("GET", "/search"):
+            return await self._search(request)
+        if route == ("GET", "/explain"):
+            return await self._explain(request)
+        if route == ("GET", "/healthz"):
+            return 200, _json_body({"alive": True}), {}
+        if route == ("GET", "/readyz"):
+            status = self.service.status()
+            return (
+                (200 if status["ready"] else 503),
+                _json_body(status),
+                {},
+            )
+        if route == ("GET", "/metrics"):
+            return self._metrics(request)
+        if route == ("GET", "/status"):
+            return 200, _json_body(self.service.status()), {}
+        if route == ("POST", "/add"):
+            return await self._add(request)
+        if route == ("POST", "/admin/checkpoint"):
+            result = await self.service.checkpoint_and_swap()
+            return 200, _json_body(result), {}
+        if route == ("POST", "/admin/revive"):
+            result = await self.service.revive_writer()
+            return 200, _json_body(result), {}
+        if request.path in (
+            "/search", "/explain", "/healthz", "/readyz", "/metrics",
+            "/status", "/add", "/admin/checkpoint", "/admin/revive",
+        ):
+            raise HttpError(
+                405, f"{request.method} is not allowed on {request.path}"
+            )
+        raise HttpError(404, f"no route for {request.path}")
+
+    async def _search(
+        self, request: Request
+    ) -> tuple[int, bytes, dict[str, str]]:
+        query = request.param("q")
+        if not query:
+            raise HttpError(400, "missing required query parameter 'q'")
+        payload = await self.service.search(
+            query,
+            scheme=request.param("scheme", "sumbest"),
+            top_k=request.int_param("top_k", 10),
+            deadline_ms=request.float_param("deadline_ms", None),
+            partial=request.bool_param("partial", True),
+        )
+        return 200, _json_body(payload), {}
+
+    async def _explain(
+        self, request: Request
+    ) -> tuple[int, bytes, dict[str, str]]:
+        query = request.param("q")
+        if not query:
+            raise HttpError(400, "missing required query parameter 'q'")
+        payload = await self.service.explain(
+            query, scheme=request.param("scheme", "sumbest")
+        )
+        return 200, _json_body(payload), {}
+
+    def _metrics(
+        self, request: Request
+    ) -> tuple[int, bytes, dict[str, str]]:
+        if request.param("format") == "json":
+            return (
+                200,
+                (self.registry.to_json(indent=2) + "\n").encode("utf-8"),
+                {},
+            )
+        text = self.registry.to_prometheus_text()
+        return (
+            200,
+            text.encode("utf-8"),
+            {"Content-Type": "text/plain; version=0.0.4"},
+        )
+
+    async def _add(
+        self, request: Request
+    ) -> tuple[int, bytes, dict[str, str]]:
+        try:
+            doc = json.loads(request.body.decode("utf-8") or "{}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not JSON: {exc}") from None
+        if not isinstance(doc, dict) or not isinstance(doc.get("text"), str):
+            raise HttpError(
+                400, "request body must be a JSON object with a 'text' string"
+            )
+        result = await self.service.add_document(
+            doc["text"], title=str(doc.get("title", ""))
+        )
+        return 202, _json_body(result), {}
+
+
+async def run_server(
+    store_dir, config=None, *, analyzer=None, ready_line=print
+) -> None:
+    """CLI entry: start, announce, serve until SIGTERM, drain."""
+    service = QueryService(store_dir, config, analyzer=analyzer)
+    server = HttpServer(service)
+    host, port = await server.start()
+    server.install_signal_handlers()
+    status = service.status()
+    ready_line(
+        f"serving {store_dir} generation={status['generation']} "
+        f"docs={status['doc_count']} on http://{host}:{port}"
+    )
+    await server.serve_forever()
+    ready_line("drained; bye")

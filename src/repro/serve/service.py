@@ -1,0 +1,566 @@
+"""The query service core: immutable readers, one writer, atomic swap.
+
+The serving model is the store's generational design lifted into a
+process (docs/SERVICE.md):
+
+* **Readers** hold an engine loaded from one store generation (plus the
+  WAL records durable at load time).  A loaded reader is immutable —
+  searches never mutate it — so any number of concurrent searches can
+  share it without coordination beyond the thread-safe query cache.
+* **One writer** (a :meth:`repro.api.SearchEngine.open`\\ ed engine,
+  holding the store's advisory lock) WAL-appends added documents and
+  periodically compacts them into a new generation via
+  :meth:`checkpoint`.
+* **The swap** is the only moment the two meet: after a checkpoint the
+  service loads a *new* reader from the new generation off the request
+  path, pins that generation against store GC, and atomically replaces
+  the current handle.  Requests already executing keep their pinned old
+  handle until they finish (refcount), so no request ever observes a
+  torn generation — each sees exactly one.  When the old handle's
+  refcount drains, its store pin is released and the old generation
+  becomes garbage.
+
+The writer is *expendable* by design: if it dies mid-checkpoint (chaos
+harness, real crash), readers keep serving the last durable generation
+and :meth:`QueryService.revive_writer` reopens the store — which
+repairs the WAL tail and collects the dead checkpoint's residue, the
+same recovery path a process restart would take.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.api import SearchEngine, SearchOutcome
+from repro.errors import (
+    GraftError,
+    IndexCorruptionError,
+    QueryTimeoutError,
+    ResourceExhaustedError,
+    ScoreConsistencyError,
+)
+from repro.exec.cache import CacheConfig
+from repro.obs.metrics import (
+    REGISTRY,
+    degraded_serial_requests,
+    generation_swaps,
+    swap_seconds,
+)
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionTimeout,
+    CircuitBreaker,
+    ServiceConfig,
+    ShedRequest,
+)
+from repro.serve.http import HttpError
+
+
+@dataclass
+class GenerationHandle:
+    """One immutable reader generation, refcounted by live requests.
+
+    ``engine`` executes the configured (possibly sharded, cached) path;
+    ``serial_engine`` shares the same collection and index but is pinned
+    serial with caches off — the known-good fail-fast path the circuit
+    breaker degrades to.  ``refs`` counts requests currently executing
+    against this handle; a retired handle whose refs drain to zero
+    releases its store-generation pin.
+    """
+
+    engine: SearchEngine
+    serial_engine: SearchEngine
+    generation: str | None
+    refs: int = 0
+    retired: bool = False
+    release_pin: "callable | None" = field(default=None, repr=False)
+
+    def drained(self) -> None:
+        if self.release_pin is not None:
+            self.release_pin()
+            self.release_pin = None
+
+
+class _ReaderSet:
+    """The current handle plus the pin/release/swap protocol.
+
+    Guarded by a real lock, not event-loop discipline: searches release
+    their pins from executor threads' completion callbacks in tests and
+    benchmarks, so the invariants must hold under preemption.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.current: GenerationHandle | None = None
+        self.epoch = 0
+        self.swaps = 0
+
+    def pin(self) -> tuple[GenerationHandle, int]:
+        with self._lock:
+            handle = self.current
+            if handle is None:
+                raise HttpError(503, "no reader generation loaded")
+            handle.refs += 1
+            return handle, self.epoch
+
+    def release(self, handle: GenerationHandle) -> None:
+        drained = False
+        with self._lock:
+            handle.refs -= 1
+            drained = handle.retired and handle.refs == 0
+        if drained:
+            handle.drained()
+
+    def swap(self, new: GenerationHandle) -> GenerationHandle | None:
+        """Install ``new`` as current; returns the retired old handle."""
+        drained = False
+        with self._lock:
+            old = self.current
+            self.current = new
+            self.epoch += 1
+            if old is not None:
+                # The initial install is not a swap: ``swaps`` mirrors
+                # graft_generation_swaps_total, which counts handoffs.
+                self.swaps += 1
+                old.retired = True
+                drained = old.refs == 0
+        if old is not None and drained:
+            old.drained()
+        return old
+
+
+class WriterDead(GraftError):
+    """The background writer has crashed and was not revived yet."""
+
+
+class QueryService:
+    """HTTP-agnostic service core: admission, search, ingest, swap.
+
+    The async surface (:mod:`repro.serve.server`) is a thin framing
+    layer over this class, so the chaos and overload tests drive the
+    exact production logic in-process without sockets.
+    """
+
+    def __init__(
+        self,
+        store_dir,
+        config: ServiceConfig | None = None,
+        *,
+        analyzer=None,
+        store_faults=None,
+        registry=REGISTRY,
+    ):
+        self.store_dir = store_dir
+        self.config = config if config is not None else ServiceConfig()
+        self.analyzer = analyzer
+        #: Chaos harness only: a StoreFaultInjector threaded into the
+        #: writer's store ops.  Revival always reopens unfaulted — the
+        #: recovery path is the thing under test, not another victim.
+        self._store_faults = store_faults
+        self.registry = registry
+        self.admission = AdmissionController(
+            self.config.max_inflight,
+            self.config.max_queue,
+            retry_after_s=self.config.retry_after_s,
+            retry_jitter_s=self.config.retry_jitter_s,
+            registry=registry,
+        )
+        self.breaker = CircuitBreaker(
+            self.config.breaker_threshold,
+            self.config.breaker_cooldown_s,
+            registry=registry,
+        )
+        self.readers = _ReaderSet()
+        self.started = False
+        self.draining = False
+        self._writer: SearchEngine | None = None
+        self._writer_fault: BaseException | None = None
+        self._wal_since_checkpoint = 0
+        self._swap_lock = asyncio.Lock()
+        workers = self.config.executor_workers or self.config.max_inflight
+        self._search_executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="graft-search"
+        )
+        # One writer thread: WAL appends and checkpoints are inherently
+        # serial (single advisory lock), so serialization by executor
+        # width is simpler and stricter than locking inside the engine.
+        self._writer_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="graft-writer"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Open the writer, load the first reader generation, go ready."""
+        loop = asyncio.get_running_loop()
+        self._writer = await loop.run_in_executor(
+            self._writer_executor, self._open_writer
+        )
+        handle = await loop.run_in_executor(
+            self._search_executor, self._build_handle
+        )
+        self.readers.swap(handle)
+        self.started = True
+
+    def _open_writer(self) -> SearchEngine:
+        from repro.index.store import IndexStore
+
+        store = IndexStore(self.store_dir)
+        lock = store.lock().acquire(retries=5, backoff_s=0.05)
+        lock.release()  # SearchEngine.open re-acquires; we only waited out
+        return SearchEngine.open(
+            self.store_dir,
+            analyzer=self.analyzer,
+            faults=self._store_faults,
+        )
+
+    def _build_handle(self) -> GenerationHandle:
+        """Load, shard-configure, pre-build and pin one reader."""
+        from repro.index.store import IndexStore
+
+        engine = SearchEngine.load(self.store_dir, analyzer=self.analyzer)
+        if self.config.shards is not None:
+            engine.shards = self.config.shards
+        index = engine.index  # force-build off the request path
+        # shards=1 explicitly: the degraded path must stay serial even
+        # when REPRO_SHARDS is set in the environment.
+        serial = SearchEngine(
+            collection=engine.collection, shards=1, cache=CacheConfig.off()
+        )
+        serial._index = index
+        generation = engine.loaded_generation
+        release = None
+        if generation is not None:
+            pin_store = IndexStore(self.store_dir)
+            pin_store.pin_generation(generation)
+            release = lambda: pin_store.release_generation(generation)
+        return GenerationHandle(
+            engine=engine,
+            serial_engine=serial,
+            generation=generation,
+            release_pin=release,
+        )
+
+    async def stop(self) -> None:
+        """Release the writer lock and retire the readers."""
+        self.draining = True
+        self.started = False
+        writer, self._writer = self._writer, None
+        if writer is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                self._writer_executor, writer.close
+            )
+        old = self.readers.swap(
+            GenerationHandle(
+                engine=SearchEngine(), serial_engine=SearchEngine(),
+                generation=None,
+            )
+        )
+        if old is not None:
+            pass  # retired; pin released once inflight requests drain
+        self._search_executor.shutdown(wait=False)
+        self._writer_executor.shutdown(wait=False)
+
+    # -- serving -----------------------------------------------------------
+
+    async def search(
+        self,
+        query: str,
+        scheme: str = "sumbest",
+        top_k: int | None = 10,
+        deadline_ms: float | None = None,
+        partial: bool = True,
+    ) -> dict:
+        """One admitted, deadline-governed search; returns the payload.
+
+        Raises :class:`repro.serve.http.HttpError` with the status the
+        transport should emit (503 shed / 504 timeout / 4xx client).
+        """
+        if self.draining or not self.started:
+            raise HttpError(503, "service is draining")
+        budget_ms = self.config.deadline_ms
+        if deadline_ms is not None:
+            budget_ms = min(budget_ms, deadline_ms)
+        try:
+            queued_s = await self.admission.admit(timeout_s=budget_ms / 1000.0)
+        except ShedRequest as exc:
+            raise _shed_error(exc) from None
+        except AdmissionTimeout as exc:
+            raise HttpError(504, str(exc)) from None
+        try:
+            remaining_ms = budget_ms - queued_s * 1000.0
+            if remaining_ms <= 0:
+                raise HttpError(
+                    504, "deadline expired in the admission queue"
+                )
+            return await self._execute(
+                query, scheme, top_k, remaining_ms, partial, queued_s
+            )
+        finally:
+            self.admission.exit()
+
+    async def _execute(
+        self,
+        query: str,
+        scheme: str,
+        top_k: int | None,
+        remaining_ms: float,
+        partial: bool,
+        queued_s: float,
+    ) -> dict:
+        handle, epoch = self.readers.pin()
+        full_path = self.breaker.allow_full_path()
+        limits = self.config.limits(remaining_ms, partial=partial)
+        loop = asyncio.get_running_loop()
+        started = time.monotonic()
+        try:
+            if full_path:
+                engine = handle.engine
+            else:
+                engine = handle.serial_engine
+                degraded_serial_requests(self.registry).child().inc()
+            outcome = await loop.run_in_executor(
+                self._search_executor,
+                lambda: engine.search(
+                    query, scheme=scheme, top_k=top_k, limits=limits
+                ),
+            )
+        except (IndexCorruptionError, ScoreConsistencyError) as exc:
+            self.breaker.record_failure()
+            raise HttpError(500, f"integrity failure: {exc}") from exc
+        except QueryTimeoutError as exc:
+            raise HttpError(504, str(exc)) from exc
+        except ResourceExhaustedError as exc:
+            raise HttpError(429, str(exc)) from exc
+        except GraftError as exc:
+            raise HttpError(400, str(exc)) from exc
+        finally:
+            self.readers.release(handle)
+        if full_path:
+            self.breaker.record_success()
+        return self._payload(
+            query, scheme, outcome, handle, epoch,
+            served_serial=not full_path,
+            wall_s=time.monotonic() - started,
+            queued_s=queued_s,
+        )
+
+    def _payload(
+        self,
+        query: str,
+        scheme: str,
+        outcome: SearchOutcome,
+        handle: GenerationHandle,
+        epoch: int,
+        *,
+        served_serial: bool,
+        wall_s: float,
+        queued_s: float,
+    ) -> dict:
+        return {
+            "query": query,
+            "scheme": scheme,
+            "generation": handle.generation,
+            "epoch": epoch,
+            "degraded": outcome.degraded,
+            "limit_hit": outcome.limit_hit,
+            "breaker": self.breaker.state,
+            "served_degraded_serial": served_serial,
+            "shard_count": outcome.shard_count,
+            "plan_cached": outcome.plan_cached,
+            "wall_ms": wall_s * 1000.0,
+            "queued_ms": queued_s * 1000.0,
+            "results": [
+                {
+                    "rank": rank,
+                    "doc_id": r.doc_id,
+                    "score": r.score,
+                    "title": r.title,
+                }
+                for rank, r in enumerate(outcome.results, start=1)
+            ],
+        }
+
+    async def explain(self, query: str, scheme: str = "sumbest") -> dict:
+        """The optimized plan the current generation would execute."""
+        if self.draining or not self.started:
+            raise HttpError(503, "service is draining")
+        async with self.admission:
+            handle, epoch = self.readers.pin()
+            try:
+                loop = asyncio.get_running_loop()
+                text = await loop.run_in_executor(
+                    self._search_executor,
+                    lambda: handle.engine.explain(query, scheme=scheme),
+                )
+            except GraftError as exc:
+                raise HttpError(400, str(exc)) from exc
+            finally:
+                self.readers.release(handle)
+            return {
+                "query": query,
+                "scheme": scheme,
+                "generation": handle.generation,
+                "epoch": epoch,
+                "plan": text,
+            }
+
+    # -- ingest and swap ---------------------------------------------------
+
+    @property
+    def writer_alive(self) -> bool:
+        return self._writer is not None and self._writer_fault is None
+
+    def _require_writer(self) -> SearchEngine:
+        if self.draining:
+            raise HttpError(503, "service is draining")
+        if not self.writer_alive:
+            raise HttpError(
+                503,
+                "writer is down "
+                f"({type(self._writer_fault).__name__ if self._writer_fault else 'not started'}); "
+                "readers keep serving the last durable generation",
+            )
+        return self._writer
+
+    async def add_document(self, text: str, title: str = "") -> dict:
+        """WAL-append one document through the writer; durable on return.
+
+        The document becomes *searchable* at the next checkpoint + swap;
+        this split is what lets readers stay immutable.
+        """
+        writer = self._require_writer()
+        loop = asyncio.get_running_loop()
+        try:
+            doc_id = await loop.run_in_executor(
+                self._writer_executor, lambda: writer.add(text, title)
+            )
+        except BaseException as exc:
+            self._writer_fault = exc
+            raise HttpError(503, f"writer failed: {exc}") from exc
+        self._wal_since_checkpoint += 1
+        pending = (
+            self.config.checkpoint_every
+            and self._wal_since_checkpoint >= self.config.checkpoint_every
+        )
+        if pending:
+            asyncio.ensure_future(self._auto_checkpoint())
+        return {
+            "doc_id": doc_id,
+            "wal_pending": self._wal_since_checkpoint,
+            "generation": self.readers.current.generation
+            if self.readers.current else None,
+        }
+
+    async def _auto_checkpoint(self) -> None:
+        try:
+            await self.checkpoint_and_swap()
+        except HttpError:
+            pass  # a concurrent swap is already running, or writer died
+
+    async def checkpoint_and_swap(self) -> dict:
+        """Compact the WAL into a new generation and hot-swap readers.
+
+        Zero dropped requests by construction: the new reader is loaded
+        and pre-built entirely off the request path, the swap itself is
+        one pointer flip under the reader lock, and requests pinned to
+        the old handle finish on it.
+        """
+        writer = self._require_writer()
+        if self._swap_lock.locked():
+            raise HttpError(409, "a checkpoint/swap is already in progress")
+        async with self._swap_lock:
+            loop = asyncio.get_running_loop()
+            swap_started = time.monotonic()
+            try:
+                generation = await loop.run_in_executor(
+                    self._writer_executor, writer.checkpoint
+                )
+            except BaseException as exc:
+                # The writer 'died' mid-checkpoint (chaos or real fault).
+                # Readers are untouched; the store recovers on reopen.
+                self._writer_fault = exc
+                raise HttpError(
+                    503, f"writer crashed during checkpoint: {exc}"
+                ) from exc
+            self._wal_since_checkpoint = 0
+            handle = await loop.run_in_executor(
+                self._search_executor, self._build_handle
+            )
+            old = self.readers.swap(handle)
+            elapsed = time.monotonic() - swap_started
+            generation_swaps(self.registry).child().inc()
+            swap_seconds(self.registry).child().observe(elapsed)
+            return {
+                "generation": generation,
+                "previous": old.generation if old is not None else None,
+                "epoch": self.readers.epoch,
+                "swap_ms": elapsed * 1000.0,
+            }
+
+    async def revive_writer(self) -> dict:
+        """Reopen the store after a writer crash (the supervisor path).
+
+        Releases the dead writer's advisory lock (the supervisor owns
+        the handle in-process; after a real crash the pid-staleness
+        break does the same job), then reopens — which truncates any
+        torn WAL tail and garbage-collects the dead checkpoint's
+        residue, exactly like a process restart.
+        """
+        if self.writer_alive:
+            return {"revived": False, "reason": "writer is alive"}
+        loop = asyncio.get_running_loop()
+        dead, self._writer = self._writer, None
+        self._writer_fault = None
+
+        def reopen() -> SearchEngine:
+            if dead is not None:
+                dead.close()
+            return SearchEngine.open(self.store_dir, analyzer=self.analyzer)
+
+        try:
+            self._writer = await loop.run_in_executor(
+                self._writer_executor, reopen
+            )
+        except BaseException as exc:
+            self._writer_fault = exc
+            raise HttpError(503, f"writer revival failed: {exc}") from exc
+        self._wal_since_checkpoint = 0
+        return {
+            "revived": True,
+            "generation": self._writer.loaded_generation,
+        }
+
+    # -- introspection -----------------------------------------------------
+
+    def status(self) -> dict:
+        current = self.readers.current
+        return {
+            "ready": self.started and not self.draining
+            and current is not None,
+            "draining": self.draining,
+            "generation": current.generation if current else None,
+            "epoch": self.readers.epoch,
+            "swaps": self.readers.swaps,
+            "reader_refs": current.refs if current else 0,
+            "doc_count": len(current.engine.collection) if current else 0,
+            "inflight": self.admission.inflight,
+            "queued": self.admission.queued,
+            "shed": self.admission.shed,
+            "admitted": self.admission.admitted,
+            "admission_timeouts": self.admission.timed_out,
+            "breaker": self.breaker.state,
+            "breaker_trips": self.breaker.trips,
+            "writer_alive": self.writer_alive,
+            "wal_pending": self._wal_since_checkpoint,
+        }
+
+
+def _shed_error(exc: ShedRequest) -> HttpError:
+    error = HttpError(503, str(exc))
+    error.retry_after_s = exc.retry_after_s
+    return error

@@ -1,0 +1,119 @@
+"""Concurrent ``search()`` and ``checkpoint()`` on one engine.
+
+``checkpoint()`` compacts the WAL into a new store generation and bumps
+the engine's cache generation, but never mutates the loaded collection
+or index — so searches racing a checkpoint must complete normally on
+the already-loaded state with bit-identical scores.  The score audit
+gate runs in strict mode throughout: any divergence between the
+optimized plan and the canonical score-isolated plan raises instead of
+passing silently.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.api import SearchEngine
+from repro.index.store import IndexStore
+from repro.obs.audit import AuditConfig, Auditor
+
+TEXTS = [
+    "the quick brown fox jumps over the lazy dog",
+    "a quick quick fox and a slow dog walk home",
+    "quick release fox terrier dog show dog fox",
+    "slow brown dog naps while the fox watches",
+    "quick dog quick fox quick everything here",
+]
+QUERIES = ("quick fox", "quick (fox | dog)", '"quick fox"')
+
+
+def test_searches_racing_checkpoint_are_bit_identical(tmp_path):
+    root = tmp_path / "store"
+    with SearchEngine.open(root) as setup:
+        for i, text in enumerate(TEXTS[:3]):
+            setup.add(text, title=f"doc{i}")
+        setup.checkpoint()
+
+    engine = SearchEngine.open(root)
+    # open() has no audit parameter (stores are audited via `repro
+    # verify`); arm the strict gate directly for the race.
+    engine._auditor = Auditor(AuditConfig(rate=1.0, mode="strict"))
+    try:
+        # WAL-append two more docs: the checkpoint below has real work.
+        for i, text in enumerate(TEXTS[3:], start=3):
+            engine.add(text, title=f"doc{i}")
+
+        reference = {
+            q: tuple(
+                (r.doc_id, r.score) for r in engine.search(q).results
+            )
+            for q in QUERIES
+        }
+        errors: list[BaseException] = []
+        mismatches: list[str] = []
+        start = threading.Barrier(5)
+        checkpointed = threading.Event()
+        generations: list[str] = []
+
+        def searcher(seed: int) -> None:
+            try:
+                start.wait()
+                rounds = 0
+                # Keep searching until well past the checkpoint.
+                while not checkpointed.is_set() or rounds < 30:
+                    q = QUERIES[(seed + rounds) % len(QUERIES)]
+                    got = tuple(
+                        (r.doc_id, r.score)
+                        for r in engine.search(q).results
+                    )
+                    if got != reference[q]:
+                        mismatches.append(
+                            f"{q!r}: {got} != {reference[q]}"
+                        )
+                    rounds += 1
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def checkpointer() -> None:
+            try:
+                start.wait()
+                generations.append(engine.checkpoint())
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                checkpointed.set()
+
+        threads = [
+            threading.Thread(target=searcher, args=(i,)) for i in range(4)
+        ] + [threading.Thread(target=checkpointer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors, errors  # strict audit never tripped
+        assert not mismatches, mismatches[:3]
+        assert checkpointed.is_set() and generations
+
+        # The checkpoint really happened: the store's manifest moved to
+        # the new generation and carries all five documents.
+        report = IndexStore.open(root).verify()
+        assert report["generation"] == generations[0]
+        assert report["doc_count"] == len(TEXTS)
+        assert report["wal_pending"] == 0
+
+        # And post-checkpoint searches still match bit-identically.
+        for q in QUERIES:
+            got = tuple(
+                (r.doc_id, r.score) for r in engine.search(q).results
+            )
+            assert got == reference[q]
+    finally:
+        engine.close()
+
+    # A fresh reader of the new generation agrees with the scores the
+    # racing searches saw (same corpus, same algebra, same floats).
+    fresh = SearchEngine.load(root)
+    for q in QUERIES:
+        got = tuple((r.doc_id, r.score) for r in fresh.search(q).results)
+        assert got == reference[q]

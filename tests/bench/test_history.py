@@ -172,13 +172,14 @@ def test_cli_run_appends_history_and_pins_baseline(tmp_path, capsys):
     history = load_history(tmp_path / "history.jsonl")
     run_id, records = latest_run(history)
     assert run_id is not None
-    # Q4..Q11 plus the sharded-throughput sweep and the plan-cache leg.
-    assert len(records) == 12
+    # Q4..Q11 plus the sharded-throughput sweep, the plan-cache leg,
+    # and the end-to-end service-load leg.
+    assert len(records) == 13
     workload = [n for n in records if n.startswith("workload_Q")]
     assert len(workload) == 8
     assert {n for n in records if not n.startswith("workload_Q")} == {
         "parallel_qps_s1", "parallel_qps_s2", "parallel_qps_s4",
-        "plan_cache_repeat",
+        "plan_cache_repeat", "service_load",
     }
     # The merge is exact: rows are shard-invariant across the sweep.
     assert len({
@@ -191,15 +192,36 @@ def test_cli_run_appends_history_and_pins_baseline(tmp_path, capsys):
     # Each run appends exactly one batch: a second run doubles the file.
     assert bench_cli(tmp_path) == 0
     capsys.readouterr()
-    assert len(load_history(tmp_path / "history.jsonl")) == 24
+    assert len(load_history(tmp_path / "history.jsonl")) == 26
 
 
 def test_cli_no_parallel_skips_the_sweep(tmp_path, capsys):
     assert bench_cli(tmp_path, "--no-parallel") == 0
     capsys.readouterr()
     _, records = latest_run(load_history(tmp_path / "history.jsonl"))
-    assert len(records) == 8
-    assert all(name.startswith("workload_Q") for name in records)
+    assert len(records) == 9
+    assert set(records) == {
+        *(n for n in records if n.startswith("workload_Q")), "service_load",
+    }
+
+
+def test_cli_no_service_skips_the_service_leg(tmp_path, capsys):
+    assert bench_cli(tmp_path, "--no-service") == 0
+    capsys.readouterr()
+    _, records = latest_run(load_history(tmp_path / "history.jsonl"))
+    assert "service_load" not in records
+    assert len(records) == 12
+
+
+def test_cli_service_leg_records_latency_params(tmp_path, capsys):
+    assert bench_cli(tmp_path) == 0
+    capsys.readouterr()
+    _, records = latest_run(load_history(tmp_path / "history.jsonl"))
+    leg = records["service_load"]
+    assert leg["rows"] > 0
+    for key in ("qps", "p50_ms", "p99_ms", "requests", "concurrency"):
+        assert key in leg["params"], key
+    assert leg["params"]["p50_ms"] <= leg["params"]["p99_ms"]
 
 
 def test_cli_no_cache_runs_the_cache_leg_cold(tmp_path, capsys):
@@ -256,7 +278,7 @@ def test_cli_check_json_payload(tmp_path, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["checked"] is True
     assert payload["regressions"] == []
-    assert len(payload["records"]) == 12
+    assert len(payload["records"]) == 13
     for rec in payload["records"].values():
         assert rec["schema"] == 1
         assert rec["run_id"] == payload["run_id"]

@@ -1,0 +1,94 @@
+"""Generation pins: refcounted GC protection for live readers.
+
+Pins are process-wide and keyed by resolved store path, because the
+pinning side (a service's reader) and the GC-ing side (its writer, or a
+revival open) are *different* ``IndexStore`` instances over the same
+directory.
+"""
+
+from __future__ import annotations
+
+from repro.api import SearchEngine
+from repro.index.store import IndexStore, pinned_generations
+
+
+def build(root, generations: int = 1) -> list[str]:
+    names = []
+    with SearchEngine.open(root) as engine:
+        for i in range(generations):
+            engine.add(f"document number {i} quick fox")
+            names.append(engine.checkpoint())
+    return names
+
+
+def test_pin_defaults_to_current_generation_and_refcounts(tmp_path):
+    root = tmp_path / "store"
+    build(root)
+    store = IndexStore.open(root)
+    name = store.pin_generation()
+    assert name == store.manifest.generation
+    assert pinned_generations(root) == {name}
+    # Second pin on the same generation refcounts, not duplicates.
+    assert store.pin_generation(name) == name
+    store.release_generation(name)
+    assert pinned_generations(root) == {name}  # one ref remains
+    store.release_generation(name)
+    assert pinned_generations(root) == set()
+
+
+def test_release_without_pin_is_a_noop(tmp_path):
+    root = tmp_path / "store"
+    build(root)
+    store = IndexStore.open(root)
+    store.release_generation("gen-000099")  # documented no-op
+    assert pinned_generations(root) == set()
+    # And an over-release never underflows another holder's pin.
+    name = store.pin_generation()
+    store.release_generation(name)
+    store.release_generation(name)
+    assert pinned_generations(root) == set()
+    assert store.pin_generation() == name
+    store.release_generation(name)
+
+
+def test_gc_keeps_pinned_old_generation_until_released(tmp_path):
+    root = tmp_path / "store"
+    build(root)
+    # A reader (separate IndexStore instance) pins the current gen.
+    reader_store = IndexStore.open(root)
+    pinned = reader_store.pin_generation()
+
+    # The writer moves on by two generations; its gc runs each time.
+    with SearchEngine.open(root) as writer:
+        writer.add("a newer document arrives")
+        newer = writer.checkpoint()
+        writer.add("an even newer document arrives")
+        newest = writer.checkpoint()
+    assert pinned not in (newer, newest)
+
+    survivors = {p.name for p in root.iterdir() if p.name.startswith("gen-")}
+    assert pinned in survivors  # protected by the pin
+    assert newest in survivors  # current manifest generation
+    assert newer not in survivors  # unpinned, superseded -> collected
+
+    # The pinned generation is still fully loadable (the reader's view).
+    assert IndexStore.open(root).manifest.generation == newest
+
+    # Release + one more gc round collects it.
+    reader_store.release_generation(pinned)
+    with SearchEngine.open(root):
+        pass  # open() runs gc
+    survivors = {p.name for p in root.iterdir() if p.name.startswith("gen-")}
+    assert pinned not in survivors
+    assert newest in survivors
+
+
+def test_pins_are_shared_across_store_instances_by_resolved_path(tmp_path):
+    root = tmp_path / "store"
+    build(root)
+    a = IndexStore.open(root)
+    b = IndexStore.open(tmp_path / "." / "store")  # same dir, odd spelling
+    name = a.pin_generation()
+    assert pinned_generations(root) == {name}
+    b.release_generation(name)  # the *other* instance releases
+    assert pinned_generations(root) == set()

@@ -1,0 +1,133 @@
+"""HTTP/1.1 framing: parsing, bounds, and serialization."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    HttpError,
+    Request,
+    read_request,
+    response_bytes,
+)
+
+
+def parse(raw: bytes) -> Request | None:
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+def test_parses_request_line_query_and_headers():
+    req = parse(
+        b"GET /search?q=quick%20fox&top_k=5 HTTP/1.1\r\n"
+        b"Host: localhost\r\nX-Thing: v\r\n\r\n"
+    )
+    assert req.method == "GET"
+    assert req.path == "/search"
+    assert req.query == {"q": "quick fox", "top_k": "5"}
+    assert req.headers["host"] == "localhost"
+    assert req.headers["x-thing"] == "v"
+    assert req.keep_alive  # HTTP/1.1 default
+
+
+def test_clean_eof_is_none_and_truncated_head_is_400():
+    assert parse(b"") is None
+    with pytest.raises(HttpError) as info:
+        parse(b"GET / HTTP/1.1\r\nHost: x")
+    assert info.value.status == 400
+
+
+def test_malformed_request_line_and_version():
+    with pytest.raises(HttpError) as info:
+        parse(b"GARBAGE\r\n\r\n")
+    assert info.value.status == 400
+    with pytest.raises(HttpError) as info:
+        parse(b"GET / HTTP/9.9\r\n\r\n")
+    assert info.value.status == 400
+
+
+def test_oversized_head_is_413():
+    big = b"GET / HTTP/1.1\r\nX-Pad: " + b"a" * (32 * 1024) + b"\r\n\r\n"
+    with pytest.raises(HttpError) as info:
+        parse(big)
+    assert info.value.status == 413
+
+
+def test_chunked_transfer_encoding_is_501():
+    with pytest.raises(HttpError) as info:
+        parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+    assert info.value.status == 501
+
+
+def test_body_via_content_length_and_bad_lengths():
+    req = parse(
+        b"POST /add HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody"
+    )
+    assert req.body == b"body"
+    with pytest.raises(HttpError):
+        parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+    with pytest.raises(HttpError):
+        parse(b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n")
+    with pytest.raises(HttpError) as info:
+        parse(
+            b"POST / HTTP/1.1\r\nContent-Length: "
+            + str(MAX_BODY_BYTES + 1).encode()
+            + b"\r\n\r\n"
+        )
+    assert info.value.status == 413
+    with pytest.raises(HttpError):  # body shorter than declared
+        parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort")
+
+
+def test_keep_alive_semantics():
+    req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+    assert not req.keep_alive
+    req = parse(b"GET / HTTP/1.0\r\n\r\n")
+    assert not req.keep_alive
+    req = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+    assert req.keep_alive
+
+
+def test_typed_param_helpers():
+    req = parse(
+        b"GET /s?i=3&f=0.5&b=true&bad=xyz HTTP/1.1\r\n\r\n"
+    )
+    assert req.int_param("i", 0) == 3
+    assert req.float_param("f", None) == 0.5
+    assert req.bool_param("b", False) is True
+    assert req.int_param("missing", 7) == 7
+    for call in (
+        lambda: req.int_param("bad", 0),
+        lambda: req.float_param("bad", None),
+        lambda: req.bool_param("bad", False),
+    ):
+        with pytest.raises(HttpError) as info:
+            call()
+        assert info.value.status == 400
+
+
+def test_response_bytes_roundtrip_and_content_type_override():
+    raw = response_bytes(200, b'{"ok": true}', keep_alive=False)
+    text = raw.decode("latin-1")
+    assert text.startswith("HTTP/1.1 200 OK\r\n")
+    assert "Content-Length: 12" in text
+    assert "Connection: close" in text
+    assert text.endswith('{"ok": true}')
+    prom = response_bytes(
+        200, b"metric 1\n",
+        extra_headers={"Content-Type": "text/plain"},
+    ).decode("latin-1")
+    assert "Content-Type: text/plain" in prom
+    assert prom.count("Content-Type") == 1
+    shed = response_bytes(
+        503, b"{}", extra_headers={"Retry-After": "0.700"}
+    ).decode("latin-1")
+    assert "Retry-After: 0.700" in shed

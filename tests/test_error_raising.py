@@ -34,6 +34,10 @@ def raise_graft_error(engine):
     engine.search("quick dog", top_k=0)
 
 
+def raise_config_error(engine):
+    SearchEngine(shards=-2)
+
+
 def raise_query_syntax_error(engine):
     engine.parse('"unterminated phrase')
 
@@ -142,6 +146,7 @@ def raise_score_consistency_error(engine):
 #: error class -> callable(engine, tmp_path) raising it through the API.
 SCENARIOS = {
     errors.GraftError: raise_graft_error,
+    errors.ConfigError: raise_config_error,
     errors.QuerySyntaxError: raise_query_syntax_error,
     errors.UnsafeQueryError: raise_unsafe_query_error,
     errors.UnknownPredicateError: raise_unknown_predicate_error,
