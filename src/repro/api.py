@@ -31,6 +31,8 @@ from repro.exec.engine import execute, make_runtime, validate_top_k
 from repro.exec.iterator import ExecutionMetrics, pull_doc
 from repro.exec.limits import QueryGuard, QueryLimits
 from repro.exec.topk import rank_join_applicable, rank_topk
+from repro.obs.telemetry import current as _telemetry_current
+from repro.obs.telemetry import maybe_span as _maybe_span
 
 if TYPE_CHECKING:
     import pathlib
@@ -256,19 +258,22 @@ class SearchEngine:
     def cache_stats(self) -> dict:
         """Hit/miss/size counters of both cache tiers (JSON-ready)."""
         return {
-            "plan": {
-                "capacity": self._plan_cache.capacity,
-                "size": len(self._plan_cache),
-                "hits": self._plan_cache.hits,
-                "misses": self._plan_cache.misses,
-            },
-            "result": {
-                "capacity": self._result_cache.capacity,
-                "size": len(self._result_cache),
-                "hits": self._result_cache.hits,
-                "misses": self._result_cache.misses,
-            },
+            "plan": self._plan_cache.stats(),
+            "result": self._result_cache.stats(),
         }
+
+    @property
+    def qlog(self):
+        """The attached structured query log (``None`` when unset).
+
+        Settable after construction so serving layers can attach a log
+        to engines they load themselves (``QueryService`` wires its
+        ``--qlog`` path through here on every generation swap)."""
+        return self._qlog
+
+    @qlog.setter
+    def qlog(self, value) -> None:
+        self._qlog = value
 
     def scoring_context(self) -> ScoringContext:
         if self._ctx_override is not None:
@@ -321,6 +326,10 @@ class SearchEngine:
                 None.
         """
         validate_top_k(top_k)
+        # Request telemetry (docs/OBSERVABILITY.md Layer 6): one
+        # contextvar read per search; every span below is a no-op
+        # singleton when no request context is bound.
+        rt = _telemetry_current()
         raw_query = query
         scheme_by_name = isinstance(scheme, str)
         scheme = self._resolve_scheme(scheme)
@@ -349,7 +358,8 @@ class SearchEngine:
         result_key = None
         if plan_key is not None and self._result_cache.capacity and plain:
             result_key = plan_key + (top_k,)
-            hit = self._result_cache.get(result_key)
+            with _maybe_span(rt, "plan_cache"):
+                hit = self._result_cache.get(result_key)
             from repro.obs.metrics import (
                 REGISTRY,
                 result_cache_hits,
@@ -358,6 +368,8 @@ class SearchEngine:
 
             if hit is not None:
                 result_cache_hits(REGISTRY).child().inc()
+                if rt is not None:
+                    rt.note("result_cached", True)
                 started = time.perf_counter()
                 outcome = self._cached_outcome(hit)
                 self._record_query(
@@ -367,32 +379,41 @@ class SearchEngine:
                 return outcome
             result_cache_misses(REGISTRY).child().inc()
 
-        cached_plan = (
-            self._plan_cache.get(plan_key) if plan_key is not None else None
-        )
+        with _maybe_span(rt, "plan_cache"):
+            cached_plan = (
+                self._plan_cache.get(plan_key) if plan_key is not None else None
+            )
         if cached_plan is not None:
             from repro.obs.metrics import REGISTRY, plan_cache_hits
 
             plan_cache_hits(REGISTRY).child().inc()
             query, result = cached_plan
         else:
-            query = self._resolve_query(raw_query)
+            with _maybe_span(rt, "parse"):
+                query = self._resolve_query(raw_query)
             result = None
+        if rt is not None:
+            rt.note("plan_cached", cached_plan is not None)
+            rt.note("generation", self._generation)
         ctx = self.scoring_context()
         query_text = self._query_text(raw_query, query)
 
         if use_rank_join and top_k is not None and rank_join_applicable(query, scheme):
             guard = QueryGuard(limits)
             started = time.perf_counter()
-            pairs = rank_topk(query, scheme, self.index, top_k, ctx, guard=guard)
+            with _maybe_span(rt, "execute"):
+                pairs = rank_topk(
+                    query, scheme, self.index, top_k, ctx, guard=guard
+                )
             elapsed = time.perf_counter() - started
             metrics = ExecutionMetrics(rows_charged=guard.rows_charged)
             outcome = self._outcome(
                 pairs, ["rank-join-topk"], metrics, "", guard.tripped
             )
-            self._maybe_audit(
-                query, query_text, scheme, ctx, outcome, top_k, faults
-            )
+            with _maybe_span(rt, "audit"):
+                self._maybe_audit(
+                    query, query_text, scheme, ctx, outcome, top_k, faults
+                )
             self._record_query(query_text, scheme.name, outcome, elapsed, top_k)
             if outcome.audit is not None:
                 self._auditor.raise_if_strict(outcome.audit)
@@ -400,10 +421,11 @@ class SearchEngine:
 
         if result is None:
             optimizer = Optimizer(scheme, self.index, options)
-            result = (
-                optimizer.optimize(query) if optimize
-                else optimizer.canonical(query)
-            )
+            with _maybe_span(rt, "optimize"):
+                result = (
+                    optimizer.optimize(query) if optimize
+                    else optimizer.canonical(query)
+                )
             if plan_key is not None:
                 from repro.obs.metrics import REGISTRY, plan_cache_misses
 
@@ -456,7 +478,8 @@ class SearchEngine:
                 limits=limits, faults=faults, tracer=tracer,
             )
             try:
-                pairs = execute(result.plan, runtime, top_k=top_k)
+                with _maybe_span(rt, "execute"):
+                    pairs = execute(result.plan, runtime, top_k=top_k)
             except GraftError:
                 self._record_query(
                     query_text, scheme.name, None,
@@ -480,7 +503,12 @@ class SearchEngine:
                 outcome.wall_ms = tracer.total_ns / 1e6
         outcome.rewrite_log = list(result.rewrites)
         outcome.plan_cached = cached_plan is not None
-        self._maybe_audit(query, query_text, scheme, ctx, outcome, top_k, faults)
+        if rt is not None and outcome.shard_count:
+            rt.note("shard_count", outcome.shard_count)
+        with _maybe_span(rt, "audit"):
+            self._maybe_audit(
+                query, query_text, scheme, ctx, outcome, top_k, faults
+            )
         self._record_query(query_text, scheme.name, outcome, elapsed, top_k)
         if outcome.audit is not None:
             self._auditor.raise_if_strict(outcome.audit)
@@ -592,6 +620,7 @@ class SearchEngine:
         if outcome is not None:
             record_execution_metrics(outcome.metrics, REGISTRY)
         if self._qlog is not None:
+            rt = _telemetry_current()
             self._qlog.log_query(
                 query_text,
                 scheme_name,
@@ -599,6 +628,8 @@ class SearchEngine:
                 seconds * 1000.0,
                 outcome=outcome,
                 top_k=top_k,
+                request_id=rt.request_id if rt is not None else None,
+                phase_ms=rt.phases() if rt is not None else None,
             )
 
     def _outcome(

@@ -183,6 +183,92 @@ def run_parallel_throughput(
     return run_id, records
 
 
+def run_telemetry_overhead(
+    num_docs: int = DEFAULT_DOCS,
+    scheme_name: str = DEFAULT_SCHEME,
+    repeats: int = DEFAULT_REPEATS,
+    kept: int = DEFAULT_KEPT,
+    run_id: str | None = None,
+) -> tuple[str, dict[str, dict]]:
+    """Prove the telemetry-off engine path costs nothing.
+
+    Runs one pass over the paper workload through a cache-disabled
+    :class:`repro.api.SearchEngine` twice: once with no request context
+    bound (the library default — every instrumentation site must reduce
+    to a ``ContextVar.get`` + ``is None`` branch) and once with a
+    :class:`repro.obs.telemetry.RequestTelemetry` activated per query.
+    The gated ``wall_ms`` is the **off**-path median, so a regression
+    here means the no-op path itself got slower — exactly the
+    "zero overhead when disabled" contract.  ``params`` carry both
+    medians and the measured overhead percentage for the record.
+    """
+    from repro.api import SearchEngine
+    from repro.exec.cache import CacheConfig
+    from repro.obs import telemetry
+
+    run_id = run_id or new_run_id()
+    fx = bench_fixture(num_docs=num_docs)
+    # Caches off: every search runs the full parse -> canonicalize ->
+    # optimize -> execute pipeline, i.e. every instrumented span site.
+    engine = SearchEngine(fx.collection, cache=CacheConfig.off())
+    engine._index = fx.index
+    queries = list(PAPER_QUERIES.values())
+
+    rows_off: list[int] = []
+
+    def run_off():
+        total = 0
+        for text in queries:
+            total += len(engine.search(text, scheme=scheme_name))
+        rows_off.append(total)
+
+    rows_on: list[int] = []
+
+    def run_on():
+        total = 0
+        for text in queries:
+            rt = telemetry.RequestTelemetry(route="/search", query=text,
+                                            scheme=scheme_name)
+            token = telemetry.activate(rt)
+            try:
+                total += len(engine.search(text, scheme=scheme_name))
+            finally:
+                telemetry.deactivate(token)
+                rt.finish(200)
+        rows_on.append(total)
+
+    off_seconds = paper_measure(run_off, repeats=repeats, kept=kept)
+    on_seconds = paper_measure(run_on, repeats=repeats, kept=kept)
+    overhead_pct = (
+        (on_seconds - off_seconds) / off_seconds * 100.0
+        if off_seconds > 0 else 0.0
+    )
+    records = {
+        "telemetry_overhead": bench_record(
+            "telemetry_overhead",
+            run_id=run_id,
+            wall_ms=off_seconds * 1000.0,
+            rows=rows_off[-1],
+            params={
+                "docs": num_docs,
+                "scheme": scheme_name,
+                "queries": len(queries),
+                "repeats": repeats,
+                "kept": kept,
+                "off_ms": round(off_seconds * 1000.0, 3),
+                "on_ms": round(on_seconds * 1000.0, 3),
+                "overhead_pct": round(overhead_pct, 2),
+                "rows_on": rows_on[-1],
+            },
+        )
+    }
+    if rows_on[-1] != rows_off[-1]:
+        raise RuntimeError(
+            f"telemetry changed results: off={rows_off[-1]} on={rows_on[-1]}"
+        )
+    return run_id, records
+
+
 #: Service-load defaults: enough requests that every paper query runs
 #: several times per worker, small enough to stay a smoke measurement.
 SERVICE_REQUESTS = 64

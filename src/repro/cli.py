@@ -13,6 +13,7 @@ Usage::
     python -m repro bench [--check] [--write-baseline]  # regression gate
     python -m repro serve INDEX_DIR [--port N]       # async query service
     python -m repro loadgen URL [options]            # drive a service
+    python -m repro slow URL|FILE [-n N]             # tail-latency report
 
 ``index`` builds and persists the inverted index (plus documents and
 titles) as a crash-safe generational store (``docs/STORAGE.md``) from a
@@ -204,6 +205,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--no-service", action="store_true",
                          help="skip the end-to-end service-load leg "
                               "(HTTP service + load generator)")
+    p_bench.add_argument("--no-telemetry-overhead", action="store_true",
+                         help="skip the telemetry on/off overhead leg "
+                              "(gates the zero-overhead-when-off "
+                              "contract)")
     p_bench.add_argument("--max-slowdown", type=float, default=None,
                          help="wall-time regression tolerance as a ratio "
                               "(default 1.5; raise on noisy shared runners)")
@@ -241,6 +246,46 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--drain-timeout-s", type=float, default=5.0,
                          help="graceful-shutdown budget on SIGTERM "
                               "(default 5)")
+    p_serve.add_argument("--no-telemetry", action="store_true",
+                         help="disable request telemetry (correlation "
+                              "ids, phase spans, /debug/requests and "
+                              "/debug/slow)")
+    p_serve.add_argument("--slow-capacity", type=int, default=32,
+                         help="worst wide events retained by the "
+                              "slow-request capture (default 32)")
+    p_serve.add_argument("--slow-window-s", type=float, default=600.0,
+                         help="rolling window of the slow-request "
+                              "capture in seconds (default 600)")
+    p_serve.add_argument("--qlog", default=None, metavar="PATH",
+                         help="attach a structured query log at PATH "
+                              "(records carry the request id; joinable "
+                              "with /debug/slow)")
+    p_serve.add_argument("--qlog-sample-rate", type=float, default=1.0,
+                         help="fraction of ordinary queries the attached "
+                              "qlog keeps (default 1.0; slow/failed "
+                              "always logged)")
+    p_serve.add_argument("--enable-profile", action="store_true",
+                         help="enable GET /debug/profile?seconds=N (the "
+                              "stdlib sampling profiler; off by default)")
+
+    p_slow = sub.add_parser(
+        "slow",
+        help="aggregate captured slow-request wide events into a "
+             "'where does p99 go' per-phase attribution report",
+    )
+    p_slow.add_argument(
+        "source",
+        help="a running service base URL (fetches /debug/slow) or a "
+             "JSON/JSONL file of wide events (e.g. a saved /debug/slow "
+             "response)",
+    )
+    p_slow.add_argument("-n", type=int, default=64,
+                        help="events to fetch from /debug/slow "
+                             "(default 64)")
+    p_slow.add_argument("--tail-q", type=float, default=0.99,
+                        help="tail quantile to attribute (default 0.99)")
+    p_slow.add_argument("--json", action="store_true",
+                        help="emit the report as one JSON object")
 
     p_loadgen = sub.add_parser(
         "loadgen",
@@ -641,6 +686,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         DEFAULT_SCHEME,
         run_parallel_throughput,
         run_service_load,
+        run_telemetry_overhead,
         run_workload,
     )
 
@@ -669,6 +715,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             num_docs=docs, scheme_name=scheme, run_id=run_id
         )
         records.update(service_records)
+    if not args.no_telemetry_overhead:
+        _, overhead_records = run_telemetry_overhead(
+            num_docs=docs, scheme_name=scheme, repeats=args.repeats,
+            run_id=run_id,
+        )
+        records.update(overhead_records)
     append_history(list(records.values()), args.history)
 
     if args.write_baseline:
@@ -727,6 +779,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         checkpoint_every=args.checkpoint_every,
         drain_timeout_s=args.drain_timeout_s,
+        telemetry=not args.no_telemetry,
+        slow_capacity=args.slow_capacity,
+        slow_window_s=args.slow_window_s,
+        qlog_path=args.qlog,
+        qlog_sample_rate=args.qlog_sample_rate,
+        profile_endpoint=args.enable_profile,
     )
     asyncio.run(run_server(args.index_dir, config))
     return 0
@@ -768,11 +826,62 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
           f"timeouts {summary['timeouts']}  errors {summary['errors']}  "
           f"degraded {summary['degraded']}")
     print(f"  latency ms (accepted): p50 {summary['p50_ms']:.3f}  "
-          f"p99 {summary['p99_ms']:.3f}")
+          f"p95 {summary['p95_ms']:.3f}  p99 {summary['p99_ms']:.3f}")
     print(f"  generations observed: "
           f"{', '.join(summary['generations']) or '(none)'}  "
           f"epochs: {summary['epochs']}")
-    return 0 if report.errors == 0 else 1
+    if summary["id_mismatches"]:
+        print(f"  WARNING: {summary['id_mismatches']} responses did not "
+              f"echo X-Request-Id", file=sys.stderr)
+    return 0 if report.errors == 0 and report.id_mismatches == 0 else 1
+
+
+def _cmd_slow(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import attribute_phases, render_attribution
+
+    events: list[dict] = []
+    source = args.source
+    looks_like_url = "://" in source or (
+        not pathlib.Path(source).exists() and ":" in source
+    )
+    if looks_like_url:
+        import urllib.error
+        import urllib.request
+
+        base = source if "://" in source else f"http://{source}"
+        url = f"{base.rstrip('/')}/debug/slow?n={args.n}"
+        try:
+            with urllib.request.urlopen(url, timeout=10.0) as resp:
+                payload = json.loads(resp.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"error: cannot fetch {url}: {exc}", file=sys.stderr)
+            return 2
+        events = payload.get("events", [])
+    else:
+        path = pathlib.Path(source)
+        if not path.exists():
+            print(f"error: no such file {source!r}", file=sys.stderr)
+            return 2
+        text = path.read_text(encoding="utf-8").strip()
+        if text.startswith("{") and "\n{" not in text:
+            payload = json.loads(text)
+            # A saved /debug/slow response, a single wide event, or a
+            # {"events": [...]} envelope.
+            events = payload.get("events", [payload] if "phase_ms" in payload else [])
+        else:
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if isinstance(record, dict):
+                    events.append(record)
+    report = attribute_phases(events, tail_q=args.tail_q)
+    if args.json:
+        print(json.dumps(report))
+        return 0
+    print(render_attribution(report))
+    return 0
 
 
 _COMMANDS = {
@@ -787,6 +896,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "slow": _cmd_slow,
 }
 
 

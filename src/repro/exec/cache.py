@@ -102,6 +102,18 @@ class LRUCache:
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
 
+    def stats(self) -> dict:
+        """Capacity/size/hit/miss snapshot (JSON-ready), taken under the
+        lock so size and counters are mutually consistent — the shape
+        ``/status`` and ``/debug`` surfaces report per tier."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._data),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
     def clear(self) -> None:
         with self._lock:
             self._data.clear()

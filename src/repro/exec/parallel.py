@@ -52,6 +52,8 @@ from repro.exec.limits import QueryGuard, QueryLimits
 from repro.graft.canonical import QueryInfo
 from repro.index.shard import ShardedIndex, ShardView
 from repro.ma.nodes import AntiJoin, Atom, PlanNode, PreCountAtom, Union
+from repro.obs.telemetry import current as _telemetry_current
+from repro.obs.telemetry import maybe_span as _maybe_span
 from repro.sa.context import ScoringContext
 from repro.sa.scheme import ScoringScheme
 
@@ -338,15 +340,21 @@ def execute_sharded(
     workers = len(live) if max_workers is None else max(1, min(max_workers, len(live)))
     runs: list[ShardRun | None] = [None] * len(live)
     errors: list[tuple[int, BaseException]] = []
-    with ThreadPoolExecutor(
-        max_workers=workers, thread_name_prefix="graft-shard"
-    ) as pool:
-        futures = [pool.submit(run_shard, i) for i in range(len(live))]
-        for i, fut in enumerate(futures):
-            try:
-                runs[i] = fut.result()
-            except BaseException as exc:  # re-raised below, in shard order
-                errors.append((i, exc))
+    # Request telemetry: shard workers run on pool threads that do not
+    # inherit the caller's contextvars, so per-shard detail is recorded
+    # here on the driving thread from the completed ShardRuns — the
+    # "execute" phase covers the fan-out, "merge" the heap merge.
+    rt = _telemetry_current()
+    with _maybe_span(rt, "execute"):
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="graft-shard"
+        ) as pool:
+            futures = [pool.submit(run_shard, i) for i in range(len(live))]
+            for i, fut in enumerate(futures):
+                try:
+                    runs[i] = fut.result()
+                except BaseException as exc:  # re-raised below, in shard order
+                    errors.append((i, exc))
     if errors:
         # Prefer the originating failure over secondary cancellations so
         # the caller sees the same exception serial execution would raise.
@@ -356,7 +364,14 @@ def execute_sharded(
         raise errors[0][1]
 
     completed = [run for run in runs if run is not None]
-    merged = merge_ranked([run.rows for run in completed], top_k=top_k)
+    if rt is not None:
+        for run in completed:
+            rt.add_shard(
+                run.shard_id, run.wall_ms,
+                rows=len(run.rows), tripped=run.tripped is not None,
+            )
+    with _maybe_span(rt, "merge"):
+        merged = merge_ranked([run.rows for run in completed], top_k=top_k)
     tripped = next(
         (run.tripped for run in completed if run.tripped is not None), None
     )

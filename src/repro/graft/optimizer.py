@@ -41,6 +41,7 @@ from repro.ma.nodes import PlanNode, Sort
 from repro.ma.translate import matching_subplan
 from repro.mcalc.ast import Query
 from repro.obs.rewrite import RewriteEvent
+from repro.obs.telemetry import span as _telemetry_span
 from repro.sa.scheme import ScoringScheme
 
 
@@ -120,7 +121,14 @@ class Optimizer:
         """Produce an optimized, score-consistent plan for ``query``."""
         opts = self.options
         scheme = self.scheme
-        info = make_query_info(query, scheme)
+        # "canonicalize" covers building the query info and the matching
+        # subplan (the paper's canonical form); the rule pipeline below
+        # is the surrounding "optimize" phase.  The span reads the
+        # request-telemetry contextvar and is a shared no-op when no
+        # request is being traced.
+        with _telemetry_span("canonicalize"):
+            info = make_query_info(query, scheme)
+            matching = matching_subplan(query)
         applied: list[str] = []
         rewrites: list[RewriteEvent] = []
 
@@ -156,8 +164,6 @@ class Optimizer:
                     cost_after=self._estimated_cost(after),
                 )
             )
-
-        matching = matching_subplan(query)
 
         if gate("selection-pushing", opts.selection_pushing):
             before = matching
@@ -280,7 +286,8 @@ class Optimizer:
 
     def canonical(self, query: Query) -> OptimizedResult:
         """The unoptimized canonical score-isolated plan."""
-        plan, info = canonical_plan(query, self.scheme)
+        with _telemetry_span("canonicalize"):
+            plan, info = canonical_plan(query, self.scheme)
         return OptimizedResult(plan, info, [])
 
     # -- helpers ---------------------------------------------------------------

@@ -1,6 +1,7 @@
-"""Query observability: traces, optimizer logs, metrics, audits, qlog.
+"""Query observability: traces, optimizer logs, metrics, audits, qlog,
+and request telemetry.
 
-Five integrated layers (see ``docs/OBSERVABILITY.md``):
+Six integrated layers (see ``docs/OBSERVABILITY.md``):
 
 * :mod:`repro.obs.trace` — per-operator runtime statistics assembled
   into a trace tree mirroring the plan (``SearchOutcome.stats``,
@@ -13,7 +14,12 @@ Five integrated layers (see ``docs/OBSERVABILITY.md``):
   against the canonical plan and the MCalc oracle
   (``SearchOutcome.audit``, ``repro search --audit``);
 * :mod:`repro.obs.qlog` — a structured, size-rotated JSONL query log
-  with sampling and a slow-query override (``repro qlog tail|stats``).
+  with sampling and a slow-query override (``repro qlog tail|stats``);
+* :mod:`repro.obs.telemetry` — request-scoped correlation ids, a
+  monotonic-clock phase-span timeline, slow-request capture, and
+  tail-latency attribution (``/debug/requests``, ``/debug/slow``,
+  ``repro slow``), with :mod:`repro.obs.profile` supplying an opt-in
+  stdlib sampling profiler (``/debug/profile``).
 
 :mod:`repro.obs.analyze` renders the EXPLAIN ANALYZE view (actuals next
 to cost-model estimates, misestimates flagged) and
@@ -55,6 +61,16 @@ _EXPORTS = {
     "TracedOp": "trace",
     "TraceNode": "trace",
     "Tracer": "trace",
+    "PHASES": "telemetry",
+    "RequestTelemetry": "telemetry",
+    "SlowRequestCapture": "telemetry",
+    "RollingStats": "telemetry",
+    "TelemetryHub": "telemetry",
+    "new_request_id": "telemetry",
+    "attribute_phases": "telemetry",
+    "render_attribution": "telemetry",
+    "SamplingProfiler": "profile",
+    "sample_for": "profile",
 }
 
 
@@ -104,4 +120,14 @@ __all__ = [
     "SchemaError",
     "validate",
     "is_valid",
+    "PHASES",
+    "RequestTelemetry",
+    "SlowRequestCapture",
+    "RollingStats",
+    "TelemetryHub",
+    "new_request_id",
+    "attribute_phases",
+    "render_attribution",
+    "SamplingProfiler",
+    "sample_for",
 ]

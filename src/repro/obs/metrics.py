@@ -170,7 +170,11 @@ class MetricFamily:
                 child = Histogram(self._buckets)
             else:
                 child = _KINDS[self.kind]()
-            self._children[key] = child
+            # setdefault, not assignment: two threads creating the same
+            # child concurrently must converge on one object, or the
+            # loser's increments would silently vanish (searches run on
+            # a thread pool; this race was real under load).
+            child = self._children.setdefault(key, child)
         return child
 
     def child(self):

@@ -1,0 +1,135 @@
+"""Opt-in stdlib sampling profiler (thread-based, collapsed-stack output).
+
+A daemon thread wakes every ``interval_s`` and snapshots every thread's
+stack via :func:`sys._current_frames`, aggregating identical stacks into
+counts.  Output is the collapsed-stack format flamegraph tooling eats
+directly (``frame;frame;frame count`` per line, root first).
+
+This is a wall-clock sampler, not a deterministic tracer: overhead is a
+few stack walks per tick regardless of request rate, which is why it is
+safe to expose behind ``/debug/profile?seconds=N`` (opt-in, duration-
+capped, bind-local service).  No third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+
+__all__ = ["SamplingProfiler", "sample_for"]
+
+_DEFAULT_INTERVAL_S = 0.01
+_MAX_STACK_DEPTH = 128
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    filename = code.co_filename.rsplit("/", 1)[-1]
+    # Semicolons and spaces are the collapsed-format separators.
+    name = code.co_name.replace(";", ":").replace(" ", "_")
+    return f"{filename}:{name}"
+
+
+class SamplingProfiler:
+    """Periodic whole-process stack sampler.
+
+    Usage::
+
+        prof = SamplingProfiler(interval_s=0.01)
+        prof.start()
+        ...
+        prof.stop()
+        text = prof.collapsed()
+    """
+
+    def __init__(self, interval_s: float = _DEFAULT_INTERVAL_S) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        self.interval_s = interval_s
+        self._stacks: Counter[tuple[str, ...]] = Counter()
+        self._samples = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    # -- sampling -----------------------------------------------------------
+
+    def _run(self) -> None:
+        own_id = threading.get_ident()
+        while not self._stop.wait(self.interval_s):
+            self._sample_once(own_id)
+
+    def _sample_once(self, skip_thread_id: int) -> None:
+        frames = sys._current_frames()
+        with self._lock:
+            self._samples += 1
+            for thread_id, frame in frames.items():
+                if thread_id == skip_thread_id:
+                    continue
+                stack: list[str] = []
+                depth = 0
+                while frame is not None and depth < _MAX_STACK_DEPTH:
+                    stack.append(_frame_label(frame))
+                    frame = frame.f_back
+                    depth += 1
+                stack.reverse()  # root first, flamegraph convention
+                self._stacks[tuple(stack)] += 1
+
+    # -- output -------------------------------------------------------------
+
+    @property
+    def samples(self) -> int:
+        with self._lock:
+            return self._samples
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text: one ``a;b;c count`` line per distinct
+        stack, most frequent first."""
+        with self._lock:
+            items = self._stacks.most_common()
+        return "\n".join(f"{';'.join(stack)} {n}" for stack, n in items)
+
+    def top(self, n: int = 20) -> list[tuple[str, int]]:
+        """Leaf-frame hot list: (frame, samples) pairs."""
+        leaf: Counter[str] = Counter()
+        with self._lock:
+            for stack, count in self._stacks.items():
+                if stack:
+                    leaf[stack[-1]] += count
+        return leaf.most_common(n)
+
+
+def sample_for(seconds: float,
+               interval_s: float = _DEFAULT_INTERVAL_S) -> SamplingProfiler:
+    """Blocking convenience: sample the whole process for *seconds*.
+
+    Runs on the calling thread (the sampler itself is a daemon thread);
+    callers on an event loop should dispatch this to an executor.
+    """
+    prof = SamplingProfiler(interval_s=interval_s)
+    prof.start()
+    try:
+        time.sleep(max(0.0, seconds))
+    finally:
+        prof.stop()
+    return prof

@@ -36,7 +36,9 @@ if TYPE_CHECKING:
     from repro.api import SearchOutcome
 
 #: Current record schema version (bumped on shape changes).
-QLOG_SCHEMA_VERSION = 1
+#: v2 added ``request_id`` and ``phase_ms`` (request-telemetry join keys:
+#: a record is joinable with ``/debug/slow`` wide events by request id).
+QLOG_SCHEMA_VERSION = 2
 
 
 class QueryLog:
@@ -99,12 +101,18 @@ class QueryLog:
         wall_ms: float,
         outcome: "SearchOutcome | None" = None,
         top_k: int | None = None,
+        request_id: str | None = None,
+        phase_ms: dict | None = None,
     ) -> bool:
         """Fold one search into the log; returns True when written.
 
         ``status`` is ``"ok"``/``"degraded"``/``"error"`` (mirroring the
         ``graft_queries_total`` metric).  ``outcome`` supplies the
         provenance fields; None (the error path) logs the failure shell.
+        ``request_id``/``phase_ms`` come from the request-telemetry layer
+        when a request context is active (engine-internal phases only —
+        queue wait and serialization belong to the service and appear in
+        the ``/debug/slow`` wide event, not here).
         """
         slow = self.slow_ms is not None and wall_ms >= self.slow_ms
         audit_ok = None
@@ -144,6 +152,11 @@ class QueryLog:
             "results": results,
             "audit_ok": audit_ok,
             "trace": trace if (slow or status != "ok") else None,
+            "request_id": request_id,
+            "phase_ms": (
+                {k: round(float(v), 3) for k, v in phase_ms.items()}
+                if phase_ms else None
+            ),
         }
         self.append(record)
         return True
@@ -310,9 +323,11 @@ def render_record(record: dict) -> str:
         flags.append("audit-fail")
     flag_text = f"  [{','.join(flags)}]" if flags else ""
     wall = record.get("wall_ms", 0.0)
+    rid = record.get("request_id")
+    rid_text = f"  rid={rid}" if rid else ""
     return (
         f"{record.get('status', '?'):8} {wall:9.3f}ms "
         f"{record.get('scheme', '?'):16} "
         f"{record.get('results', 0):5d} results  "
-        f"{record.get('query', '')!r}{flag_text}"
+        f"{record.get('query', '')!r}{flag_text}{rid_text}"
     )

@@ -4,7 +4,10 @@ A dependency-free asyncio HTTP service over a durable index store:
 immutable reader generations hot-swapped behind live traffic, a single
 WAL-appending writer, bounded admission with load shedding, and a
 circuit breaker that degrades to a known-good serial path on integrity
-failures.
+failures.  Every request carries a correlation id (``X-Request-Id``)
+through a per-request telemetry context (:mod:`repro.obs.telemetry`)
+feeding ``/debug/requests``, ``/debug/slow``, and the ``/status``
+latency summary.
 """
 
 from repro.serve.admission import (
@@ -20,6 +23,7 @@ from repro.serve.loadgen import (
     LoadgenReport,
     run_loadgen,
 )
+from repro.obs.telemetry import TelemetryHub, new_request_id
 from repro.serve.server import HttpServer, run_server
 from repro.serve.service import GenerationHandle, QueryService, WriterDead
 
@@ -36,7 +40,9 @@ __all__ = [
     "Request",
     "ServiceConfig",
     "ShedRequest",
+    "TelemetryHub",
     "WriterDead",
+    "new_request_id",
     "read_request",
     "response_bytes",
     "run_loadgen",

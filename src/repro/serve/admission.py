@@ -81,6 +81,30 @@ class ServiceConfig:
             or serial).
         executor_workers: Search thread-pool width (default
             ``max_inflight``).
+        telemetry: Request telemetry (correlation ids, phase spans,
+            slow capture, ``/debug/requests``+``/debug/slow``).  On by
+            default; off restores the bare-engine request path (no
+            per-request objects are allocated at all).
+        slow_capacity: How many worst-case wide events the slow-request
+            capture retains (per rolling window).
+        slow_window_s: Rolling window for the slow capture — events
+            older than this are pruned, so an old incident cannot pin
+            the ring.
+        slow_min_wall_ms: Wide events faster than this are never
+            captured (0 keeps the N worst regardless of speed).
+        qlog_path: Attach a structured query log
+            (:class:`repro.obs.qlog.QueryLog`) at this path to every
+            reader engine the service loads; None disables.  Records
+            carry the request id, making them joinable with
+            ``/debug/slow``.
+        qlog_sample_rate / qlog_slow_ms: The attached log's sampling
+            rate and slow threshold (see :class:`QueryLog`).
+        profile_endpoint: Enable ``GET /debug/profile?seconds=N`` (the
+            stdlib sampling profiler).  Off by default: profiling is a
+            whole-process operation, so it must be an explicit opt-in
+            even on a bind-local service.
+        profile_max_seconds: Upper bound on one profile request's
+            sampling duration.
     """
 
     host: str = "127.0.0.1"
@@ -97,6 +121,15 @@ class ServiceConfig:
     checkpoint_every: int = 0
     shards: int | None = None
     executor_workers: int | None = None
+    telemetry: bool = True
+    slow_capacity: int = 32
+    slow_window_s: float = 600.0
+    slow_min_wall_ms: float = 0.0
+    qlog_path: str | None = None
+    qlog_sample_rate: float = 1.0
+    qlog_slow_ms: float | None = 100.0
+    profile_endpoint: bool = False
+    profile_max_seconds: float = 30.0
 
     def __post_init__(self):
         for name, minimum in (
@@ -104,6 +137,7 @@ class ServiceConfig:
             ("max_queue", 0),
             ("breaker_threshold", 1),
             ("checkpoint_every", 0),
+            ("slow_capacity", 1),
         ):
             value = getattr(self, name)
             if not isinstance(value, int) or isinstance(value, bool) \
@@ -112,7 +146,8 @@ class ServiceConfig:
                     f"must be an integer >= {minimum}, got {value!r}",
                     option=name,
                 )
-        for name in ("deadline_ms", "breaker_cooldown_s", "drain_timeout_s"):
+        for name in ("deadline_ms", "breaker_cooldown_s", "drain_timeout_s",
+                     "slow_window_s", "profile_max_seconds"):
             value = getattr(self, name)
             if not isinstance(value, (int, float)) or value <= 0:
                 raise ConfigError(
@@ -140,6 +175,27 @@ class ServiceConfig:
                 f"must be a positive integer or None, "
                 f"got {self.executor_workers!r}",
                 option="executor_workers",
+            )
+        if not isinstance(self.slow_min_wall_ms, (int, float)) \
+                or self.slow_min_wall_ms < 0:
+            raise ConfigError(
+                f"must be a non-negative number, "
+                f"got {self.slow_min_wall_ms!r}",
+                option="slow_min_wall_ms",
+            )
+        if not (0.0 <= self.qlog_sample_rate <= 1.0):
+            raise ConfigError(
+                f"must be within [0, 1], got {self.qlog_sample_rate!r}",
+                option="qlog_sample_rate",
+            )
+        if self.qlog_slow_ms is not None and (
+            not isinstance(self.qlog_slow_ms, (int, float))
+            or self.qlog_slow_ms <= 0
+        ):
+            raise ConfigError(
+                f"must be a positive number or None, "
+                f"got {self.qlog_slow_ms!r}",
+                option="qlog_slow_ms",
             )
 
     def limits(self, deadline_ms: float, partial: bool = True) -> QueryLimits:

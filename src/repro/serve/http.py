@@ -31,6 +31,7 @@ _REASONS = {
     202: "Accepted",
     204: "No Content",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
@@ -71,6 +72,10 @@ class Request:
 
     def param(self, name: str, default: str | None = None) -> str | None:
         return self.query.get(name, default)
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        """A header by case-insensitive name (parsing lowercases keys)."""
+        return self.headers.get(name.lower(), default)
 
     def int_param(self, name: str, default: int) -> int:
         raw = self.query.get(name)

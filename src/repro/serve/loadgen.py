@@ -11,12 +11,18 @@ Shed responses (503) are counted, not retried by default: the generator
 measures the service's overload behavior rather than papering over it.
 With ``respect_retry_after=True`` it honors the jittered backoff hint
 instead, which is how a well-behaved client rides out a burst.
+
+Every search carries a client-generated ``X-Request-Id``; the server
+must echo it verbatim (and stamp it through its telemetry and query
+log), so the report counts ``id_mismatches`` — any nonzero value means
+correlation is broken end to end.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -53,10 +59,16 @@ class LoadgenReport:
     degraded: int = 0
     latencies_ms: list[float] = field(default_factory=list)
     wall_s: float = 0.0
+    id_mismatches: int = 0
+    request_ids: set = field(default_factory=set)
 
     @property
     def p50_ms(self) -> float:
         return percentile(sorted(self.latencies_ms), 0.50)
+
+    @property
+    def p95_ms(self) -> float:
+        return percentile(sorted(self.latencies_ms), 0.95)
 
     @property
     def p99_ms(self) -> float:
@@ -99,7 +111,9 @@ class LoadgenReport:
             "degraded": self.degraded,
             "generations": sorted(self.generations),
             "epochs": sorted(self.epochs),
+            "id_mismatches": self.id_mismatches,
             "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
             "p99_ms": round(self.p99_ms, 3),
             "qps": round(self.qps, 1),
             "wall_s": round(self.wall_s, 3),
@@ -131,26 +145,38 @@ class _Client:
             self.reader = self.writer = None
 
     async def request(
-        self, path: str, method: str = "GET", body: bytes = b""
+        self,
+        path: str,
+        method: str = "GET",
+        body: bytes = b"",
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict, dict[str, str]]:
         """Issue one request; reconnects once if the peer closed."""
         if self.writer is None:
             await self.connect()
         try:
-            return await self._roundtrip(path, method, body)
+            return await self._roundtrip(path, method, body, headers)
         except (ConnectionError, asyncio.IncompleteReadError, HttpError):
             await self.close()
             await self.connect()
-            return await self._roundtrip(path, method, body)
+            return await self._roundtrip(path, method, body, headers)
 
     async def _roundtrip(
-        self, path: str, method: str, body: bytes
+        self,
+        path: str,
+        method: str,
+        body: bytes,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict, dict[str, str]]:
         assert self.reader is not None and self.writer is not None
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: keep-alive\r\n\r\n"
         )
         self.writer.write(head.encode("latin-1") + body)
@@ -239,11 +265,19 @@ async def run_loadgen(
                 if deadline_ms is not None:
                     path += f"&deadline_ms={deadline_ms}"
                 while True:
+                    # A fresh client-side correlation id per attempt; the
+                    # server must echo it back verbatim.
+                    rid = f"lg-{index:08d}-{os.urandom(4).hex()}"
                     sent = time.monotonic()
-                    status, payload, headers = await client.request(path)
+                    status, payload, headers = await client.request(
+                        path, headers={"X-Request-Id": rid}
+                    )
                     elapsed_ms = (time.monotonic() - sent) * 1000.0
                     async with lock:
                         report.merge_response(status, payload, elapsed_ms)
+                        report.request_ids.add(rid)
+                        if headers.get("x-request-id") != rid:
+                            report.id_mismatches += 1
                     await maybe_swap()
                     if status == 503 and respect_retry_after:
                         await asyncio.sleep(

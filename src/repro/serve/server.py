@@ -19,7 +19,17 @@ Endpoints:
                           one document through the writer.
 ``POST /admin/checkpoint``  Checkpoint the WAL and hot-swap readers.
 ``POST /admin/revive``    Reopen the store after a writer crash.
+``GET /debug/requests``   In-flight requests: id, age, current phase.
+``GET /debug/slow``       Captured slow-request wide events (``?n=``).
+``GET /debug/profile``    Opt-in sampling profiler (``?seconds=N``),
+                          collapsed-stack text; 403 unless enabled.
 ========================  =====================================================
+
+Every request is assigned a correlation id — the client's
+``X-Request-Id`` header when present (sanitized), a generated
+ULID-style id otherwise — echoed back as ``X-Request-Id`` on the
+response and threaded through the engine via the request-telemetry
+context (:mod:`repro.obs.telemetry`).
 
 Shutdown is a drain, not a guillotine: on SIGTERM (or :meth:`stop`) the
 server first flips ``/readyz`` to 503 so load balancers stop routing
@@ -34,11 +44,13 @@ import json
 import signal
 import time
 
+from repro.obs import telemetry
 from repro.obs.metrics import (
     REGISTRY,
     http_request_seconds,
     http_requests,
 )
+from repro.obs.telemetry import new_request_id, sanitize_request_id
 from repro.serve.http import (
     HttpError,
     Request,
@@ -176,21 +188,48 @@ class HttpServer:
     ) -> tuple[int, bytes, dict[str, str]]:
         route = request.path
         started = time.monotonic()
-        try:
-            status, body, headers = await self._dispatch(request)
-        except HttpError as exc:
-            status = exc.status
-            headers = {}
-            retry = getattr(exc, "retry_after_s", None)
-            if retry is not None:
-                headers["Retry-After"] = f"{retry:.3f}"
-            body = _json_body({"error": str(exc), "status": status})
-        except Exception as exc:  # noqa: BLE001 — the connection must live
-            status = 500
-            headers = {}
-            body = _json_body(
-                {"error": f"{type(exc).__name__}: {exc}", "status": 500}
+        # Begin the request-telemetry context: accept the client's
+        # X-Request-Id (sanitized) or mint a ULID-style one, bind it to
+        # this task so every layer below — admission, service, engine,
+        # qlog — sees the same id, and echo it on the response.
+        hub = self.service.telemetry
+        rt = None
+        token = None
+        rid = sanitize_request_id(request.header("x-request-id"))
+        if hub is not None:
+            rt = hub.begin(
+                rid,
+                route=request.path,
+                query=request.param("q") or "",
+                scheme=request.param("scheme") or "",
             )
+            rid = rt.request_id
+            token = telemetry.activate(rt)
+        elif rid is None:
+            rid = new_request_id()
+        try:
+            try:
+                status, body, headers = await self._dispatch(request)
+            except HttpError as exc:
+                status = exc.status
+                headers = {}
+                retry = getattr(exc, "retry_after_s", None)
+                if retry is not None:
+                    headers["Retry-After"] = f"{retry:.3f}"
+                body = _json_body({"error": str(exc), "status": status})
+            except Exception as exc:  # noqa: BLE001 — the connection must live
+                status = 500
+                headers = {}
+                body = _json_body(
+                    {"error": f"{type(exc).__name__}: {exc}", "status": 500}
+                )
+        finally:
+            if token is not None:
+                telemetry.deactivate(token)
+        if hub is not None and rt is not None:
+            hub.finish(rt, status)
+        headers = dict(headers)
+        headers.setdefault("X-Request-Id", rid)
         http_requests(self.registry).labels(
             route=route, status=str(status)
         ).inc()
@@ -230,9 +269,16 @@ class HttpServer:
         if route == ("POST", "/admin/revive"):
             result = await self.service.revive_writer()
             return 200, _json_body(result), {}
+        if route == ("GET", "/debug/requests"):
+            return self._debug_requests()
+        if route == ("GET", "/debug/slow"):
+            return self._debug_slow(request)
+        if route == ("GET", "/debug/profile"):
+            return await self._debug_profile(request)
         if request.path in (
             "/search", "/explain", "/healthz", "/readyz", "/metrics",
             "/status", "/add", "/admin/checkpoint", "/admin/revive",
+            "/debug/requests", "/debug/slow", "/debug/profile",
         ):
             raise HttpError(
                 405, f"{request.method} is not allowed on {request.path}"
@@ -252,7 +298,9 @@ class HttpServer:
             deadline_ms=request.float_param("deadline_ms", None),
             partial=request.bool_param("partial", True),
         )
-        return 200, _json_body(payload), {}
+        with telemetry.span("serialize"):
+            body = _json_body(payload)
+        return 200, body, {}
 
     async def _explain(
         self, request: Request
@@ -280,6 +328,65 @@ class HttpServer:
             text.encode("utf-8"),
             {"Content-Type": "text/plain; version=0.0.4"},
         )
+
+    def _require_hub(self):
+        hub = self.service.telemetry
+        if hub is None:
+            raise HttpError(
+                503, "request telemetry is disabled (ServiceConfig.telemetry)"
+            )
+        return hub
+
+    def _debug_requests(self) -> tuple[int, bytes, dict[str, str]]:
+        hub = self._require_hub()
+        return 200, _json_body({"inflight": hub.inflight()}), {}
+
+    def _debug_slow(
+        self, request: Request
+    ) -> tuple[int, bytes, dict[str, str]]:
+        hub = self._require_hub()
+        n = request.int_param("n", 32)
+        if n < 1:
+            raise HttpError(400, "query parameter 'n' must be >= 1")
+        return (
+            200,
+            _json_body({
+                "window_s": hub.slow.window_s,
+                "capacity": hub.slow.capacity,
+                "events": hub.slow.snapshot(n),
+            }),
+            {},
+        )
+
+    async def _debug_profile(
+        self, request: Request
+    ) -> tuple[int, bytes, dict[str, str]]:
+        config = self.service.config
+        if not config.profile_endpoint:
+            raise HttpError(
+                403,
+                "profiling endpoint is disabled; start the service with "
+                "profile_endpoint=True (repro serve --enable-profile)",
+            )
+        seconds = request.float_param("seconds", 2.0)
+        if seconds is None or seconds <= 0:
+            raise HttpError(400, "query parameter 'seconds' must be > 0")
+        seconds = min(seconds, config.profile_max_seconds)
+        from repro.obs.profile import sample_for
+
+        # The sampler blocks its thread for the whole window; run it on
+        # the default executor so the event loop keeps serving traffic
+        # (which is the point: profile the service under load).
+        loop = asyncio.get_running_loop()
+        prof = await loop.run_in_executor(None, lambda: sample_for(seconds))
+        text = prof.collapsed()
+        body = (
+            f"# sampling profile: {seconds:.3f}s at "
+            f"{prof.interval_s * 1000.0:.1f}ms interval, "
+            f"{prof.samples} samples (collapsed stacks)\n"
+            + text + ("\n" if text else "")
+        ).encode("utf-8")
+        return 200, body, {"Content-Type": "text/plain; charset=utf-8"}
 
     async def _add(
         self, request: Request

@@ -44,12 +44,14 @@ from repro.errors import (
     ScoreConsistencyError,
 )
 from repro.exec.cache import CacheConfig
+from repro.obs import telemetry
 from repro.obs.metrics import (
     REGISTRY,
     degraded_serial_requests,
     generation_swaps,
     swap_seconds,
 )
+from repro.obs.telemetry import TelemetryHub
 from repro.serve.admission import (
     AdmissionController,
     AdmissionTimeout,
@@ -175,6 +177,27 @@ class QueryService:
             registry=registry,
         )
         self.readers = _ReaderSet()
+        #: Request telemetry (docs/OBSERVABILITY.md Layer 6): in-flight
+        #: table, slow-request capture, rolling latency window.  None
+        #: when disabled — every instrumentation site then short-circuits
+        #: on an ``is None`` check and allocates nothing.
+        self.telemetry: TelemetryHub | None = (
+            TelemetryHub(
+                slow_capacity=self.config.slow_capacity,
+                slow_window_s=self.config.slow_window_s,
+                slow_min_wall_ms=self.config.slow_min_wall_ms,
+            )
+            if self.config.telemetry else None
+        )
+        self._qlog = None
+        if self.config.qlog_path:
+            from repro.obs.qlog import QueryLog
+
+            self._qlog = QueryLog(
+                self.config.qlog_path,
+                sample_rate=self.config.qlog_sample_rate,
+                slow_ms=self.config.qlog_slow_ms,
+            )
         self.started = False
         self.draining = False
         self._writer: SearchEngine | None = None
@@ -232,6 +255,11 @@ class QueryService:
             collection=engine.collection, shards=1, cache=CacheConfig.off()
         )
         serial._index = index
+        if self._qlog is not None:
+            # Both paths log: a request degraded onto the serial engine
+            # is exactly the kind the log must not lose.
+            engine.qlog = self._qlog
+            serial.qlog = self._qlog
         generation = engine.loaded_generation
         release = None
         if generation is not None:
@@ -274,34 +302,71 @@ class QueryService:
         top_k: int | None = 10,
         deadline_ms: float | None = None,
         partial: bool = True,
+        request_id: str | None = None,
     ) -> dict:
         """One admitted, deadline-governed search; returns the payload.
 
         Raises :class:`repro.serve.http.HttpError` with the status the
         transport should emit (503 shed / 504 timeout / 4xx client).
+
+        ``request_id`` labels this search in the telemetry layer for
+        in-process callers; over HTTP the server has usually already
+        begun a request context (from ``X-Request-Id``), in which case
+        the argument is ignored in favor of the active context.
         """
-        if self.draining or not self.started:
-            raise HttpError(503, "service is draining")
-        budget_ms = self.config.deadline_ms
-        if deadline_ms is not None:
-            budget_ms = min(budget_ms, deadline_ms)
-        try:
-            queued_s = await self.admission.admit(timeout_s=budget_ms / 1000.0)
-        except ShedRequest as exc:
-            raise _shed_error(exc) from None
-        except AdmissionTimeout as exc:
-            raise HttpError(504, str(exc)) from None
-        try:
-            remaining_ms = budget_ms - queued_s * 1000.0
-            if remaining_ms <= 0:
-                raise HttpError(
-                    504, "deadline expired in the admission queue"
-                )
-            return await self._execute(
-                query, scheme, top_k, remaining_ms, partial, queued_s
+        # The transport (HttpServer) begins the request context; when the
+        # service is driven directly (tests, benchmarks, embedding) it
+        # owns one itself so phase spans and the slow capture still work.
+        rt = telemetry.current()
+        owned_token = None
+        if rt is None and self.telemetry is not None:
+            rt = self.telemetry.begin(
+                request_id, route="/search", query=query, scheme=scheme
             )
+            owned_token = telemetry.activate(rt)
+        elif rt is not None:
+            # The transport began the context from raw query params; fill
+            # in the resolved values (e.g. the default scheme).
+            rt.query = rt.query or query
+            rt.scheme = rt.scheme or scheme
+        status = 200
+        try:
+            if self.draining or not self.started:
+                raise HttpError(503, "service is draining")
+            budget_ms = self.config.deadline_ms
+            if deadline_ms is not None:
+                budget_ms = min(budget_ms, deadline_ms)
+            try:
+                queued_s = await self.admission.admit(
+                    timeout_s=budget_ms / 1000.0
+                )
+            except ShedRequest as exc:
+                raise _shed_error(exc) from None
+            except AdmissionTimeout as exc:
+                raise HttpError(504, str(exc)) from None
+            if rt is not None:
+                rt.add_phase_ms("queue_wait", queued_s * 1000.0)
+            try:
+                remaining_ms = budget_ms - queued_s * 1000.0
+                if remaining_ms <= 0:
+                    raise HttpError(
+                        504, "deadline expired in the admission queue"
+                    )
+                return await self._execute(
+                    query, scheme, top_k, remaining_ms, partial, queued_s, rt
+                )
+            finally:
+                self.admission.exit()
+        except HttpError as exc:
+            status = exc.status
+            raise
+        except BaseException:
+            status = 500
+            raise
         finally:
-            self.admission.exit()
+            if owned_token is not None:
+                telemetry.deactivate(owned_token)
+                self.telemetry.finish(rt, status)
 
     async def _execute(
         self,
@@ -311,23 +376,34 @@ class QueryService:
         remaining_ms: float,
         partial: bool,
         queued_s: float,
+        rt=None,
     ) -> dict:
         handle, epoch = self.readers.pin()
         full_path = self.breaker.allow_full_path()
         limits = self.config.limits(remaining_ms, partial=partial)
         loop = asyncio.get_running_loop()
         started = time.monotonic()
+
+        def run_search(engine: SearchEngine) -> SearchOutcome:
+            # run_in_executor does not propagate contextvars across the
+            # thread hop, so the request context is re-bound explicitly
+            # — this is what lets the engine's phase spans and the qlog
+            # request-id stamp see the request.
+            with telemetry.bound(rt):
+                return engine.search(
+                    query, scheme=scheme, top_k=top_k, limits=limits
+                )
+
         try:
             if full_path:
                 engine = handle.engine
             else:
                 engine = handle.serial_engine
                 degraded_serial_requests(self.registry).child().inc()
+                if rt is not None:
+                    rt.note("served_degraded_serial", True)
             outcome = await loop.run_in_executor(
-                self._search_executor,
-                lambda: engine.search(
-                    query, scheme=scheme, top_k=top_k, limits=limits
-                ),
+                self._search_executor, lambda: run_search(engine)
             )
         except (IndexCorruptionError, ScoreConsistencyError) as exc:
             self.breaker.record_failure()
@@ -347,6 +423,7 @@ class QueryService:
             served_serial=not full_path,
             wall_s=time.monotonic() - started,
             queued_s=queued_s,
+            rt=rt,
         )
 
     def _payload(
@@ -360,8 +437,10 @@ class QueryService:
         served_serial: bool,
         wall_s: float,
         queued_s: float,
+        rt=None,
     ) -> dict:
         return {
+            "request_id": rt.request_id if rt is not None else None,
             "query": query,
             "scheme": scheme,
             "generation": handle.generation,
@@ -557,6 +636,10 @@ class QueryService:
             "breaker_trips": self.breaker.trips,
             "writer_alive": self.writer_alive,
             "wal_pending": self._wal_since_checkpoint,
+            "telemetry": (
+                self.telemetry.status_summary()
+                if self.telemetry is not None else None
+            ),
         }
 
 

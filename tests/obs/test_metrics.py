@@ -95,6 +95,85 @@ def test_prometheus_text_format(registry):
     assert text.endswith("\n")
 
 
+def test_prometheus_label_value_escaping(registry):
+    """Quotes, backslashes and newlines in label *values* must be escaped
+    per the exposition format, or one hostile value corrupts the scrape."""
+    fam = registry.counter("t_total", "help", labelnames=("kind",))
+    fam.labels(kind='say "hi"').inc()
+    fam.labels(kind="back\\slash").inc(2)
+    fam.labels(kind="two\nlines").inc(3)
+    text = registry.to_prometheus_text()
+    assert 't_total{kind="say \\"hi\\""} 1' in text
+    assert 't_total{kind="back\\\\slash"} 2' in text
+    assert 't_total{kind="two\\nlines"} 3' in text
+    # The raw newline never reaches the output mid-sample.
+    for line in text.splitlines():
+        assert line.startswith(("#", "t_total"))
+
+
+def test_prometheus_help_escaping(registry):
+    registry.counter("t_total", "line one\nline two \\ done").child().inc()
+    text = registry.to_prometheus_text()
+    assert "# HELP t_total line one\\nline two \\\\ done" in text
+
+
+def test_prometheus_labeled_histogram_sum_count_and_inf(registry):
+    """_sum/_count carry the family labels (without le), and +Inf always
+    equals the total observation count."""
+    fam = registry.histogram(
+        "t_seconds", "help", labelnames=("route",), buckets=(0.1, 1.0)
+    )
+    h = fam.labels(route="/search")
+    for v in (0.0625, 0.5, 5.0):  # exactly representable: sum is exact
+        h.observe(v)
+    text = registry.to_prometheus_text()
+    assert 't_seconds_bucket{le="0.1",route="/search"} 1' in text
+    assert 't_seconds_bucket{le="1",route="/search"} 2' in text
+    assert 't_seconds_bucket{le="+Inf",route="/search"} 3' in text
+    assert 't_seconds_count{route="/search"} 3' in text
+    assert 't_seconds_sum{route="/search"} 5.5625' in text
+
+
+def test_prometheus_value_formatting(registry):
+    """Integral floats print as integers; non-integral keep full repr."""
+    fam = registry.gauge("t_gauge", "help", labelnames=("k",))
+    fam.labels(k="int").set(3.0)
+    fam.labels(k="frac").set(0.1)
+    text = registry.to_prometheus_text()
+    assert 't_gauge{k="int"} 3' in text
+    assert 't_gauge{k="frac"} 0.1' in text
+
+
+def test_concurrent_label_child_creation_converges_on_one_object(registry):
+    """Threads racing to create the same labeled child must converge on
+    one object — a lost child means silently dropped increments.  (The
+    fix is ``setdefault`` in :meth:`MetricFamily.labels`; plain
+    assignment let the loser's object shadow the winner's.)"""
+    import threading
+
+    fam = registry.counter("t_total", "help", labelnames=("kind",))
+    threads = 8
+    for round_no in range(50):  # fresh label each round: creation races
+        barrier = threading.Barrier(threads)
+        got: list[object] = []
+        lock = threading.Lock()
+
+        def grab():
+            barrier.wait()  # maximize create-time contention
+            child = fam.labels(kind=f"k{round_no}")
+            with lock:
+                got.append(child)
+
+        workers = [threading.Thread(target=grab) for _ in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert len({id(child) for child in got}) == 1
+        # And the converged object is the one the family keeps serving.
+        assert got[0] is fam.labels(kind=f"k{round_no}")
+
+
 def test_reset_clears_values_not_declarations(registry):
     fam = registry.counter("t_total", "help")
     fam.child().inc(7)

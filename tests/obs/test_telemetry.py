@@ -1,0 +1,354 @@
+"""Request telemetry: ids, spans, capture, rolling stats, attribution."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+
+import pytest
+
+from repro.obs import telemetry
+from repro.obs.schema import validate
+from repro.obs.telemetry import (
+    NOOP_SPAN,
+    PHASES,
+    RequestTelemetry,
+    RollingStats,
+    SlowRequestCapture,
+    TelemetryHub,
+    attribute_phases,
+    new_request_id,
+    percentile,
+    render_attribution,
+    sanitize_request_id,
+)
+
+SCHEMA_PATH = pathlib.Path(__file__).with_name("trace_schema.json")
+
+_CROCKFORD = set("0123456789ABCDEFGHJKMNPQRSTVWXYZ")
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_event(rid: str = "r", wall: float = 10.0, **phase_ms) -> dict:
+    return {
+        "request_id": rid,
+        "route": "/search",
+        "query": "q",
+        "scheme": "sumbest",
+        "status": 200,
+        "ts": 0.0,
+        "wall_ms": wall,
+        "phase_ms": dict(phase_ms),
+        "unattributed_ms": max(0.0, wall - sum(phase_ms.values())),
+        "shards": [],
+        "notes": {},
+    }
+
+
+# -- correlation ids --------------------------------------------------------
+
+
+def test_request_ids_are_26_char_crockford_and_unique():
+    ids = {new_request_id() for _ in range(200)}
+    assert len(ids) == 200
+    for rid in ids:
+        assert len(rid) == 26
+        assert set(rid) <= _CROCKFORD
+
+
+def test_request_ids_sort_by_creation_time():
+    early = new_request_id(now_ms=1_000_000)
+    late = new_request_id(now_ms=2_000_000)
+    assert early < late
+
+
+@pytest.mark.parametrize("raw", [
+    "abc-123", "6ED97A2F2F6C8B3A", "a" * 128, "trace.id/with:punct",
+])
+def test_sanitize_accepts_reasonable_ids(raw):
+    assert sanitize_request_id(raw) == raw
+
+
+@pytest.mark.parametrize("raw", [
+    None, "", "   ", "a" * 129, "has space", 'quo"te', "back\\slash",
+    "new\nline", "ctrl\x01char", "non-ascii-é",
+])
+def test_sanitize_rejects_hostile_ids(raw):
+    assert sanitize_request_id(raw) is None
+
+
+def test_sanitize_strips_surrounding_whitespace():
+    assert sanitize_request_id("  rid-1  ") == "rid-1"
+
+
+# -- spans and the per-request record ---------------------------------------
+
+
+def test_spans_accumulate_into_phase_ms():
+    rt = RequestTelemetry(route="/search", query="q", scheme="s")
+    with rt.span("parse"):
+        pass
+    with rt.span("execute"):
+        pass
+    with rt.span("execute"):  # same phase twice: additive
+        pass
+    phases = rt.phases()
+    assert set(phases) == {"parse", "execute"}
+    assert all(v >= 0.0 for v in phases.values())
+
+
+def test_add_phase_ms_and_notes_and_shards():
+    rt = RequestTelemetry(request_id="rid-1", route="/search")
+    rt.add_phase_ms("queue_wait", 5.0)
+    rt.add_phase_ms("queue_wait", 2.5)
+    rt.note("plan_cached", True)
+    rt.add_shard(0, 1.25, rows=3, tripped=False)
+    event = rt.to_wide_event()
+    assert event["phase_ms"]["queue_wait"] == 7.5
+    assert event["notes"] == {"plan_cached": True}
+    assert event["shards"] == [
+        {"shard": 0, "wall_ms": 1.25, "rows": 3, "tripped": False}
+    ]
+
+
+def test_finish_freezes_wall_and_status():
+    rt = RequestTelemetry()
+    wall = rt.finish(200)
+    assert wall >= 0.0
+    event = rt.to_wide_event()
+    assert event["wall_ms"] == round(wall, 3)
+    assert event["status"] == 200
+
+
+def test_unattributed_ms_is_clamped_nonnegative():
+    rt = RequestTelemetry()
+    rt.add_phase_ms("execute", 10_000.0)  # far exceeds real wall time
+    rt.finish(200)
+    assert rt.to_wide_event()["unattributed_ms"] == 0.0
+
+
+def test_wide_event_validates_against_schema():
+    schema = json.loads(SCHEMA_PATH.read_text())
+    rt = RequestTelemetry(route="/search", query="q", scheme="sumbest")
+    with rt.span("parse"):
+        pass
+    rt.add_shard(1, 0.5, rows=2, tripped=True)
+    rt.note("generation", "g3")
+    rt.finish(200)
+    validate(rt.to_wide_event(), schema["$defs"]["wide_event"], root=schema)
+
+
+def test_inflight_view_reports_current_phase():
+    rt = RequestTelemetry(request_id="rid-2", query="q")
+    with rt.span("execute"):
+        view = rt.inflight_view()
+        assert view["current_phase"] == "execute"
+        assert view["request_id"] == "rid-2"
+        assert view["age_ms"] >= 0.0
+    assert rt.inflight_view()["current_phase"] is None
+
+
+# -- context propagation and the zero-overhead off path ---------------------
+
+
+def test_no_context_by_default_and_noop_span_is_shared():
+    assert telemetry.current() is None
+    # The off path must allocate nothing: identical singleton every call.
+    assert telemetry.span("parse") is NOOP_SPAN
+    assert telemetry.maybe_span(None, "parse") is NOOP_SPAN
+    with telemetry.span("parse"):
+        pass  # and it is a usable no-op context manager
+
+
+def test_activate_deactivate_round_trip():
+    rt = RequestTelemetry()
+    token = telemetry.activate(rt)
+    try:
+        assert telemetry.current() is rt
+        assert telemetry.maybe_span(rt, "parse") is not NOOP_SPAN
+    finally:
+        telemetry.deactivate(token)
+    assert telemetry.current() is None
+
+
+def test_bound_rebinds_inside_a_worker_thread():
+    """run_in_executor drops contextvars; bound() is the re-bind."""
+    rt = RequestTelemetry()
+    seen: list = []
+
+    def worker():
+        seen.append(telemetry.current())  # fresh thread: no inheritance
+        with telemetry.bound(rt):
+            seen.append(telemetry.current())
+        seen.append(telemetry.current())
+
+    t = threading.Thread(target=worker)
+    t.start()
+    t.join()
+    assert seen == [None, rt, None]
+
+
+def test_bound_none_is_a_noop():
+    with telemetry.bound(None) as rt:
+        assert rt is None
+        assert telemetry.current() is None
+
+
+# -- slow-request capture ---------------------------------------------------
+
+
+def test_capture_keeps_the_worst_events():
+    cap = SlowRequestCapture(capacity=3)
+    for wall in (5.0, 1.0, 3.0, 10.0, 2.0):
+        cap.offer(make_event(rid=f"r{wall}", wall=wall))
+    walls = [e["wall_ms"] for e in cap.snapshot()]
+    assert walls == [10.0, 5.0, 3.0]  # slowest first; 1.0 and 2.0 evicted
+    assert cap.offered == 5
+    assert len(cap) == 3
+
+
+def test_capture_prunes_expired_events():
+    clock = FakeClock()
+    cap = SlowRequestCapture(capacity=8, window_s=60.0, clock=clock)
+    cap.offer(make_event(rid="old", wall=100.0))
+    clock.now += 120.0
+    cap.offer(make_event(rid="new", wall=1.0))
+    events = cap.snapshot()
+    assert [e["request_id"] for e in events] == ["new"]
+
+
+def test_capture_min_wall_filter():
+    cap = SlowRequestCapture(capacity=4, min_wall_ms=50.0)
+    assert not cap.offer(make_event(wall=10.0))
+    assert cap.offer(make_event(wall=80.0))
+    assert len(cap) == 1
+
+
+def test_capture_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        SlowRequestCapture(capacity=0)
+
+
+def test_snapshot_n_limits_output():
+    cap = SlowRequestCapture(capacity=8)
+    for wall in range(6):
+        cap.offer(make_event(rid=f"r{wall}", wall=float(wall)))
+    assert len(cap.snapshot(n=2)) == 2
+
+
+# -- rolling stats ----------------------------------------------------------
+
+
+def test_rolling_stats_classifies_statuses():
+    stats = RollingStats()
+    for wall, status in [(10.0, 200), (20.0, 200), (1.0, 503),
+                         (2.0, 504), (3.0, 400), (4.0, 500)]:
+        stats.observe(wall, status)
+    summary = stats.summary()
+    assert summary["requests"] == 6
+    assert summary["ok"] == 2
+    assert summary["shed"] == 1
+    assert summary["timeout"] == 1
+    assert summary["client_error"] == 1
+    assert summary["server_error"] == 1
+    assert summary["shed_rate"] == pytest.approx(1 / 6, abs=1e-4)
+    assert summary["error_rate"] == pytest.approx(2 / 6, abs=1e-4)
+    assert summary["latency_ms"]["p50"] == pytest.approx(15.0)
+
+
+def test_rolling_stats_window_prunes_old_samples():
+    clock = FakeClock()
+    stats = RollingStats(window_s=30.0, clock=clock)
+    stats.observe(10.0, 200)
+    clock.now += 60.0
+    stats.observe(20.0, 200)
+    summary = stats.summary()
+    assert summary["requests"] == 1
+    assert summary["latency_ms"]["p50"] == pytest.approx(20.0)
+
+
+def test_rolling_stats_empty_summary():
+    summary = RollingStats().summary()
+    assert summary["requests"] == 0
+    assert summary["latency_ms"]["p50"] is None
+
+
+# -- hub --------------------------------------------------------------------
+
+
+def test_hub_lifecycle_and_search_only_capture():
+    hub = TelemetryHub()
+    rt = hub.begin(route="/search", query="q", scheme="s")
+    assert [v["request_id"] for v in hub.inflight()] == [rt.request_id]
+    event = hub.finish(rt, 200)
+    assert hub.inflight() == []
+    assert event["status"] == 200
+    assert len(hub.slow) == 1
+    # Non-search routes never feed the slow capture or rolling window.
+    other = hub.begin(route="/status")
+    hub.finish(other, 200)
+    assert len(hub.slow) == 1
+    summary = hub.status_summary()
+    assert summary["requests"] == 1
+    assert summary["inflight"] == 0
+    assert summary["slow_captured"] == 1
+
+
+def test_hub_honours_client_request_id():
+    hub = TelemetryHub()
+    rt = hub.begin(request_id="client-id-1", route="/search")
+    assert rt.request_id == "client-id-1"
+    hub.finish(rt, 200)
+    assert hub.slow.snapshot()[0]["request_id"] == "client-id-1"
+
+
+# -- percentile + attribution ----------------------------------------------
+
+
+def test_percentile_interpolates():
+    assert percentile([], 0.5) == 0.0
+    assert percentile([7.0], 0.99) == 7.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+    assert percentile([1.0, 2.0, 3.0, 4.0], 1.0) == pytest.approx(4.0)
+
+
+def test_attribute_phases_shares_sum_to_one():
+    events = [
+        make_event(rid=f"r{i}", wall=10.0 + i,
+                   execute=6.0 + i, parse=2.0, merge=1.0)
+        for i in range(10)
+    ]
+    report = attribute_phases(events, tail_q=0.9)
+    assert report["events"] == 10
+    total_share = sum(row["share"] for row in report["attribution"])
+    assert total_share == pytest.approx(1.0, abs=0.01)
+    # Execute dominates the tail, so it leads the attribution.
+    assert report["attribution"][0]["phase"] == "execute"
+    # Phase listing follows pipeline order, not alphabetical.
+    assert list(report["phases"]) == ["parse", "execute", "merge"]
+    for name in report["phases"]:
+        assert name in PHASES
+
+
+def test_attribute_phases_reports_unattributed_remainder():
+    events = [make_event(wall=100.0, execute=40.0)]
+    report = attribute_phases(events)
+    rows = {row["phase"]: row for row in report["attribution"]}
+    assert rows["(unattributed)"]["share"] == pytest.approx(0.6, abs=0.01)
+
+
+def test_attribute_phases_empty_and_render():
+    assert attribute_phases([])["events"] == 0
+    assert render_attribution(attribute_phases([])) == "no captured events"
+    events = [make_event(wall=10.0, execute=9.0, parse=1.0)]
+    text = render_attribution(attribute_phases(events))
+    assert "execute" in text and "parse" in text
+    assert "p99" in text

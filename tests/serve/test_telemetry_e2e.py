@@ -1,0 +1,388 @@
+"""End-to-end request telemetry over real sockets.
+
+The tentpole acceptance tests: a slow query is findable in
+``/debug/slow`` by its ``X-Request-Id`` with the span sum within 10% of
+the measured wall time; correlation ids round-trip client -> server ->
+engine -> query log; ``/debug/requests`` shows live phase state;
+``repro slow`` turns captured wide events into a per-phase attribution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from repro.api import SearchEngine
+from repro.cli import main
+from repro.obs import telemetry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.qlog import read_log
+from repro.serve import HttpServer, QueryService, ServiceConfig
+from repro.serve.loadgen import _Client, run_loadgen
+
+TEXTS = [
+    "the quick brown fox jumps over the lazy dog",
+    "a quick quick fox and a slow dog walk home",
+    "quick release fox terrier dog show dog fox",
+    "san francisco fault line stories quick fox",
+]
+
+
+def make_store(root) -> None:
+    with SearchEngine.open(root) as engine:
+        for i, text in enumerate(TEXTS):
+            engine.add(text, title=f"doc{i}")
+        engine.checkpoint()
+
+
+async def start_server(root, config=None) -> HttpServer:
+    service = QueryService(
+        root,
+        config or ServiceConfig(max_inflight=4, max_queue=16,
+                                deadline_ms=5000.0),
+        registry=MetricsRegistry(),
+    )
+    server = HttpServer(service, registry=service.registry)
+    await server.start()
+    return server
+
+
+def slow_execute_wrapper(engine, sleep_s: float):
+    """Patch ``engine.search`` to burn *sleep_s* inside the execute span,
+    simulating a genuinely slow execution phase."""
+    original = engine.search
+
+    def slow_search(*args, **kwargs):
+        with telemetry.span("execute"):
+            time.sleep(sleep_s)
+        return original(*args, **kwargs)
+
+    engine.search = slow_search
+
+
+# -- the headline acceptance test -------------------------------------------
+
+
+def test_slow_query_findable_by_request_id_with_tight_span_sum(tmp_path):
+    root = tmp_path / "store"
+    make_store(root)
+    rid = "e2e-slow-0001"
+
+    async def run():
+        server = await start_server(root)
+        slow_execute_wrapper(
+            server.service.readers.current.engine, sleep_s=0.12
+        )
+        client = _Client(server.host, server.port)
+        try:
+            status, body, headers = await client.request(
+                "/search?q=quick+fox&top_k=3",
+                headers={"X-Request-Id": rid},
+            )
+            assert status == 200
+            # The id round-trips: response header AND payload carry it.
+            assert headers["x-request-id"] == rid
+            assert body["request_id"] == rid
+            status, slow, _ = await client.request("/debug/slow?n=8")
+            assert status == 200
+            return slow
+        finally:
+            await client.close()
+            await server.stop()
+
+    slow = asyncio.run(run())
+    events = [e for e in slow["events"] if e["request_id"] == rid]
+    assert events, f"request {rid} not captured: {slow}"
+    event = events[0]
+    # The slow phase dominates and the timeline accounts for the wall:
+    # attributed spans must cover >= 90% of the measured wall time.
+    assert event["phase_ms"]["execute"] >= 120.0
+    span_sum = sum(event["phase_ms"].values())
+    assert span_sum >= 0.9 * event["wall_ms"], event
+    assert event["unattributed_ms"] <= 0.1 * event["wall_ms"], event
+    # The full pipeline timeline is present, not just the slow phase.
+    for phase in ("queue_wait", "parse", "optimize", "serialize"):
+        assert phase in event["phase_ms"], event["phase_ms"]
+    assert event["status"] == 200
+    assert event["query"] == "quick fox"
+
+
+# -- correlation ids --------------------------------------------------------
+
+
+def test_request_ids_generated_when_missing_or_hostile(tmp_path):
+    root = tmp_path / "store"
+    make_store(root)
+
+    async def run():
+        server = await start_server(root)
+        client = _Client(server.host, server.port)
+        try:
+            _, body, headers = await client.request("/search?q=quick")
+            generated = headers["x-request-id"]
+            assert len(generated) == 26  # minted ULID-style id
+            assert body["request_id"] == generated
+            # A hostile header is rejected and replaced, never echoed.
+            _, _, headers = await client.request(
+                "/search?q=quick",
+                headers={"X-Request-Id": "bad id with spaces"},
+            )
+            assert headers["x-request-id"] != "bad id with spaces"
+            assert len(headers["x-request-id"]) == 26
+            # Non-search routes get ids too.
+            _, _, headers = await client.request("/healthz")
+            assert len(headers["x-request-id"]) == 26
+        finally:
+            await client.close()
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_loadgen_ids_round_trip_into_the_query_log(tmp_path):
+    """Satellite 2: every accepted request's client-generated id lands in
+    the service's query log, joinable with /debug/slow."""
+    root = tmp_path / "store"
+    make_store(root)
+    qlog_path = tmp_path / "qlog.jsonl"
+
+    async def run():
+        config = ServiceConfig(
+            max_inflight=4, max_queue=32, deadline_ms=5000.0,
+            qlog_path=str(qlog_path), qlog_sample_rate=1.0,
+        )
+        server = await start_server(root, config)
+        try:
+            return await run_loadgen(
+                server.host, server.port, requests=16, concurrency=4
+            )
+        finally:
+            await server.stop()
+
+    report = asyncio.run(run())
+    assert report.ok == 16, report.summary()
+    assert report.id_mismatches == 0
+    assert report.p95_ms >= report.p50_ms
+    records = read_log(qlog_path)
+    logged_ids = {r["request_id"] for r in records}
+    # Every accepted request's id is in the log (nothing shed here).
+    assert report.request_ids <= logged_ids
+    for record in records:
+        assert record["request_id"].startswith("lg-")
+        assert "execute" in record["phase_ms"]
+
+
+# -- live debug endpoints ---------------------------------------------------
+
+
+def test_debug_requests_shows_inflight_phase(tmp_path):
+    root = tmp_path / "store"
+    make_store(root)
+
+    async def run():
+        server = await start_server(root)
+        slow_execute_wrapper(
+            server.service.readers.current.engine, sleep_s=0.3
+        )
+        search_client = _Client(server.host, server.port)
+        debug_client = _Client(server.host, server.port)
+        try:
+            pending = asyncio.ensure_future(
+                search_client.request(
+                    "/search?q=quick+fox",
+                    headers={"X-Request-Id": "inflight-1"},
+                )
+            )
+            await asyncio.sleep(0.1)  # request is mid-execute
+            status, body, _ = await debug_client.request("/debug/requests")
+            assert status == 200
+            views = {v["request_id"]: v for v in body["inflight"]}
+            assert "inflight-1" in views, body
+            view = views["inflight-1"]
+            assert view["current_phase"] == "execute"
+            assert view["age_ms"] >= 90.0
+            assert view["query"] == "quick fox"
+            status, _, _ = await pending
+            assert status == 200
+        finally:
+            await search_client.close()
+            await debug_client.close()
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_status_carries_rolling_latency_summary(tmp_path):
+    root = tmp_path / "store"
+    make_store(root)
+
+    async def run():
+        server = await start_server(root)
+        client = _Client(server.host, server.port)
+        try:
+            for _ in range(5):
+                status, _, _ = await client.request("/search?q=quick+fox")
+                assert status == 200
+            status, body, _ = await client.request("/status")
+            assert status == 200
+            return body["telemetry"]
+        finally:
+            await client.close()
+            await server.stop()
+
+    summary = asyncio.run(run())
+    assert summary["requests"] == 5
+    assert summary["ok"] == 5
+    assert summary["shed_rate"] == 0.0
+    assert summary["latency_ms"]["p50"] is not None
+    assert summary["latency_ms"]["p99"] >= summary["latency_ms"]["p50"]
+    assert summary["slow_captured"] == 5
+
+
+def test_debug_slow_validates_n_and_telemetry_off_goes_503(tmp_path):
+    root = tmp_path / "store"
+    make_store(root)
+
+    async def run():
+        # Telemetry on: bad ?n= is a client error.
+        server = await start_server(root)
+        client = _Client(server.host, server.port)
+        try:
+            status, _, _ = await client.request("/debug/slow?n=0")
+            assert status == 400
+        finally:
+            await client.close()
+            await server.stop()
+
+        # Telemetry off: debug endpoints refuse, search still works and
+        # ids still round-trip (generation is independent of the hub).
+        config = ServiceConfig(max_inflight=4, max_queue=16,
+                               deadline_ms=5000.0, telemetry=False)
+        server = await start_server(root, config)
+        client = _Client(server.host, server.port)
+        try:
+            status, _, _ = await client.request("/debug/requests")
+            assert status == 503
+            status, _, _ = await client.request("/debug/slow")
+            assert status == 503
+            status, body, headers = await client.request(
+                "/search?q=quick", headers={"X-Request-Id": "still-works"}
+            )
+            assert status == 200
+            assert headers["x-request-id"] == "still-works"
+            assert body["request_id"] is None  # no telemetry context
+            status, body, _ = await client.request("/status")
+            assert status == 200 and body["telemetry"] is None
+        finally:
+            await client.close()
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_profile_endpoint_is_gated_and_returns_collapsed_stacks(tmp_path):
+    root = tmp_path / "store"
+    make_store(root)
+
+    async def run():
+        # Disabled by default: 403 names the enabling flag.
+        server = await start_server(root)
+        client = _Client(server.host, server.port)
+        try:
+            status, body, _ = await client.request("/debug/profile")
+            assert status == 403
+            assert "--enable-profile" in body["error"]
+        finally:
+            await client.close()
+            await server.stop()
+
+        config = ServiceConfig(
+            max_inflight=4, max_queue=16, deadline_ms=5000.0,
+            profile_endpoint=True, profile_max_seconds=0.2,
+        )
+        server = await start_server(root, config)
+        client = _Client(server.host, server.port)
+        try:
+            status, _, _ = await client.request("/debug/profile?seconds=0")
+            assert status == 400
+            # seconds is capped to profile_max_seconds (0.2), so this
+            # returns promptly despite asking for 60s.
+            started = time.monotonic()
+            status, body, headers = await client.request(
+                "/debug/profile?seconds=60"
+            )
+            elapsed = time.monotonic() - started
+            assert status == 200
+            assert elapsed < 5.0
+            assert headers["content-type"].startswith("text/plain")
+            text = body["raw"]
+            assert text.startswith("# sampling profile: 0.200s")
+            return text
+        finally:
+            await client.close()
+            await server.stop()
+
+    asyncio.run(run())
+
+
+# -- the `repro slow` CLI ---------------------------------------------------
+
+
+def test_cli_slow_attributes_phases_from_url_and_file(tmp_path, capsys):
+    root = tmp_path / "store"
+    make_store(root)
+
+    async def run():
+        server = await start_server(root)
+        slow_execute_wrapper(
+            server.service.readers.current.engine, sleep_s=0.05
+        )
+        client = _Client(server.host, server.port)
+        try:
+            for i in range(6):
+                status, _, _ = await client.request(
+                    f"/search?q=quick+fox&top_k={i + 1}"
+                )
+                assert status == 200
+            _, slow_body, _ = await client.request("/debug/slow")
+            # URL mode fetches /debug/slow from the live server; main()
+            # is synchronous, so run it off the event loop.
+            loop = asyncio.get_running_loop()
+            url = f"http://{server.host}:{server.port}"
+            rc = await loop.run_in_executor(
+                None, lambda: main(["slow", url, "-n", "8"])
+            )
+            assert rc == 0
+            return slow_body
+        finally:
+            await client.close()
+            await server.stop()
+
+    slow_body = asyncio.run(run())
+    out = capsys.readouterr().out
+    assert "6 events" in out
+    assert "execute" in out and "p99" in out
+
+    # File mode: a saved /debug/slow response, JSON report out.
+    saved = tmp_path / "slow.json"
+    saved.write_text(json.dumps(slow_body))
+    assert main(["slow", str(saved), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["events"] == 6
+    top = report["attribution"][0]
+    assert top["phase"] == "execute"  # the injected sleep dominates
+    assert top["share"] > 0.5
+    assert report["phases"]["execute"]["p99"] >= 50.0
+
+    # JSONL mode: one wide event per line.
+    jsonl = tmp_path / "slow.jsonl"
+    jsonl.write_text(
+        "\n".join(json.dumps(e) for e in slow_body["events"]) + "\n"
+    )
+    assert main(["slow", str(jsonl)]) == 0
+    assert "execute" in capsys.readouterr().out
+
+    # A missing file is a clean error, not a traceback.
+    assert main(["slow", str(tmp_path / "absent.json")]) == 2
+    assert "no such file" in capsys.readouterr().err
