@@ -505,6 +505,10 @@ class SearchEngine:
         outcome.plan_cached = cached_plan is not None
         if rt is not None and outcome.shard_count:
             rt.note("shard_count", outcome.shard_count)
+        if rt is not None and outcome.stats is not None:
+            # Hand the profiled operator tree to the span exporter so the
+            # unified trace can graft it under the execute phase span.
+            rt.set_trace(outcome.stats.to_dict())
         with _maybe_span(rt, "audit"):
             self._maybe_audit(
                 query, query_text, scheme, ctx, outcome, top_k, faults

@@ -269,6 +269,93 @@ def run_telemetry_overhead(
     return run_id, records
 
 
+def run_span_overhead(
+    num_docs: int = DEFAULT_DOCS,
+    scheme_name: str = DEFAULT_SCHEME,
+    repeats: int = DEFAULT_REPEATS,
+    kept: int = DEFAULT_KEPT,
+    run_id: str | None = None,
+) -> tuple[str, dict[str, dict]]:
+    """Pin the cost of the span-export OFF path (and measure ON).
+
+    Mirrors :func:`run_telemetry_overhead` one layer up: both passes run
+    with request telemetry *active* (contexts, phase spans), differing
+    only in whether a :class:`repro.obs.spans.SpanExporter` synthesizes
+    and retains the unified trace at finish.  The gated ``wall_ms`` is
+    the **off**-path median — telemetry-on but export-off is the normal
+    production configuration, so that hot path is the one the baseline
+    defends; the on/off medians and overhead percentage ride along in
+    ``params``.
+    """
+    from repro.api import SearchEngine
+    from repro.exec.cache import CacheConfig
+    from repro.obs import telemetry
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.spans import SpanExporter
+    from repro.obs.telemetry import TelemetryHub
+
+    run_id = run_id or new_run_id()
+    fx = bench_fixture(num_docs=num_docs)
+    engine = SearchEngine(fx.collection, cache=CacheConfig.off())
+    engine._index = fx.index
+    queries = list(PAPER_QUERIES.values())
+
+    def run_with(hub: TelemetryHub, rows: list[int]) -> None:
+        total = 0
+        for text in queries:
+            rt = hub.begin(route="/search", query=text, scheme=scheme_name)
+            token = telemetry.activate(rt)
+            try:
+                total += len(engine.search(text, scheme=scheme_name))
+            finally:
+                telemetry.deactivate(token)
+                hub.finish(rt, 200)
+        rows.append(total)
+
+    hub_off = TelemetryHub()
+    rows_off: list[int] = []
+    exporter = SpanExporter(ring_capacity=64, registry=MetricsRegistry())
+    hub_on = TelemetryHub(exporter=exporter)
+    rows_on: list[int] = []
+
+    off_seconds = paper_measure(
+        lambda: run_with(hub_off, rows_off), repeats=repeats, kept=kept
+    )
+    on_seconds = paper_measure(
+        lambda: run_with(hub_on, rows_on), repeats=repeats, kept=kept
+    )
+    overhead_pct = (
+        (on_seconds - off_seconds) / off_seconds * 100.0
+        if off_seconds > 0 else 0.0
+    )
+    records = {
+        "span_export_overhead": bench_record(
+            "span_export_overhead",
+            run_id=run_id,
+            wall_ms=off_seconds * 1000.0,
+            rows=rows_off[-1],
+            params={
+                "docs": num_docs,
+                "scheme": scheme_name,
+                "queries": len(queries),
+                "repeats": repeats,
+                "kept": kept,
+                "off_ms": round(off_seconds * 1000.0, 3),
+                "on_ms": round(on_seconds * 1000.0, 3),
+                "overhead_pct": round(overhead_pct, 2),
+                "rows_on": rows_on[-1],
+                "traces_exported": len(exporter.ring),
+            },
+        )
+    }
+    if rows_on[-1] != rows_off[-1]:
+        raise RuntimeError(
+            f"span export changed results: off={rows_off[-1]} "
+            f"on={rows_on[-1]}"
+        )
+    return run_id, records
+
+
 #: Service-load defaults: enough requests that every paper query runs
 #: several times per worker, small enough to stay a smoke measurement.
 SERVICE_REQUESTS = 64

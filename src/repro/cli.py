@@ -14,6 +14,7 @@ Usage::
     python -m repro serve INDEX_DIR [--port N]       # async query service
     python -m repro loadgen URL [options]            # drive a service
     python -m repro slow URL|FILE [-n N]             # tail-latency report
+    python -m repro top URL [--once --json]          # live ops console
 
 ``index`` builds and persists the inverted index (plus documents and
 titles) as a crash-safe generational store (``docs/STORAGE.md``) from a
@@ -209,6 +210,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="skip the telemetry on/off overhead leg "
                               "(gates the zero-overhead-when-off "
                               "contract)")
+    p_bench.add_argument("--no-span-overhead", action="store_true",
+                         help="skip the span-export on/off overhead leg "
+                              "(gates the export-off hot path)")
     p_bench.add_argument("--max-slowdown", type=float, default=None,
                          help="wall-time regression tolerance as a ratio "
                               "(default 1.5; raise on noisy shared runners)")
@@ -267,6 +271,27 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--enable-profile", action="store_true",
                          help="enable GET /debug/profile?seconds=N (the "
                               "stdlib sampling profiler; off by default)")
+    p_serve.add_argument("--slo", action="append", default=[],
+                         metavar="SPEC", dest="slos",
+                         help="declare an objective for the SLO engine, "
+                              "repeatable; e.g. latency:p99:50ms:0.99 or "
+                              "availability:0.999 (serves /debug/slo and "
+                              "graft_slo_* metrics)")
+    p_serve.add_argument("--slo-shed", action="store_true",
+                         help="arm early admission shedding (half the "
+                              "queue watermark) while a fast-window "
+                              "burn-rate breach is in progress")
+    p_serve.add_argument("--spans", action="store_true",
+                         help="export one unified OTLP-shaped span tree "
+                              "per request, served at "
+                              "/debug/trace/<request-id>")
+    p_serve.add_argument("--spans-path", default=None, metavar="PATH",
+                         help="also append exported traces to this "
+                              "rotating JSONL file (implies --spans "
+                              "semantics; one payload per line)")
+    p_serve.add_argument("--spans-capacity", type=int, default=256,
+                         help="traces retained by the in-memory ring "
+                              "(default 256)")
 
     p_slow = sub.add_parser(
         "slow",
@@ -286,6 +311,25 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="tail quantile to attribute (default 0.99)")
     p_slow.add_argument("--json", action="store_true",
                         help="emit the report as one JSON object")
+
+    p_top = sub.add_parser(
+        "top",
+        help="live ops console for a running service: rolling latency, "
+             "admission counters, cache hit ratios, SLO budget bars "
+             "(polls /status + /debug/slo + /metrics)",
+    )
+    p_top.add_argument("url", help="service base URL, e.g. "
+                                   "http://127.0.0.1:8321")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between repaints (default 2)")
+    p_top.add_argument("--once", action="store_true",
+                       help="render a single snapshot and exit (no "
+                            "screen clearing)")
+    p_top.add_argument("--json", action="store_true",
+                       help="emit the raw polled snapshot as JSON "
+                            "(pairs with --once for scripting/CI)")
+    p_top.add_argument("--no-color", action="store_true",
+                       help="disable ANSI colors")
 
     p_loadgen = sub.add_parser(
         "loadgen",
@@ -686,6 +730,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         DEFAULT_SCHEME,
         run_parallel_throughput,
         run_service_load,
+        run_span_overhead,
         run_telemetry_overhead,
         run_workload,
     )
@@ -721,6 +766,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             run_id=run_id,
         )
         records.update(overhead_records)
+    if not args.no_span_overhead:
+        _, span_records = run_span_overhead(
+            num_docs=docs, scheme_name=scheme, repeats=args.repeats,
+            run_id=run_id,
+        )
+        records.update(span_records)
     append_history(list(records.values()), args.history)
 
     if args.write_baseline:
@@ -785,9 +836,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         qlog_path=args.qlog,
         qlog_sample_rate=args.qlog_sample_rate,
         profile_endpoint=args.enable_profile,
+        slos=tuple(args.slos),
+        slo_shed=args.slo_shed,
+        # A spans file implies span export; the flag alone keeps the
+        # in-memory ring only.
+        spans=args.spans or args.spans_path is not None,
+        spans_path=args.spans_path,
+        spans_capacity=args.spans_capacity,
     )
     asyncio.run(run_server(args.index_dir, config))
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.console import run_top
+
+    return run_top(
+        args.url,
+        interval_s=args.interval,
+        once=args.once,
+        as_json=args.json,
+        color=not args.no_color and sys.stdout.isatty(),
+    )
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -876,11 +946,27 @@ def _cmd_slow(args: argparse.Namespace) -> int:
                 record = json.loads(line)
                 if isinstance(record, dict):
                     events.append(record)
-    report = attribute_phases(events, tail_q=args.tail_q)
+    # Graceful degradation on pre-telemetry records: qlog schema v1 has
+    # neither request_id nor phase_ms, so those records cannot be
+    # attributed — skip them with a count instead of erroring out.
+    usable = [
+        e for e in events
+        if isinstance(e.get("phase_ms"), dict) and e.get("request_id")
+    ]
+    skipped = len(events) - len(usable)
+    if skipped:
+        _warn(
+            f"skipped {skipped} record(s) without request_id/phase_ms "
+            f"(qlog schema v1 or non-telemetry records)"
+        )
+    report = attribute_phases(usable, tail_q=args.tail_q)
+    report["skipped"] = skipped
     if args.json:
         print(json.dumps(report))
         return 0
     print(render_attribution(report))
+    if skipped:
+        print(f"({skipped} unattributable record(s) skipped)")
     return 0
 
 
@@ -895,6 +981,7 @@ _COMMANDS = {
     "qlog": _cmd_qlog,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "top": _cmd_top,
     "loadgen": _cmd_loadgen,
     "slow": _cmd_slow,
 }

@@ -565,6 +565,67 @@ def degraded_serial_requests(
     )
 
 
+# -- SLO families -----------------------------------------------------------
+#
+# The SLO engine (repro.obs.slo) exports its verdicts here so external
+# alerting can fire on the same burn rates /debug/slo reports.
+
+def slo_burn_rate(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.gauge(
+        "graft_slo_burn_rate",
+        "Error-budget burn rate over each alerting window's long arm "
+        "(1.0 spends the budget exactly over the window)",
+        labelnames=("objective", "window"),
+    )
+
+
+def slo_breaching(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.gauge(
+        "graft_slo_breaching",
+        "1 while the objective's multi-window burn-rate alert is firing",
+        labelnames=("objective",),
+    )
+
+
+def slo_budget_remaining(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.gauge(
+        "graft_slo_budget_remaining",
+        "Fraction of the error budget left over the longest window",
+        labelnames=("objective",),
+    )
+
+
+def slo_breaches(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_slo_breaches_total",
+        "ok -> breaching transitions per objective",
+        labelnames=("objective",),
+    )
+
+
+def slo_shed_armed(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.gauge(
+        "graft_slo_shed_armed",
+        "1 while fast-burn breaching has armed early admission shedding",
+    )
+
+
+# -- span-export families ----------------------------------------------------
+
+def spans_exported(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_spans_exported_total",
+        "Spans written by the unified span exporter",
+    )
+
+
+def traces_exported(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_traces_exported_total",
+        "Request span trees exported (one per finished request)",
+    )
+
+
 # -- store-level families --------------------------------------------------
 #
 # The durable store (repro.index.store) records its I/O through these

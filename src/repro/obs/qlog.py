@@ -31,6 +31,9 @@ import time
 from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import GraftError
+# The shared sorted-interpolated percentile (repro.obs.telemetry is the
+# single implementation for loadgen, qlog stats, and the SLO engine).
+from repro.obs.telemetry import percentile as _percentile
 
 if TYPE_CHECKING:
     from repro.api import SearchOutcome
@@ -261,13 +264,6 @@ def tail_records(path, n: int = 10) -> list[dict]:
     return read_log(path)[-n:]
 
 
-def _percentile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile over pre-sorted data."""
-    if not sorted_values:
-        return 0.0
-    rank = max(0, min(len(sorted_values) - 1,
-                      round(q * (len(sorted_values) - 1))))
-    return sorted_values[rank]
 
 
 def log_stats(path, include_rotated: bool = True) -> dict:

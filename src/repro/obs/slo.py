@@ -1,0 +1,417 @@
+"""Service-level objectives: declarative targets, burn rates, budgets.
+
+The telemetry layers below this one *measure*; this module *judges*.
+An operator states an objective — "99% of requests finish under 50 ms",
+"99.9% of requests succeed" — and the engine continuously answers three
+questions a pager needs:
+
+* **Am I in budget?**  Error-budget accounting over the long window:
+  with a 99% target, 1% of requests may be bad; the budget remaining is
+  how much of that allowance the current window has left.
+* **How fast am I burning?**  The *burn rate* is the ratio of the
+  observed bad fraction to the allowed bad fraction (``1 - target``).
+  Burn rate 1.0 spends exactly the budget over the window; 14.4 spends
+  a 30-day budget in 2 days.
+* **Should I alert?**  Multi-window multi-burn-rate evaluation (the
+  Google SRE workbook recipe): an objective is *breaching* when both a
+  long window **and** its short confirmation window exceed the
+  window's burn-rate threshold.  The long window gives significance,
+  the short one gives fast recovery — when the fault clears, the short
+  window empties of bad events first and the page stops.
+
+Everything is deterministic under an injected clock (tests drive hours
+of traffic in microseconds), dependency-free, and cheap: ``observe`` is
+an append + amortized prune; ``evaluate`` is one pass over the sample
+window, throttled by ``maybe_evaluate`` on the hot path.
+
+The service (:mod:`repro.serve.service`) feeds every ``/search``
+outcome in, serves the report at ``/debug/slo``, exports
+``graft_slo_*`` metrics, and — with ``slo_shed`` enabled — arms the
+admission controller's early shedding while a fast burn is in progress
+(shed at half the queue watermark: refusing marginal work early is how
+a latency SLO is defended, not violated).
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import GraftError
+from repro.obs.metrics import (
+    REGISTRY,
+    slo_breaches,
+    slo_breaching,
+    slo_budget_remaining,
+    slo_burn_rate,
+)
+from repro.obs.telemetry import percentile
+
+__all__ = [
+    "BurnWindow",
+    "DEFAULT_WINDOWS",
+    "SloObjective",
+    "SloEngine",
+    "parse_slo_spec",
+]
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One (long, short, threshold) burn-rate alerting window.
+
+    Breaching requires the burn rate over **both** ``long_s`` and
+    ``short_s`` to exceed ``max_burn_rate`` — the standard
+    multi-window guard against paging on a blip and against paging
+    forever after the fault has cleared.
+    """
+
+    name: str
+    long_s: float
+    short_s: float
+    max_burn_rate: float
+
+    def __post_init__(self):
+        if self.long_s <= 0 or self.short_s <= 0:
+            raise GraftError(
+                f"burn window {self.name!r}: window seconds must be positive"
+            )
+        if self.short_s > self.long_s:
+            raise GraftError(
+                f"burn window {self.name!r}: short window ({self.short_s}s) "
+                f"exceeds long window ({self.long_s}s)"
+            )
+        if self.max_burn_rate <= 0:
+            raise GraftError(
+                f"burn window {self.name!r}: max_burn_rate must be positive"
+            )
+
+
+#: The SRE-workbook defaults, scaled to a service dashboard: a *fast*
+#: page (1h long / 5m confirmation at 14.4x burn) and a *slow* ticket
+#: (6h long / 30m confirmation at 6x burn).
+DEFAULT_WINDOWS = (
+    BurnWindow("fast", long_s=3600.0, short_s=300.0, max_burn_rate=14.4),
+    BurnWindow("slow", long_s=21600.0, short_s=1800.0, max_burn_rate=6.0),
+)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declarative objective over the request stream.
+
+    ``kind="latency"``: a request is *good* when it succeeded and its
+    wall time is at or under ``threshold_ms`` (``percentile`` is the
+    display name the operator stated, e.g. ``"p99"``).
+    ``kind="availability"``: a request is *good* unless the service
+    answered it with a 5xx — shed (503) and deadline-expired (504)
+    requests count against availability, exactly as a client sees them.
+    ``target`` is the required good fraction in (0, 1).
+    """
+
+    name: str
+    kind: str
+    target: float
+    threshold_ms: float | None = None
+    percentile: str | None = None
+
+    def __post_init__(self):
+        if self.kind not in ("latency", "availability"):
+            raise GraftError(
+                f"SLO kind must be 'latency' or 'availability', "
+                f"got {self.kind!r}"
+            )
+        if not (0.0 < self.target < 1.0):
+            raise GraftError(
+                f"SLO target must be within (0, 1), got {self.target!r}"
+            )
+        if self.kind == "latency" and (
+            self.threshold_ms is None or self.threshold_ms <= 0
+        ):
+            raise GraftError(
+                f"latency SLO {self.name!r} needs a positive threshold_ms"
+            )
+
+    def is_good(self, wall_ms: float, status: int) -> bool:
+        if self.kind == "availability":
+            return status < 500
+        return status < 500 and wall_ms <= self.threshold_ms
+
+    def describe(self) -> str:
+        if self.kind == "availability":
+            return f"availability >= {self.target:g}"
+        return (
+            f"{self.percentile or 'latency'} <= {self.threshold_ms:g}ms "
+            f"for {self.target:g} of requests"
+        )
+
+
+_LATENCY_SPEC = re.compile(
+    r"^latency:(?P<pct>p\d{1,2}(?:\.\d+)?):(?P<thr>\d+(?:\.\d+)?)"
+    r"(?P<unit>ms|s)?(?::(?P<target>0?\.\d+))?$"
+)
+_AVAILABILITY_SPEC = re.compile(r"^availability:(?P<target>0?\.\d+)$")
+
+
+def parse_slo_spec(spec: str) -> SloObjective:
+    """Parse a CLI objective spec into a :class:`SloObjective`.
+
+    Two forms::
+
+        latency:p99:50ms:0.99     # p99 <= 50ms for 99% of requests
+        latency:p95:0.2s          # target defaults to the percentile
+        availability:0.999        # 99.9% of requests answered < 500
+
+    The latency target may be omitted, in which case it is taken from
+    the stated percentile (``p99`` -> 0.99) — the common reading of
+    "p99 under 50 ms".
+    """
+    text = spec.strip().lower()
+    match = _AVAILABILITY_SPEC.match(text)
+    if match:
+        return SloObjective(
+            name=f"availability_{match.group('target').lstrip('0.') or '0'}",
+            kind="availability",
+            target=float(match.group("target")),
+        )
+    match = _LATENCY_SPEC.match(text)
+    if match:
+        pct_label = match.group("pct")
+        threshold = float(match.group("thr"))
+        if match.group("unit") == "s":
+            threshold *= 1000.0
+        raw_target = match.group("target")
+        target = (
+            float(raw_target) if raw_target is not None
+            else float(pct_label[1:]) / 100.0
+        )
+        thr_text = f"{threshold:g}".replace(".", "_")
+        return SloObjective(
+            name=f"latency_{pct_label}_{thr_text}ms",
+            kind="latency",
+            target=target,
+            threshold_ms=threshold,
+            percentile=pct_label,
+        )
+    raise GraftError(
+        f"cannot parse SLO spec {spec!r}; expected "
+        f"'latency:pNN:THRESHOLDms[:TARGET]' or 'availability:TARGET'"
+    )
+
+
+class SloEngine:
+    """Observe request outcomes, evaluate objectives, export verdicts.
+
+    Thread-tolerant by the same discipline as the telemetry hub: the
+    sample list is guarded by a lock, so executor-thread observers and
+    event-loop evaluators never race.  ``clock`` is injectable — the
+    deterministic unit tests replay hours of traffic instantly.
+    """
+
+    def __init__(
+        self,
+        objectives,
+        *,
+        windows: tuple[BurnWindow, ...] = DEFAULT_WINDOWS,
+        clock: Callable[[], float] = time.monotonic,
+        max_samples: int = 65536,
+        eval_interval_s: float = 1.0,
+        registry=REGISTRY,
+    ):
+        objectives = tuple(objectives)
+        if not objectives:
+            raise GraftError("SloEngine needs at least one objective")
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise GraftError(f"duplicate SLO objective names: {names}")
+        if not windows:
+            raise GraftError("SloEngine needs at least one burn window")
+        self.objectives = objectives
+        self.windows = tuple(windows)
+        self._clock = clock
+        self.max_samples = max_samples
+        self.eval_interval_s = eval_interval_s
+        self._registry = registry
+        import threading
+
+        self._lock = threading.Lock()
+        #: (monotonic ts, wall_ms, status) — one entry per request.
+        self._samples: list[tuple[float, float, int]] = []
+        self._states: dict[str, str] = {o.name: "ok" for o in objectives}
+        self._last_eval_at: float | None = None
+        self._last_report: dict[str, Any] | None = None
+        self.observed = 0
+
+    # -- intake --------------------------------------------------------------
+
+    def _horizon_s(self) -> float:
+        return max(w.long_s for w in self.windows)
+
+    def observe(self, wall_ms: float, status: int) -> None:
+        """Fold one finished request into the sample window."""
+        now = self._clock()
+        horizon = now - self._horizon_s()
+        with self._lock:
+            self.observed += 1
+            self._samples.append((now, float(wall_ms), int(status)))
+            if self._samples and self._samples[0][0] < horizon:
+                self._samples = [
+                    s for s in self._samples if s[0] >= horizon
+                ]
+            if len(self._samples) > self.max_samples:
+                del self._samples[: len(self._samples) - self.max_samples]
+
+    # -- judgment ------------------------------------------------------------
+
+    @staticmethod
+    def _burn(objective: SloObjective, samples, now: float,
+              window_s: float) -> tuple[float, int, int]:
+        """(burn_rate, total, bad) for *objective* over the last window."""
+        horizon = now - window_s
+        total = bad = 0
+        for ts, wall, status in samples:
+            if ts < horizon:
+                continue
+            total += 1
+            if not objective.is_good(wall, status):
+                bad += 1
+        if total == 0:
+            return 0.0, 0, 0
+        budget = 1.0 - objective.target
+        return (bad / total) / budget, total, bad
+
+    def evaluate(self) -> dict[str, Any]:
+        """Full evaluation: per-objective burn rates, budgets, verdicts.
+
+        Updates the ``graft_slo_*`` metric families and the internal
+        breach states (the breach counter increments on each
+        ok -> breaching transition, not on every breaching poll).
+        """
+        now = self._clock()
+        with self._lock:
+            samples = list(self._samples)
+        report_objectives = []
+        any_breaching = False
+        fast_breaching = False
+        budget_window_s = self._horizon_s()
+        for objective in self.objectives:
+            windows_report = {}
+            breaching = False
+            for window in self.windows:
+                long_burn, long_total, _ = self._burn(
+                    objective, samples, now, window.long_s
+                )
+                short_burn, short_total, _ = self._burn(
+                    objective, samples, now, window.short_s
+                )
+                window_breaching = (
+                    long_total > 0
+                    and long_burn > window.max_burn_rate
+                    and short_burn > window.max_burn_rate
+                )
+                breaching = breaching or window_breaching
+                if window_breaching and window is self.windows[0]:
+                    fast_breaching = True
+                windows_report[window.name] = {
+                    "long_s": window.long_s,
+                    "short_s": window.short_s,
+                    "max_burn_rate": window.max_burn_rate,
+                    "long_burn_rate": round(long_burn, 4),
+                    "short_burn_rate": round(short_burn, 4),
+                    "long_samples": long_total,
+                    "short_samples": short_total,
+                    "breaching": window_breaching,
+                }
+                slo_burn_rate(self._registry).labels(
+                    objective=objective.name, window=window.name
+                ).set(round(long_burn, 6))
+            # Error budget over the longest window: consumed fraction of
+            # the allowance, remaining clamped at 0 (an exhausted budget
+            # cannot go *more* than exhausted for display purposes; the
+            # burn rates above carry the overshoot).
+            _, total, bad = self._burn(
+                objective, samples, now, budget_window_s
+            )
+            budget = 1.0 - objective.target
+            consumed = (bad / total) / budget if total else 0.0
+            remaining = max(0.0, 1.0 - consumed)
+            state = "breaching" if breaching else "ok"
+            previous = self._states[objective.name]
+            if state == "breaching" and previous != "breaching":
+                slo_breaches(self._registry).labels(
+                    objective=objective.name
+                ).inc()
+            self._states[objective.name] = state
+            slo_breaching(self._registry).labels(
+                objective=objective.name
+            ).set(1.0 if breaching else 0.0)
+            slo_budget_remaining(self._registry).labels(
+                objective=objective.name
+            ).set(round(remaining, 6))
+            any_breaching = any_breaching or breaching
+            entry: dict[str, Any] = {
+                "name": objective.name,
+                "kind": objective.kind,
+                "description": objective.describe(),
+                "target": objective.target,
+                "threshold_ms": objective.threshold_ms,
+                "percentile": objective.percentile,
+                "state": state,
+                "windows": windows_report,
+                "budget": {
+                    "window_s": budget_window_s,
+                    "allowed_bad_fraction": round(budget, 6),
+                    "samples": total,
+                    "bad": bad,
+                    "consumed_fraction": round(consumed, 4),
+                    "remaining_fraction": round(remaining, 4),
+                },
+            }
+            if objective.kind == "latency" and objective.percentile:
+                horizon = now - budget_window_s
+                walls = [
+                    wall for ts, wall, status in samples
+                    if ts >= horizon and status < 500
+                ]
+                q = min(0.999, float(objective.percentile[1:]) / 100.0)
+                entry["measured_ms"] = (
+                    round(percentile(walls, q), 3) if walls else None
+                )
+            report_objectives.append(entry)
+        report = {
+            "enabled": True,
+            "observed": self.observed,
+            "breaching": any_breaching,
+            "fast_burn_breaching": fast_breaching,
+            "objectives": report_objectives,
+        }
+        with self._lock:
+            self._last_eval_at = now
+            self._last_report = report
+        return report
+
+    def maybe_evaluate(self) -> dict[str, Any]:
+        """Hot-path evaluation, throttled to ``eval_interval_s``.
+
+        Request paths call this once per finished request; at most one
+        full evaluation per interval actually runs, the rest reuse the
+        cached report.
+        """
+        with self._lock:
+            fresh = (
+                self._last_report is not None
+                and self._last_eval_at is not None
+                and self._clock() - self._last_eval_at < self.eval_interval_s
+            )
+            if fresh:
+                return self._last_report
+        return self.evaluate()
+
+    def breaching(self) -> list[str]:
+        """Names of objectives currently in the breaching state."""
+        return [
+            name for name, state in self._states.items()
+            if state == "breaching"
+        ]

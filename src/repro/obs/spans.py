@@ -1,0 +1,387 @@
+"""Unified span export: one OTLP-shaped trace per request.
+
+The observability stack below this module produces three disjoint
+artifacts for one request: the phase timeline (Layer 6 telemetry), the
+per-operator :class:`~repro.obs.trace.TraceNode` tree (Layer 3
+profiling), and per-shard timings from the parallel driver.  This
+module joins them into a single span tree:
+
+* the **request root span** covers the whole wall time;
+* each **phase span** (queue_wait, parse, ..., serialize) hangs off the
+  root at its real monotonic-clock offset;
+* the **operator tree** (when the request was profiled) is grafted
+  under the ``execute`` phase span — real durations, sequential
+  synthesized offsets (operators interleave in ways one clock cannot
+  observe, so the layout is honest about being a reconstruction);
+* **per-shard spans** sit as siblings under the ``merge`` phase span.
+
+Span identity is *derived*, not random: ``trace_id`` is a digest of the
+request's correlation id, each ``span_id`` a digest of the id plus the
+span's position path.  Export is therefore deterministic — the same
+request id always yields the same ids — which makes traces joinable
+with the query log and the slow capture by the one id the operator
+already has, and makes the tests exact.
+
+The serialized form is OTLP-shaped JSON (``resourceSpans`` →
+``scopeSpans`` → ``spans``; ids as hex strings, times as stringified
+unix nanos): close enough to the OpenTelemetry protobuf-JSON encoding
+that standard tooling can ingest it after a trivial relabel, with zero
+dependencies here.  Payloads land in an in-memory ring (served at
+``/debug/trace/<request_id>``) and optionally a rotating JSONL file,
+one trace per line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from typing import Any
+
+from repro.obs.metrics import REGISTRY, spans_exported, traces_exported
+
+__all__ = [
+    "trace_id_for",
+    "span_id_for",
+    "build_trace",
+    "verify_trace",
+    "SpanRing",
+    "SpanFileWriter",
+    "SpanExporter",
+]
+
+_SCOPE = {"name": "repro.obs.spans", "version": "1"}
+#: OTLP SpanKind: 1 = SPAN_KIND_INTERNAL, 2 = SPAN_KIND_SERVER.
+_KIND_SERVER = 2
+_KIND_INTERNAL = 1
+
+
+def trace_id_for(request_id: str) -> str:
+    """The 32-hex-char (128-bit) trace id derived from a correlation id."""
+    return hashlib.sha256(request_id.encode("utf-8")).hexdigest()[:32]
+
+
+def span_id_for(request_id: str, path: str) -> str:
+    """The 16-hex-char (64-bit) span id for one span *path* in a request.
+
+    The path encodes the span's position in the tree (e.g.
+    ``"request/phase:4:execute/op:0:and-group"``), so ids are unique
+    within a trace and stable across exports of the same request.
+    """
+    digest = hashlib.sha256(
+        request_id.encode("utf-8") + b"\x00" + path.encode("utf-8")
+    )
+    return digest.hexdigest()[:16]
+
+
+def _attr(key: str, value: Any) -> dict[str, Any]:
+    if isinstance(value, bool):
+        return {"key": key, "value": {"boolValue": value}}
+    if isinstance(value, int):
+        return {"key": key, "value": {"intValue": str(value)}}
+    if isinstance(value, float):
+        return {"key": key, "value": {"doubleValue": value}}
+    return {"key": key, "value": {"stringValue": str(value)}}
+
+
+class _TraceBuilder:
+    """Accumulates spans for one request; all times in unix nanos."""
+
+    def __init__(self, request_id: str, base_ns: int) -> None:
+        self.request_id = request_id
+        self.base_ns = base_ns
+        self.trace_id = trace_id_for(request_id)
+        self.spans: list[dict[str, Any]] = []
+
+    def add(
+        self,
+        path: str,
+        name: str,
+        start_off_ms: float,
+        dur_ms: float,
+        *,
+        parent_path: str | None,
+        kind: int = _KIND_INTERNAL,
+        attributes: list[dict[str, Any]] | None = None,
+        status_code: int = 0,
+    ) -> str:
+        start_ns = self.base_ns + int(start_off_ms * 1e6)
+        end_ns = start_ns + max(0, int(dur_ms * 1e6))
+        span: dict[str, Any] = {
+            "traceId": self.trace_id,
+            "spanId": span_id_for(self.request_id, path),
+            "parentSpanId": (
+                span_id_for(self.request_id, parent_path)
+                if parent_path is not None else ""
+            ),
+            "name": name,
+            "kind": kind,
+            "startTimeUnixNano": str(start_ns),
+            "endTimeUnixNano": str(end_ns),
+            "attributes": attributes or [],
+            "status": {"code": status_code},
+        }
+        self.spans.append(span)
+        return path
+
+
+def _graft_operator_tree(
+    builder: _TraceBuilder,
+    node: dict[str, Any],
+    parent_path: str,
+    parent_start_ms: float,
+    index: int,
+) -> None:
+    """Recursively add a ``TraceNode.to_dict`` subtree under *parent_path*.
+
+    Durations are the profiler's real inclusive times; start offsets are
+    synthesized by laying siblings out sequentially from the parent's
+    start — operator execution interleaves pulls in ways the per-node
+    aggregate timers cannot place on the wall clock, so the layout
+    encodes order and containment, not true concurrency.
+    """
+    label = str(node.get("label", node.get("op", "op")))
+    path = f"{parent_path}/op:{index}:{label}"
+    dur_ms = float(node.get("time_ms", 0.0))
+    attributes = [_attr("graft.op", str(node.get("op", "")))]
+    for key in ("calls", "seeks", "docs_out", "rows_out"):
+        if node.get(key) is not None:
+            attributes.append(_attr(f"graft.{key}", int(node[key])))
+    if node.get("self_time_ms") is not None:
+        attributes.append(
+            _attr("graft.self_time_ms", float(node["self_time_ms"]))
+        )
+    if node.get("tripped"):
+        attributes.append(_attr("graft.limit_tripped", str(node["tripped"])))
+    builder.add(
+        path, label, parent_start_ms, dur_ms,
+        parent_path=parent_path, attributes=attributes,
+    )
+    child_start = parent_start_ms
+    for i, child in enumerate(node.get("children") or []):
+        _graft_operator_tree(builder, child, path, child_start, i)
+        child_start += float(child.get("time_ms", 0.0))
+
+
+def build_trace(rt, *, trace: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Synthesize the unified OTLP-shaped payload for one request.
+
+    *rt* is a :class:`repro.obs.telemetry.RequestTelemetry`; *trace* is
+    an optional ``TraceNode.to_dict`` operator tree (defaults to the one
+    the engine attached via ``rt.set_trace`` when profiling).
+    """
+    base_ns = int(rt.started_ts * 1e9)
+    builder = _TraceBuilder(rt.request_id, base_ns)
+    wall_ms = rt.wall_ms if rt.wall_ms is not None else rt.age_ms()
+    status = rt.status if rt.status is not None else 0
+    root_path = "request"
+    builder.add(
+        root_path,
+        rt.route or "request",
+        0.0,
+        wall_ms,
+        parent_path=None,
+        kind=_KIND_SERVER,
+        attributes=[
+            _attr("graft.request_id", rt.request_id),
+            _attr("graft.query", rt.query),
+            _attr("graft.scheme", rt.scheme),
+            _attr("http.status_code", int(status)),
+        ],
+        # OTLP status: 0 UNSET, 2 ERROR.
+        status_code=2 if status >= 500 else 0,
+    )
+
+    if trace is None:
+        trace = rt.trace()
+    execute_path: str | None = None
+    merge_path: str | None = None
+    for i, (name, start_off_ms, dur_ms) in enumerate(rt.phase_spans()):
+        path = builder.add(
+            f"{root_path}/phase:{i}:{name}",
+            name,
+            start_off_ms,
+            dur_ms,
+            parent_path=root_path,
+            attributes=[_attr("graft.phase", name)],
+        )
+        # Operators graft under the *last* execute window; shards under
+        # the last merge window (re-entered phases accumulate, and the
+        # final window is the one that did the work).
+        if name == "execute":
+            execute_path = path
+            execute_start = start_off_ms
+        elif name == "merge":
+            merge_path = path
+
+    if trace:
+        op_parent = execute_path or root_path
+        op_start = execute_start if execute_path else 0.0
+        _graft_operator_tree(builder, trace, op_parent, op_start, 0)
+
+    shard_parent = merge_path or execute_path or root_path
+    for i, (shard, start_off_ms) in enumerate(rt.shard_spans()):
+        builder.add(
+            f"{shard_parent}/shard:{i}:{shard['shard']}",
+            f"shard-{shard['shard']}",
+            start_off_ms,
+            float(shard["wall_ms"]),
+            parent_path=shard_parent,
+            attributes=[
+                _attr("graft.shard", int(shard["shard"])),
+                _attr("graft.rows", int(shard["rows"])),
+                _attr("graft.limit_tripped", bool(shard["tripped"])),
+            ],
+        )
+
+    return {
+        "resourceSpans": [
+            {
+                "resource": {
+                    "attributes": [_attr("service.name", "graft-repro")]
+                },
+                "scopeSpans": [{"scope": dict(_SCOPE),
+                                "spans": builder.spans}],
+            }
+        ]
+    }
+
+
+def _payload_spans(payload: dict[str, Any]) -> list[dict[str, Any]]:
+    spans: list[dict[str, Any]] = []
+    for rs in payload.get("resourceSpans", []):
+        for ss in rs.get("scopeSpans", []):
+            spans.extend(ss.get("spans", []))
+    return spans
+
+
+def verify_trace(payload: dict[str, Any]) -> list[dict[str, Any]]:
+    """Semantic integrity checks the JSON schema cannot express.
+
+    Raises ``ValueError`` naming the first violation; returns the flat
+    span list on success.  Checked: at least one span, exactly one root,
+    every ``parentSpanId`` resolves to a span in the same trace, span
+    ids are unique, one trace id throughout, and every span's time
+    window is well-formed.
+    """
+    spans = _payload_spans(payload)
+    if not spans:
+        raise ValueError("trace has no spans")
+    ids = [s["spanId"] for s in spans]
+    if len(set(ids)) != len(ids):
+        raise ValueError("duplicate span ids in trace")
+    trace_ids = {s["traceId"] for s in spans}
+    if len(trace_ids) != 1:
+        raise ValueError(f"trace mixes trace ids: {sorted(trace_ids)}")
+    known = set(ids)
+    roots = [s for s in spans if not s.get("parentSpanId")]
+    if len(roots) != 1:
+        raise ValueError(f"expected exactly one root span, got {len(roots)}")
+    for s in spans:
+        parent = s.get("parentSpanId")
+        if parent and parent not in known:
+            raise ValueError(
+                f"span {s['spanId']} ({s['name']}) has unknown parent "
+                f"{parent}"
+            )
+        if int(s["endTimeUnixNano"]) < int(s["startTimeUnixNano"]):
+            raise ValueError(f"span {s['spanId']} ends before it starts")
+    return spans
+
+
+class SpanRing:
+    """Bounded in-memory trace store keyed by request id (FIFO eviction)."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: dict[str, dict[str, Any]] = {}
+
+    def put(self, request_id: str, payload: dict[str, Any]) -> None:
+        with self._lock:
+            self._traces.pop(request_id, None)
+            self._traces[request_id] = payload
+            while len(self._traces) > self.capacity:
+                self._traces.pop(next(iter(self._traces)))
+
+    def get(self, request_id: str) -> dict[str, Any] | None:
+        with self._lock:
+            return self._traces.get(request_id)
+
+    def ids(self) -> list[str]:
+        """Stored request ids, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+class SpanFileWriter:
+    """Rotating JSONL trace sink: one complete OTLP payload per line.
+
+    Same rotate-before-write discipline as the query log: when the file
+    would exceed ``max_bytes`` the current file is renamed to ``.1``
+    (clobbering the previous ``.1``), so a line is never torn by
+    rotation and disk use is bounded at ~2x ``max_bytes``.
+    """
+
+    def __init__(self, path: str, max_bytes: int = 16 * 1024 * 1024) -> None:
+        self.path = path
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self.written = 0
+
+    def append(self, payload: dict[str, Any]) -> None:
+        line = json.dumps(payload, separators=(",", ":")) + "\n"
+        data = line.encode("utf-8")
+        with self._lock:
+            try:
+                size = os.path.getsize(self.path)
+            except OSError:
+                size = 0
+            if size and size + len(data) > self.max_bytes:
+                os.replace(self.path, self.path + ".1")
+            with open(self.path, "ab") as fh:
+                fh.write(data)
+            self.written += 1
+
+
+class SpanExporter:
+    """The hub-facing facade: build, retain, persist, count.
+
+    ``TelemetryHub.finish`` calls :meth:`export` once per finished query
+    request; the server's ``/debug/trace/<id>`` handler reads back
+    through :meth:`get`.
+    """
+
+    def __init__(
+        self,
+        *,
+        ring_capacity: int = 256,
+        path: str | None = None,
+        max_bytes: int = 16 * 1024 * 1024,
+        registry=REGISTRY,
+    ) -> None:
+        self.ring = SpanRing(ring_capacity)
+        self.writer = SpanFileWriter(path, max_bytes) if path else None
+        self._registry = registry
+
+    def export(self, rt, *, trace: dict[str, Any] | None = None
+               ) -> dict[str, Any]:
+        payload = build_trace(rt, trace=trace)
+        self.ring.put(rt.request_id, payload)
+        if self.writer is not None:
+            self.writer.append(payload)
+        traces_exported(self._registry).child().inc()
+        spans_exported(self._registry).child().inc(
+            len(_payload_spans(payload))
+        )
+        return payload
+
+    def get(self, request_id: str) -> dict[str, Any] | None:
+        return self.ring.get(request_id)

@@ -145,8 +145,10 @@ class _Span:
         return self
 
     def __exit__(self, *exc: object) -> None:
-        elapsed_ms = (time.perf_counter_ns() - self._start) / 1e6
-        self._rt._exit_phase(self._name, elapsed_ms)
+        end = time.perf_counter_ns()
+        elapsed_ms = (end - self._start) / 1e6
+        start_off_ms = (self._start - self._rt._started_ns) / 1e6
+        self._rt._exit_phase(self._name, elapsed_ms, start_off_ms)
 
 
 class RequestTelemetry:
@@ -167,8 +169,11 @@ class RequestTelemetry:
         "_started_ns",
         "_lock",
         "_phase_ms",
+        "_phase_spans",
         "_shards",
+        "_shard_offs",
         "_notes",
+        "_trace",
         "current_phase",
         "wall_ms",
         "status",
@@ -189,8 +194,19 @@ class RequestTelemetry:
         self._started_ns = time.perf_counter_ns()
         self._lock = threading.Lock()
         self._phase_ms: dict[str, float] = {}
+        # Real span windows, (name, start_off_ms, dur_ms) relative to the
+        # request start — the raw material the unified span exporter
+        # (repro.obs.spans) turns into an OTLP-shaped tree.  Kept off the
+        # wide event on purpose: its schema is closed.
+        self._phase_spans: list[tuple[str, float, float]] = []
         self._shards: list[dict[str, Any]] = []
+        # Shard start offsets (ms), parallel to ``_shards``; same
+        # closed-schema reasoning as ``_phase_spans``.
+        self._shard_offs: list[float] = []
         self._notes: dict[str, Any] = {}
+        # Operator trace tree (TraceNode.to_dict) attached by the engine
+        # when the request was profiled; consumed by the span exporter.
+        self._trace: dict[str, Any] | None = None
         self.current_phase: str | None = None
         self.wall_ms: float | None = None
         self.status: int | None = None
@@ -204,29 +220,53 @@ class RequestTelemetry:
         with self._lock:
             self.current_phase = name
 
-    def _exit_phase(self, name: str, elapsed_ms: float) -> None:
+    def _exit_phase(
+        self, name: str, elapsed_ms: float, start_off_ms: float | None = None
+    ) -> None:
         with self._lock:
             self._phase_ms[name] = self._phase_ms.get(name, 0.0) + elapsed_ms
+            if start_off_ms is not None:
+                self._phase_spans.append(
+                    (name, max(0.0, start_off_ms), elapsed_ms)
+                )
             self.current_phase = None
 
     def add_phase_ms(self, name: str, elapsed_ms: float) -> None:
-        """Record a phase measured externally (e.g. admission queue wait)."""
+        """Record a phase measured externally (e.g. admission queue wait).
+
+        The span window is synthesized as ending *now*: external phases
+        are reported right after they complete, so "the last elapsed_ms"
+        is the honest reconstruction of when they ran.
+        """
+        start_off_ms = max(0.0, self.age_ms() - elapsed_ms)
         with self._lock:
             self._phase_ms[name] = self._phase_ms.get(name, 0.0) + elapsed_ms
+            self._phase_spans.append((name, start_off_ms, elapsed_ms))
 
     # -- extras -------------------------------------------------------------
 
     def add_shard(self, shard_id: int, wall_ms: float, *,
                   rows: int = 0, tripped: bool = False) -> None:
+        start_off_ms = max(0.0, self.age_ms() - wall_ms)
         with self._lock:
             self._shards.append(
                 {"shard": shard_id, "wall_ms": round(wall_ms, 3),
                  "rows": rows, "tripped": tripped}
             )
+            self._shard_offs.append(start_off_ms)
 
     def note(self, key: str, value: Any) -> None:
         with self._lock:
             self._notes[key] = value
+
+    def set_trace(self, tree: dict[str, Any] | None) -> None:
+        """Attach a profiled operator tree (``TraceNode.to_dict``)."""
+        with self._lock:
+            self._trace = tree
+
+    def trace(self) -> dict[str, Any] | None:
+        with self._lock:
+            return self._trace
 
     # -- snapshots ----------------------------------------------------------
 
@@ -236,6 +276,19 @@ class RequestTelemetry:
     def phases(self) -> dict[str, float]:
         with self._lock:
             return dict(self._phase_ms)
+
+    def phase_spans(self) -> list[tuple[str, float, float]]:
+        """Real span windows (name, start_off_ms, dur_ms) in close order."""
+        with self._lock:
+            return list(self._phase_spans)
+
+    def shard_spans(self) -> list[tuple[dict[str, Any], float]]:
+        """(shard record, start_off_ms) pairs, in recording order."""
+        with self._lock:
+            return [
+                (dict(s), off)
+                for s, off in zip(self._shards, self._shard_offs)
+            ]
 
     def finish(self, status: int) -> float:
         """Freeze wall time + status; returns wall ms."""
@@ -498,6 +551,7 @@ class TelemetryHub:
         slow_min_wall_ms: float = 0.0,
         rolling_window_s: float = 300.0,
         clock: Callable[[], float] = time.monotonic,
+        exporter=None,
     ) -> None:
         self.slow = SlowRequestCapture(
             capacity=slow_capacity,
@@ -506,6 +560,12 @@ class TelemetryHub:
             clock=clock,
         )
         self.rolling = RollingStats(window_s=rolling_window_s, clock=clock)
+        #: Optional unified span exporter (repro.obs.spans.SpanExporter);
+        #: fed every finished query request.
+        self.exporter = exporter
+        #: Optional ``callable(wall_ms, status)`` invoked once per
+        #: finished query request (the SLO engine's intake).
+        self.on_search_finish: Callable[[float, int], None] | None = None
         self._lock = threading.Lock()
         self._inflight: dict[str, RequestTelemetry] = {}
         self.started = 0
@@ -537,6 +597,10 @@ class TelemetryHub:
         if rt.route == "/search":
             self.rolling.observe(wall, status)
             self.slow.offer(event)
+            if self.exporter is not None:
+                self.exporter.export(rt)
+            if self.on_search_finish is not None:
+                self.on_search_finish(wall, status)
         return event
 
     def inflight(self) -> list[dict[str, Any]]:

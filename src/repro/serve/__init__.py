@@ -17,6 +17,7 @@ from repro.serve.admission import (
     ServiceConfig,
     ShedRequest,
 )
+from repro.serve.console import run_top
 from repro.serve.http import HttpError, Request, read_request, response_bytes
 from repro.serve.loadgen import (
     DEFAULT_QUERIES,
@@ -47,4 +48,5 @@ __all__ = [
     "response_bytes",
     "run_loadgen",
     "run_server",
+    "run_top",
 ]

@@ -105,6 +105,21 @@ class ServiceConfig:
             even on a bind-local service.
         profile_max_seconds: Upper bound on one profile request's
             sampling duration.
+        slos: Declarative objectives for the SLO engine, as parsed spec
+            strings (see :func:`repro.obs.slo.parse_slo_spec`, e.g.
+            ``"latency:p99:50ms:0.99"``).  Empty disables the engine
+            (and ``/debug/slo`` answers 503).
+        slo_shed: When True, a fast-window burn-rate breach arms the
+            admission controller's pressure mode (shed at half the
+            queue watermark) until the breach clears — defend the
+            latency objective by refusing marginal work early.
+        spans: Enable the unified span exporter: every finished query
+            request becomes one OTLP-shaped span tree, retrievable at
+            ``/debug/trace/<request_id>``.  Requires telemetry.
+        spans_path: Also append each exported trace to this rotating
+            JSONL file (one payload per line); None keeps traces
+            in-memory only.
+        spans_capacity: How many traces the in-memory ring retains.
     """
 
     host: str = "127.0.0.1"
@@ -130,6 +145,11 @@ class ServiceConfig:
     qlog_slow_ms: float | None = 100.0
     profile_endpoint: bool = False
     profile_max_seconds: float = 30.0
+    slos: tuple[str, ...] = ()
+    slo_shed: bool = False
+    spans: bool = False
+    spans_path: str | None = None
+    spans_capacity: int = 256
 
     def __post_init__(self):
         for name, minimum in (
@@ -138,6 +158,7 @@ class ServiceConfig:
             ("breaker_threshold", 1),
             ("checkpoint_every", 0),
             ("slow_capacity", 1),
+            ("spans_capacity", 1),
         ):
             value = getattr(self, name)
             if not isinstance(value, int) or isinstance(value, bool) \
@@ -197,6 +218,29 @@ class ServiceConfig:
                 f"got {self.qlog_slow_ms!r}",
                 option="qlog_slow_ms",
             )
+        for spec in self.slos:
+            try:
+                from repro.obs.slo import parse_slo_spec
+
+                parse_slo_spec(spec)
+            except GraftError as exc:
+                raise ConfigError(str(exc), option="slos") from None
+        if self.slo_shed and not self.slos:
+            raise ConfigError(
+                "slo_shed requires at least one objective in slos",
+                option="slo_shed",
+            )
+        if (self.slos or self.spans) and not self.telemetry:
+            raise ConfigError(
+                "SLOs and span export need per-request telemetry; "
+                "remove --no-telemetry",
+                option="telemetry",
+            )
+        if self.spans_path is not None and not self.spans:
+            raise ConfigError(
+                "spans_path is set but span export is disabled",
+                option="spans_path",
+            )
 
     def limits(self, deadline_ms: float, partial: bool = True) -> QueryLimits:
         """Per-request execution limits for the remaining budget."""
@@ -250,6 +294,20 @@ class AdmissionController:
         self._retry_jitter_s = retry_jitter_s
         self._rng = rng if rng is not None else random.Random()
         self._registry = registry
+        #: SLO-driven early shedding: while armed, the effective queue
+        #: watermark is halved, so marginal work is refused while a
+        #: latency objective is burning its budget too fast.
+        self.pressure = False
+        self.pressure_sheds = 0
+
+    def set_pressure(self, armed: bool) -> None:
+        """Arm/disarm early shedding (driven by the SLO engine)."""
+        self.pressure = armed
+
+    def effective_max_queue(self) -> int:
+        if self.pressure:
+            return self.max_queue // 2
+        return self.max_queue
 
     def retry_after(self) -> float:
         """The jittered backoff hint for one shed response."""
@@ -272,12 +330,16 @@ class AdmissionController:
         :meth:`exit` (or use the controller as an async context
         manager with the default timeout).
         """
-        if self.queued >= self.max_queue:
+        watermark = self.effective_max_queue()
+        if self.queued >= watermark:
             self.shed += 1
+            if self.pressure:
+                self.pressure_sheds += 1
             requests_shed(self._registry).child().inc()
+            detail = " [slo pressure]" if self.pressure else ""
             raise ShedRequest(
                 f"admission queue at watermark ({self.queued} waiting, "
-                f"{self.inflight} inflight)",
+                f"{self.inflight} inflight){detail}",
                 retry_after_s=self.retry_after(),
             )
         self.queued += 1

@@ -27,20 +27,15 @@ import time
 from dataclasses import dataclass, field
 
 from repro.bench.workload import PAPER_QUERIES
+# One percentile implementation for the whole stack: telemetry's
+# sorted-interpolated version (also used by qlog stats and the SLO
+# engine), re-exported here for the existing import surface.
+from repro.obs.telemetry import percentile  # noqa: F401
 from repro.serve.http import HttpError
 
 #: The paper's workload (Q4..Q11) — same queries the benchmark runs, so
 #: a loadgen pass over the bench fixture produces deterministic rows.
 DEFAULT_QUERIES = tuple(PAPER_QUERIES.values())
-
-
-def percentile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile of an already-sorted list (0 if empty)."""
-    if not sorted_values:
-        return 0.0
-    rank = max(0, min(len(sorted_values) - 1,
-                      round(q * (len(sorted_values) - 1))))
-    return sorted_values[rank]
 
 
 @dataclass

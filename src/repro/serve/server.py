@@ -23,6 +23,11 @@ Endpoints:
 ``GET /debug/slow``       Captured slow-request wide events (``?n=``).
 ``GET /debug/profile``    Opt-in sampling profiler (``?seconds=N``),
                           collapsed-stack text; 403 unless enabled.
+``GET /debug/slo``        Burn rates, budgets, and verdicts per objective;
+                          503 unless SLOs are configured (``--slo``).
+``GET /debug/trace/<id>`` The unified OTLP-shaped span tree exported for
+                          one request; 503 unless ``--spans``, 404 when
+                          the id has aged out of the ring.
 ========================  =====================================================
 
 Every request is assigned a correlation id — the client's
@@ -275,10 +280,19 @@ class HttpServer:
             return self._debug_slow(request)
         if route == ("GET", "/debug/profile"):
             return await self._debug_profile(request)
+        if route == ("GET", "/debug/slo"):
+            return 200, _json_body(self.service.slo_report()), {}
+        if request.path.startswith("/debug/trace/"):
+            if request.method != "GET":
+                raise HttpError(
+                    405, f"{request.method} is not allowed on {request.path}"
+                )
+            return self._debug_trace(request)
         if request.path in (
             "/search", "/explain", "/healthz", "/readyz", "/metrics",
             "/status", "/add", "/admin/checkpoint", "/admin/revive",
             "/debug/requests", "/debug/slow", "/debug/profile",
+            "/debug/slo",
         ):
             raise HttpError(
                 405, f"{request.method} is not allowed on {request.path}"
@@ -323,10 +337,12 @@ class HttpServer:
                 {},
             )
         text = self.registry.to_prometheus_text()
+        # The full Prometheus exposition content type: scrapers negotiate
+        # on version *and* charset.
         return (
             200,
             text.encode("utf-8"),
-            {"Content-Type": "text/plain; version=0.0.4"},
+            {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
         )
 
     def _require_hub(self):
@@ -340,6 +356,14 @@ class HttpServer:
     def _debug_requests(self) -> tuple[int, bytes, dict[str, str]]:
         hub = self._require_hub()
         return 200, _json_body({"inflight": hub.inflight()}), {}
+
+    def _debug_trace(
+        self, request: Request
+    ) -> tuple[int, bytes, dict[str, str]]:
+        rid = sanitize_request_id(request.path[len("/debug/trace/"):])
+        if rid is None:
+            raise HttpError(400, "malformed request id in path")
+        return 200, _json_body(self.service.trace_payload(rid)), {}
 
     def _debug_slow(
         self, request: Request

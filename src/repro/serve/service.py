@@ -177,6 +177,28 @@ class QueryService:
             registry=registry,
         )
         self.readers = _ReaderSet()
+        #: Unified span exporter (docs/OBSERVABILITY.md Layer 7): one
+        #: OTLP-shaped trace per finished query request, served back at
+        #: ``/debug/trace/<id>``.  None unless ``config.spans``.
+        self.spans = None
+        if self.config.spans:
+            from repro.obs.spans import SpanExporter
+
+            self.spans = SpanExporter(
+                ring_capacity=self.config.spans_capacity,
+                path=self.config.spans_path,
+                registry=registry,
+            )
+        #: SLO engine (Layer 7): declarative objectives judged by
+        #: multi-window burn rates; served at ``/debug/slo``.
+        self.slo = None
+        if self.config.slos:
+            from repro.obs.slo import SloEngine, parse_slo_spec
+
+            self.slo = SloEngine(
+                [parse_slo_spec(s) for s in self.config.slos],
+                registry=registry,
+            )
         #: Request telemetry (docs/OBSERVABILITY.md Layer 6): in-flight
         #: table, slow-request capture, rolling latency window.  None
         #: when disabled — every instrumentation site then short-circuits
@@ -186,9 +208,15 @@ class QueryService:
                 slow_capacity=self.config.slow_capacity,
                 slow_window_s=self.config.slow_window_s,
                 slow_min_wall_ms=self.config.slow_min_wall_ms,
+                exporter=self.spans,
             )
             if self.config.telemetry else None
         )
+        if self.telemetry is not None and self.slo is not None:
+            # Every finished /search request — success, shed, timeout —
+            # flows through the hub exactly once, so this is the one
+            # place SLO outcomes are counted.
+            self.telemetry.on_search_finish = self._observe_slo
         self._qlog = None
         if self.config.qlog_path:
             from repro.obs.qlog import QueryLog
@@ -614,6 +642,46 @@ class QueryService:
             "generation": self._writer.loaded_generation,
         }
 
+    # -- SLO judgment ------------------------------------------------------
+
+    def _observe_slo(self, wall_ms: float, status: int) -> None:
+        """Fold one finished query into the SLO engine; arm/disarm the
+        admission controller's pressure mode on fast-burn transitions."""
+        self.slo.observe(wall_ms, status)
+        report = self.slo.maybe_evaluate()
+        if not self.config.slo_shed:
+            return
+        armed = bool(report.get("fast_burn_breaching"))
+        if armed != self.admission.pressure:
+            self.admission.set_pressure(armed)
+            from repro.obs.metrics import slo_shed_armed
+
+            slo_shed_armed(self.registry).child().set(1.0 if armed else 0.0)
+
+    def slo_report(self) -> dict:
+        """A fresh full evaluation for ``/debug/slo``."""
+        if self.slo is None:
+            raise HttpError(
+                503, "no SLOs configured; start with --slo SPEC"
+            )
+        report = self.slo.evaluate()
+        report["shed_pressure"] = self.admission.pressure
+        report["pressure_sheds"] = self.admission.pressure_sheds
+        return report
+
+    def trace_payload(self, request_id: str) -> dict:
+        """The exported span tree for one request (``/debug/trace/<id>``)."""
+        if self.spans is None:
+            raise HttpError(
+                503, "span export is disabled; start with --spans"
+            )
+        payload = self.spans.get(request_id)
+        if payload is None:
+            raise HttpError(
+                404, f"no exported trace for request id {request_id!r}"
+            )
+        return payload
+
     # -- introspection -----------------------------------------------------
 
     def status(self) -> dict:
@@ -639,6 +707,25 @@ class QueryService:
             "telemetry": (
                 self.telemetry.status_summary()
                 if self.telemetry is not None else None
+            ),
+            "slo": (
+                {
+                    "objectives": len(self.slo.objectives),
+                    "breaching": self.slo.breaching(),
+                    "shed_pressure": self.admission.pressure,
+                }
+                if self.slo is not None else None
+            ),
+            "spans": (
+                {
+                    "ring": len(self.spans.ring),
+                    "capacity": self.spans.ring.capacity,
+                    "written": (
+                        self.spans.writer.written
+                        if self.spans.writer is not None else None
+                    ),
+                }
+                if self.spans is not None else None
             ),
         }
 

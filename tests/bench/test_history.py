@@ -173,13 +173,15 @@ def test_cli_run_appends_history_and_pins_baseline(tmp_path, capsys):
     run_id, records = latest_run(history)
     assert run_id is not None
     # Q4..Q11 plus the sharded-throughput sweep, the plan-cache leg,
-    # the end-to-end service-load leg, and the telemetry-overhead leg.
-    assert len(records) == 14
+    # the end-to-end service-load leg, and the telemetry- and
+    # span-export-overhead legs.
+    assert len(records) == 15
     workload = [n for n in records if n.startswith("workload_Q")]
     assert len(workload) == 8
     assert {n for n in records if not n.startswith("workload_Q")} == {
         "parallel_qps_s1", "parallel_qps_s2", "parallel_qps_s4",
         "plan_cache_repeat", "service_load", "telemetry_overhead",
+        "span_export_overhead",
     }
     # The merge is exact: rows are shard-invariant across the sweep.
     assert len({
@@ -192,17 +194,17 @@ def test_cli_run_appends_history_and_pins_baseline(tmp_path, capsys):
     # Each run appends exactly one batch: a second run doubles the file.
     assert bench_cli(tmp_path) == 0
     capsys.readouterr()
-    assert len(load_history(tmp_path / "history.jsonl")) == 28
+    assert len(load_history(tmp_path / "history.jsonl")) == 30
 
 
 def test_cli_no_parallel_skips_the_sweep(tmp_path, capsys):
     assert bench_cli(tmp_path, "--no-parallel") == 0
     capsys.readouterr()
     _, records = latest_run(load_history(tmp_path / "history.jsonl"))
-    assert len(records) == 10
+    assert len(records) == 11
     assert set(records) == {
         *(n for n in records if n.startswith("workload_Q")),
-        "service_load", "telemetry_overhead",
+        "service_load", "telemetry_overhead", "span_export_overhead",
     }
 
 
@@ -211,7 +213,7 @@ def test_cli_no_service_skips_the_service_leg(tmp_path, capsys):
     capsys.readouterr()
     _, records = latest_run(load_history(tmp_path / "history.jsonl"))
     assert "service_load" not in records
-    assert len(records) == 13
+    assert len(records) == 14
 
 
 def test_cli_service_leg_records_latency_params(tmp_path, capsys):
@@ -244,6 +246,29 @@ def test_cli_no_telemetry_overhead_skips_the_leg(tmp_path, capsys):
     capsys.readouterr()
     _, records = latest_run(load_history(tmp_path / "history.jsonl"))
     assert "telemetry_overhead" not in records
+
+
+def test_cli_span_overhead_leg_gates_the_export_off_path(tmp_path, capsys):
+    assert bench_cli(tmp_path) == 0
+    capsys.readouterr()
+    _, records = latest_run(load_history(tmp_path / "history.jsonl"))
+    leg = records["span_export_overhead"]
+    params = leg["params"]
+    assert params["off_ms"] > 0 and params["on_ms"] > 0
+    assert "overhead_pct" in params
+    # The gated wall is the export-OFF median: telemetry active, no
+    # exporter — the normal production path the baseline defends.
+    assert leg["wall_ms"] == pytest.approx(params["off_ms"], abs=0.001)
+    assert params["rows_on"] == leg["rows"]  # export never changes results
+    assert params["traces_exported"] > 0  # the ON pass really exported
+
+
+def test_cli_no_span_overhead_skips_the_leg(tmp_path, capsys):
+    assert bench_cli(tmp_path, "--no-span-overhead") == 0
+    capsys.readouterr()
+    _, records = latest_run(load_history(tmp_path / "history.jsonl"))
+    assert "span_export_overhead" not in records
+    assert "telemetry_overhead" in records
 
 
 def test_cli_no_cache_runs_the_cache_leg_cold(tmp_path, capsys):
@@ -300,7 +325,7 @@ def test_cli_check_json_payload(tmp_path, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["checked"] is True
     assert payload["regressions"] == []
-    assert len(payload["records"]) == 14
+    assert len(payload["records"]) == 15
     for rec in payload["records"].values():
         assert rec["schema"] == 1
         assert rec["run_id"] == payload["run_id"]

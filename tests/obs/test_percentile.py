@@ -1,0 +1,59 @@
+"""The shared percentile: one implementation, pinned at its edges.
+
+``repro.obs.telemetry.percentile`` is the single percentile used by the
+loadgen report, ``repro qlog stats``, the rolling latency window, and
+the SLO engine — these edge cases defend all four at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.telemetry import percentile
+
+
+@pytest.mark.parametrize("q", [0.0, 0.5, 0.99, 1.0])
+def test_empty_input_is_zero(q):
+    assert percentile([], q) == 0.0
+
+
+@pytest.mark.parametrize("q", [0.0, 0.5, 0.99, 1.0])
+def test_single_sample_is_that_sample(q):
+    assert percentile([42.5], q) == 42.5
+
+
+def test_q0_is_the_minimum_and_q1_the_maximum():
+    data = [5.0, 1.0, 9.0, 3.0]
+    assert percentile(data, 0.0) == 1.0
+    assert percentile(data, 1.0) == 9.0
+
+
+def test_unsorted_input_is_sorted_internally():
+    shuffled = [30.0, 10.0, 40.0, 20.0]
+    assert percentile(shuffled, 0.5) == percentile(sorted(shuffled), 0.5)
+    assert percentile(shuffled, 0.5) == 25.0
+
+
+@pytest.mark.parametrize("data,q,expected", [
+    ([10.0, 20.0], 0.5, 15.0),            # midpoint between two ranks
+    ([10.0, 20.0], 0.25, 12.5),           # quarter of the way
+    ([0.0, 10.0, 20.0, 30.0], 0.5, 15.0),  # even count: interpolated
+    ([0.0, 10.0, 20.0], 0.5, 10.0),       # odd count: exact middle
+    ([1.0, 2.0, 3.0, 4.0, 5.0], 0.9, 4.6),
+])
+def test_interpolation_between_ranks(data, q, expected):
+    assert percentile(data, q) == pytest.approx(expected)
+
+
+def test_accepts_any_iterable_without_mutating_the_source():
+    data = [3.0, 1.0, 2.0]
+    assert percentile(iter(data), 0.5) == 2.0
+    assert data == [3.0, 1.0, 2.0]  # sorted copy, not in place
+
+
+def test_loadgen_qlog_and_slo_share_the_implementation():
+    from repro.obs import qlog
+    from repro.serve import loadgen
+
+    assert loadgen.percentile is percentile
+    assert qlog._percentile is percentile

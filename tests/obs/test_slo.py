@@ -1,0 +1,315 @@
+"""The SLO engine under a deterministic clock.
+
+Hours of traffic replay in microseconds: a fake monotonic clock drives
+the multi-window multi-burn-rate evaluation through the full breach
+lifecycle — healthy, breaching under an injected fault, recovered once
+the short confirmation window drains of bad events.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraftError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    SloEngine,
+    SloObjective,
+    parse_slo_spec,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+#: One tight window so a test drives a full breach cycle in seconds of
+#: fake time: long 60s / short 5s confirmation, page above 2x burn.
+TIGHT = (BurnWindow("fast", long_s=60.0, short_s=5.0, max_burn_rate=2.0),)
+
+
+def make_engine(objectives=None, *, windows=TIGHT, clock=None, **kw):
+    clock = clock or FakeClock()
+    engine = SloEngine(
+        objectives or [parse_slo_spec("availability:0.99")],
+        windows=windows,
+        clock=clock,
+        eval_interval_s=0.0,
+        registry=MetricsRegistry(),
+        **kw,
+    )
+    return engine, clock
+
+
+# -- spec parsing -----------------------------------------------------------
+
+
+def test_parse_latency_spec_full_form():
+    obj = parse_slo_spec("latency:p99:50ms:0.99")
+    assert obj.kind == "latency"
+    assert obj.threshold_ms == 50.0
+    assert obj.target == 0.99
+    assert obj.percentile == "p99"
+    assert obj.name == "latency_p99_50ms"
+
+
+def test_parse_latency_spec_seconds_and_default_target():
+    obj = parse_slo_spec("latency:p95:0.2s")
+    assert obj.threshold_ms == 200.0
+    # Target defaults to the stated percentile: p95 -> 0.95.
+    assert obj.target == 0.95
+
+
+def test_parse_latency_spec_unit_defaults_to_ms():
+    assert parse_slo_spec("latency:p50:75").threshold_ms == 75.0
+
+
+def test_parse_availability_spec():
+    obj = parse_slo_spec("availability:0.999")
+    assert obj.kind == "availability"
+    assert obj.target == 0.999
+    assert obj.threshold_ms is None
+
+
+@pytest.mark.parametrize("spec", [
+    "",
+    "latency",
+    "latency:99:50ms",          # percentile must be pNN
+    "latency:p99:50ms:1.5",     # target must be a 0.x fraction
+    "availability:1.0",
+    "availability:99.9",
+    "uptime:0.99",
+])
+def test_parse_rejects_malformed_specs(spec):
+    with pytest.raises(GraftError):
+        parse_slo_spec(spec)
+
+
+# -- objective & window validation ------------------------------------------
+
+
+def test_objective_validation():
+    with pytest.raises(GraftError):
+        SloObjective(name="x", kind="throughput", target=0.9)
+    with pytest.raises(GraftError):
+        SloObjective(name="x", kind="availability", target=1.0)
+    with pytest.raises(GraftError):
+        SloObjective(name="x", kind="latency", target=0.9)  # no threshold
+
+
+def test_is_good_semantics():
+    lat = parse_slo_spec("latency:p99:50ms:0.99")
+    assert lat.is_good(10.0, 200)
+    assert not lat.is_good(60.0, 200)       # too slow
+    assert not lat.is_good(10.0, 503)       # shed counts as bad
+    avail = parse_slo_spec("availability:0.99")
+    assert avail.is_good(9999.0, 200)       # latency irrelevant
+    assert not avail.is_good(1.0, 500)
+    assert not avail.is_good(1.0, 504)
+
+
+def test_burn_window_validation():
+    with pytest.raises(GraftError):
+        BurnWindow("x", long_s=0, short_s=1, max_burn_rate=1.0)
+    with pytest.raises(GraftError):
+        BurnWindow("x", long_s=10, short_s=20, max_burn_rate=1.0)
+    with pytest.raises(GraftError):
+        BurnWindow("x", long_s=10, short_s=5, max_burn_rate=0.0)
+
+
+def test_engine_constructor_validation():
+    with pytest.raises(GraftError):
+        SloEngine([], registry=MetricsRegistry())
+    obj = parse_slo_spec("availability:0.99")
+    with pytest.raises(GraftError):
+        SloEngine([obj, obj], registry=MetricsRegistry())
+    with pytest.raises(GraftError):
+        SloEngine([obj], windows=(), registry=MetricsRegistry())
+
+
+def test_default_windows_are_the_sre_workbook_pair():
+    fast, slow = DEFAULT_WINDOWS
+    assert (fast.long_s, fast.short_s, fast.max_burn_rate) == (
+        3600.0, 300.0, 14.4)
+    assert (slow.long_s, slow.short_s, slow.max_burn_rate) == (
+        21600.0, 1800.0, 6.0)
+
+
+# -- burn-rate math ---------------------------------------------------------
+
+
+def test_all_good_traffic_burns_nothing():
+    engine, clock = make_engine()
+    for _ in range(200):
+        engine.observe(5.0, 200)
+        clock.advance(0.01)
+    report = engine.evaluate()
+    obj = report["objectives"][0]
+    assert report["breaching"] is False
+    assert obj["windows"]["fast"]["long_burn_rate"] == 0.0
+    assert obj["budget"]["remaining_fraction"] == 1.0
+
+
+def test_burn_rate_one_means_spending_exactly_the_budget():
+    # 1% target budget, exactly 1% bad -> burn rate 1.0.
+    engine, clock = make_engine([parse_slo_spec("availability:0.99")])
+    for i in range(100):
+        engine.observe(5.0, 500 if i == 0 else 200)
+        clock.advance(0.01)
+    obj = engine.evaluate()["objectives"][0]
+    assert obj["windows"]["fast"]["long_burn_rate"] == pytest.approx(1.0)
+    assert obj["budget"]["consumed_fraction"] == pytest.approx(1.0)
+    assert obj["budget"]["remaining_fraction"] == pytest.approx(0.0)
+
+
+def test_budget_accounting_half_spent():
+    engine, clock = make_engine([parse_slo_spec("availability:0.99")])
+    for i in range(1000):
+        engine.observe(5.0, 500 if i % 200 == 0 else 200)  # 5/1000 bad
+        clock.advance(0.001)
+    budget = engine.evaluate()["objectives"][0]["budget"]
+    assert budget["samples"] == 1000
+    assert budget["bad"] == 5
+    assert budget["consumed_fraction"] == pytest.approx(0.5)
+    assert budget["remaining_fraction"] == pytest.approx(0.5)
+
+
+def test_no_samples_is_not_a_breach():
+    engine, _ = make_engine()
+    report = engine.evaluate()
+    assert report["breaching"] is False
+    assert report["observed"] == 0
+
+
+# -- the breach lifecycle ---------------------------------------------------
+
+
+def test_breach_and_recovery_cycle():
+    engine, clock = make_engine([parse_slo_spec("latency:p99:50ms:0.99")])
+
+    # Phase 1: healthy traffic fills both windows.
+    for _ in range(50):
+        engine.observe(5.0, 200)
+        clock.advance(0.05)
+    assert engine.evaluate()["breaching"] is False
+    assert engine.breaching() == []
+
+    # Phase 2: a latency fault — every request blows the threshold.
+    # 100% bad -> burn 100x, far above the 2x page threshold in both
+    # the 60s long window and the 5s confirmation window.
+    for _ in range(50):
+        engine.observe(500.0, 200)
+        clock.advance(0.05)
+    report = engine.evaluate()
+    assert report["breaching"] is True
+    assert report["fast_burn_breaching"] is True
+    assert engine.breaching() == ["latency_p99_50ms"]
+    obj = report["objectives"][0]
+    assert obj["state"] == "breaching"
+    assert obj["windows"]["fast"]["breaching"] is True
+    assert obj["measured_ms"] == pytest.approx(500.0, rel=0.01)
+
+    # Phase 3: the fault clears.  Good traffic refills the short
+    # confirmation window; the long window still holds the bad samples,
+    # but multi-window breaching requires BOTH — the page stops fast.
+    for _ in range(100):
+        engine.observe(5.0, 200)
+        clock.advance(0.1)  # 10s of recovery >> 5s short window
+    report = engine.evaluate()
+    assert report["breaching"] is False
+    assert report["objectives"][0]["state"] == "ok"
+    assert engine.breaching() == []
+
+
+def test_breach_counter_increments_only_on_transition():
+    engine, clock = make_engine()
+    registry = engine._registry
+    for _ in range(20):
+        engine.observe(5.0, 500)
+        clock.advance(0.05)
+
+    def breaches() -> float:
+        family = registry.snapshot().get("graft_slo_breaches_total")
+        return sum(s["value"] for s in family["samples"]) if family else 0.0
+
+    engine.evaluate()
+    assert breaches() == 1.0
+    engine.evaluate()   # still breaching: no second increment
+    engine.evaluate()
+    assert breaches() == 1.0
+
+
+def test_metrics_families_updated():
+    engine, clock = make_engine()
+    for _ in range(10):
+        engine.observe(5.0, 500)
+        clock.advance(0.01)
+    engine.evaluate()
+    snap = engine._registry.snapshot()
+    assert "graft_slo_burn_rate" in snap
+    assert "graft_slo_breaching" in snap
+    assert "graft_slo_budget_remaining" in snap
+    breaching = snap["graft_slo_breaching"]["samples"][0]
+    assert breaching["labels"]["objective"] == "availability_99"
+    assert breaching["value"] == 1.0
+
+
+# -- windowing & intake -----------------------------------------------------
+
+
+def test_samples_beyond_the_horizon_are_pruned():
+    engine, clock = make_engine()
+    for _ in range(10):
+        engine.observe(5.0, 500)  # all bad
+        clock.advance(0.01)
+    # Step past the 60s horizon: the fault ages out entirely.
+    clock.advance(120.0)
+    engine.observe(5.0, 200)
+    report = engine.evaluate()
+    assert report["breaching"] is False
+    assert report["objectives"][0]["budget"]["samples"] == 1
+    assert len(engine._samples) == 1
+
+
+def test_max_samples_bounds_memory():
+    engine, clock = make_engine(max_samples=100)
+    for _ in range(500):
+        engine.observe(1.0, 200)
+    assert len(engine._samples) == 100
+    assert engine.observed == 500
+
+
+def test_maybe_evaluate_throttles_to_the_interval():
+    engine, clock = make_engine()
+    engine.eval_interval_s = 1.0
+    engine.observe(5.0, 200)
+    first = engine.maybe_evaluate()
+    # Within the interval: the exact cached report object comes back.
+    assert engine.maybe_evaluate() is first
+    clock.advance(2.0)
+    assert engine.maybe_evaluate() is not first
+
+
+def test_multiple_objectives_judged_independently():
+    engine, clock = make_engine([
+        parse_slo_spec("availability:0.99"),
+        parse_slo_spec("latency:p99:50ms:0.99"),
+    ])
+    # Slow but successful: availability is fine, latency breaches.
+    for _ in range(50):
+        engine.observe(500.0, 200)
+        clock.advance(0.05)
+    report = engine.evaluate()
+    by_name = {o["name"]: o for o in report["objectives"]}
+    assert by_name["availability_99"]["state"] == "ok"
+    assert by_name["latency_p99_50ms"]["state"] == "breaching"
+    assert engine.breaching() == ["latency_p99_50ms"]

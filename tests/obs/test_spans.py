@@ -1,0 +1,340 @@
+"""Unified span export: deterministic ids, tree structure, the schema.
+
+``build_trace`` joins the phase timeline, the profiled operator tree,
+and per-shard timings into one OTLP-shaped payload; these tests pin the
+join.  The payload shape itself is pinned by the checked-in
+``tests/obs/span_schema.json`` (the CI contract), and the semantic
+invariants a schema cannot express — parent ids resolve, exactly one
+root, one trace id — by ``verify_trace``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.obs import telemetry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import SchemaError, validate
+from repro.obs.spans import (
+    SpanExporter,
+    SpanFileWriter,
+    SpanRing,
+    build_trace,
+    span_id_for,
+    trace_id_for,
+    verify_trace,
+)
+from repro.obs.telemetry import RequestTelemetry, TelemetryHub
+
+SCHEMA = json.loads(
+    (pathlib.Path(__file__).parent / "span_schema.json").read_text()
+)
+
+
+def finished_rt(request_id: str = "req-0001", status: int = 200,
+                shards: int = 0) -> RequestTelemetry:
+    rt = RequestTelemetry(request_id=request_id, route="/search",
+                          query="a AND b", scheme="bm25")
+    with rt.span("parse"):
+        pass
+    with rt.span("execute"):
+        time.sleep(0.002)
+    with rt.span("merge"):
+        pass
+    for i in range(shards):
+        rt.add_shard(i, 0.5, rows=3, tripped=False)
+    with rt.span("serialize"):
+        pass
+    rt.finish(status)
+    return rt
+
+
+def flat_spans(payload: dict) -> list[dict]:
+    return payload["resourceSpans"][0]["scopeSpans"][0]["spans"]
+
+
+OP_TREE = {
+    "label": "and-group", "op": "AndGroup", "calls": 3, "seeks": 1,
+    "docs_out": 7, "rows_out": 7, "time_ms": 1.25, "self_time_ms": 0.5,
+    "tripped": False,
+    "children": [
+        {"label": "term:a", "op": "TermScan", "calls": 3, "seeks": 1,
+         "docs_out": 9, "rows_out": 9, "time_ms": 0.4,
+         "self_time_ms": 0.4, "tripped": False, "children": []},
+        {"label": "term:b", "op": "TermScan", "calls": 3, "seeks": 1,
+         "docs_out": 8, "rows_out": 8, "time_ms": 0.35,
+         "self_time_ms": 0.35, "tripped": False, "children": []},
+    ],
+}
+
+
+# -- identity ---------------------------------------------------------------
+
+
+def test_ids_are_derived_and_deterministic():
+    assert trace_id_for("abc") == trace_id_for("abc")
+    assert len(trace_id_for("abc")) == 32
+    assert trace_id_for("abc") != trace_id_for("abd")
+    assert span_id_for("abc", "request") == span_id_for("abc", "request")
+    assert len(span_id_for("abc", "request")) == 16
+    assert span_id_for("abc", "request") != span_id_for("abc", "request/x")
+    int(trace_id_for("abc"), 16)  # valid hex
+    int(span_id_for("abc", "request"), 16)
+
+
+def test_same_request_id_exports_the_same_ids():
+    p1 = build_trace(finished_rt("stable-id"))
+    p2 = build_trace(finished_rt("stable-id"))
+    assert [s["spanId"] for s in flat_spans(p1)] == \
+        [s["spanId"] for s in flat_spans(p2)]
+
+
+# -- tree structure ---------------------------------------------------------
+
+
+def test_phase_spans_hang_off_the_server_root():
+    rt = finished_rt()
+    payload = build_trace(rt)
+    spans = verify_trace(payload)
+    validate(payload, SCHEMA)
+    root = [s for s in spans if not s["parentSpanId"]][0]
+    assert root["name"] == "/search"
+    assert root["kind"] == 2  # SPAN_KIND_SERVER
+    phases = [s for s in spans if s["parentSpanId"] == root["spanId"]]
+    assert [s["name"] for s in phases] == [
+        "parse", "execute", "merge", "serialize"
+    ]
+    assert all(s["kind"] == 1 for s in phases)
+    # The root window covers the request wall time.
+    dur_ms = (int(root["endTimeUnixNano"])
+              - int(root["startTimeUnixNano"])) / 1e6
+    assert dur_ms == pytest.approx(rt.wall_ms, rel=0.01)
+
+
+def test_phase_offsets_follow_the_monotonic_clock():
+    rt = finished_rt()
+    spans = verify_trace(build_trace(rt))
+    by_name = {s["name"]: s for s in spans}
+    # serialize started after execute ended (sequential phases).
+    assert int(by_name["serialize"]["startTimeUnixNano"]) >= \
+        int(by_name["execute"]["endTimeUnixNano"])
+    root = by_name["/search"]
+    for name in ("parse", "execute", "merge", "serialize"):
+        assert int(by_name[name]["startTimeUnixNano"]) >= \
+            int(root["startTimeUnixNano"])
+        assert int(by_name[name]["endTimeUnixNano"]) <= \
+            int(root["endTimeUnixNano"]) + 1_000_000  # 1ms rounding slack
+
+
+def test_operator_tree_grafts_under_execute():
+    rt = finished_rt()
+    rt.set_trace(OP_TREE)
+    payload = build_trace(rt)
+    validate(payload, SCHEMA)
+    spans = verify_trace(payload)
+    by_name = {s["name"]: s for s in spans}
+    execute = by_name["execute"]
+    and_group = by_name["and-group"]
+    assert and_group["parentSpanId"] == execute["spanId"]
+    assert by_name["term:a"]["parentSpanId"] == and_group["spanId"]
+    assert by_name["term:b"]["parentSpanId"] == and_group["spanId"]
+    # Real durations survive the graft; sibling offsets are sequential.
+    dur = (int(and_group["endTimeUnixNano"])
+           - int(and_group["startTimeUnixNano"])) / 1e6
+    assert dur == pytest.approx(1.25, abs=0.01)
+    assert int(by_name["term:b"]["startTimeUnixNano"]) >= \
+        int(by_name["term:a"]["startTimeUnixNano"])
+    attrs = {a["key"]: a["value"] for a in and_group["attributes"]}
+    assert attrs["graft.op"] == {"stringValue": "AndGroup"}
+    assert attrs["graft.calls"] == {"intValue": "3"}
+
+
+def test_shard_spans_sit_under_merge():
+    rt = finished_rt(shards=3)
+    payload = build_trace(rt)
+    validate(payload, SCHEMA)
+    spans = verify_trace(payload)
+    by_name = {s["name"]: s for s in spans}
+    merge = by_name["merge"]
+    shard_spans = [s for s in spans if s["name"].startswith("shard-")]
+    assert len(shard_spans) == 3
+    assert all(s["parentSpanId"] == merge["spanId"] for s in shard_spans)
+    attrs = {a["key"]: a["value"] for a in shard_spans[0]["attributes"]}
+    assert attrs["graft.shard"] == {"intValue": "0"}
+    assert attrs["graft.rows"] == {"intValue": "3"}
+    assert attrs["graft.limit_tripped"] == {"boolValue": False}
+
+
+def test_error_status_marks_the_root_span():
+    payload = build_trace(finished_rt(status=503))
+    root = [s for s in flat_spans(payload) if not s["parentSpanId"]][0]
+    assert root["status"]["code"] == 2  # OTLP STATUS_CODE_ERROR
+    attrs = {a["key"]: a["value"] for a in root["attributes"]}
+    assert attrs["http.status_code"] == {"intValue": "503"}
+    ok_root = [s for s in flat_spans(build_trace(finished_rt()))
+               if not s["parentSpanId"]][0]
+    assert ok_root["status"]["code"] == 0
+
+
+def test_trace_without_phases_is_just_the_root():
+    rt = RequestTelemetry(request_id="bare", route="/search")
+    rt.finish(200)
+    payload = build_trace(rt)
+    validate(payload, SCHEMA)
+    assert len(verify_trace(payload)) == 1
+
+
+# -- verify_trace violations ------------------------------------------------
+
+
+def test_verify_rejects_empty_and_broken_trees():
+    with pytest.raises(ValueError, match="no spans"):
+        verify_trace({"resourceSpans": []})
+
+    payload = build_trace(finished_rt())
+    spans = flat_spans(payload)
+
+    broken = json.loads(json.dumps(payload))
+    flat_spans(broken)[1]["parentSpanId"] = "feedfacefeedface"
+    with pytest.raises(ValueError, match="unknown parent"):
+        verify_trace(broken)
+
+    broken = json.loads(json.dumps(payload))
+    flat_spans(broken)[1]["spanId"] = spans[0]["spanId"]
+    with pytest.raises(ValueError, match="duplicate span ids"):
+        verify_trace(broken)
+
+    broken = json.loads(json.dumps(payload))
+    flat_spans(broken)[1]["parentSpanId"] = ""
+    with pytest.raises(ValueError, match="exactly one root"):
+        verify_trace(broken)
+
+    broken = json.loads(json.dumps(payload))
+    flat_spans(broken)[1]["traceId"] = "f" * 32
+    with pytest.raises(ValueError, match="mixes trace ids"):
+        verify_trace(broken)
+
+    broken = json.loads(json.dumps(payload))
+    flat_spans(broken)[1]["endTimeUnixNano"] = "0"
+    with pytest.raises(ValueError, match="ends before it starts"):
+        verify_trace(broken)
+
+
+def test_schema_rejects_a_drifted_payload():
+    payload = build_trace(finished_rt())
+    validate(payload, SCHEMA)
+    drifted = json.loads(json.dumps(payload))
+    del flat_spans(drifted)[0]["traceId"]
+    with pytest.raises(SchemaError, match="traceId"):
+        validate(drifted, SCHEMA)
+    drifted = json.loads(json.dumps(payload))
+    flat_spans(drifted)[0]["kind"] = 9
+    with pytest.raises(SchemaError):
+        validate(drifted, SCHEMA)
+
+
+# -- retention --------------------------------------------------------------
+
+
+def test_ring_evicts_oldest_first():
+    ring = SpanRing(capacity=3)
+    for i in range(5):
+        ring.put(f"r{i}", {"n": i})
+    assert len(ring) == 3
+    assert ring.get("r0") is None
+    assert ring.get("r1") is None
+    assert ring.get("r4") == {"n": 4}
+    assert ring.ids() == ["r2", "r3", "r4"]
+    # Re-exporting an id refreshes its position instead of duplicating.
+    ring.put("r2", {"n": 22})
+    ring.put("r5", {"n": 5})
+    assert ring.get("r2") == {"n": 22}
+    assert ring.get("r3") is None  # r3 was the oldest, evicted
+
+
+def test_ring_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        SpanRing(0)
+
+
+def test_file_writer_rotates_before_write(tmp_path):
+    path = tmp_path / "traces.jsonl"
+    writer = SpanFileWriter(str(path), max_bytes=200)
+    big = {"resourceSpans": [], "pad": "x" * 120}
+    writer.append(big)
+    writer.append(big)  # would exceed 200 bytes: rotates first
+    assert writer.written == 2
+    rotated = tmp_path / "traces.jsonl.1"
+    assert rotated.exists()
+    # Every file holds complete JSON lines — nothing torn mid-record.
+    for file in (path, rotated):
+        for line in file.read_text().splitlines():
+            assert json.loads(line)["pad"] == "x" * 120
+
+
+# -- the exporter facade ----------------------------------------------------
+
+
+def test_exporter_retains_persists_and_counts(tmp_path):
+    registry = MetricsRegistry()
+    path = tmp_path / "traces.jsonl"
+    exporter = SpanExporter(ring_capacity=8, path=str(path),
+                            registry=registry)
+    rt = finished_rt("exp-0001", shards=2)
+    payload = exporter.export(rt)
+    assert exporter.get("exp-0001") is payload
+    assert exporter.get("nope") is None
+    on_disk = json.loads(path.read_text().splitlines()[0])
+    assert on_disk == payload
+    snap = registry.snapshot()
+    assert snap["graft_traces_exported_total"]["samples"][0]["value"] == 1.0
+    assert snap["graft_spans_exported_total"]["samples"][0]["value"] == \
+        len(verify_trace(payload))
+
+
+def test_hub_feeds_the_exporter_for_search_routes_only():
+    exporter = SpanExporter(ring_capacity=8, registry=MetricsRegistry())
+    hub = TelemetryHub(exporter=exporter)
+    rt = hub.begin(route="/search", query="q", scheme="bm25")
+    hub.finish(rt, 200)
+    assert exporter.get(rt.request_id) is not None
+    other = hub.begin(route="/healthz")
+    hub.finish(other, 200)
+    assert exporter.get(other.request_id) is None
+
+
+# -- end to end through the engine ------------------------------------------
+
+
+def test_profiled_search_grafts_the_real_operator_tree(tmp_path):
+    from repro.api import SearchEngine
+
+    with SearchEngine.open(tmp_path / "store") as engine:
+        engine.add("the quick brown fox", title="d0")
+        engine.add("a quick dog", title="d1")
+        exporter = SpanExporter(ring_capacity=8,
+                                registry=MetricsRegistry())
+        hub = TelemetryHub(exporter=exporter)
+        rt = hub.begin(route="/search", query="quick", scheme="bm25")
+        token = telemetry.activate(rt)
+        try:
+            outcome = engine.search("quick", profile=True)
+        finally:
+            telemetry.deactivate(token)
+        hub.finish(rt, 200)
+    assert outcome.stats is not None
+    payload = exporter.get(rt.request_id)
+    validate(payload, SCHEMA)
+    spans = verify_trace(payload)
+    # The profiler's tree landed under the execute phase span.
+    execute = [s for s in spans if s["name"] == "execute"]
+    assert execute, [s["name"] for s in spans]
+    op_spans = [s for s in spans
+                if any(a["key"] == "graft.op" for a in s["attributes"])]
+    assert op_spans, "profiled operator tree missing from the trace"
+    assert all(s["traceId"] == trace_id_for(rt.request_id)
+               for s in spans)
