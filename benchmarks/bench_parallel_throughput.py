@@ -1,16 +1,26 @@
 """Sharded-execution throughput and the two-tier query cache's payoff.
 
-Two claims are measured over the paper's eight evaluation queries:
+Four claims are measured over the paper's eight evaluation queries:
 
-* **Sharded throughput** — one pass over the whole workload executed
-  serially and through :func:`repro.exec.parallel.execute_sharded` at
-  2 and 4 shards.  The result *rows* must be identical at every shard
-  count (the score-consistent merge is exact, not approximate), so the
-  exported records double as a correctness gate.  Wall-clock speedup is
-  reported next to ``os.cpu_count()``: thread parallelism is bounded by
-  cores and, for pure-Python operators, by the GIL — on a single-core
-  runner the expected speedup is ~1.0x and the honest number is recorded
+* **Thread-sharded throughput** — one pass over the whole workload
+  executed serially and through
+  :func:`repro.exec.parallel.execute_sharded` at 2 and 4 shards.  The
+  result *rows* must be identical at every shard count (the
+  score-consistent merge is exact, not approximate), so the exported
+  records double as a correctness gate.  Wall-clock speedup is reported
+  next to ``os.cpu_count()``: thread parallelism is bounded by cores
+  and, for pure-Python operators, by the GIL — on a single-core runner
+  the expected speedup is ~1.0x and the honest number is recorded
   rather than gamed (docs/PERFORMANCE.md).
+
+* **Process-sharded throughput** — the same pass through
+  :func:`repro.exec.procpool.execute_sharded_process`: the packed index
+  published once in shared memory, one attach per worker process.  This
+  is the driver that escapes the GIL; rows must again be identical.
+
+* **Packed decode** — the serial workload over the
+  :class:`repro.index.packed.PackedIndex` decoding view, pinning the
+  batch-decode scan path next to the object-index serial anchor.
 
 * **Plan-cache repeat** — the same workload through a
   :class:`repro.api.SearchEngine` twice, cold then warm.  The warm pass
@@ -30,7 +40,14 @@ from repro.bench.workload import PAPER_QUERIES
 from repro.exec.cache import CacheConfig
 from repro.exec.engine import execute, make_runtime
 from repro.exec.parallel import execute_sharded
+from repro.exec.procpool import (
+    ProcessShardPool,
+    ProcPoolUnavailableError,
+    default_worker_count,
+    execute_sharded_process,
+)
 from repro.graft.optimizer import Optimizer
+from repro.index.packed import PackedIndex, pack_index
 from repro.index.shard import ShardedIndex
 from repro.sa.context import IndexScoringContext
 from repro.sa.registry import get_scheme
@@ -40,9 +57,13 @@ from benchmarks.conftest import median_seconds, write_artifact, write_bench_json
 SCHEME = "sumbest"
 
 SHARD_COUNTS = (1, 2, 4)
+PROC_SHARD_COUNTS = (2, 4)
 
 MEASURED: dict[int, float] = {}
 ROWS: dict[int, int] = {}
+MEASURED_PROC: dict[int, float] = {}
+ROWS_PROC: dict[int, int] = {}
+PACKED: dict[str, float | int] = {}
 CACHE: dict[str, float | dict] = {}
 
 
@@ -79,6 +100,55 @@ def test_parallel_measure(shards, benchmark, fx):
     ROWS[shards] = run.rows
 
 
+@pytest.mark.parametrize("shards", PROC_SHARD_COUNTS)
+def test_process_measure(shards, benchmark, fx):
+    scheme, optimized = _optimized(fx)
+    try:
+        pool = ProcessShardPool(
+            pack_index(fx.index), shards,
+            max_workers=default_worker_count(shards),
+        )
+    except ProcPoolUnavailableError as exc:
+        pytest.skip(f"process pool unavailable: {exc}")
+    sharded = ShardedIndex(fx.index, shards)
+
+    def run():
+        total = 0
+        for result in optimized:
+            total += len(execute_sharded_process(
+                pool, sharded, result.plan, scheme, result.info
+            ).results)
+        run.rows = total
+
+    run.rows = None
+    try:
+        benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    finally:
+        pool.close()
+    benchmark.extra_info["rows"] = run.rows
+    MEASURED_PROC[shards] = median_seconds(benchmark)
+    ROWS_PROC[shards] = run.rows
+
+
+def test_packed_decode(benchmark, fx):
+    scheme, optimized = _optimized(fx)
+    packed = PackedIndex(pack_index(fx.index))
+    ctx = IndexScoringContext(packed)
+
+    def run():
+        total = 0
+        for result in optimized:
+            runtime = make_runtime(packed, scheme, result.info, ctx)
+            total += len(execute(result.plan, runtime))
+        run.rows = total
+
+    run.rows = None
+    benchmark.pedantic(run, rounds=9, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["rows"] = run.rows
+    PACKED["seconds"] = median_seconds(benchmark)
+    PACKED["rows"] = run.rows
+
+
 def test_plan_cache_repeat(benchmark, fx):
     engine = SearchEngine(fx.collection, cache=CacheConfig())
     engine._index = fx.index  # reuse the session fixture's index
@@ -109,19 +179,37 @@ def test_parallel_report(benchmark):
     if set(MEASURED) != set(SHARD_COUNTS) or "warm_seconds" not in CACHE:
         pytest.skip("measurements missing (run the whole module)")
 
-    # The merge is exact: every shard count must agree on total rows.
-    assert len(set(ROWS.values())) == 1, ROWS
+    # The merge is exact: every shard count — and both executors, and
+    # the packed substrate — must agree on total rows.
+    agreed = set(ROWS.values()) | set(ROWS_PROC.values())
+    if "rows" in PACKED:
+        agreed.add(PACKED["rows"])
+    assert len(agreed) == 1, (ROWS, ROWS_PROC, PACKED)
 
     serial = MEASURED[1]
     table_rows = [
         [
-            f"{n} shard{'s' if n > 1 else ''}",
+            f"{n} shard{'s' if n > 1 else ''} (thread)",
             f"{MEASURED[n] * 1000:.3f} ms",
             f"{len(PAPER_QUERIES) / MEASURED[n]:.1f} q/s",
             f"{serial / MEASURED[n]:.2f}x",
         ]
         for n in SHARD_COUNTS
     ]
+    for n in sorted(MEASURED_PROC):
+        table_rows.append([
+            f"{n} shards (process)",
+            f"{MEASURED_PROC[n] * 1000:.3f} ms",
+            f"{len(PAPER_QUERIES) / MEASURED_PROC[n]:.1f} q/s",
+            f"{serial / MEASURED_PROC[n]:.2f}x",
+        ])
+    if "seconds" in PACKED:
+        table_rows.append([
+            "serial (packed index)",
+            f"{PACKED['seconds'] * 1000:.3f} ms",
+            f"{len(PAPER_QUERIES) / PACKED['seconds']:.1f} q/s",
+            f"{serial / PACKED['seconds']:.2f}x",
+        ])
     table_rows.append([
         "plan-cache warm",
         f"{CACHE['warm_seconds'] * 1000:.3f} ms",
@@ -148,6 +236,21 @@ def test_parallel_report(benchmark):
             "speedup_vs_serial": {
                 f"s{n}": serial / MEASURED[n] for n in SHARD_COUNTS
             },
+            "process": {
+                f"s{n}": {
+                    "median_ms": MEASURED_PROC[n] * 1000,
+                    "qps": len(PAPER_QUERIES) / MEASURED_PROC[n],
+                    "speedup_vs_serial": serial / MEASURED_PROC[n],
+                }
+                for n in sorted(MEASURED_PROC)
+            },
+            "packed_decode": (
+                {
+                    "median_ms": PACKED["seconds"] * 1000,
+                    "speedup_vs_serial": serial / PACKED["seconds"],
+                }
+                if "seconds" in PACKED else None
+            ),
             "plan_cache": {
                 "warm_ms": CACHE["warm_seconds"] * 1000,
                 "speedup_vs_serial": serial / CACHE["warm_seconds"],

@@ -96,9 +96,13 @@ class SearchOutcome:
     ``shard_count``/``shards_pruned`` describe parallel execution: how
     many index shards the engine was configured with and how many of
     them partition pruning skipped (1 and 0 for serial execution).
-    ``plan_cached`` is True when parse+optimize was skipped via the plan
-    cache; ``result_cached`` is True when the whole outcome was answered
-    from the result cache (no execution happened at all).
+    ``executor`` names the execution driver that actually ran this
+    query — ``"serial"``, ``"thread"``, or ``"process"`` — which can
+    differ from the engine's configured executor when the process path
+    fell back to threads (docs/PERFORMANCE.md).  ``plan_cached`` is
+    True when parse+optimize was skipped via the plan cache;
+    ``result_cached`` is True when the whole outcome was answered from
+    the result cache (no execution happened at all).
     """
 
     results: list[SearchResult]
@@ -113,6 +117,7 @@ class SearchOutcome:
     audit: "AuditEvent | None" = None
     shard_count: int = 1
     shards_pruned: int = 0
+    executor: str = "serial"
     plan_cached: bool = False
     result_cached: bool = False
 
@@ -145,6 +150,7 @@ class SearchEngine:
         qlog: "QueryLog | None" = None,
         shards: int | None = None,
         cache: CacheConfig | None = None,
+        executor: str | None = None,
     ):
         """Args (observability; both default off with a zero-cost path):
             audit: Shadow-execution score-consistency auditing config
@@ -168,6 +174,18 @@ class SearchEngine:
                 (:class:`repro.exec.cache.CacheConfig`).  ``None``
                 enables the default plan cache with the result cache
                 off; pass :meth:`CacheConfig.off` to disable both.
+            executor: Parallel execution driver for sharded plans:
+                ``"thread"`` (in-process pool), ``"process"`` (worker
+                processes attached to a shared-memory packed index —
+                the only driver that escapes the GIL;
+                docs/PERFORMANCE.md), or ``"serial"`` (pin execution
+                serial even when ``shards > 1``).  ``None`` reads the
+                ``REPRO_EXEC`` environment variable (default thread).
+                The process driver falls back to threads — recorded on
+                the ``graft_proc_fallbacks_total`` metric — for
+                profiled searches, engines with a scoring-context
+                override, and environments where shared memory or
+                worker processes are unavailable.
         """
         self.collection = (
             collection if collection is not None else DocumentCollection(analyzer)
@@ -187,6 +205,14 @@ class SearchEngine:
             self._auditor = Auditor(audit)
         self._shards = _resolve_shards(shards)
         self._sharded: "ShardedIndex | None" = None
+        self._executor = _resolve_executor(executor)
+        #: Process worker pool bound to the current sealed index (built
+        #: lazily by the first process-path query; invalidated like
+        #: ``_sharded``).  ``_proc_unavailable`` latches a failed pool
+        #: start so unavailable environments pay the probe only once.
+        self._procpool = None
+        self._procpool_base: Index | None = None
+        self._proc_unavailable = False
         self.cache_config = cache if cache is not None else CacheConfig()
         self._plan_cache = LRUCache(self.cache_config.plan_capacity)
         self._result_cache = LRUCache(self.cache_config.result_capacity)
@@ -207,6 +233,7 @@ class SearchEngine:
         doc = self.collection.add_text(text, title)
         self._index = None
         self._sharded = None
+        self._close_procpool()
         self._generation += 1
         if self._store is not None:
             from repro.corpus.io import document_record
@@ -240,6 +267,21 @@ class SearchEngine:
     def shards(self, value: int) -> None:
         self._shards = _resolve_shards(value)
         self._sharded = None
+        # A pool built for the old shard count is useless; let the next
+        # process-path query rebuild one sized to the new layout.
+        self._close_procpool()
+
+    @property
+    def executor(self) -> str:
+        """Parallel execution driver: serial, thread, or process."""
+        return self._executor
+
+    @executor.setter
+    def executor(self, value: str) -> None:
+        self._executor = _resolve_executor(value)
+        self._proc_unavailable = False
+        if self._executor != "process":
+            self._close_procpool()
 
     def _sharded_index(self) -> "ShardedIndex":
         """The sharded view of the current index (rebuilt after
@@ -254,6 +296,103 @@ class SearchEngine:
 
             self._sharded = ShardedIndex(index, self._shards)
         return self._sharded
+
+    def _close_procpool(self) -> None:
+        """Shut the process pool down and unlink its shared segment.
+
+        Idempotent; called on every invalidation point (mutation, shard
+        or executor change, :meth:`close`).  A pool that is never
+        explicitly closed is still reclaimed by its GC finalizer, so
+        this is about promptness, not correctness.
+        """
+        if self._procpool is not None:
+            self._procpool.close()
+            self._procpool = None
+            self._procpool_base = None
+
+    def _process_pool(self):
+        """The worker pool bound to the current sealed index, or None.
+
+        Built lazily by the first process-path query: the object index
+        is packed (:func:`repro.index.packed.pack_index`), published
+        once in shared memory, and the workers attach zero-copy.  A
+        rebuilt index or changed shard count invalidates the pool the
+        same way it invalidates ``_sharded``.  Returns None — caller
+        falls back to the thread driver — when packing or worker
+        startup fails; the failure is latched so the probe runs once.
+        """
+        index = self.index
+        if self._procpool is not None and (
+            self._procpool_base is not index
+            or self._procpool.num_shards != self._shards
+            or self._procpool.closed
+        ):
+            self._close_procpool()
+        if self._procpool is None:
+            if self._proc_unavailable:
+                return None
+            from repro.exec.procpool import (
+                ProcessShardPool,
+                ProcPoolUnavailableError,
+                default_worker_count,
+            )
+            from repro.index.packed import pack_index
+
+            try:
+                blob = pack_index(index)
+                self._procpool = ProcessShardPool(
+                    blob,
+                    self._shards,
+                    max_workers=default_worker_count(self._shards),
+                )
+            except (ProcPoolUnavailableError, GraftError) as exc:
+                self._proc_unavailable = True
+                _note_proc_fallback("pool_unavailable")
+                import warnings
+
+                warnings.warn(
+                    f"process executor unavailable ({exc}); "
+                    f"falling back to threads",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return None
+            self._procpool_base = index
+        return self._procpool
+
+    def _execute_process(self, plan, scheme, info, top_k, limits):
+        """Attempt one query on the process driver; None = use threads.
+
+        Limit trips and other :class:`GraftError`\\ s propagate (they
+        are query outcomes, not infrastructure failures).  Submission
+        failures (unpicklable plan) and broken worker pools degrade to
+        the thread path — same scores, just slower.
+        """
+        pool = self._process_pool()
+        if pool is None:
+            return None
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.exec.procpool import (
+            ProcPoolUnavailableError,
+            execute_sharded_process,
+        )
+
+        try:
+            return execute_sharded_process(
+                pool, self._sharded_index(), plan, scheme, info,
+                top_k=top_k, limits=limits,
+            )
+        except ProcPoolUnavailableError:
+            _note_proc_fallback("submit")
+            return None
+        except BrokenProcessPool:
+            # Workers died (OOM-kill, signal).  The publication may be
+            # gone with them; drop the pool so the next process-path
+            # query rebuilds it from the still-good object index.
+            self._close_procpool()
+            _note_proc_fallback("broken_pool")
+            return None
 
     def cache_stats(self) -> dict:
         """Hit/miss/size counters of both cache tiers (JSON-ready)."""
@@ -434,17 +573,40 @@ class SearchEngine:
 
         # Fault injection pins execution to the serial path: its
         # fail-at-Nth-call counters are only deterministic when exactly
-        # one plan executes.
-        parallel = self._shards > 1 and faults is None
+        # one plan executes.  An engine configured executor="serial"
+        # likewise never shards, whatever REPRO_SHARDS says.
+        parallel = (
+            self._shards > 1 and faults is None
+            and self._executor != "serial"
+        )
         started = time.perf_counter()
         if parallel:
             from repro.exec.parallel import execute_sharded
 
+            used_executor = "thread"
             try:
-                par = execute_sharded(
-                    self._sharded_index(), result.plan, scheme, result.info,
-                    ctx, top_k=top_k, limits=limits, profile=profile,
-                )
+                par = None
+                if self._executor == "process":
+                    # The process driver cannot trace per-operator (no
+                    # trace objects cross the pickle boundary) and
+                    # workers rescore from the shared index, so a
+                    # scoring-context override must stay in-process.
+                    if profile or self._ctx_override is not None:
+                        _note_proc_fallback(
+                            "profile" if profile else "ctx_override"
+                        )
+                    else:
+                        par = self._execute_process(
+                            result.plan, scheme, result.info, top_k, limits
+                        )
+                        if par is not None:
+                            used_executor = "process"
+                if par is None:
+                    par = execute_sharded(
+                        self._sharded_index(), result.plan, scheme,
+                        result.info, ctx, top_k=top_k, limits=limits,
+                        profile=profile,
+                    )
             except GraftError:
                 self._record_query(
                     query_text, scheme.name, None,
@@ -461,6 +623,7 @@ class SearchEngine:
             )
             outcome.shard_count = par.shard_count
             outcome.shards_pruned = par.shards_pruned
+            outcome.executor = used_executor
             if profile and par.trace_root is not None:
                 from repro.obs.analyze import annotate_estimates
 
@@ -535,6 +698,7 @@ class SearchEngine:
             rewrite_log=list(cached.rewrite_log),
             shard_count=cached.shard_count,
             shards_pruned=cached.shards_pruned,
+            executor=cached.executor,
             plan_cached=True,
             result_cached=True,
         )
@@ -965,12 +1129,16 @@ class SearchEngine:
         """Detach from the store and release the writer lock.
 
         In-memory state stays usable; WAL'd documents are already
-        durable.  No-op for engines not opened on a store.
+        durable.  No-op for engines not opened on a store.  Also shuts
+        down the process worker pool (and unlinks its shared-memory
+        segment) when one was built — in-memory searching still works
+        afterwards, the process path just rebuilds the pool on demand.
         """
         if self._lock is not None:
             self._lock.release()
             self._lock = None
         self._store = None
+        self._close_procpool()
 
     def __enter__(self) -> "SearchEngine":
         return self
@@ -1107,6 +1275,38 @@ def _resolve_shards(shards: int | None) -> int:
             f"must be a positive integer, got {shards!r}", option=option
         )
     return shards
+
+
+_EXECUTORS = ("serial", "thread", "process")
+
+
+def _resolve_executor(executor: str | None) -> str:
+    """Validate an explicit executor name, or read ``REPRO_EXEC``.
+
+    Mirrors :func:`_resolve_shards`: misconfiguration is a typed
+    :class:`repro.errors.ConfigError` at engine construction, not a
+    surprise deep inside the first sharded query.
+    """
+    option = "executor"
+    if executor is None:
+        raw = os.environ.get("REPRO_EXEC", "").strip().lower()
+        if not raw:
+            return "thread"
+        option = "REPRO_EXEC"
+        executor = raw
+    if not isinstance(executor, str) or executor not in _EXECUTORS:
+        raise ConfigError(
+            f"must be one of {', '.join(_EXECUTORS)}, got {executor!r}",
+            option=option,
+        )
+    return executor
+
+
+def _note_proc_fallback(reason: str) -> None:
+    """Count one process-to-thread fallback, labeled by why."""
+    from repro.obs.metrics import REGISTRY, proc_fallbacks
+
+    proc_fallbacks(REGISTRY).labels(reason=reason).inc()
 
 
 def _options_key(options: OptimizerOptions | None) -> tuple | None:

@@ -178,6 +178,72 @@ def load_baseline(path) -> dict:
     return payload
 
 
+#: Required process-pool speedup at 4 shards on a multi-core machine.
+REQUIRED_PROC_SPEEDUP = 2.0
+
+
+def scaling_gate(
+    records: dict[str, dict],
+    *,
+    min_speedup: float = REQUIRED_PROC_SPEEDUP,
+) -> tuple[list[Regression], list[str]]:
+    """Judge process-parallel scaling against the serial anchor.
+
+    ``parallel_qps_s4_proc`` must beat ``parallel_qps_s1`` by
+    ``min_speedup`` — but only where the machine can physically deliver
+    it.  Parallel speedup is bounded by cores, so the requirement is
+    scaled to the measuring machine rather than gamed or silently
+    ignored (the repo's standing rule: record the honest number):
+
+    * >= 4 cores: the full ``min_speedup`` is enforced;
+    * 2-3 cores: the process pass must at least beat serial (1.2x) —
+      the claim that worker processes escape the GIL survives even
+      where the 2x target is out of reach;
+    * 1 core: enforcement is impossible by arithmetic, so the measured
+      ratio is *recorded* in the returned notes and the gate passes.
+
+    Returns ``(regressions, notes)``; notes always state what was
+    checked or why it was skipped, so a passing gate is auditable.
+    """
+    serial = records.get("parallel_qps_s1")
+    proc = records.get("parallel_qps_s4_proc")
+    if serial is None or not serial.get("wall_ms"):
+        return [], ["scaling gate skipped: no serial anchor record"]
+    if proc is None or not proc.get("wall_ms"):
+        return [], [
+            "scaling gate skipped: no parallel_qps_s4_proc record "
+            "(process pool unavailable on this platform)"
+        ]
+    cores = proc.get("params", {}).get("cores") or 1
+    speedup = serial["wall_ms"] / proc["wall_ms"]
+    if cores >= 4:
+        required = min_speedup
+    elif cores >= 2:
+        required = 1.2
+    else:
+        return [], [
+            f"scaling gate recorded (not enforced) on a single-core "
+            f"machine: process speedup at 4 shards = {speedup:.2f}x "
+            f"vs serial"
+        ]
+    if speedup < required:
+        return (
+            [Regression(
+                "parallel_qps_s4_proc", "wall_ms",
+                serial["wall_ms"], proc["wall_ms"],
+                f"parallel_qps_s4_proc: process speedup {speedup:.2f}x "
+                f"vs serial is below the required {required:.2f}x on a "
+                f"{cores}-core machine",
+            )],
+            [f"scaling gate FAILED: {speedup:.2f}x < {required:.2f}x "
+             f"({cores} cores)"],
+        )
+    return [], [
+        f"scaling gate OK: process speedup at 4 shards = {speedup:.2f}x "
+        f">= {required:.2f}x ({cores} cores)"
+    ]
+
+
 def compare_to_baseline(
     current: dict[str, dict],
     baseline: dict,

@@ -112,6 +112,13 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "doc-id shards with a score-consistent "
                                 "top-k merge (default: REPRO_SHARDS or "
                                 "1 = serial)")
+            p.add_argument("--executor",
+                           choices=("serial", "thread", "process"),
+                           default=None,
+                           help="parallel driver for sharded execution: "
+                                "thread pool, worker processes over a "
+                                "shared-memory packed index, or pinned "
+                                "serial (default: REPRO_EXEC or thread)")
             p.add_argument("--profile", action="store_true",
                            help="trace execution and print EXPLAIN ANALYZE "
                                 "(per-operator actuals vs. estimates)")
@@ -243,6 +250,18 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--shards", type=int, default=None,
                          help="shard count for reader engines "
                               "(default REPRO_SHARDS or serial)")
+    p_serve.add_argument("--executor",
+                         choices=("serial", "thread", "process"),
+                         default=None,
+                         help="parallel driver for reader engines: thread "
+                              "pool, worker processes over a shared-memory "
+                              "packed index, or pinned serial (default "
+                              "REPRO_EXEC or thread)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="search executor width: threads serving "
+                              "requests (default --max-inflight); the "
+                              "process driver additionally sizes its "
+                              "worker-process pool to min(shards, cores)")
     p_serve.add_argument("--checkpoint-every", type=int, default=0,
                          help="auto checkpoint+swap after N added "
                               "documents (0 = only via POST "
@@ -445,29 +464,79 @@ def _limits_from_args(args: argparse.Namespace) -> QueryLimits | None:
     )
 
 
+def _search_process(sharded, scheme, result, args, limits):
+    """One-shot process-pool execution for ``search --executor process``.
+
+    Packs the loaded index, publishes it in shared memory, runs the
+    query on worker processes, and tears the pool down.  Returns None —
+    the caller falls back to the thread driver — when the environment
+    cannot run worker processes or the plan cannot cross the pickle
+    boundary; scores are identical either way.
+    """
+    from repro.errors import IndexError_
+    from repro.exec.procpool import (
+        ProcessShardPool,
+        ProcPoolUnavailableError,
+        default_worker_count,
+        execute_sharded_process,
+    )
+    from repro.index.packed import pack_index
+
+    try:
+        pool = ProcessShardPool(
+            pack_index(sharded.base),
+            sharded.num_shards,
+            max_workers=default_worker_count(sharded.num_shards),
+        )
+    except (ProcPoolUnavailableError, IndexError_) as exc:
+        _warn(f"process executor unavailable ({exc}); "
+              f"falling back to threads")
+        return None
+    try:
+        return execute_sharded_process(
+            pool, sharded, result.plan, scheme, result.info,
+            top_k=args.top_k, limits=limits,
+        )
+    except ProcPoolUnavailableError as exc:
+        _warn(f"process submission failed ({exc}); "
+              f"falling back to threads")
+        return None
+    finally:
+        pool.close()
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
-    from repro.api import _resolve_shards
+    from repro.api import _resolve_executor, _resolve_shards
 
     index, titles = _load(args)
     scheme, result = _optimize(args, index)
     shards = _resolve_shards(args.shards)
+    executor = _resolve_executor(args.executor)
     limits = _limits_from_args(args)
     trace_root = None
     total_ns = None
     shard_note = None
-    if shards > 1:
+    if shards > 1 and executor != "serial":
         import time
 
         from repro.exec.parallel import execute_sharded
         from repro.index.shard import ShardedIndex
         from repro.sa.context import IndexScoringContext
 
+        sharded = ShardedIndex(index, shards)
         started = time.perf_counter_ns()
-        par = execute_sharded(
-            ShardedIndex(index, shards), result.plan, scheme, result.info,
-            IndexScoringContext(index), top_k=args.top_k, limits=limits,
-            profile=args.profile,
-        )
+        par = None
+        used_executor = "thread"
+        if executor == "process" and not args.profile:
+            par = _search_process(sharded, scheme, result, args, limits)
+            if par is not None:
+                used_executor = "process"
+        if par is None:
+            par = execute_sharded(
+                sharded, result.plan, scheme, result.info,
+                IndexScoringContext(index), top_k=args.top_k,
+                limits=limits, profile=args.profile,
+            )
         if args.profile:  # the contract: no --profile, no wall time
             total_ns = time.perf_counter_ns() - started
         ranked = par.results
@@ -475,7 +544,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
         limit_hit = par.tripped
         trace_root = par.trace_root
         shard_note = {"shards": par.shard_count,
-                      "shards_pruned": par.shards_pruned}
+                      "shards_pruned": par.shards_pruned,
+                      "executor": used_executor}
     else:
         tracer = None
         if args.profile:
@@ -554,7 +624,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(f"{rank:3}. {score:10.4f}  [{doc}] {title_of(doc)}")
     if shard_note is not None:
         print(f"({shard_note['shards']} shards, "
-              f"{shard_note['shards_pruned']} pruned)", file=sys.stderr)
+              f"{shard_note['shards_pruned']} pruned, "
+              f"{shard_note['executor']} executor)", file=sys.stderr)
     if trace_root is not None:
         from repro.obs.analyze import render_analyze
 
@@ -723,6 +794,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         append_history,
         compare_to_baseline,
         load_baseline,
+        scaling_gate,
         write_baseline,
     )
     from repro.bench.runner import (
@@ -780,6 +852,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
 
     regressions = []
+    scaling_notes: list[str] = []
     if baseline is not None:
         tolerance = (
             args.max_slowdown if args.max_slowdown is not None
@@ -788,6 +861,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         regressions = compare_to_baseline(
             records, baseline, max_slowdown=tolerance
         )
+        if not args.no_parallel:
+            scaling_regressions, scaling_notes = scaling_gate(records)
+            regressions = regressions + scaling_regressions
 
     if args.json:
         print(json.dumps({
@@ -795,6 +871,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "history": args.history,
             "records": {name: rec for name, rec in sorted(records.items())},
             "checked": args.check,
+            "scaling": scaling_notes,
             "regressions": [r.to_dict() for r in regressions],
         }))
         return 1 if regressions else 0
@@ -805,6 +882,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"  {name:24} {rec['wall_ms']:9.3f} ms  {rec['rows']:6d} rows")
     if args.write_baseline:
         print(f"baseline pinned -> {args.baseline}")
+    for note in scaling_notes:
+        print(f"  {note}")
     if args.check:
         if regressions:
             print(f"{len(regressions)} regression(s) vs {args.baseline}:",
@@ -828,6 +907,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         deadline_ms=args.deadline_ms,
         shards=args.shards,
+        executor=args.executor,
+        executor_workers=args.workers,
         checkpoint_every=args.checkpoint_every,
         drain_timeout_s=args.drain_timeout_s,
         telemetry=not args.no_telemetry,

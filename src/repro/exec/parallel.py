@@ -228,20 +228,32 @@ class ParallelResult:
     trace_root: "TraceNode | None" = None
 
 
+def fold_metrics(
+    into: ExecutionMetrics, metrics: ExecutionMetrics, rows_charged: int = 0
+) -> ExecutionMetrics:
+    """Fold one shard's work counters into the query-level total.
+
+    Shared by the thread driver below and the process driver
+    (:mod:`repro.exec.procpool`), whose shard metrics arrive pickled
+    from worker processes instead of from in-process runtimes.
+    """
+    into.positions_scanned += metrics.positions_scanned
+    into.doc_entries_scanned += metrics.doc_entries_scanned
+    into.rows_grouped += metrics.rows_grouped
+    into.rows_joined += metrics.rows_joined
+    for kw, n in metrics.positions_by_keyword.items():
+        into.positions_by_keyword[kw] = (
+            into.positions_by_keyword.get(kw, 0) + n
+        )
+    into.rows_charged += rows_charged
+    return into
+
+
 def _merge_metrics(
     into: ExecutionMetrics, runtimes: list[Runtime]
 ) -> ExecutionMetrics:
     for rt in runtimes:
-        m = rt.metrics
-        into.positions_scanned += m.positions_scanned
-        into.doc_entries_scanned += m.doc_entries_scanned
-        into.rows_grouped += m.rows_grouped
-        into.rows_joined += m.rows_joined
-        for kw, n in m.positions_by_keyword.items():
-            into.positions_by_keyword[kw] = (
-                into.positions_by_keyword.get(kw, 0) + n
-            )
-        into.rows_charged += rt.guard.rows_charged
+        fold_metrics(into, rt.metrics, rt.guard.rows_charged)
     return into
 
 
@@ -276,8 +288,10 @@ def execute_sharded(
     if not live:
         # Every shard was pruned: the result is provably empty, but the
         # observability contract still holds — profiling callers get the
-        # (childless) merge root and the pruned count reaches the registry.
-        _record_shard_metrics([], pruned)
+        # (childless) merge root, the pruned count reaches the registry,
+        # and the request records an (instant) "execute" phase.
+        with _maybe_span(_telemetry_current(), "execute"):
+            _record_shard_metrics([], pruned)
         return ParallelResult(
             results=[],
             metrics=ExecutionMetrics(),

@@ -1,0 +1,456 @@
+"""Process-parallel shard execution over a shared-memory packed index.
+
+The thread driver (:mod:`repro.exec.parallel`) proved the sharded merge
+bit-identical to serial, but CPython's GIL serializes its workers: on
+this repo's own benchmark the thread path *anti-scales* (0.85x at two
+shards).  This module runs the same shard plans on a
+``ProcessPoolExecutor`` — real OS processes, no shared GIL — without
+pickling the index:
+
+1. :class:`SharedIndexPublication` copies one packed blob
+   (:func:`repro.index.packed.pack_index`) into a
+   ``multiprocessing.shared_memory`` segment.  The blob is sealed: a
+   publication is created per index generation and never mutated.
+2. Workers attach by name, wrap the buffer in a zero-copy
+   :class:`repro.index.packed.PackedIndex`, and cache the attachment
+   (plus a :class:`repro.index.shard.ShardedIndex` over it) in
+   module-global worker state — every query after the first reuses the
+   decoded postings.
+3. :func:`execute_sharded_process` mirrors the thread driver: prune on
+   the parent, split ``max_rows`` across live shards, ship each shard's
+   ``(plan, scheme, info)`` (small, picklable), and heap-merge the
+   ranked rows with the same ``(-score, doc_id)`` key.
+
+Score consistency is inherited, not re-proved: workers score through an
+:class:`repro.sa.context.IndexScoringContext` over the packed index,
+whose statistics are global (they live in the blob), and shard doc
+ranges are computed by the same integer arithmetic on both sides — so
+the merged ranking is bit-identical to serial execution, which the
+hypothesis suite and the strict audit gate assert over this path.
+
+Differences from the thread driver, by necessity:
+
+* **No cross-process cancellation token.**  The shared absolute
+  deadline still bounds every worker, but a non-limit failure in one
+  shard cannot interrupt siblings mid-plan — the parent cancels queued
+  tasks and re-raises the first real error once running ones return.
+* **No profiling.**  Trace trees are not worth pickling; the engine
+  routes ``profile=True`` queries to the thread path.
+* ``ResourceExhaustedError`` trips cross the process boundary as
+  structured tuples so the ``limit`` attribute survives pickling.
+
+Worker lifecycle is tied to the index generation that published the
+blob: the engine builds one pool per sealed generation, and closing it
+(hot swap, engine close, GC) shuts the workers down and unlinks the
+segment — see docs/STORAGE.md.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import weakref
+from typing import TYPE_CHECKING
+
+from repro.errors import (
+    QueryTimeoutError,
+    ResourceExhaustedError,
+)
+from repro.exec.engine import execute
+from repro.exec.iterator import ExecutionMetrics, Runtime
+from repro.exec.limits import QueryLimits
+from repro.exec.parallel import (
+    ParallelResult,
+    ShardGuard,
+    ShardRun,
+    _record_shard_metrics,
+    fold_metrics,
+    merge_ranked,
+    required_keywords,
+    split_limits,
+)
+from repro.graft.canonical import QueryInfo
+from repro.index.shard import ShardedIndex
+from repro.obs.telemetry import current as _telemetry_current
+from repro.obs.telemetry import maybe_span as _maybe_span
+from repro.sa.scheme import ScoringScheme
+
+if TYPE_CHECKING:
+    from repro.ma.nodes import PlanNode
+
+
+class ProcPoolUnavailableError(Exception):
+    """Shared memory or worker processes could not be set up; callers
+    fall back to the thread path (this never escapes the engine)."""
+
+
+# -- publication --------------------------------------------------------------
+
+
+class SharedIndexPublication:
+    """One packed index blob published into a shared-memory segment.
+
+    The segment outlives the parent's mapping until :meth:`close` both
+    closes and unlinks it; workers that still hold attachments keep the
+    memory alive (POSIX semantics) but the name disappears, so no new
+    attachment can race a retiring generation.
+    """
+
+    def __init__(self, blob: bytes):
+        try:
+            from multiprocessing import shared_memory
+        except ImportError as exc:  # pragma: no cover - platform-dependent
+            raise ProcPoolUnavailableError(str(exc)) from exc
+        try:
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=max(1, len(blob))
+            )
+        except OSError as exc:
+            raise ProcPoolUnavailableError(
+                f"cannot create shared memory: {exc}"
+            ) from exc
+        self._shm.buf[: len(blob)] = blob
+        self.name: str = self._shm.name
+        self.size: int = len(blob)
+        self._closed = False
+
+    def close(self) -> None:
+        """Close the parent mapping and unlink the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - best effort
+            pass
+        try:
+            self._shm.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover
+            pass
+
+
+# -- worker side --------------------------------------------------------------
+
+#: Per-worker attachment cache: shm name -> (shm, PackedIndex, ctx,
+#: {num_shards: ShardedIndex}).  A pool serves exactly one publication,
+#: so at most one entry is ever live; stale entries (a worker recycled
+#: across pools in tests) are closed and dropped.
+_WORKER_STATE: dict[str, tuple] = {}
+
+
+def _attach(name: str, untrack: bool):
+    state = _WORKER_STATE.get(name)
+    if state is None:
+        from multiprocessing import shared_memory
+
+        from repro.index.packed import PackedIndex
+        from repro.sa.context import IndexScoringContext
+
+        shm = shared_memory.SharedMemory(name=name)
+        if untrack:
+            try:
+                # Spawned workers run their own resource tracker, which
+                # would unlink the parent's segment when this process
+                # exits; the parent owns the lifetime, so drop the
+                # attachment from tracking.  Forked workers share the
+                # parent's tracker (one registration total) and must
+                # NOT unregister, or the parent's own unlink double-
+                # removes and the tracker logs a KeyError at exit.
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
+        for stale_name, stale in list(_WORKER_STATE.items()):
+            try:
+                stale[0].close()
+            except (OSError, BufferError):  # pragma: no cover
+                pass
+            del _WORKER_STATE[stale_name]
+        index = PackedIndex(shm.buf, source=f"shm://{name}")
+        state = (shm, index, IndexScoringContext(index), {})
+        _WORKER_STATE[name] = state
+    return state
+
+
+def _shard_task(
+    shm_name: str,
+    untrack_shm: bool,
+    num_shards: int,
+    shard_id: int,
+    plan: "PlanNode",
+    scheme: ScoringScheme,
+    info: QueryInfo,
+    top_k: int | None,
+    limits: QueryLimits | None,
+    deadline_at: float | None,
+):
+    """Run one shard's plan inside a worker process.
+
+    ``deadline_at`` is an absolute ``time.monotonic`` instant — on
+    Linux ``CLOCK_MONOTONIC`` is system-wide, so the parent's deadline
+    means the same thing here.  Returns a picklable tuple; limit trips
+    under ``on_limit="error"`` come back structured so the ``limit``
+    attribute survives the boundary.
+    """
+    _shm, index, ctx, sharded_cache = _attach(shm_name, untrack_shm)
+    sharded = sharded_cache.get(num_shards)
+    if sharded is None:
+        sharded = ShardedIndex(index, num_shards)
+        sharded_cache[num_shards] = sharded
+    shard = sharded.shards[shard_id]
+    guard = ShardGuard(limits, deadline_at=deadline_at)
+    runtime = Runtime(
+        index=shard,  # type: ignore[arg-type]  # Index-shaped view
+        ctx=ctx,
+        scheme=scheme,
+        info=info,
+        guard=guard,
+    )
+    started = time.perf_counter()
+    try:
+        rows = execute(plan, runtime, top_k=top_k)
+    except ResourceExhaustedError as exc:
+        return ("limit", type(exc).__name__, str(exc), exc.limit)
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    run = ShardRun(
+        shard_id=shard.shard_id,
+        lo=shard.lo,
+        hi=shard.hi,
+        rows=rows,
+        wall_ms=wall_ms,
+        tripped=guard.tripped,
+    )
+    return ("ok", run, runtime.metrics, guard.rows_charged)
+
+
+_LIMIT_ERRORS = {
+    "ResourceExhaustedError": ResourceExhaustedError,
+    "QueryTimeoutError": QueryTimeoutError,
+}
+
+
+# -- parent side --------------------------------------------------------------
+
+
+class ProcessShardPool:
+    """A worker pool bound to one published index generation.
+
+    Owns the :class:`SharedIndexPublication` and a
+    ``ProcessPoolExecutor`` whose workers attach to it.  ``close()`` is
+    idempotent and also runs via a GC finalizer, so a pool abandoned
+    with its engine never leaks worker processes or the segment.
+    """
+
+    def __init__(
+        self,
+        blob: bytes,
+        num_shards: int,
+        max_workers: int | None = None,
+    ):
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        self.num_shards = num_shards
+        workers = num_shards if max_workers is None else max(1, max_workers)
+        self.publication = SharedIndexPublication(blob)
+        try:
+            # fork is markedly cheaper than spawn and inherits the
+            # loaded modules; fall back to the platform default where
+            # fork does not exist (the worker entry point is
+            # module-level, so spawn works too).
+            if "fork" in multiprocessing.get_all_start_methods():
+                mp_ctx = multiprocessing.get_context("fork")
+            else:  # pragma: no cover - non-POSIX
+                mp_ctx = multiprocessing.get_context()
+            self._start_method = mp_ctx.get_start_method()
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers, mp_context=mp_ctx
+            )
+        except (OSError, ValueError, ImportError) as exc:
+            self.publication.close()
+            raise ProcPoolUnavailableError(
+                f"cannot start worker processes: {exc}"
+            ) from exc
+        self._finalizer = weakref.finalize(
+            self, _shutdown_pool, self._executor, self.publication
+        )
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def close(self) -> None:
+        """Shut workers down and unlink the shared segment."""
+        self._finalizer()
+
+    def submit(self, *args):
+        return self._executor.submit(_shard_task, *args)
+
+
+def _shutdown_pool(executor, publication) -> None:
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except (OSError, RuntimeError):  # pragma: no cover - best effort
+        pass
+    publication.close()
+
+
+def execute_sharded_process(
+    pool: ProcessShardPool,
+    sharded: ShardedIndex,
+    plan: "PlanNode",
+    scheme: ScoringScheme,
+    info: QueryInfo,
+    top_k: int | None = None,
+    limits: QueryLimits | None = None,
+) -> ParallelResult:
+    """Run one optimized plan across all shards on worker processes.
+
+    ``sharded`` is the parent's sharded view of the same logical index
+    (used for partition pruning — both sides cut shard ranges with the
+    same arithmetic, so shard ids agree).  Raises
+    :class:`ProcPoolUnavailableError` wrapping a submission failure
+    when the plan or scheme cannot be pickled — the engine retries on
+    the thread path.
+    """
+    if pool.num_shards != sharded.num_shards:
+        raise ProcPoolUnavailableError(
+            f"pool built for {pool.num_shards} shards, query wants "
+            f"{sharded.num_shards}"
+        )
+    required = required_keywords(plan)
+    live = sharded.live_shards(required)
+    pruned = sharded.num_shards - len(live)
+    if not live:
+        # Every shard was pruned: the result is provably empty, but the
+        # telemetry contract still holds — the request records an
+        # (instant) "execute" phase covering the pruning decision.
+        with _maybe_span(_telemetry_current(), "execute"):
+            _record_shard_metrics([], pruned)
+        return ParallelResult(
+            results=[],
+            metrics=ExecutionMetrics(),
+            tripped=None,
+            shard_count=sharded.num_shards,
+            shards_pruned=pruned,
+        )
+
+    # Pre-flight the payload: ProcessPoolExecutor pickles work items on
+    # a feeder thread, so an unpicklable plan/scheme/info would fail
+    # *asynchronously* on the future — indistinguishable there from a
+    # real worker error.  Pickling once up front turns it into the
+    # deterministic fall-back-to-threads signal (payloads are small).
+    import pickle
+
+    try:
+        pickle.dumps((plan, scheme, info))
+    except Exception as exc:
+        raise ProcPoolUnavailableError(
+            f"cannot ship shard task to workers: {exc}"
+        ) from exc
+
+    deadline_at: float | None = None
+    if limits is not None and limits.deadline_ms is not None:
+        deadline_at = time.monotonic() + limits.deadline_ms / 1000.0
+    shard_limits = split_limits(limits, len(live))
+
+    rt = _telemetry_current()
+    futures = []
+    with _maybe_span(rt, "execute"):
+        try:
+            for i, shard in enumerate(live):
+                futures.append(
+                    pool.submit(
+                        pool.publication.name,
+                        pool._start_method != "fork",
+                        sharded.num_shards,
+                        shard.shard_id,
+                        plan,
+                        scheme,
+                        info,
+                        top_k,
+                        shard_limits[i],
+                        deadline_at,
+                    )
+                )
+        except Exception as exc:
+            # Unpicklable plan/scheme/info (or a dying pool): cancel
+            # what was queued and let the engine fall back to threads.
+            for fut in futures:
+                fut.cancel()
+            raise ProcPoolUnavailableError(
+                f"cannot ship shard task to workers: {exc}"
+            ) from exc
+
+        from concurrent.futures import CancelledError
+
+        completed: list[ShardRun] = []
+        metrics = ExecutionMetrics()
+        limit_trip: tuple | None = None
+        errors: list[BaseException] = []
+        for fut in futures:
+            try:
+                payload = fut.result()
+            except CancelledError:
+                # Cancelled after a sibling's failure or limit trip —
+                # the cause is already recorded, not this future.
+                continue
+            except BaseException as exc:
+                # First real failure wins; queued siblings are cancelled
+                # (running ones finish — no cross-process cancel token).
+                errors.append(exc)
+                for pending in futures:
+                    pending.cancel()
+                continue
+            if payload[0] == "limit":
+                if limit_trip is None:
+                    limit_trip = payload
+                for pending in futures:
+                    pending.cancel()
+                continue
+            _tag, run, shard_metrics, rows_charged = payload
+            completed.append(run)
+            fold_metrics(metrics, shard_metrics, rows_charged)
+    if errors:
+        raise errors[0]
+    if limit_trip is not None:
+        _tag, cls_name, message, limit = limit_trip
+        raise _LIMIT_ERRORS.get(cls_name, ResourceExhaustedError)(
+            message, limit=limit
+        )
+
+    if rt is not None:
+        for run in completed:
+            rt.add_shard(
+                run.shard_id, run.wall_ms,
+                rows=len(run.rows), tripped=run.tripped is not None,
+            )
+    with _maybe_span(rt, "merge"):
+        merged = merge_ranked([run.rows for run in completed], top_k=top_k)
+    tripped = next(
+        (run.tripped for run in completed if run.tripped is not None), None
+    )
+    _record_shard_metrics(completed, pruned)
+    from repro.obs.metrics import REGISTRY, proc_queries
+
+    proc_queries(REGISTRY).child().inc()
+    return ParallelResult(
+        results=merged,
+        metrics=metrics,
+        tripped=tripped,
+        shard_count=sharded.num_shards,
+        shards_pruned=pruned,
+        shard_runs=completed,
+    )
+
+
+def default_worker_count(num_shards: int) -> int:
+    """Worker processes to start for ``num_shards`` shards: one per
+    shard, but never more than the machine's schedulable cores (extra
+    workers on a small box only add context switches)."""
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    return max(1, min(num_shards, cores))

@@ -7,9 +7,11 @@ index, paying one unit per document — the physical source of the
 pre-counting speedup of Section 5.2.3.  :class:`ScoredPreCountScanOp` is
 the fused eager-aggregation leaf.
 
-Cursors bisect plain Python doc-id lists: seeks happen once per zig-zag
-probe, and list bisection is several times cheaper per call than NumPy
-searchsorted at these access patterns.
+Cursors bisect the substrate's ``doc_id_seq`` — a plain Python list for
+object postings, a zero-copy buffer view for packed postings
+(:mod:`repro.index.packed`).  Either way a seek happens once per
+zig-zag probe and indexing yields Python ints, several times cheaper
+per call than NumPy searchsorted at these access patterns.
 """
 
 from __future__ import annotations
@@ -31,7 +33,7 @@ class AtomScanOp(PhysicalOp):
         self.keyword = keyword
         self.schema = RowSchema(positions=(var,))
         postings = runtime.index.postings(keyword)
-        self._doc_ids = postings.doc_id_list
+        self._doc_ids = postings.doc_id_seq
         self._offsets = postings.offsets
         self._i = 0
 
@@ -75,8 +77,8 @@ class PreCountScanOp(PhysicalOp):
             self._doc_ids = _EMPTY
             self._counts = _EMPTY
         else:
-            self._doc_ids = postings.doc_id_list
-            self._counts = postings.count_list
+            self._doc_ids = postings.doc_id_seq
+            self._counts = postings.count_seq
         self._i = 0
 
     def next_doc(self) -> DocGroup | None:
@@ -116,8 +118,8 @@ class ScoredPreCountScanOp(PhysicalOp):
             self._doc_ids = _EMPTY
             self._counts = _EMPTY
         else:
-            self._doc_ids = postings.doc_id_list
-            self._counts = postings.count_list
+            self._doc_ids = postings.doc_id_seq
+            self._counts = postings.count_seq
         self._i = 0
 
     def next_doc(self) -> DocGroup | None:

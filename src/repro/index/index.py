@@ -19,27 +19,34 @@ from repro.index.stats import CollectionStats
 
 
 class TermDocumentPostings:
-    """Per-term entries of the term-document index: (doc, count) pairs."""
+    """Per-term entries of the term-document index: (doc, count) pairs.
 
-    __slots__ = ("doc_ids", "counts", "_doc_id_list", "_count_list")
+    Cursors bisect zero-copy ``memoryview``\\ s of the arrays
+    (:attr:`doc_id_seq`, :attr:`count_seq`) — indexing a memoryview
+    yields Python ints at list-like cost without materializing a list
+    copy per term, and the same accessors work unchanged over the
+    packed substrate's shared-memory buffers.
+    """
+
+    __slots__ = ("doc_ids", "counts", "_doc_id_seq", "_count_seq")
 
     def __init__(self, doc_ids: np.ndarray, counts: np.ndarray):
         self.doc_ids = doc_ids
         self.counts = counts
-        self._doc_id_list: list[int] | None = None
-        self._count_list: list[int] | None = None
+        self._doc_id_seq: memoryview | None = None
+        self._count_seq: memoryview | None = None
 
     @property
-    def doc_id_list(self) -> list[int]:
-        if self._doc_id_list is None:
-            self._doc_id_list = [int(d) for d in self.doc_ids]
-        return self._doc_id_list
+    def doc_id_seq(self) -> memoryview:
+        if self._doc_id_seq is None:
+            self._doc_id_seq = memoryview(self.doc_ids)
+        return self._doc_id_seq
 
     @property
-    def count_list(self) -> list[int]:
-        if self._count_list is None:
-            self._count_list = [int(c) for c in self.counts]
-        return self._count_list
+    def count_seq(self) -> memoryview:
+        if self._count_seq is None:
+            self._count_seq = memoryview(self.counts)
+        return self._count_seq
 
     @classmethod
     def from_positions(cls, postings: PositionPostings) -> "TermDocumentPostings":

@@ -1,0 +1,627 @@
+"""Packed postings: the compact binary substrate behind parallel search.
+
+The object substrate (:mod:`repro.index.postings`) stores one Python
+object per term with per-document offset tuples — convenient, but every
+worker that wants the index must either share the CPython heap (and the
+GIL) or pickle the whole structure.  This module lays the entire index
+out as **one flat byte blob**:
+
+* a checksum-framed header (magic, version, JSON term directory);
+* three statistics sections (document lengths, sentence-start counts
+  and values) readable zero-copy via ``np.frombuffer``;
+* one struct-framed **term frame** per term, holding delta-encoded
+  sorted doc ids, per-document position counts, and the concatenated
+  absolute positions — each frame carrying its own CRC32, mirroring
+  the WAL's torn-vs-corrupt framing (:mod:`repro.index.store.wal`).
+
+Because the blob is position-independent bytes, a sealed generation can
+be published once into ``multiprocessing.shared_memory`` and attached
+read-only by every worker process (:mod:`repro.exec.procpool`) — no
+pickling, no per-worker heap copy.
+
+Decoding is batched, not per-entry: a term's doc ids materialize with a
+single ``np.cumsum`` over the delta array, and the per-document offset
+runs are carved from one shared positions buffer by cached run bounds.
+Doc ids exist **once** per attached process (the cumsum output); scan
+cursors bisect a ``memoryview`` of that array directly instead of
+building Python lists or dicts per term.
+
+:class:`PackedIndex` quacks like :class:`repro.index.index.Index` for
+plan execution and scoring (``postings``, ``doc_terms``, ``stats``,
+``sentence_starts_of``, the statistics lookups), so the optimizer, the
+physical operators and :class:`repro.index.shard.ShardView` run on it
+unchanged — scores are bit-identical to the object substrate by
+construction, which the hypothesis suite asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from bisect import bisect_left
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import IndexCorruptionError, IndexError_
+from repro.index.index import Index, TermDocumentPostings
+from repro.index.postings import PositionPostings
+from repro.index.stats import CollectionStats
+
+#: Leading magic of a packed index blob.
+MAGIC = b"GRAFTPK1"
+#: Packed format version (bumped on any layout change).
+VERSION = 1
+
+#: Per-term frame head: magic, #docs (u32), #positions (u64).
+_FRAME_HEAD = struct.Struct("<IIQ")
+_FRAME_MAGIC = 0x31464B50  # b"PKF1" little-endian
+_U32 = struct.Struct("<I")
+_U32_MAX = 2**32 - 1
+
+_EMPTY_POSTINGS = PositionPostings.empty()
+
+
+def _crc(data, value: int = 0) -> int:
+    return zlib.crc32(data, value) & 0xFFFFFFFF
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+# -- encoding -----------------------------------------------------------------
+
+
+def _pack_frame(term: str, postings: PositionPostings) -> bytes:
+    """One term's checksum-framed binary frame."""
+    doc_ids = np.ascontiguousarray(postings.doc_ids, dtype=np.int64)
+    n = len(doc_ids)
+    if n and (int(doc_ids[0]) < 0 or int(doc_ids[-1]) > _U32_MAX):
+        raise IndexError_(
+            f"term {term!r}: doc ids outside the packable range [0, 2^32)"
+        )
+    deltas = np.diff(doc_ids, prepend=np.int64(0))
+    # The first gap is the first doc id (>= 0, range-checked above);
+    # every later gap must be positive — strictly increasing doc ids.
+    if n > 1 and int(deltas[1:].min()) <= 0:
+        raise IndexError_(
+            f"term {term!r}: doc ids must be strictly increasing"
+        )
+    try:
+        counts = np.fromiter(
+            (len(o) for o in postings.offsets), dtype=np.uint32, count=n
+        )
+        n_pos = int(counts.sum(dtype=np.int64)) if n else 0
+        positions = np.fromiter(
+            (p for offs in postings.offsets for p in offs),
+            dtype=np.uint32,
+            count=n_pos,
+        )
+    except (OverflowError, ValueError) as exc:
+        raise IndexError_(
+            f"term {term!r}: positions outside the packable range: {exc}"
+        ) from None
+    body = b"".join(
+        (
+            _FRAME_HEAD.pack(_FRAME_MAGIC, n, n_pos),
+            deltas.astype(np.uint32).tobytes(),
+            counts.tobytes(),
+            positions.tobytes(),
+        )
+    )
+    return body + _U32.pack(_crc(body))
+
+
+def pack_index(index: Index) -> bytes:
+    """Serialize ``index`` into one flat packed blob.
+
+    The blob is self-describing and position-independent: header
+    (magic + version + JSON directory + CRC), then 8-aligned payload
+    sections.  Raises :class:`repro.errors.IndexError_` when a value
+    does not fit the fixed-width layout (doc ids / positions >= 2^32).
+    """
+    stats = index.stats
+    num_docs = stats.num_docs
+    doc_lengths = np.ascontiguousarray(stats.doc_lengths, dtype=np.int64)
+    sent = index.sentence_starts
+    if len(sent) != num_docs:
+        raise IndexError_(
+            f"sentence_starts covers {len(sent)} docs, stats say {num_docs}"
+        )
+    sent_counts = np.fromiter(
+        (len(s) for s in sent), dtype=np.uint32, count=num_docs
+    )
+    total_sent = int(sent_counts.sum(dtype=np.int64)) if num_docs else 0
+    try:
+        sent_values = np.fromiter(
+            (v for starts in sent for v in starts),
+            dtype=np.uint32,
+            count=total_sent,
+        )
+    except (OverflowError, ValueError) as exc:
+        raise IndexError_(
+            f"sentence offsets outside the packable range: {exc}"
+        ) from None
+
+    sections: dict[str, list[int]] = {}
+    payload = bytearray()
+
+    def _append(name: str, data: bytes) -> None:
+        pad = _align8(len(payload)) - len(payload)
+        payload.extend(b"\x00" * pad)
+        sections[name] = [len(payload), len(data)]
+        payload.extend(data)
+
+    _append("doc_lengths", doc_lengths.tobytes())
+    _append("sentence_counts", sent_counts.tobytes())
+    _append("sentence_values", sent_values.tobytes())
+    sections_crc = 0
+    for name in ("doc_lengths", "sentence_counts", "sentence_values"):
+        off, size = sections[name]
+        sections_crc = _crc(bytes(payload[off : off + size]), sections_crc)
+
+    terms: dict[str, list[int]] = {}
+    for term in sorted(index.terms):
+        frame = _pack_frame(term, index.terms[term])
+        pad = _align8(len(payload)) - len(payload)
+        payload.extend(b"\x00" * pad)
+        terms[term] = [len(payload), len(frame)]
+        payload.extend(frame)
+
+    header = json.dumps(
+        {
+            "num_docs": num_docs,
+            "payload_size": len(payload),
+            "sections": sections,
+            "sections_crc": sections_crc,
+            "terms": terms,
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode("utf-8")
+    head = bytearray()
+    head += MAGIC
+    head += struct.pack("<II", VERSION, len(header))
+    head += header
+    head += _U32.pack(_crc(header))
+    head.extend(b"\x00" * (_align8(len(head)) - len(head)))
+    return bytes(head) + bytes(payload)
+
+
+# -- decoded views ------------------------------------------------------------
+
+
+class _LazyPositionList:
+    """The positions buffer as a Python list, materialized once and
+    shared by a term's postings and every doc-range slice of it (offset
+    tuples are built by slicing this list — batch ``tolist`` beats
+    per-int conversion by a wide margin)."""
+
+    __slots__ = ("_arr", "_list")
+
+    def __init__(self, arr: np.ndarray):
+        self._arr = arr
+        self._list: list[int] | None = None
+
+    def list(self) -> list[int]:
+        if self._list is None:
+            self._list = self._arr.tolist()
+        return self._list
+
+
+class _PackedOffsets:
+    """``offsets[i]`` view over the shared positions buffer: run ``i``
+    of the owning (possibly sliced) postings as a tuple."""
+
+    __slots__ = ("_shared", "_starts", "_lo", "_n")
+
+    def __init__(
+        self, shared: _LazyPositionList, starts: np.ndarray, lo: int, n: int
+    ):
+        self._shared = shared
+        self._starts = starts
+        self._lo = lo
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, i: int) -> tuple[int, ...]:
+        if i < 0:
+            i += self._n
+        if not 0 <= i < self._n:
+            raise IndexError(i)
+        j = self._lo + i
+        plist = self._shared.list()
+        return tuple(plist[self._starts[j] : self._starts[j + 1]])
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        for i in range(self._n):
+            yield self[i]
+
+
+class PackedPositionPostings:
+    """Decoded postings of one term frame, or a doc-range slice of one.
+
+    Quacks like :class:`repro.index.postings.PositionPostings`.  All
+    instances carved from the same frame share the decoded doc-id array,
+    the run-bound array and the (lazy) position list — a slice is two
+    integers and a view, never a copy.
+    """
+
+    __slots__ = (
+        "_all_doc_ids",
+        "_starts",
+        "_counts",
+        "_shared",
+        "_lo",
+        "_hi",
+        "doc_ids",
+        "_seq",
+        "_off",
+    )
+
+    def __init__(
+        self,
+        all_doc_ids: np.ndarray,
+        starts: np.ndarray,
+        counts: np.ndarray,
+        shared: _LazyPositionList,
+        lo: int,
+        hi: int,
+    ):
+        self._all_doc_ids = all_doc_ids
+        self._starts = starts
+        self._counts = counts
+        self._shared = shared
+        self._lo = lo
+        self._hi = hi
+        self.doc_ids = all_doc_ids[lo:hi]
+        self._seq: memoryview | None = None
+        self._off: _PackedOffsets | None = None
+
+    @property
+    def doc_id_seq(self) -> memoryview:
+        """Doc ids as a zero-copy buffer scan cursors bisect directly —
+        indexing yields Python ints, no per-term list is built."""
+        if self._seq is None:
+            self._seq = memoryview(self.doc_ids)
+        return self._seq
+
+    @property
+    def offsets(self) -> _PackedOffsets:
+        if self._off is None:
+            self._off = _PackedOffsets(
+                self._shared, self._starts, self._lo, self._hi - self._lo
+            )
+        return self._off
+
+    @property
+    def document_frequency(self) -> int:
+        return self._hi - self._lo
+
+    @property
+    def total_positions(self) -> int:
+        return int(self._starts[self._hi] - self._starts[self._lo])
+
+    def entry_index_at_or_after(self, doc_id: int, lo: int = 0) -> int:
+        if lo:
+            return (
+                int(np.searchsorted(self.doc_ids[lo:], doc_id, side="left"))
+                + lo
+            )
+        return int(np.searchsorted(self.doc_ids, doc_id, side="left"))
+
+    def positions_in(self, doc_id: int) -> tuple[int, ...]:
+        seq = self.doc_id_seq
+        i = bisect_left(seq, doc_id)
+        if i < len(seq) and seq[i] == doc_id:
+            return self.offsets[i]
+        return ()
+
+    def term_frequency(self, doc_id: int) -> int:
+        seq = self.doc_id_seq
+        i = bisect_left(seq, doc_id)
+        if i < len(seq) and seq[i] == doc_id:
+            j = self._lo + i
+            return int(self._starts[j + 1] - self._starts[j])
+        return 0
+
+    def sliced(self, a: int, b: int) -> "PackedPositionPostings":
+        """The ``[a, b)`` entry range as a zero-copy slice (used by
+        :class:`repro.index.shard.ShardView`)."""
+        return PackedPositionPostings(
+            self._all_doc_ids,
+            self._starts,
+            self._counts,
+            self._shared,
+            self._lo + a,
+            self._lo + b,
+        )
+
+    def __len__(self) -> int:
+        return self._hi - self._lo
+
+
+class _PackedDocTerms:
+    """Mapping-shaped term-document view over the packed frames: ``get``
+    returns a :class:`TermDocumentPostings` built zero-copy from the
+    frame's doc-id and count arrays."""
+
+    __slots__ = ("_index",)
+
+    def __init__(self, index: "PackedIndex"):
+        self._index = index
+
+    def get(self, term: str) -> TermDocumentPostings | None:
+        idx = self._index
+        cached = idx._doc_cache.get(term, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        if term not in idx._directory:
+            idx._doc_cache[term] = None
+            return None
+        pp = idx.postings(term)
+        td = TermDocumentPostings(pp.doc_ids, pp._counts)
+        idx._doc_cache[term] = td
+        return td
+
+
+_MISSING = object()
+
+
+class _PackedTermsMap(Mapping):
+    """Read-only ``term -> postings`` mapping over the term directory
+    (decodes lazily; supports the few Mapping uses the engine has)."""
+
+    __slots__ = ("_index",)
+
+    def __init__(self, index: "PackedIndex"):
+        self._index = index
+
+    def __getitem__(self, term: str) -> PackedPositionPostings:
+        if term not in self._index._directory:
+            raise KeyError(term)
+        return self._index.postings(term)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._index._directory)
+
+    def __len__(self) -> int:
+        return len(self._index._directory)
+
+
+class PackedIndex:
+    """A read-only index over one packed blob (bytes, mmap, or a
+    ``multiprocessing.shared_memory`` buffer).
+
+    Construction performs the cheap structural checks every open must
+    pass (magic, version, header CRC, directory bounds, truncation);
+    ``verify=True`` additionally sweeps every section and term frame
+    checksum — the full-integrity pass a load from untrusted storage
+    wants.  All failures raise
+    :class:`repro.errors.IndexCorruptionError`.
+    """
+
+    def __init__(self, buf, *, verify: bool = False, source: str | None = None):
+        mv = memoryview(buf)
+        if mv.format != "B" or mv.ndim != 1:
+            mv = mv.cast("B")
+        self._mv = mv
+        src = source if source is not None else "<packed index>"
+        self._source = src
+        if len(mv) < 16:
+            raise IndexCorruptionError(
+                "truncated packed index (shorter than the fixed header)",
+                path=src,
+            )
+        if bytes(mv[:8]) != MAGIC:
+            raise IndexCorruptionError(
+                "not a packed index (bad magic)", path=src
+            )
+        version, hlen = struct.unpack_from("<II", mv, 8)
+        if version != VERSION:
+            raise IndexCorruptionError(
+                f"unsupported packed format version {version}", path=src
+            )
+        if 16 + hlen + 4 > len(mv):
+            raise IndexCorruptionError(
+                "truncated packed index (header extends past the buffer)",
+                path=src,
+            )
+        hbytes = bytes(mv[16 : 16 + hlen])
+        (hcrc,) = _U32.unpack_from(mv, 16 + hlen)
+        if _crc(hbytes) != hcrc:
+            raise IndexCorruptionError(
+                "packed header checksum mismatch", path=src
+            )
+        try:
+            header = json.loads(hbytes.decode("utf-8"))
+            self._payload_size = int(header["payload_size"])
+            self._directory: dict[str, list[int]] = header["terms"]
+            self._sections: dict[str, list[int]] = header["sections"]
+            self._sections_crc = int(header["sections_crc"])
+            num_docs = int(header["num_docs"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IndexCorruptionError(
+                f"malformed packed header: {exc}", path=src
+            ) from None
+        self._base = _align8(16 + hlen + 4)
+        if self._base + self._payload_size > len(mv):
+            raise IndexCorruptionError(
+                "truncated packed index (payload extends past the buffer)",
+                path=src,
+            )
+        doc_lengths = self._section("doc_lengths", np.int64)
+        if len(doc_lengths) != num_docs:
+            raise IndexCorruptionError(
+                f"doc_lengths section holds {len(doc_lengths)} entries, "
+                f"header records {num_docs} documents",
+                path=src,
+            )
+        self.stats = CollectionStats(doc_lengths)
+        self._sent_counts = self._section("sentence_counts", np.uint32)
+        self._sent_values = self._section("sentence_values", np.uint32)
+        if len(self._sent_counts) != num_docs:
+            raise IndexCorruptionError(
+                "sentence_counts section does not cover every document",
+                path=src,
+            )
+        self._sentence_starts: list[tuple[int, ...]] | None = None
+        self._post_cache: dict[str, PackedPositionPostings] = {}
+        self._doc_cache: dict[str, TermDocumentPostings | None] = {}
+        self.doc_terms = _PackedDocTerms(self)
+        self.terms = _PackedTermsMap(self)
+        if verify:
+            self.verify()
+
+    # -- zero-copy section / frame access ---------------------------------
+
+    def _section(self, name: str, dtype) -> np.ndarray:
+        try:
+            rel, size = self._sections[name]
+            rel, size = int(rel), int(size)
+        except (KeyError, TypeError, ValueError):
+            raise IndexCorruptionError(
+                f"packed header missing section {name!r}", path=self._source
+            ) from None
+        itemsize = np.dtype(dtype).itemsize
+        if rel < 0 or size < 0 or rel + size > self._payload_size or size % itemsize:
+            raise IndexCorruptionError(
+                f"section {name!r} has inconsistent bounds", path=self._source
+            )
+        return np.frombuffer(
+            self._mv, dtype=dtype, count=size // itemsize,
+            offset=self._base + rel,
+        )
+
+    def _frame_bounds(self, term: str) -> tuple[int, int, int, int]:
+        """(absolute offset, size, n_docs, n_positions) of a term frame,
+        structurally validated."""
+        rel, size = self._directory[term]
+        off = self._base + int(rel)
+        size = int(size)
+        if rel < 0 or size < _FRAME_HEAD.size + 4 or int(rel) + size > self._payload_size:
+            raise IndexCorruptionError(
+                f"term {term!r}: frame bounds outside the payload",
+                path=self._source,
+            )
+        magic, n_docs, n_pos = _FRAME_HEAD.unpack_from(self._mv, off)
+        if magic != _FRAME_MAGIC:
+            raise IndexCorruptionError(
+                f"term {term!r}: bad frame magic", path=self._source
+            )
+        if _FRAME_HEAD.size + 8 * n_docs + 4 * n_pos + 4 != size:
+            raise IndexCorruptionError(
+                f"term {term!r}: frame size does not match its entry counts",
+                path=self._source,
+            )
+        return off, size, n_docs, n_pos
+
+    def _decode(self, term: str) -> PackedPositionPostings:
+        off, _size, n, n_pos = self._frame_bounds(term)
+        mv = self._mv
+        head = _FRAME_HEAD.size
+        deltas = np.frombuffer(mv, np.uint32, n, off + head)
+        counts = np.frombuffer(mv, np.uint32, n, off + head + 4 * n)
+        positions = np.frombuffer(mv, np.uint32, n_pos, off + head + 8 * n)
+        # Batch decode: one cumsum rebuilds the sorted doc ids, another
+        # the per-document run bounds into the positions buffer.
+        doc_ids = np.cumsum(deltas, dtype=np.int64)
+        starts = np.zeros(n + 1, dtype=np.int64)
+        if n:
+            np.cumsum(counts, dtype=np.int64, out=starts[1:])
+        if int(starts[-1]) != n_pos:
+            raise IndexCorruptionError(
+                f"term {term!r}: position counts do not sum to the frame's "
+                "position total",
+                path=self._source,
+            )
+        return PackedPositionPostings(
+            doc_ids, starts, counts, _LazyPositionList(positions), 0, n
+        )
+
+    # -- integrity ---------------------------------------------------------
+
+    def verify(self) -> None:
+        """Full checksum sweep: every section and term frame.
+
+        Raises :class:`repro.errors.IndexCorruptionError` on the first
+        mismatch — a flipped byte anywhere in the blob is caught either
+        here or (for the header) at construction.
+        """
+        crc = 0
+        for name in ("doc_lengths", "sentence_counts", "sentence_values"):
+            rel, size = self._sections[name]
+            off = self._base + int(rel)
+            crc = _crc(self._mv[off : off + int(size)], crc)
+        if crc != self._sections_crc:
+            raise IndexCorruptionError(
+                "statistics sections checksum mismatch", path=self._source
+            )
+        for term in self._directory:
+            off, size, _n, _p = self._frame_bounds(term)
+            (stored,) = _U32.unpack_from(self._mv, off + size - 4)
+            if _crc(self._mv[off : off + size - 4]) != stored:
+                raise IndexCorruptionError(
+                    f"term {term!r}: frame checksum mismatch",
+                    path=self._source,
+                )
+
+    # -- Index-shaped lookup surface ---------------------------------------
+
+    def postings(self, term: str) -> PackedPositionPostings | PositionPostings:
+        cached = self._post_cache.get(term)
+        if cached is not None:
+            return cached
+        if term not in self._directory:
+            return _EMPTY_POSTINGS
+        decoded = self._decode(term)
+        self._post_cache[term] = decoded
+        return decoded
+
+    def sentence_starts_of(self, doc_id: int) -> tuple[int, ...]:
+        if self._sentence_starts is None:
+            bounds = np.zeros(len(self._sent_counts) + 1, dtype=np.int64)
+            if len(self._sent_counts):
+                np.cumsum(self._sent_counts, dtype=np.int64, out=bounds[1:])
+            values = self._sent_values.tolist()
+            blist = bounds.tolist()
+            self._sentence_starts = [
+                tuple(values[blist[i] : blist[i + 1]])
+                for i in range(len(self._sent_counts))
+            ]
+        if 0 <= doc_id < len(self._sentence_starts):
+            return self._sentence_starts[doc_id]
+        return ()
+
+    def document_frequency(self, term: str) -> int:
+        cached = self._post_cache.get(term)
+        if cached is not None:
+            return cached.document_frequency
+        if term not in self._directory:
+            return 0
+        # Header peek: the cost model asks for df per candidate term;
+        # answering from the frame head avoids decoding frames no plan
+        # will ever scan.
+        return self._frame_bounds(term)[2]
+
+    def term_frequency(self, doc_id: int, term: str) -> int:
+        return self.postings(term).term_frequency(doc_id)
+
+    def total_positions(self, term: str) -> int:
+        cached = self._post_cache.get(term)
+        if cached is not None:
+            return cached.total_positions
+        if term not in self._directory:
+            return 0
+        return self._frame_bounds(term)[3]
+
+    @property
+    def num_docs(self) -> int:
+        return self.stats.num_docs
+
+    def vocabulary_size(self) -> int:
+        return len(self._directory)

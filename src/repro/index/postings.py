@@ -8,6 +8,8 @@ zig-zag joins) are ``O(log n)`` via binary search.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 import numpy as np
 
 
@@ -18,13 +20,17 @@ class PositionPostings:
         doc_ids: Sorted ``int64`` array of documents containing the term.
         offsets: ``offsets[i]`` is the ascending tuple of positions of the
             term in ``doc_ids[i]``.
+
+    Doc ids are held at most twice: the NumPy array (bulk searchsorted,
+    shard slicing) and one lazy Python list that every cursor bisects —
+    point lookups (:meth:`positions_in`) bisect the same list instead of
+    keeping a third copy in a doc-to-entry dict.
     """
 
     __slots__ = (
         "doc_ids",
         "offsets",
         "_total_positions",
-        "_entry_by_doc",
         "_doc_id_list",
     )
 
@@ -34,7 +40,6 @@ class PositionPostings:
         self.doc_ids = doc_ids
         self.offsets = offsets
         self._total_positions = sum(len(o) for o in offsets)
-        self._entry_by_doc: dict[int, int] | None = None
         self._doc_id_list: list[int] | None = None
 
     @property
@@ -42,8 +47,15 @@ class PositionPostings:
         """Doc ids as a plain list (lazy): scan cursors bisect this —
         per-call overhead of NumPy searchsorted dominates zig-zag seeks."""
         if self._doc_id_list is None:
-            self._doc_id_list = [int(d) for d in self.doc_ids]
+            self._doc_id_list = self.doc_ids.tolist()
         return self._doc_id_list
+
+    @property
+    def doc_id_seq(self):
+        """The bisectable doc-id sequence — the accessor scan cursors
+        share with the packed substrate (:mod:`repro.index.packed`),
+        where it is a zero-copy buffer view instead of a list."""
+        return self.doc_id_list
 
     @classmethod
     def from_dict(cls, by_doc: dict[int, list[int]]) -> "PositionPostings":
@@ -84,18 +96,15 @@ class PositionPostings:
     def positions_in(self, doc_id: int) -> tuple[int, ...]:
         """Offsets of the term in ``doc_id`` (empty tuple if absent).
 
-        O(1) via a doc-to-entry map built lazily on first use — scoring
-        initializers look term frequencies up once per (document,
-        keyword), which would otherwise binary-search per call.
+        O(log n) bisect over the shared doc-id list — the same structure
+        the scan cursors seek on, so point lookups add no extra copy of
+        the doc ids.
         """
-        if self._entry_by_doc is None:
-            self._entry_by_doc = {
-                int(d): i for i, d in enumerate(self.doc_ids)
-            }
-        i = self._entry_by_doc.get(doc_id)
-        if i is None:
-            return ()
-        return self.offsets[i]
+        seq = self.doc_id_list
+        i = bisect_left(seq, doc_id)
+        if i < len(seq) and seq[i] == doc_id:
+            return self.offsets[i]
+        return ()
 
     def term_frequency(self, doc_id: int) -> int:
         """#INDOC in Figure 1: occurrences of the term in ``doc_id``."""

@@ -11,9 +11,18 @@ downstream, while a :class:`DocumentScan` (used by the pre-counting factory
 tests and benchmarks can assert how much index data a plan actually read —
 this is how we validate claims like "the free keywords represent only 3% of
 the positions scanned for the unoptimized Q8" (Section 8).
+
+Cursors iterate and seek over the substrate's ``doc_id_seq`` — the
+batch-decoded bisectable sequence both the object postings
+(:mod:`repro.index.postings`) and the packed postings
+(:mod:`repro.index.packed`) expose.  Indexing it yields Python ints, so
+the per-entry loop never round-trips through NumPy scalars, and a seek
+is one ``bisect_left`` over the remaining tail.
 """
 
 from __future__ import annotations
+
+from bisect import bisect_left
 
 from repro.index.index import Index
 
@@ -21,35 +30,44 @@ from repro.index.index import Index
 class PositionScan:
     """Scan of a term's position postings: yields (doc_id, offsets)."""
 
-    __slots__ = ("postings", "_i", "positions_touched", "docs_touched")
+    __slots__ = (
+        "postings",
+        "_doc_ids",
+        "_offsets",
+        "_i",
+        "positions_touched",
+        "docs_touched",
+    )
 
     def __init__(self, index: Index, term: str):
         self.postings = index.postings(term)
+        self._doc_ids = self.postings.doc_id_seq
+        self._offsets = self.postings.offsets
         self._i = 0
         self.positions_touched = 0
         self.docs_touched = 0
 
     def seek(self, doc_id: int) -> None:
-        """Skip forward so the next entry has doc >= ``doc_id``."""
-        if self._i < len(self.postings.doc_ids):
-            # Only binary-search the remaining tail; seeks never go back.
-            j = self.postings.entry_index_at_or_after(doc_id, lo=self._i)
-            if j > self._i:
-                self._i = j
+        """Skip forward so the next entry has doc >= ``doc_id``.
+
+        Only bisects the remaining tail; seeks never go back.
+        """
+        self._i = bisect_left(self._doc_ids, doc_id, self._i)
 
     def current_doc(self) -> int | None:
         """Doc id of the next entry, or None when exhausted."""
-        if self._i >= len(self.postings.doc_ids):
+        if self._i >= len(self._doc_ids):
             return None
-        return int(self.postings.doc_ids[self._i])
+        return self._doc_ids[self._i]
 
     def next_entry(self) -> tuple[int, tuple[int, ...]] | None:
         """Consume and return the next (doc_id, offsets) entry."""
-        if self._i >= len(self.postings.doc_ids):
+        i = self._i
+        if i >= len(self._doc_ids):
             return None
-        doc = int(self.postings.doc_ids[self._i])
-        offsets = self.postings.offsets[self._i]
-        self._i += 1
+        doc = self._doc_ids[i]
+        offsets = self._offsets[i]
+        self._i = i + 1
         self.docs_touched += 1
         self.positions_touched += len(offsets)
         return doc, offsets
@@ -62,7 +80,7 @@ class DocumentScan:
     Factory ``CA``; it never touches individual positions.
     """
 
-    __slots__ = ("postings", "_i", "docs_touched")
+    __slots__ = ("postings", "_doc_ids", "_counts", "_i", "docs_touched")
 
     def __init__(self, index: Index, term: str):
         self.postings = index.doc_terms.get(term)
@@ -74,26 +92,26 @@ class DocumentScan:
             self.postings = TermDocumentPostings(
                 np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
             )
+        self._doc_ids = self.postings.doc_id_seq
+        self._counts = self.postings.count_seq
         self._i = 0
         self.docs_touched = 0
 
     def seek(self, doc_id: int) -> None:
-        if self._i < len(self.postings.doc_ids):
-            j = self.postings.entry_index_at_or_after(doc_id, lo=self._i)
-            if j > self._i:
-                self._i = j
+        self._i = bisect_left(self._doc_ids, doc_id, self._i)
 
     def current_doc(self) -> int | None:
-        if self._i >= len(self.postings.doc_ids):
+        if self._i >= len(self._doc_ids):
             return None
-        return int(self.postings.doc_ids[self._i])
+        return self._doc_ids[self._i]
 
     def next_entry(self) -> tuple[int, int] | None:
         """Consume and return the next (doc_id, term count) entry."""
-        if self._i >= len(self.postings.doc_ids):
+        i = self._i
+        if i >= len(self._doc_ids):
             return None
-        doc = int(self.postings.doc_ids[self._i])
-        count = int(self.postings.counts[self._i])
-        self._i += 1
+        doc = self._doc_ids[i]
+        count = self._counts[i]
+        self._i = i + 1
         self.docs_touched += 1
         return doc, count

@@ -89,11 +89,14 @@ class ShardView:
             return cached
         base = self.base.postings(term)
         a, b = self._bounds(base.doc_ids)
-        sliced = (
-            _EMPTY_POSITIONS
-            if a == b
-            else PositionPostings(base.doc_ids[a:b], base.offsets[a:b])
-        )
+        if a == b:
+            sliced = _EMPTY_POSITIONS
+        elif hasattr(base, "sliced"):
+            # Packed postings: a slice is two integers over the shared
+            # decoded buffers — no offsets list is ever materialized.
+            sliced = base.sliced(a, b)
+        else:
+            sliced = PositionPostings(base.doc_ids[a:b], base.offsets[a:b])
         self._pos_cache[term] = sliced
         return sliced
 

@@ -444,6 +444,21 @@ def shard_seconds(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
     )
 
 
+def proc_queries(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_proc_queries_total",
+        "Queries executed on the process-parallel shard pool",
+    )
+
+
+def proc_fallbacks(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    return registry.counter(
+        "graft_proc_fallbacks_total",
+        "Process-pool queries that fell back to the thread path",
+        labelnames=("reason",),
+    )
+
+
 def plan_cache_hits(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
     return registry.counter(
         "graft_plan_cache_hits_total",

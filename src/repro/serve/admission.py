@@ -79,6 +79,13 @@ class ServiceConfig:
             ``POST /admin/checkpoint``.
         shards: Shard count for reader engines (None = ``REPRO_SHARDS``
             or serial).
+        executor: Parallel execution driver for reader engines:
+            ``"serial"``, ``"thread"``, or ``"process"`` (worker
+            processes over a shared-memory packed index;
+            docs/PERFORMANCE.md).  None keeps the engine default
+            (``REPRO_EXEC`` or thread).  Each reader generation owns
+            its worker pool; the hot swap retires the pool with the
+            generation once inflight requests drain.
         executor_workers: Search thread-pool width (default
             ``max_inflight``).
         telemetry: Request telemetry (correlation ids, phase spans,
@@ -135,6 +142,7 @@ class ServiceConfig:
     drain_timeout_s: float = 5.0
     checkpoint_every: int = 0
     shards: int | None = None
+    executor: str | None = None
     executor_workers: int | None = None
     telemetry: bool = True
     slow_capacity: int = 32
@@ -188,6 +196,13 @@ class ServiceConfig:
                 f"must be a positive integer or None, got {self.max_rows!r}",
                 option="max_rows",
             )
+        if self.executor is not None:
+            # Reuse the engine's validator so serve rejects exactly the
+            # values SearchEngine(executor=...) would; it raises a
+            # ConfigError already labeled option="executor".
+            from repro.api import _resolve_executor
+
+            _resolve_executor(self.executor)
         if self.executor_workers is not None and (
             not isinstance(self.executor_workers, int)
             or self.executor_workers < 1

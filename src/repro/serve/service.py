@@ -82,6 +82,12 @@ class GenerationHandle:
     release_pin: "callable | None" = field(default=None, repr=False)
 
     def drained(self) -> None:
+        # Shut the engine's process worker pool (and shared-memory
+        # segment) down with the generation: once the last pinned
+        # request finishes, nothing can route a query at this handle
+        # again, so keeping workers attached to the retired index would
+        # only pin memory.  No-op for thread/serial engines.
+        self.engine.close()
         if self.release_pin is not None:
             self.release_pin()
             self.release_pin = None
@@ -276,7 +282,15 @@ class QueryService:
         engine = SearchEngine.load(self.store_dir, analyzer=self.analyzer)
         if self.config.shards is not None:
             engine.shards = self.config.shards
+        if self.config.executor is not None:
+            engine.executor = self.config.executor
         index = engine.index  # force-build off the request path
+        if engine.executor == "process" and engine.shards > 1:
+            # Pay the pack+publish+fork cost here, off the request
+            # path, exactly like the force-built index above; a pool
+            # that cannot start degrades to threads with a warning now
+            # instead of on the first query.
+            engine._process_pool()
         # shards=1 explicitly: the degraded path must stay serial even
         # when REPRO_SHARDS is set in the environment.
         serial = SearchEngine(

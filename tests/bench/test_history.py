@@ -172,21 +172,26 @@ def test_cli_run_appends_history_and_pins_baseline(tmp_path, capsys):
     history = load_history(tmp_path / "history.jsonl")
     run_id, records = latest_run(history)
     assert run_id is not None
-    # Q4..Q11 plus the sharded-throughput sweep, the plan-cache leg,
-    # the end-to-end service-load leg, and the telemetry- and
+    # Q4..Q11 plus the sharded-throughput sweep (thread and process
+    # legs, and the packed-decode leg), the plan-cache leg, the
+    # end-to-end service-load leg, and the telemetry- and
     # span-export-overhead legs.
-    assert len(records) == 15
+    assert len(records) == 18
     workload = [n for n in records if n.startswith("workload_Q")]
     assert len(workload) == 8
     assert {n for n in records if not n.startswith("workload_Q")} == {
         "parallel_qps_s1", "parallel_qps_s2", "parallel_qps_s4",
+        "parallel_qps_s2_proc", "parallel_qps_s4_proc", "packed_decode",
         "plan_cache_repeat", "service_load", "telemetry_overhead",
         "span_export_overhead",
     }
-    # The merge is exact: rows are shard-invariant across the sweep.
+    # The merge is exact: rows are shard-invariant across the sweep —
+    # on both executors and the packed substrate.
     assert len({
         records[n]["rows"]
-        for n in ("parallel_qps_s1", "parallel_qps_s2", "parallel_qps_s4")
+        for n in ("parallel_qps_s1", "parallel_qps_s2", "parallel_qps_s4",
+                  "parallel_qps_s2_proc", "parallel_qps_s4_proc",
+                  "packed_decode")
     }) == 1
     assert records["plan_cache_repeat"]["params"]["plan_cache"]["hits"] > 0
     baseline = load_baseline(tmp_path / "baseline.json")
@@ -194,7 +199,7 @@ def test_cli_run_appends_history_and_pins_baseline(tmp_path, capsys):
     # Each run appends exactly one batch: a second run doubles the file.
     assert bench_cli(tmp_path) == 0
     capsys.readouterr()
-    assert len(load_history(tmp_path / "history.jsonl")) == 30
+    assert len(load_history(tmp_path / "history.jsonl")) == 36
 
 
 def test_cli_no_parallel_skips_the_sweep(tmp_path, capsys):
@@ -213,7 +218,7 @@ def test_cli_no_service_skips_the_service_leg(tmp_path, capsys):
     capsys.readouterr()
     _, records = latest_run(load_history(tmp_path / "history.jsonl"))
     assert "service_load" not in records
-    assert len(records) == 14
+    assert len(records) == 17
 
 
 def test_cli_service_leg_records_latency_params(tmp_path, capsys):
@@ -325,7 +330,7 @@ def test_cli_check_json_payload(tmp_path, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["checked"] is True
     assert payload["regressions"] == []
-    assert len(payload["records"]) == 15
+    assert len(payload["records"]) == 18
     for rec in payload["records"].values():
         assert rec["schema"] == 1
         assert rec["run_id"] == payload["run_id"]

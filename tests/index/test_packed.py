@@ -1,0 +1,265 @@
+"""Packed postings codec: round-trip fidelity, corruption rejection,
+and score equivalence with the object substrate.
+
+The packed blob is the substrate worker processes attach to, so its
+contract is absolute: decode must reproduce the object index *exactly*
+(every doc id, every position tuple, every statistic), every execution
+over a :class:`repro.index.packed.PackedIndex` must score bit-identical
+to the object index, and any damaged buffer — truncated anywhere, or a
+byte flipped inside any checksummed region — must be rejected with
+:class:`repro.errors.IndexCorruptionError` rather than decoded into
+silently-wrong postings.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.collection import DocumentCollection
+from repro.errors import IndexCorruptionError, IndexError_
+from repro.exec.engine import execute, make_runtime
+from repro.exec.parallel import execute_sharded
+from repro.graft.optimizer import Optimizer
+from repro.index.builder import build_index
+from repro.index.packed import MAGIC, PackedIndex, _pack_frame, pack_index
+from repro.index.postings import PositionPostings
+from repro.index.shard import ShardedIndex
+from repro.mcalc.parser import parse_query
+from repro.sa.context import IndexScoringContext
+from repro.sa.registry import get_scheme
+
+from tests.conftest import SCHEME_NAMES, TINY_QUERIES
+
+
+@pytest.fixture(scope="module")
+def blob(tiny_index) -> bytes:
+    return pack_index(tiny_index)
+
+
+@pytest.fixture(scope="module")
+def packed(blob) -> PackedIndex:
+    return PackedIndex(blob, verify=True)
+
+
+# -- round trip -----------------------------------------------------------
+
+
+def test_round_trip_statistics(tiny_index, packed):
+    assert packed.num_docs == tiny_index.num_docs
+    assert packed.vocabulary_size() == tiny_index.vocabulary_size()
+    assert packed.stats.num_docs == tiny_index.stats.num_docs
+    assert list(packed.stats.doc_lengths) == list(tiny_index.stats.doc_lengths)
+    for doc_id in range(tiny_index.num_docs):
+        assert packed.sentence_starts_of(doc_id) == \
+            tiny_index.sentence_starts_of(doc_id)
+
+
+def test_round_trip_every_term_every_entry(tiny_index, packed):
+    assert sorted(packed.terms) == sorted(tiny_index.terms)
+    for term, original in tiny_index.terms.items():
+        decoded = packed.postings(term)
+        assert list(decoded.doc_ids) == list(original.doc_ids)
+        assert [tuple(o) for o in decoded.offsets] == \
+            [tuple(o) for o in original.offsets]
+        assert decoded.document_frequency == original.document_frequency
+        assert decoded.total_positions == original.total_positions
+        assert packed.document_frequency(term) == \
+            tiny_index.document_frequency(term)
+        assert packed.total_positions(term) == \
+            tiny_index.total_positions(term)
+        for doc_id in list(original.doc_ids) + [0, tiny_index.num_docs - 1]:
+            assert decoded.positions_in(doc_id) == \
+                original.positions_in(doc_id)
+            assert decoded.term_frequency(doc_id) == \
+                original.term_frequency(doc_id)
+            assert packed.term_frequency(doc_id, term) == \
+                tiny_index.term_frequency(doc_id, term)
+
+
+def test_absent_term_is_empty(packed, tiny_index):
+    assert packed.document_frequency("zzz-absent") == 0
+    assert packed.total_positions("zzz-absent") == 0
+    assert len(packed.postings("zzz-absent")) == 0
+    assert packed.term_frequency(0, "zzz-absent") == 0
+    assert packed.doc_terms.get("zzz-absent") is None
+
+
+def test_doc_terms_round_trip(tiny_index, packed):
+    for term in tiny_index.terms:
+        got = packed.doc_terms.get(term)
+        want = tiny_index.doc_terms.get(term)
+        assert got is not None and want is not None
+        assert list(got.doc_ids) == list(want.doc_ids)
+        assert list(got.counts) == list(want.counts)
+
+
+def test_sliced_is_a_zero_copy_entry_range(tiny_index, packed):
+    for term, original in tiny_index.terms.items():
+        decoded = packed.postings(term)
+        df = decoded.document_frequency
+        for a, b in ((0, df), (0, max(0, df - 1)), (1, df), (df, df)):
+            if a > b:
+                continue
+            view = decoded.sliced(a, b)
+            assert list(view.doc_ids) == list(original.doc_ids[a:b])
+            assert [tuple(o) for o in view.offsets] == \
+                [tuple(o) for o in original.offsets[a:b]]
+            assert view.document_frequency == b - a
+            assert view.total_positions == \
+                sum(len(o) for o in original.offsets[a:b])
+            for doc_id in list(original.doc_ids):
+                assert view.positions_in(doc_id) == (
+                    original.positions_in(doc_id)
+                    if doc_id in set(int(d) for d in original.doc_ids[a:b])
+                    else ()
+                )
+
+
+def test_empty_collection_round_trips():
+    index = build_index(DocumentCollection())
+    packed = PackedIndex(pack_index(index), verify=True)
+    assert packed.num_docs == 0
+    assert packed.vocabulary_size() == 0
+    assert len(packed.postings("anything")) == 0
+    assert packed.sentence_starts_of(0) == ()
+
+
+def test_unpackable_doc_ids_rejected_at_encode():
+    postings = PositionPostings(
+        np.array([0, 2**32], dtype=np.int64), [(1,), (2,)]
+    )
+    with pytest.raises(IndexError_):
+        _pack_frame("huge", postings)
+    unsorted = PositionPostings(
+        np.array([5, 3], dtype=np.int64), [(1,), (2,)]
+    )
+    with pytest.raises(IndexError_):
+        _pack_frame("unsorted", unsorted)
+
+
+# -- corruption rejection -------------------------------------------------
+
+
+def _header_len(blob: bytes) -> int:
+    (_version, hlen) = struct.unpack_from("<II", blob, 8)
+    return hlen
+
+
+def test_truncation_rejected_at_every_cut(blob):
+    hlen = _header_len(blob)
+    cuts = sorted({
+        0, 4, 8, 12, 15,                 # inside the fixed header
+        16 + hlen // 2,                   # inside the JSON directory
+        16 + hlen + 2,                    # inside the header CRC
+        len(blob) // 2,                   # mid-payload
+        len(blob) - 1,                    # one byte short
+    })
+    for cut in cuts:
+        with pytest.raises(IndexCorruptionError):
+            PackedIndex(blob[:cut], verify=True)
+
+
+def test_not_a_packed_blob_rejected(blob):
+    with pytest.raises(IndexCorruptionError):
+        PackedIndex(b"\x00" * len(blob))
+    with pytest.raises(IndexCorruptionError):
+        PackedIndex(b"NOTPACK1" + blob[8:])
+    # Unsupported version is corruption too, not a silent misread.
+    bumped = bytearray(blob)
+    bumped[8] = 99
+    with pytest.raises(IndexCorruptionError):
+        PackedIndex(bytes(bumped))
+
+
+def test_flipped_byte_rejected_everywhere_checksummed(blob):
+    clean = PackedIndex(blob)
+    hlen = _header_len(blob)
+    offsets = {
+        1,                                # magic
+        16,                               # first byte of the JSON header
+        16 + hlen - 1,                    # last byte of the JSON header
+        16 + hlen,                        # header CRC itself
+    }
+    # One byte inside every statistics section...
+    for rel, size in clean._sections.values():
+        if size:
+            offsets.add(clean._base + rel + size // 2)
+    # ...and, for every term frame: the frame head, the frame body and
+    # the frame's own CRC.
+    for rel, size in clean._directory.values():
+        off = clean._base + rel
+        offsets.update({off + 1, off + size // 2, off + size - 2})
+    assert MAGIC == blob[:8]
+    for off in sorted(offsets):
+        mutated = bytearray(blob)
+        mutated[off] ^= 0xFF
+        with pytest.raises(IndexCorruptionError):
+            PackedIndex(bytes(mutated), verify=True)
+
+
+# -- execution equivalence ------------------------------------------------
+
+
+def _rows(index, scheme, result, ctx):
+    runtime = make_runtime(index, scheme, result.info, ctx)
+    return execute(result.plan, runtime)
+
+
+@pytest.mark.parametrize("scheme_name", SCHEME_NAMES)
+def test_packed_execution_bit_identical(
+    tiny_collection, tiny_index, tiny_ctx, packed, scheme_name
+):
+    scheme = get_scheme(scheme_name)
+    packed_ctx = IndexScoringContext(packed)
+    for text in TINY_QUERIES:
+        query = parse_query(text, tiny_collection.analyzer)
+        result = Optimizer(scheme, tiny_index).optimize(query)
+        serial = _rows(tiny_index, scheme, result, tiny_ctx)
+        over_packed = _rows(packed, scheme, result, packed_ctx)
+        assert over_packed == serial, (scheme_name, text)
+
+
+_VOCAB = ("quick", "fox", "dog", "lazy", "brown", "fence", "run")
+_PROPERTY_QUERIES = (
+    "quick fox",
+    '"quick fox"',
+    "quick (fox | dog)",
+    "fox -dog",
+    "(quick fox)ORDER",
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    docs=st.lists(
+        st.lists(st.sampled_from(_VOCAB), min_size=1, max_size=10),
+        min_size=1,
+        max_size=10,
+    ),
+    text=st.sampled_from(_PROPERTY_QUERIES),
+    scheme_name=st.sampled_from(SCHEME_NAMES),
+    shards=st.sampled_from((2, 3)),
+)
+def test_packed_scores_property(docs, text, scheme_name, shards):
+    """serial/object ≡ serial/packed ≡ thread-sharded/packed, exactly."""
+    collection = DocumentCollection()
+    for words in docs:
+        collection.add_text(" ".join(words))
+    index = build_index(collection)
+    packed = PackedIndex(pack_index(index), verify=True)
+    scheme = get_scheme(scheme_name)
+    query = parse_query(text, collection.analyzer)
+    result = Optimizer(scheme, index).optimize(query)
+    serial = _rows(index, scheme, result, IndexScoringContext(index))
+    packed_ctx = IndexScoringContext(packed)
+    assert _rows(packed, scheme, result, packed_ctx) == serial
+    par = execute_sharded(
+        ShardedIndex(packed, shards), result.plan, scheme, result.info,
+        packed_ctx,
+    )
+    assert par.results == serial

@@ -1,0 +1,113 @@
+"""Hot swap while a process-parallel reader generation is live.
+
+The worker-pool lifecycle is tied to the generation that published the
+shared-memory blob: ``ServiceConfig(executor="process")`` must pre-build
+the pool off the request path, serve queries through it, and — on
+``checkpoint_and_swap`` — retire the old generation's workers and
+shared segment exactly when its last pin drains, while the new
+generation answers from its own pool.  Scores must match the serial
+engine across the whole swap (the packed process path is score-exact).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import SearchEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import QueryService, ServiceConfig
+
+TEXTS = [
+    "the quick brown fox jumps over the lazy dog",
+    "a quick quick fox and a slow dog walk home",
+    "quick release fox terrier dog show dog fox",
+    "slow brown dog naps while the fox watches",
+]
+
+
+def make_store(root) -> None:
+    with SearchEngine.open(root) as engine:
+        for i, text in enumerate(TEXTS):
+            engine.add(text, title=f"doc{i}")
+        engine.checkpoint()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def proc_service(root) -> QueryService:
+    config = ServiceConfig(
+        max_inflight=4, max_queue=8, deadline_ms=5000.0,
+        shards=2, executor="process",
+    )
+    return QueryService(root, config, registry=MetricsRegistry())
+
+
+def test_swap_retires_old_pool_and_new_pool_serves(tmp_path):
+    root = tmp_path / "store"
+    make_store(root)
+
+    async def main():
+        svc = proc_service(root)
+        await svc.start()
+        try:
+            first = svc.readers.current
+            assert first is not None
+            old_pool = first.engine._procpool
+            if old_pool is None:
+                pytest.skip("process pool unavailable on this platform")
+            # The pool is pre-built at generation load, before any query.
+            assert not old_pool.closed
+
+            payload = await svc.search("quick fox")
+            assert payload["results"]
+            assert first.engine.search("quick fox").executor == "process"
+
+            await svc.add_document(
+                "another quick fox joins the dog show", title="new"
+            )
+            await svc.checkpoint_and_swap()
+
+            # No pins remained, so the retired generation's workers and
+            # shared segment are gone the moment the swap completes.
+            assert old_pool.closed
+            second = svc.readers.current
+            assert second is not first
+            new_pool = second.engine._procpool
+            assert new_pool is not None and new_pool is not old_pool
+            assert not new_pool.closed
+
+            # The new generation serves through its own pool, and sees
+            # the newly ingested document.
+            payload = await svc.search("quick fox")
+            assert any(r["title"] == "new" for r in payload["results"])
+            assert second.engine.search("quick fox").executor == "process"
+        finally:
+            await svc.stop()
+
+    run(main())
+
+
+def test_process_scores_match_serial_reference(tmp_path):
+    root = tmp_path / "store"
+    make_store(root)
+
+    async def main():
+        svc = proc_service(root)
+        await svc.start()
+        try:
+            handle = svc.readers.current
+            if handle.engine._procpool is None:
+                pytest.skip("process pool unavailable on this platform")
+            out = handle.engine.search("quick (fox | dog)")
+            ref = handle.serial_engine.search("quick (fox | dog)")
+            assert out.executor == "process"
+            assert [(r.doc_id, r.score) for r in out.results] == \
+                [(r.doc_id, r.score) for r in ref.results]
+        finally:
+            await svc.stop()
+
+    run(main())
